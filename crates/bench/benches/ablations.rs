@@ -1,0 +1,63 @@
+//! Criterion: ablations of the design choices DESIGN.md §6 calls out.
+//! Each benchmark simulates the same work under the design-on and
+//! design-off variants; the *simulated-cycle* comparison (the
+//! architectural result) is produced by `cargo run --bin ablation_report`,
+//! while this harness tracks the host-side simulation cost of each
+//! variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_compiler::{build, MapperConfig};
+use snacknoc_core::SnackPlatform;
+use snacknoc_noc::NocConfig;
+use snacknoc_workloads::kernels::Kernel;
+use snacknoc_workloads::suite::{profile, Benchmark};
+
+/// MAC fusion on vs off: fused inner products keep partial sums in the
+/// accumulator; unfused ones push every product through the ring.
+fn bench_mac_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mac_fusion");
+    for fusion in [true, false] {
+        group.bench_with_input(BenchmarkId::new("sgemm12", fusion), &fusion, |b, &fusion| {
+            let built = build(Kernel::Sgemm, 12, 7);
+            let sample = SnackPlatform::new(NocConfig::default()).unwrap();
+            let cfg = MapperConfig::for_mesh(sample.mesh()).with_mac_fusion(fusion);
+            let kernel = built.context.compile(built.root, &cfg).unwrap();
+            b.iter_batched(
+                || SnackPlatform::new(NocConfig::default()).unwrap(),
+                |mut p| p.run_kernel(&kernel, 5_000_000).unwrap().expect("finishes"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Priority arbitration on vs off under mixed CMP + kernel traffic.
+fn bench_priority_arbitration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_priority_arb");
+    group.sample_size(10);
+    for arb in [true, false] {
+        group.bench_with_input(BenchmarkId::new("radix+sgemm", arb), &arb, |b, &arb| {
+            let workload = profile(Benchmark::Radix).scaled(0.0002);
+            let built = build(Kernel::Sgemm, 12, 7);
+            b.iter_batched(
+                || {
+                    let cfg = NocConfig::dapper().with_priority_arbitration(arb);
+                    let mut p = SnackPlatform::new(cfg).unwrap();
+                    let kernel = built
+                        .context
+                        .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
+                        .unwrap();
+                    p.attach_workload(&workload, 3);
+                    (p, kernel)
+                },
+                |(mut p, kernel)| p.run_multiprogram(Some(&kernel), u64::MAX / 2),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mac_fusion, bench_priority_arbitration);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: end-to-end simulation cost of small SnackNoC kernels — the
+//! whole pipeline (compile once, then CPM fetch/issue, RCU execution,
+//! transient tokens, result writeback) per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_compiler::{build, MapperConfig};
+use snacknoc_core::SnackPlatform;
+use snacknoc_noc::NocConfig;
+use snacknoc_workloads::kernels::Kernel;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_sim");
+    for kernel in Kernel::ALL {
+        let size = match kernel {
+            Kernel::Sgemm => 8,
+            Kernel::Reduction => 1024,
+            Kernel::Mac => 512,
+            Kernel::Spmv => 24,
+        };
+        let built = build(kernel, size, 42);
+        let sample = SnackPlatform::new(NocConfig::default()).unwrap();
+        let compiled =
+            built.context.compile(built.root, &MapperConfig::for_mesh(sample.mesh())).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("{kernel}-{size}")),
+            &compiled,
+            |b, compiled| {
+                b.iter_batched(
+                    || SnackPlatform::new(NocConfig::default()).unwrap(),
+                    |mut platform| {
+                        platform
+                            .run_kernel(compiled, 1_000_000)
+                            .expect("cpm idle")
+                            .expect("kernel finishes")
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: cycle-throughput of the NoC simulator under load, for the
+//! three baseline router configurations, plus the idle fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_noc::{Network, NocConfig, NocPreset, NodeId, PacketSpec, TrafficClass};
+
+fn saturated_network(cfg: NocConfig) -> Network<u32> {
+    let mut net: Network<u32> = Network::new(cfg).expect("valid config");
+    let n = net.mesh().node_count();
+    for i in 0..200u32 {
+        let src = NodeId::new(i as usize % n);
+        let dst = NodeId::new((i as usize * 7 + 3) % n);
+        net.inject(PacketSpec::new(src, dst, (i % 3) as u8, TrafficClass::Communication, 64, i))
+            .unwrap();
+    }
+    net
+}
+
+fn bench_router_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_step");
+    for preset in NocPreset::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("loaded_4x4", preset.to_string()),
+            &preset,
+            |b, &preset| {
+                b.iter_batched(
+                    || saturated_network(NocConfig::preset(preset)),
+                    |mut net| {
+                        net.run(200);
+                        net
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    // Idle network: the common case the active-router optimisation targets.
+    c.bench_function("network_step/idle_4x4", |b| {
+        let mut net: Network<u32> = Network::new(NocConfig::binochs()).unwrap();
+        b.iter(|| {
+            net.run(1_000);
+            net.cycle()
+        });
+    });
+}
+
+criterion_group!(benches, bench_router_cycles);
+criterion_main!(benches);

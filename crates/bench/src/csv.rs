@@ -1,0 +1,124 @@
+//! CSV emission for experiment series, so figure data can be re-plotted
+//! outside the terminal.
+
+use snacknoc_noc::NetStats;
+use std::io::{self, Write};
+
+/// Writes per-router crossbar-utilization time series as CSV:
+/// `end_cycle,r0,r1,...` — the layout of the paper's Fig. 2(a)/Fig. 11.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_crossbar_series(stats: &NetStats, mut w: impl Write) -> io::Result<()> {
+    let routers = stats.router_count();
+    write!(w, "end_cycle")?;
+    for r in 0..routers {
+        write!(w, ",r{r}")?;
+    }
+    writeln!(w)?;
+    let windows = stats.crossbar_series(0).samples().len();
+    for i in 0..windows {
+        write!(w, "{}", stats.crossbar_series(0).samples()[i].end_cycle)?;
+        for r in 0..routers {
+            write!(w, ",{:.4}", stats.crossbar_series(r).samples()[i].utilization)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes per-link utilization time series as CSV (`end_cycle,l0,l1,...`)
+/// — the layout of Fig. 2(b).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_link_series(stats: &NetStats, mut w: impl Write) -> io::Result<()> {
+    let links = stats.link_count();
+    write!(w, "end_cycle")?;
+    for l in 0..links {
+        write!(w, ",l{l}")?;
+    }
+    writeln!(w)?;
+    let windows = stats.link_series(0).samples().len();
+    for i in 0..windows {
+        write!(w, "{}", stats.link_series(0).samples()[i].end_cycle)?;
+        for l in 0..links {
+            write!(w, ",{:.4}", stats.link_series(l).samples()[i].utilization)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes the buffer-occupancy CDF as CSV (`percent,cumulative`) — the
+/// layout of Fig. 3.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_occupancy_cdf(stats: &NetStats, mut w: impl Write) -> io::Result<()> {
+    writeln!(w, "percent,cumulative")?;
+    for (pct, cum) in stats.occupancy.points() {
+        writeln!(w, "{pct},{cum:.6}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snacknoc_noc::{Network, NocConfig, NodeId, PacketSpec, TrafficClass};
+
+    fn stats_with_traffic() -> NetStats {
+        let mut net: Network<u32> =
+            Network::new(NocConfig::binochs().with_sample_window(50)).unwrap();
+        for i in 0..40 {
+            net.inject(PacketSpec::new(
+                NodeId::new(i % 16),
+                NodeId::new((i * 5 + 1) % 16),
+                0,
+                TrafficClass::Communication,
+                64,
+                i as u32,
+            ))
+            .unwrap();
+        }
+        net.run(400);
+        net.stats().clone()
+    }
+
+    #[test]
+    fn crossbar_csv_has_header_and_windows() {
+        let stats = stats_with_traffic();
+        let mut buf = Vec::new();
+        write_crossbar_series(&stats, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("end_cycle,r0,"));
+        assert_eq!(header.split(',').count(), 17);
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), 8, "400 cycles / 50-cycle windows");
+        for row in body {
+            assert_eq!(row.split(',').count(), 17);
+        }
+    }
+
+    #[test]
+    fn link_and_cdf_csv_are_wellformed() {
+        let stats = stats_with_traffic();
+        let mut buf = Vec::new();
+        write_link_series(&stats, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("end_cycle,l0,"));
+        assert_eq!(text.lines().count(), 9);
+
+        let mut buf = Vec::new();
+        write_occupancy_cdf(&stats, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 102, "header + 101 buckets");
+        assert!(text.trim_end().ends_with("100,1.000000"));
+    }
+}

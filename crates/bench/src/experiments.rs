@@ -1,0 +1,110 @@
+//! Shared experiment drivers used by the per-figure binaries.
+
+use snacknoc_compiler::{build, MapperConfig};
+use snacknoc_core::{Fixed, SnackPlatform};
+use snacknoc_cpu::CpuKernel;
+use snacknoc_noc::NocConfig;
+use snacknoc_workloads::kernels::Kernel;
+
+/// The RCU/NoC clock of Table IV, GHz.
+pub const SNACK_FREQ_GHZ: f64 = 1.0;
+
+/// Parses `--<name> <value>` from the process arguments, falling back to
+/// `default`. Used by the experiment binaries for workload scale/seeds.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--<name> <value>` as an integer, falling back to `default`.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_f64(name, default as f64) as u64
+}
+
+/// The seed used for Fig. 9 kernel inputs.
+pub const FIG9_SEED: u64 = 42;
+
+/// Bridges the workloads-crate kernel enum to the CPU model's.
+pub fn kernel_to_cpu(kernel: Kernel) -> CpuKernel {
+    match kernel {
+        Kernel::Sgemm => CpuKernel::Sgemm,
+        Kernel::Reduction => CpuKernel::Reduction,
+        Kernel::Mac => CpuKernel::Mac,
+        Kernel::Spmv => CpuKernel::Spmv,
+    }
+}
+
+/// Outcome of running one kernel on a zero-load SnackNoC.
+#[derive(Clone, Debug)]
+pub struct SnackKernelRun {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// The size it ran at.
+    pub size: usize,
+    /// Completion latency in SnackNoC (1 GHz) cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: usize,
+    /// Whether the simulated outputs matched the fixed-point reference
+    /// interpreter bit-for-bit.
+    pub verified: bool,
+    /// The outputs.
+    pub outputs: Vec<Fixed>,
+}
+
+impl SnackKernelRun {
+    /// Wall-clock seconds at the SnackNoC frequency.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (SNACK_FREQ_GHZ * 1e9)
+    }
+}
+
+/// Compiles `kernel` at `size` and runs it to completion on a zero-load
+/// SnackNoC platform (the paper's Fig. 9 measurement condition),
+/// verifying the result against the reference interpreter.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to compile, validate or finish — all of
+/// which indicate a platform bug rather than an experimental condition.
+pub fn run_snack_kernel(kernel: Kernel, size: usize, cfg: NocConfig, seed: u64) -> SnackKernelRun {
+    let built = build(kernel, size, seed);
+    let mut platform = SnackPlatform::new(cfg).expect("valid platform config");
+    let mapper = MapperConfig::for_mesh(platform.mesh());
+    let compiled = built.context.compile(built.root, &mapper).expect("kernel compiles");
+    compiled.validate().expect("compiled kernel is well-formed");
+    let instructions = compiled.len();
+    let cap = 200 * instructions as u64 + 1_000_000;
+    let run = platform
+        .run_kernel(&compiled, cap)
+        .expect("cpm idle")
+        .unwrap_or_else(|| panic!("{kernel} did not finish within {cap} cycles"));
+    let reference = built.context.interpret(built.root).expect("interpretable");
+    SnackKernelRun {
+        kernel,
+        size,
+        cycles: run.cycles,
+        instructions,
+        verified: run.outputs == reference,
+        outputs: run.outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snack_kernel_runs_verify_against_interpreter() {
+        for kernel in Kernel::ALL {
+            let run = run_snack_kernel(kernel, 10, NocConfig::default(), 7);
+            assert!(run.verified, "{kernel} simulation must match the interpreter");
+            assert!(run.cycles > 0);
+        }
+    }
+}

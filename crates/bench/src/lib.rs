@@ -1,0 +1,21 @@
+//! # snacknoc-bench
+//!
+//! The experiment harness of the SnackNoC reproduction: one binary per
+//! table/figure of the paper (see `src/bin/`), plus Criterion
+//! microbenchmarks (see `benches/`) and the shared drivers in this
+//! library.
+//!
+//! Every binary prints the rows/series the corresponding paper artifact
+//! reports, next to the paper's published values where applicable, and is
+//! indexed in `DESIGN.md` §4. `EXPERIMENTS.md` records a captured run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    kernel_to_cpu, run_snack_kernel, FIG9_SEED, SNACK_FREQ_GHZ, SnackKernelRun,
+};

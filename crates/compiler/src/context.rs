@@ -1,0 +1,353 @@
+//! The SnackNoC context API (paper Fig. 8b): declaratively build linear
+//! algebra computations, then compile them to instruction streams or
+//! evaluate them with the reference interpreter.
+
+use crate::graph::{ElemOp, Node, NodeKind, Res, Shape};
+use crate::interp;
+use crate::mapping::{self, MapperConfig};
+use snacknoc_core::fixed::Fixed;
+use snacknoc_core::token::CompiledKernel;
+use snacknoc_workloads::kernels::CsrMatrix;
+use std::fmt;
+
+/// A shape/usage error raised while building or compiling a context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ContextError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Left shape.
+        lhs: Shape,
+        /// Right shape.
+        rhs: Shape,
+    },
+    /// Data length does not match `rows * cols`.
+    BadDataLength {
+        /// Elements provided.
+        got: usize,
+        /// Elements expected.
+        want: usize,
+    },
+    /// A sparse input was used somewhere other than as the matrix operand
+    /// of [`Context::spmv`].
+    SparseMisuse,
+    /// An empty (zero-element) array was supplied.
+    EmptyArray,
+    /// A handle from a different context was used.
+    ForeignHandle,
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            ContextError::BadDataLength { got, want } => {
+                write!(f, "data length {got} does not match shape ({want} elements)")
+            }
+            ContextError::SparseMisuse => {
+                write!(f, "sparse inputs may only be the matrix operand of spmv")
+            }
+            ContextError::EmptyArray => write!(f, "arrays must be non-empty"),
+            ContextError::ForeignHandle => write!(f, "handle belongs to a different context"),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+/// An execution context: one or more dataflow graphs under construction
+/// (paper §IV-A2). Compile a root handle to get a [`CompiledKernel`] for
+/// the CPM, or interpret it for a bit-exact reference result.
+///
+/// ```
+/// use snacknoc_compiler::Context;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // D = alpha * (A x B) + C   (paper Fig. 8)
+/// let mut cxt = Context::new("axb_plus_c");
+/// let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 2, 2)?;
+/// let b = cxt.input(&[5.0, 6.0, 7.0, 8.0], 2, 2)?;
+/// let c = cxt.input(&[1.0, 1.0, 1.0, 1.0], 2, 2)?;
+/// let alpha = cxt.scalar(2.0);
+/// let ab = cxt.mul(a, b)?;
+/// let alpha_ab = cxt.mul(alpha, ab)?;
+/// let d = cxt.add(alpha_ab, c)?;
+/// let reference = cxt.interpret(d)?;
+/// assert_eq!(reference[0].to_f64(), 2.0 * 19.0 + 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Context {
+    pub(crate) nodes: Vec<Node>,
+    name: String,
+}
+
+impl Context {
+    /// Creates an empty context (the paper's `create_new_cxt`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Context { nodes: Vec::new(), name: name.into() }
+    }
+
+    /// The context name, used for compiled-kernel reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shape of a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::ForeignHandle`] if `r` is not from this context.
+    pub fn shape(&self, r: Res) -> Result<Shape, ContextError> {
+        self.nodes.get(r.0).map(|n| n.shape).ok_or(ContextError::ForeignHandle)
+    }
+
+    fn push(&mut self, node: Node) -> Res {
+        self.nodes.push(node);
+        Res(self.nodes.len() - 1)
+    }
+
+    fn check(&self, r: Res) -> Result<&Node, ContextError> {
+        self.nodes.get(r.0).ok_or(ContextError::ForeignHandle)
+    }
+
+    fn check_dense(&self, r: Res, op: &'static str) -> Result<Shape, ContextError> {
+        let node = self.check(r)?;
+        if matches!(node.kind, NodeKind::Sparse { .. }) {
+            let _ = op;
+            return Err(ContextError::SparseMisuse);
+        }
+        Ok(node.shape)
+    }
+
+    /// Creates a dense input array (the paper's `create_input`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty arrays and length/shape mismatches.
+    pub fn input(&mut self, data: &[f64], rows: usize, cols: usize) -> Result<Res, ContextError> {
+        if rows * cols == 0 {
+            return Err(ContextError::EmptyArray);
+        }
+        if data.len() != rows * cols {
+            return Err(ContextError::BadDataLength { got: data.len(), want: rows * cols });
+        }
+        let values = data.iter().map(|&v| Fixed::from_f64(v)).collect();
+        Ok(self.push(Node::new(NodeKind::Dense(values), rows, cols)))
+    }
+
+    /// Creates a 1×1 scalar input.
+    pub fn scalar(&mut self, v: f64) -> Res {
+        self.push(Node::new(NodeKind::Dense(vec![Fixed::from_f64(v)]), 1, 1))
+    }
+
+    /// Creates a sparse CSR input, usable as the matrix operand of
+    /// [`Context::spmv`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty matrices.
+    pub fn sparse(&mut self, m: &CsrMatrix) -> Result<Res, ContextError> {
+        if m.rows * m.cols == 0 {
+            return Err(ContextError::EmptyArray);
+        }
+        Ok(self.push(Node::new(crate::graph::csr_to_fixed(m), m.rows, m.cols)))
+    }
+
+    /// Multiplication (the paper's `create_mult`): dense matrix product,
+    /// or element-wise scaling when either operand is a 1×1 scalar.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch or sparse misuse.
+    pub fn mul(&mut self, a: Res, b: Res) -> Result<Res, ContextError> {
+        let sa = self.check_dense(a, "mul")?;
+        let sb = self.check_dense(b, "mul")?;
+        if sa.is_scalar() || sb.is_scalar() {
+            let shape = if sa.is_scalar() { sb } else { sa };
+            return Ok(self.push(Node::new(NodeKind::Elem(ElemOp::Mul, a, b), shape.rows, shape.cols)));
+        }
+        if sa.cols != sb.rows {
+            return Err(ContextError::ShapeMismatch { op: "mul", lhs: sa, rhs: sb });
+        }
+        Ok(self.push(Node::new(NodeKind::MatMul(a, b), sa.rows, sb.cols)))
+    }
+
+    /// Element-wise addition (the paper's `create_add`); scalars broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch or sparse misuse.
+    pub fn add(&mut self, a: Res, b: Res) -> Result<Res, ContextError> {
+        self.elementwise(ElemOp::Add, "add", a, b)
+    }
+
+    /// Element-wise subtraction; scalars broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch or sparse misuse.
+    pub fn sub(&mut self, a: Res, b: Res) -> Result<Res, ContextError> {
+        self.elementwise(ElemOp::Sub, "sub", a, b)
+    }
+
+    /// Element-wise (Hadamard) multiplication; scalars broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch or sparse misuse.
+    pub fn elem_mul(&mut self, a: Res, b: Res) -> Result<Res, ContextError> {
+        self.elementwise(ElemOp::Mul, "elem_mul", a, b)
+    }
+
+    fn elementwise(
+        &mut self,
+        op: ElemOp,
+        name: &'static str,
+        a: Res,
+        b: Res,
+    ) -> Result<Res, ContextError> {
+        let sa = self.check_dense(a, name)?;
+        let sb = self.check_dense(b, name)?;
+        let shape = if sa.is_scalar() {
+            sb
+        } else if sb.is_scalar() || sa == sb {
+            sa
+        } else {
+            return Err(ContextError::ShapeMismatch { op: name, lhs: sa, rhs: sb });
+        };
+        Ok(self.push(Node::new(NodeKind::Elem(op, a, b), shape.rows, shape.cols)))
+    }
+
+    /// Sum-reduction of all elements to a 1×1 scalar.
+    ///
+    /// # Errors
+    ///
+    /// Sparse misuse.
+    pub fn reduce(&mut self, a: Res) -> Result<Res, ContextError> {
+        self.check_dense(a, "reduce")?;
+        Ok(self.push(Node::new(NodeKind::Reduce(a), 1, 1)))
+    }
+
+    /// Sparse matrix × dense vector.
+    ///
+    /// # Errors
+    ///
+    /// The matrix operand must be a [`Context::sparse`] input; the vector
+    /// must be dense with `rows == matrix.cols` and one column.
+    pub fn spmv(&mut self, m: Res, x: Res) -> Result<Res, ContextError> {
+        let mnode = self.check(m)?;
+        let NodeKind::Sparse { .. } = mnode.kind else {
+            return Err(ContextError::SparseMisuse);
+        };
+        let ms = mnode.shape;
+        let xs = self.check_dense(x, "spmv")?;
+        if xs.rows != ms.cols || xs.cols != 1 {
+            return Err(ContextError::ShapeMismatch { op: "spmv", lhs: ms, rhs: xs });
+        }
+        Ok(self.push(Node::new(NodeKind::Spmv(m, x), ms.rows, 1)))
+    }
+
+    /// Evaluates `root` with the bit-exact fixed-point reference
+    /// interpreter (row-major element order).
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::ForeignHandle`] for unknown handles.
+    pub fn interpret(&self, root: Res) -> Result<Vec<Fixed>, ContextError> {
+        self.check(root)?;
+        Ok(interp::evaluate(self, root))
+    }
+
+    /// JIT-compiles the graph rooted at `root` into a CPM command buffer
+    /// (paper §IV-B): post-order mapping, round-robin scheduling across
+    /// RCUs, MAC fusion per the mapper configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::ForeignHandle`] for unknown handles.
+    pub fn compile(&self, root: Res, cfg: &MapperConfig) -> Result<CompiledKernel, ContextError> {
+        self.check(root)?;
+        Ok(mapping::compile(self, root, cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checking_rejects_mismatches() {
+        let mut cxt = Context::new("t");
+        let a = cxt.input(&[1.0; 6], 2, 3).unwrap();
+        let b = cxt.input(&[1.0; 6], 2, 3).unwrap();
+        assert!(matches!(cxt.mul(a, b), Err(ContextError::ShapeMismatch { op: "mul", .. })));
+        let c = cxt.input(&[1.0; 4], 2, 2).unwrap();
+        assert!(matches!(cxt.add(a, c), Err(ContextError::ShapeMismatch { .. })));
+        assert!(matches!(
+            cxt.input(&[1.0; 5], 2, 3),
+            Err(ContextError::BadDataLength { got: 5, want: 6 })
+        ));
+        assert_eq!(cxt.input(&[], 0, 3), Err(ContextError::EmptyArray));
+    }
+
+    #[test]
+    fn scalar_broadcasting() {
+        let mut cxt = Context::new("t");
+        let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let s = cxt.scalar(10.0);
+        let scaled = cxt.mul(s, a).unwrap();
+        assert_eq!(cxt.shape(scaled).unwrap(), Shape { rows: 2, cols: 2 });
+        let shifted = cxt.add(a, s).unwrap();
+        assert_eq!(cxt.shape(shifted).unwrap(), Shape { rows: 2, cols: 2 });
+        let out = cxt.interpret(scaled).unwrap();
+        assert_eq!(out.iter().map(|f| f.to_f64()).collect::<Vec<_>>(), vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn sparse_only_valid_in_spmv() {
+        use snacknoc_workloads::kernels::sparse_matrix;
+        let mut cxt = Context::new("t");
+        let m = sparse_matrix(8, 0.5, 1);
+        let sp = cxt.sparse(&m).unwrap();
+        let x = cxt.input(&[1.0; 8], 8, 1).unwrap();
+        let y = cxt.spmv(sp, x).unwrap();
+        assert_eq!(cxt.shape(y).unwrap(), Shape { rows: 8, cols: 1 });
+        assert_eq!(cxt.add(sp, x), Err(ContextError::SparseMisuse));
+        assert_eq!(cxt.spmv(x, x), Err(ContextError::SparseMisuse));
+        let bad_x = cxt.input(&[1.0; 4], 4, 1).unwrap();
+        assert!(matches!(cxt.spmv(sp, bad_x), Err(ContextError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn foreign_handles_rejected() {
+        let mut a = Context::new("a");
+        let cxt_b = Context::new("b");
+        let r = a.input(&[1.0], 1, 1).unwrap();
+        assert!(matches!(cxt_b.shape(r), Err(ContextError::ForeignHandle)));
+        assert!(matches!(cxt_b.interpret(r), Err(ContextError::ForeignHandle)));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<ContextError> = vec![
+            ContextError::ShapeMismatch {
+                op: "mul",
+                lhs: Shape { rows: 1, cols: 2 },
+                rhs: Shape { rows: 3, cols: 4 },
+            },
+            ContextError::BadDataLength { got: 1, want: 2 },
+            ContextError::SparseMisuse,
+            ContextError::EmptyArray,
+            ContextError::ForeignHandle,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

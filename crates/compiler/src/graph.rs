@@ -1,0 +1,114 @@
+//! The deterministic dataflow-graph representation behind the context API
+//! (paper §IV-A1): nodes are array operations, edges are immediate or
+//! intermediate array values, and each compiled graph has a single root.
+
+use snacknoc_core::fixed::Fixed;
+use snacknoc_workloads::kernels::CsrMatrix;
+use std::fmt;
+
+/// An opaque handle to a graph node, returned by the context API
+/// (the paper's `RESH`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Res(pub(crate) usize);
+
+/// The shape of an array value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Shape {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the shape has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a 1×1 scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Element-wise binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElemOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise (Hadamard) multiplication.
+    Mul,
+}
+
+/// A dataflow-graph node.
+#[derive(Clone, Debug)]
+pub(crate) enum NodeKind {
+    /// A dense immediate input (values already fixed-point converted).
+    Dense(Vec<Fixed>),
+    /// A sparse immediate input in CSR form (fixed-point values).
+    Sparse {
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<Fixed>,
+    },
+    /// Element-wise binary op; scalar operands broadcast.
+    Elem(ElemOp, Res, Res),
+    /// Dense matrix multiplication.
+    MatMul(Res, Res),
+    /// Sum-reduction of all elements to a 1×1 scalar.
+    Reduce(Res),
+    /// Sparse matrix × dense vector.
+    Spmv(Res, Res),
+}
+
+/// A node with its output shape.
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    pub shape: Shape,
+}
+
+impl Node {
+    pub(crate) fn new(kind: NodeKind, rows: usize, cols: usize) -> Self {
+        Node { kind, shape: Shape { rows, cols } }
+    }
+}
+
+/// Converts a CSR matrix from the workloads crate into fixed-point parts.
+pub(crate) fn csr_to_fixed(m: &CsrMatrix) -> NodeKind {
+    NodeKind::Sparse {
+        row_ptr: m.row_ptr.clone(),
+        col_idx: m.col_idx.clone(),
+        values: m.values.iter().map(|&v| Fixed::from_f64(v)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_helpers() {
+        let s = Shape { rows: 3, cols: 4 };
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_scalar());
+        assert!(!s.is_empty());
+        assert!(Shape { rows: 1, cols: 1 }.is_scalar());
+        assert!(Shape { rows: 0, cols: 5 }.is_empty());
+        assert_eq!(s.to_string(), "3x4");
+    }
+}

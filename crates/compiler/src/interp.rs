@@ -1,0 +1,170 @@
+//! The reference interpreter: evaluates a context graph in Q16.16 fixed
+//! point using exactly the RCU datapath operations, so simulated SnackNoC
+//! executions can be checked bit-for-bit.
+//!
+//! Wrapping 32-bit addition is associative and commutative, and every
+//! product is truncated to Q16.16 before accumulation (as in the MAC unit),
+//! so the interpreter's result is independent of the order the mapper
+//! schedules operations in — any divergence indicates a platform bug, not
+//! floating-point noise.
+
+use crate::context::Context;
+use crate::graph::{ElemOp, NodeKind, Res};
+use snacknoc_core::fixed::Fixed;
+
+/// Evaluates the graph rooted at `root`, returning row-major elements.
+pub(crate) fn evaluate(ctx: &Context, root: Res) -> Vec<Fixed> {
+    let mut memo: Vec<Option<Vec<Fixed>>> = vec![None; ctx.nodes.len()];
+    eval(ctx, root, &mut memo)
+}
+
+fn eval(ctx: &Context, r: Res, memo: &mut Vec<Option<Vec<Fixed>>>) -> Vec<Fixed> {
+    if let Some(v) = &memo[r.0] {
+        return v.clone();
+    }
+    let node = &ctx.nodes[r.0];
+    let out = match &node.kind {
+        NodeKind::Dense(values) => values.clone(),
+        NodeKind::Sparse { row_ptr, col_idx, values } => {
+            // Dense expansion (only reachable if a sparse node is evaluated
+            // directly, e.g. as a graph root).
+            let (rows, cols) = (node.shape.rows, node.shape.cols);
+            let mut dense = vec![Fixed::ZERO; rows * cols];
+            for row in 0..rows {
+                for i in row_ptr[row]..row_ptr[row + 1] {
+                    dense[row * cols + col_idx[i]] = values[i];
+                }
+            }
+            dense
+        }
+        NodeKind::Elem(op, a, b) => {
+            let (a, b) = (*a, *b);
+            let va = eval(ctx, a, memo);
+            let vb = eval(ctx, b, memo);
+            let len = node.shape.len();
+            let pick = |v: &Vec<Fixed>, i: usize| if v.len() == 1 { v[0] } else { v[i] };
+            (0..len)
+                .map(|i| {
+                    let (x, y) = (pick(&va, i), pick(&vb, i));
+                    match op {
+                        ElemOp::Add => x + y,
+                        ElemOp::Sub => x - y,
+                        ElemOp::Mul => x * y,
+                    }
+                })
+                .collect()
+        }
+        NodeKind::MatMul(a, b) => {
+            let (a, b) = (*a, *b);
+            let k = ctx.nodes[a.0].shape.cols;
+            let n = ctx.nodes[b.0].shape.cols;
+            let m = node.shape.rows;
+            let va = eval(ctx, a, memo);
+            let vb = eval(ctx, b, memo);
+            let mut out = Vec::with_capacity(m * n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = Fixed::ZERO;
+                    for l in 0..k {
+                        acc = acc.mac(va[i * k + l], vb[l * n + j]);
+                    }
+                    out.push(acc);
+                }
+            }
+            out
+        }
+        NodeKind::Reduce(a) => {
+            let va = eval(ctx, *a, memo);
+            let mut acc = Fixed::ZERO;
+            for v in va {
+                acc += v;
+            }
+            vec![acc]
+        }
+        NodeKind::Spmv(m, x) => {
+            let (m, x) = (*m, *x);
+            let vx = eval(ctx, x, memo);
+            let NodeKind::Sparse { row_ptr, col_idx, values } = &ctx.nodes[m.0].kind else {
+                unreachable!("spmv matrix operand is sparse by construction");
+            };
+            (0..node.shape.rows)
+                .map(|row| {
+                    let mut acc = Fixed::ZERO;
+                    for i in row_ptr[row]..row_ptr[row + 1] {
+                        acc = acc.mac(values[i], vx[col_idx[i]]);
+                    }
+                    acc
+                })
+                .collect()
+        }
+    };
+    memo[r.0] = Some(out.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snacknoc_workloads::kernels::{sparse_matrix, vector};
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let mut cxt = Context::new("t");
+        let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = cxt.input(&[5.0, 6.0, 7.0, 8.0], 2, 2).unwrap();
+        let ab = cxt.mul(a, b).unwrap();
+        let out: Vec<f64> = cxt.interpret(ab).unwrap().iter().map(|f| f.to_f64()).collect();
+        assert_eq!(out, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn reduce_and_elem_ops() {
+        let mut cxt = Context::new("t");
+        let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 4, 1).unwrap();
+        let b = cxt.input(&[0.5, 0.5, 0.5, 0.5], 4, 1).unwrap();
+        let prod = cxt.elem_mul(a, b).unwrap();
+        let dot = cxt.reduce(prod).unwrap();
+        assert_eq!(cxt.interpret(dot).unwrap()[0].to_f64(), 5.0);
+        let diff = cxt.sub(a, b).unwrap();
+        let out = cxt.interpret(diff).unwrap();
+        assert_eq!(out[0].to_f64(), 0.5);
+        assert_eq!(out[3].to_f64(), 3.5);
+    }
+
+    #[test]
+    fn spmv_matches_float_reference_closely() {
+        let m = sparse_matrix(24, 0.7, 2);
+        let x = vector(24, 3);
+        let mut cxt = Context::new("t");
+        let sp = cxt.sparse(&m).unwrap();
+        let xr = cxt.input(&x, 24, 1).unwrap();
+        let y = cxt.spmv(sp, xr).unwrap();
+        let got = cxt.interpret(y).unwrap();
+        let want = m.multiply(&x);
+        for (g, w) in got.iter().zip(&want) {
+            // Inputs are 1/256-quantised: products are exact in Q16.16, so
+            // fixed point matches the float reference exactly here.
+            assert!((g.to_f64() - w).abs() < 1e-9, "{} vs {}", g.to_f64(), w);
+        }
+    }
+
+    #[test]
+    fn shared_subexpressions_evaluate_once_and_consistently() {
+        let mut cxt = Context::new("t");
+        let a = cxt.input(&[2.0], 1, 1).unwrap();
+        let sq = cxt.elem_mul(a, a).unwrap();
+        let sum = cxt.add(sq, sq).unwrap();
+        assert_eq!(cxt.interpret(sum).unwrap()[0].to_f64(), 8.0);
+    }
+
+    #[test]
+    fn sparse_root_expands_dense() {
+        let m = sparse_matrix(4, 0.5, 7);
+        let mut cxt = Context::new("t");
+        let sp = cxt.sparse(&m).unwrap();
+        let dense = cxt.interpret(sp).unwrap();
+        assert_eq!(dense.len(), 16);
+        let nonzero = dense.iter().filter(|v| **v != Fixed::ZERO).count();
+        assert!(nonzero >= m.nnz() / 2, "stored values appear in the expansion");
+    }
+}

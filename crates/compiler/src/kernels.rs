@@ -1,0 +1,157 @@
+//! Builders for the four paper kernels (Table III) on the context API,
+//! plus their operation counts for the CPU baseline model.
+
+use crate::context::{Context, ContextError};
+use crate::graph::Res;
+use snacknoc_workloads::kernels::{dense_matrix, sparse_matrix, vector, Kernel};
+
+/// A built kernel: the context and its root handle, ready to compile or
+/// interpret.
+#[derive(Clone, Debug)]
+pub struct BuiltKernel {
+    /// The context holding the dataflow graph.
+    pub context: Context,
+    /// The root (result) handle.
+    pub root: Res,
+    /// Which paper kernel this is.
+    pub kernel: Kernel,
+    /// The size parameter it was built at.
+    pub size: usize,
+}
+
+/// Builds one of the paper's kernels at the given size with seeded inputs.
+///
+/// Size semantics match Table III:
+/// * `Sgemm` — `size × size` dense matrices (paper: 4096).
+/// * `Reduction` — a `size`-element vector (paper: 640 M).
+/// * `Mac` — two `size`-element vectors, dot product (paper: 640 K).
+/// * `Spmv` — a `size × size` matrix at 70 % sparsity (paper: 4096).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn build(kernel: Kernel, size: usize, seed: u64) -> BuiltKernel {
+    assert!(size > 0, "kernel size must be positive");
+    let result: Result<(Context, Res), ContextError> = (|| match kernel {
+        Kernel::Sgemm => {
+            let a = dense_matrix(size, size, seed);
+            let b = dense_matrix(size, size, seed.wrapping_add(1));
+            let mut cxt = Context::new(format!("sgemm-{size}"));
+            let ra = cxt.input(&a.data, size, size)?;
+            let rb = cxt.input(&b.data, size, size)?;
+            let root = cxt.mul(ra, rb)?;
+            Ok((cxt, root))
+        }
+        Kernel::Reduction => {
+            let v = vector(size, seed);
+            let mut cxt = Context::new(format!("reduction-{size}"));
+            let rv = cxt.input(&v, size, 1)?;
+            let root = cxt.reduce(rv)?;
+            Ok((cxt, root))
+        }
+        Kernel::Mac => {
+            let a = vector(size, seed);
+            let b = vector(size, seed.wrapping_add(1));
+            let mut cxt = Context::new(format!("mac-{size}"));
+            let ra = cxt.input(&a, 1, size)?;
+            let rb = cxt.input(&b, size, 1)?;
+            let root = cxt.mul(ra, rb)?;
+            Ok((cxt, root))
+        }
+        Kernel::Spmv => {
+            let m = sparse_matrix(size, 0.70, seed);
+            let x = vector(size, seed.wrapping_add(1));
+            let mut cxt = Context::new(format!("spmv-{size}"));
+            let rm = cxt.sparse(&m)?;
+            let rx = cxt.input(&x, size, 1)?;
+            let root = cxt.spmv(rm, rx)?;
+            Ok((cxt, root))
+        }
+    })();
+    let (context, root) = result.expect("kernel builders construct valid graphs");
+    BuiltKernel { context, root, kernel, size }
+}
+
+/// Arithmetic operations (multiplies + adds) the kernel performs at `size`,
+/// used by the CPU baseline model. SPMV counts expected non-zeros at the
+/// paper's 70 % sparsity.
+pub fn op_count(kernel: Kernel, size: usize) -> u64 {
+    let n = size as u64;
+    match kernel {
+        Kernel::Sgemm => 2 * n * n * n,
+        Kernel::Reduction => n,
+        Kernel::Mac => 2 * n,
+        Kernel::Spmv => 2 * (n * n) * 3 / 10,
+    }
+}
+
+/// The paper's full-scale input size for each kernel (Table III).
+pub fn paper_size(kernel: Kernel) -> usize {
+    match kernel {
+        Kernel::Sgemm => 4_096,
+        Kernel::Reduction => 640_000_000,
+        Kernel::Mac => 640_000,
+        Kernel::Spmv => 4_096,
+    }
+}
+
+/// A scaled-down size whose cycle-level simulation completes in seconds,
+/// preserving each kernel's parallelism structure.
+pub fn sim_size(kernel: Kernel) -> usize {
+    match kernel {
+        Kernel::Sgemm => 24,
+        Kernel::Reduction => 16_384,
+        Kernel::Mac => 8_192,
+        Kernel::Spmv => 96,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MapperConfig;
+    use snacknoc_noc::Mesh;
+
+    #[test]
+    fn all_kernels_build_compile_and_validate() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = MapperConfig::for_mesh(&mesh);
+        for kernel in Kernel::ALL {
+            let built = build(kernel, 12, 42);
+            let compiled = built.context.compile(built.root, &cfg).unwrap();
+            compiled.validate().unwrap_or_else(|e| panic!("{kernel}: {e}"));
+            assert!(!compiled.is_empty());
+            let reference = built.context.interpret(built.root).unwrap();
+            assert_eq!(reference.len(), compiled.num_outputs);
+        }
+    }
+
+    #[test]
+    fn op_counts_match_formulae() {
+        assert_eq!(op_count(Kernel::Sgemm, 10), 2_000);
+        assert_eq!(op_count(Kernel::Reduction, 100), 100);
+        assert_eq!(op_count(Kernel::Mac, 100), 200);
+        assert_eq!(op_count(Kernel::Spmv, 10), 60);
+    }
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        let a = build(Kernel::Spmv, 16, 7);
+        let b = build(Kernel::Spmv, 16, 7);
+        assert_eq!(
+            a.context.interpret(a.root).unwrap(),
+            b.context.interpret(b.root).unwrap()
+        );
+    }
+
+    #[test]
+    fn paper_sizes_match_table_three() {
+        assert_eq!(paper_size(Kernel::Sgemm), 4096);
+        assert_eq!(paper_size(Kernel::Reduction), 640_000_000);
+        assert_eq!(paper_size(Kernel::Mac), 640_000);
+        assert_eq!(paper_size(Kernel::Spmv), 4096);
+        for k in Kernel::ALL {
+            assert!(sim_size(k) > 0 && sim_size(k) <= paper_size(k));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # snacknoc-compiler
+//!
+//! The SnackNoC programming model and JIT compiler (paper §IV).
+//!
+//! Programs are built *declaratively* through a [`Context`] (the paper's
+//! library interface, Fig. 8b): `input` / `scalar` / `sparse` create
+//! immediate arrays, `mul` / `add` / `sub` / `elem_mul` / `reduce` / `spmv`
+//! build a deterministic dataflow graph. A root handle can then be:
+//!
+//! * **interpreted** ([`Context::interpret`]) — a bit-exact Q16.16
+//!   fixed-point reference evaluation, or
+//! * **compiled** ([`Context::compile`]) — lowered by the JIT mapper to a
+//!   linear instruction stream for the CPM: post-order per-expression
+//!   mapping, round-robin RCU scheduling, MAC-fused inner products, and
+//!   exact dependent counting for transient data tokens.
+//!
+//! [`kernels`] builds the paper's four evaluation kernels (SGEMM,
+//! Reduction, MAC, SPMV) at arbitrary scales.
+//!
+//! ## Example
+//!
+//! ```
+//! use snacknoc_compiler::{Context, MapperConfig};
+//! use snacknoc_core::SnackPlatform;
+//! use snacknoc_noc::NocConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut platform = SnackPlatform::new(NocConfig::default())?;
+//! let mut cxt = Context::new("demo");
+//! let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 2, 2)?;
+//! let b = cxt.input(&[1.0, 1.0, 1.0, 1.0], 2, 2)?;
+//! let ab = cxt.mul(a, b)?;
+//! let kernel = cxt.compile(ab, &MapperConfig::for_mesh(platform.mesh()))?;
+//! let run = platform.run_kernel(&kernel, 100_000)?.expect("finishes");
+//! assert_eq!(run.outputs, cxt.interpret(ab)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod graph;
+mod interp;
+pub mod kernels;
+pub mod mapping;
+
+pub use context::{Context, ContextError};
+pub use graph::{Res, Shape};
+pub use kernels::{build, op_count, paper_size, sim_size, BuiltKernel};
+pub use mapping::MapperConfig;

@@ -1,0 +1,583 @@
+//! The JIT mapper (paper §IV-B): lowers a context graph to a linear
+//! instruction stream for the CPM.
+//!
+//! Mapping follows the paper's choices:
+//!
+//! * **Post-order traversal** — each array expression is fully mapped
+//!   before the next (§IV-B1).
+//! * **Round-robin scheduling** — consecutive element-wise operations of
+//!   one expression land on consecutive RCUs.
+//! * **MAC fusion** — inner products compile to a MAC sub-block on one
+//!   RCU, keeping partial sums in the local accumulator instead of pushing
+//!   them onto the NoC (the paper's chosen point in the mapping space).
+//!   Disable with [`MapperConfig::with_mac_fusion`] for the distributed
+//!   multiply-plus-reduce alternative (option 2 of §IV-B1) — the ablation
+//!   benchmark compares the two.
+//! * **Dependent counting** — the only lookahead performed is liveness:
+//!   each intermediate element's data token carries the exact number of
+//!   consuming operand references, so it persists on the ring precisely
+//!   until its last consumer captures it.
+
+use crate::context::Context;
+use crate::graph::{ElemOp, NodeKind, Res};
+use snacknoc_core::fixed::Fixed;
+use snacknoc_core::token::{
+    CompiledKernel, DepId, Instruction, Op, Operand, ResultDest, SubBlockId,
+};
+use snacknoc_noc::{Mesh, NodeId};
+use std::collections::HashMap;
+
+/// Configuration of the mapper: which RCUs exist and which mapping
+/// strategies are enabled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapperConfig {
+    /// RCUs available for scheduling, in round-robin order.
+    pub rcus: Vec<NodeId>,
+    /// Keep inner products in local accumulators (paper default: `true`).
+    pub mac_fusion: bool,
+    /// Issue-order interleave granularity for chunked accumulations:
+    /// consecutive runs of this many same-PE instructions alternate across
+    /// chunks, so all RCUs compute concurrently while instruction packets
+    /// still pack fully. Matches the CPM's instructions-per-flit.
+    pub interleave: usize,
+}
+
+impl MapperConfig {
+    /// One RCU per router of `mesh`, MAC fusion on.
+    pub fn for_mesh(mesh: &Mesh) -> Self {
+        MapperConfig { rcus: mesh.nodes().collect(), mac_fusion: true, interleave: 2 }
+    }
+
+    /// Enables/disables MAC fusion.
+    pub fn with_mac_fusion(mut self, on: bool) -> Self {
+        self.mac_fusion = on;
+        self
+    }
+
+    /// Restricts scheduling to the given RCUs.
+    pub fn with_rcus(mut self, rcus: Vec<NodeId>) -> Self {
+        assert!(!rcus.is_empty(), "need at least one RCU");
+        self.rcus = rcus;
+        self
+    }
+}
+
+/// Where one element of a mapped node comes from.
+#[derive(Clone, Copy, Debug)]
+enum ElemSrc {
+    /// An immediate streamed inside instruction tokens.
+    Imm(Fixed),
+    /// A transient data token.
+    Dep(DepId),
+}
+
+struct Mapper<'c> {
+    ctx: &'c Context,
+    cfg: &'c MapperConfig,
+    memo: Vec<Option<Vec<ElemSrc>>>,
+    instructions: Vec<Instruction>,
+    /// Instruction index producing each dependency (for the output fix-up).
+    producer: HashMap<DepId, usize>,
+    /// Operand references per dependency (for dependent counting).
+    refcount: HashMap<DepId, u32>,
+    next_dep: DepId,
+    next_block: SubBlockId,
+    rr: usize,
+}
+
+/// Compiles the graph rooted at `root`.
+pub(crate) fn compile(ctx: &Context, root: Res, cfg: &MapperConfig) -> CompiledKernel {
+    let mut m = Mapper {
+        ctx,
+        cfg,
+        memo: vec![None; ctx.nodes.len()],
+        instructions: Vec::new(),
+        producer: HashMap::new(),
+        refcount: HashMap::new(),
+        next_dep: 0,
+        next_block: 0,
+        rr: 0,
+    };
+    let srcs = m.map_node(root);
+    // Turn the root's elements into kernel outputs.
+    for (index, src) in srcs.iter().enumerate() {
+        match *src {
+            ElemSrc::Dep(d) => {
+                let at = m.producer[&d];
+                m.instructions[at].dest = ResultDest::Output { index: index as u32 };
+            }
+            ElemSrc::Imm(v) => {
+                // The root is (or contains) an immediate: materialise it.
+                let ins = Instruction {
+                    op: Op::Add,
+                    pe: m.next_rcu(),
+                    vl: Operand::Imm(v),
+                    vr: Operand::Imm(Fixed::ZERO),
+                    dest: ResultDest::Output { index: index as u32 },
+                    sub_block: m.next_block,
+                    seq: 0,
+                    ends_block: true,
+                };
+                m.next_block += 1;
+                m.instructions.push(ins);
+            }
+        }
+    }
+    // Dependent-count fix-up: every token knows exactly how many operand
+    // references will capture it.
+    for ins in &mut m.instructions {
+        if let ResultDest::Token { dep, dependents } = &mut ins.dest {
+            *dependents = m.refcount.get(dep).copied().unwrap_or(0);
+            debug_assert!(*dependents > 0, "dead intermediate {dep} mapped");
+        }
+    }
+    // SPMV assembles operands through an indexed gather: mark the kernel
+    // so the CPM models the throttled DRAM stream (paper §V-B).
+    let irregular_fetch = ctx
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::Spmv(..)));
+    CompiledKernel {
+        name: ctx.name().to_owned(),
+        num_outputs: srcs.len(),
+        instructions: m.instructions,
+        irregular_fetch,
+    }
+}
+
+impl Mapper<'_> {
+    fn next_rcu(&mut self) -> NodeId {
+        let pe = self.cfg.rcus[self.rr % self.cfg.rcus.len()];
+        self.rr += 1;
+        pe
+    }
+
+    fn operand(&mut self, src: ElemSrc) -> Operand {
+        match src {
+            ElemSrc::Imm(v) => Operand::Imm(v),
+            ElemSrc::Dep(d) => {
+                *self.refcount.entry(d).or_insert(0) += 1;
+                Operand::Dep(d)
+            }
+        }
+    }
+
+    /// Emits a fresh-token destination and returns its dependency id.
+    fn fresh_token(&mut self) -> (DepId, ResultDest) {
+        let dep = self.next_dep;
+        self.next_dep += 1;
+        (dep, ResultDest::Token { dep, dependents: 0 })
+    }
+
+    fn emit(&mut self, ins: Instruction) -> usize {
+        self.instructions.push(ins);
+        self.instructions.len() - 1
+    }
+
+    fn map_node(&mut self, r: Res) -> Vec<ElemSrc> {
+        if let Some(srcs) = &self.memo[r.0] {
+            return srcs.clone();
+        }
+        let node = &self.ctx.nodes[r.0];
+        let shape = node.shape;
+        let srcs = match node.kind.clone() {
+            NodeKind::Dense(values) => values.into_iter().map(ElemSrc::Imm).collect(),
+            NodeKind::Sparse { row_ptr, col_idx, values } => {
+                // Dense expansion (sparse nodes normally flow through spmv).
+                let mut dense = vec![ElemSrc::Imm(Fixed::ZERO); shape.len()];
+                for row in 0..shape.rows {
+                    for i in row_ptr[row]..row_ptr[row + 1] {
+                        dense[row * shape.cols + col_idx[i]] = ElemSrc::Imm(values[i]);
+                    }
+                }
+                dense
+            }
+            NodeKind::Elem(op, a, b) => self.map_elementwise(op, a, b, shape.len()),
+            NodeKind::MatMul(a, b) => self.map_matmul(a, b),
+            NodeKind::Reduce(a) => {
+                let elems = self.map_node(a);
+                vec![self.map_chunked(Op::Acc, &pair_up(elems))]
+            }
+            NodeKind::Spmv(m, x) => self.map_spmv(m, x),
+        };
+        self.memo[r.0] = Some(srcs.clone());
+        srcs
+    }
+
+    fn map_elementwise(&mut self, op: ElemOp, a: Res, b: Res, len: usize) -> Vec<ElemSrc> {
+        let sa = self.map_node(a);
+        let sb = self.map_node(b);
+        let pick = |v: &Vec<ElemSrc>, i: usize| if v.len() == 1 { v[0] } else { v[i] };
+        let alu = match op {
+            ElemOp::Add => Op::Add,
+            ElemOp::Sub => Op::Sub,
+            ElemOp::Mul => Op::Mul,
+        };
+        (0..len)
+            .map(|i| {
+                let vl = self.operand(pick(&sa, i));
+                let vr = self.operand(pick(&sb, i));
+                let (dep, dest) = self.fresh_token();
+                let block = self.next_block;
+                self.next_block += 1;
+                let pe = self.next_rcu();
+                let at = self.emit(Instruction {
+                    op: alu,
+                    pe,
+                    vl,
+                    vr,
+                    dest,
+                    sub_block: block,
+                    seq: 0,
+                    ends_block: true,
+                });
+                self.producer.insert(dep, at);
+                ElemSrc::Dep(dep)
+            })
+            .collect()
+    }
+
+    fn map_matmul(&mut self, a: Res, b: Res) -> Vec<ElemSrc> {
+        let (m, k) = {
+            let s = self.ctx.nodes[a.0].shape;
+            (s.rows, s.cols)
+        };
+        let n = self.ctx.nodes[b.0].shape.cols;
+        let sa = self.map_node(a);
+        let sb = self.map_node(b);
+        let mut out = Vec::with_capacity(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                let pairs: Vec<(ElemSrc, ElemSrc)> =
+                    (0..k).map(|l| (sa[i * k + l], sb[l * n + j])).collect();
+                let src = if self.cfg.mac_fusion {
+                    // A dot product that is the *whole* expression (1×1
+                    // result) would serialise on one RCU; chunk it across
+                    // the RCUs like a reduction (paper §IV-B1 option 3).
+                    if m * n == 1 && pairs.len() > 2 * self.cfg.rcus.len() {
+                        self.map_chunked(Op::Mac, &pairs)
+                    } else {
+                        self.map_accumulation(Op::Mac, &pairs)
+                    }
+                } else {
+                    // Ablation: distribute multiplies, reduce elsewhere.
+                    let products: Vec<ElemSrc> = pairs
+                        .iter()
+                        .map(|&(x, y)| {
+                            let vl = self.operand(x);
+                            let vr = self.operand(y);
+                            let (dep, dest) = self.fresh_token();
+                            let block = self.next_block;
+                            self.next_block += 1;
+                            let pe = self.next_rcu();
+                            let at = self.emit(Instruction {
+                                op: Op::Mul,
+                                pe,
+                                vl,
+                                vr,
+                                dest,
+                                sub_block: block,
+                                seq: 0,
+                                ends_block: true,
+                            });
+                            self.producer.insert(dep, at);
+                            ElemSrc::Dep(dep)
+                        })
+                        .collect();
+                    self.map_accumulation(Op::Acc, &pair_up(products))
+                };
+                out.push(src);
+            }
+        }
+        out
+    }
+
+    /// Builds (without emitting) one accumulator sub-block on `pe`
+    /// computing `Σ f(vl, vr)` over `pairs` (`f` = `vl*vr` for [`Op::Mac`],
+    /// `vl+vr` for [`Op::Acc`]). Returns the instructions, the result's
+    /// source, and the result's dependency id.
+    fn build_accumulation(
+        &mut self,
+        op: Op,
+        pe: NodeId,
+        pairs: &[(ElemSrc, ElemSrc)],
+    ) -> (Vec<Instruction>, ElemSrc, DepId) {
+        debug_assert!(op.uses_accumulator());
+        debug_assert!(!pairs.is_empty());
+        let block = self.next_block;
+        self.next_block += 1;
+        let last = pairs.len() - 1;
+        let mut built = Vec::with_capacity(pairs.len());
+        let mut result_dep = 0;
+        let mut result = ElemSrc::Imm(Fixed::ZERO);
+        for (seq, &(x, y)) in pairs.iter().enumerate() {
+            let vl = self.operand(x);
+            let vr = self.operand(y);
+            let dest = if seq == last {
+                let (dep, dest) = self.fresh_token();
+                result = ElemSrc::Dep(dep);
+                result_dep = dep;
+                dest
+            } else {
+                ResultDest::Accumulate
+            };
+            built.push(Instruction {
+                op,
+                pe,
+                vl,
+                vr,
+                dest,
+                sub_block: block,
+                seq: seq as u32,
+                ends_block: seq == last,
+            });
+        }
+        (built, result, result_dep)
+    }
+
+    /// Emits one accumulator sub-block on the next RCU. Returns the
+    /// result's source.
+    fn map_accumulation(&mut self, op: Op, pairs: &[(ElemSrc, ElemSrc)]) -> ElemSrc {
+        let pe = self.next_rcu();
+        let (built, result, dep) = self.build_accumulation(op, pe, pairs);
+        let base = self.instructions.len();
+        self.producer.insert(dep, base + built.len() - 1);
+        self.instructions.extend(built);
+        result
+    }
+
+    /// Splits a long accumulation (sum reduction or whole-expression dot
+    /// product) into per-RCU chains plus a combining accumulation. The
+    /// chains' instructions are *interleaved* in issue order (in runs of
+    /// [`MapperConfig::interleave`]) so every RCU computes concurrently
+    /// while instruction packets still pack fully.
+    fn map_chunked(&mut self, op: Op, pairs: &[(ElemSrc, ElemSrc)]) -> ElemSrc {
+        let rcus = self.cfg.rcus.len();
+        if pairs.len() <= 2 * rcus {
+            return self.map_accumulation(op, pairs);
+        }
+        let chunk = pairs.len().div_ceil(rcus).max(2);
+        let mut chains: Vec<Vec<Instruction>> = Vec::new();
+        let mut partials: Vec<ElemSrc> = Vec::new();
+        let mut deps: Vec<DepId> = Vec::new();
+        for c in pairs.chunks(chunk) {
+            let pe = self.next_rcu();
+            let (built, result, dep) = self.build_accumulation(op, pe, c);
+            chains.push(built);
+            partials.push(result);
+            deps.push(dep);
+        }
+        // Interleave the chains in issue order, `interleave` at a time.
+        let group = self.cfg.interleave.max(1);
+        let mut cursors = vec![0usize; chains.len()];
+        let mut remaining: usize = chains.iter().map(|c| c.len()).sum();
+        while remaining > 0 {
+            for (chain, cursor) in chains.iter_mut().zip(cursors.iter_mut()) {
+                let take = group.min(chain.len() - *cursor);
+                for _ in 0..take {
+                    self.instructions.push(chain[*cursor]);
+                    *cursor += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+        // Record producers now that final positions are known.
+        for (dep, chain) in deps.iter().zip(&chains) {
+            let last = chain.last().expect("non-empty chain");
+            let at = self
+                .instructions
+                .iter()
+                .rposition(|i| i.sub_block == last.sub_block && i.seq == last.seq)
+                .expect("interleaved instruction present");
+            self.producer.insert(*dep, at);
+        }
+        if partials.len() == 1 {
+            partials[0]
+        } else {
+            self.map_accumulation(Op::Acc, &pair_up(partials))
+        }
+    }
+
+    fn map_spmv(&mut self, m: Res, x: Res) -> Vec<ElemSrc> {
+        let sx = self.map_node(x);
+        let NodeKind::Sparse { row_ptr, col_idx, values } = self.ctx.nodes[m.0].kind.clone()
+        else {
+            unreachable!("spmv matrix operand is sparse by construction");
+        };
+        let rows = self.ctx.nodes[m.0].shape.rows;
+        (0..rows)
+            .map(|row| {
+                let pairs: Vec<(ElemSrc, ElemSrc)> = (row_ptr[row]..row_ptr[row + 1])
+                    .map(|i| (ElemSrc::Imm(values[i]), sx[col_idx[i]]))
+                    .collect();
+                if pairs.is_empty() {
+                    // Empty row: y[row] = 0.
+                    self.map_accumulation(
+                        Op::Acc,
+                        &[(ElemSrc::Imm(Fixed::ZERO), ElemSrc::Imm(Fixed::ZERO))],
+                    )
+                } else {
+                    self.map_accumulation(Op::Mac, &pairs)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Packs a flat element list into operand pairs for accumulating adds
+/// (each [`Op::Acc`] consumes two elements); odd tails pad with zero.
+fn pair_up(elems: Vec<ElemSrc>) -> Vec<(ElemSrc, ElemSrc)> {
+    let mut pairs = Vec::with_capacity(elems.len().div_ceil(2));
+    let mut it = elems.into_iter();
+    while let Some(a) = it.next() {
+        let b = it.next().unwrap_or(ElemSrc::Imm(Fixed::ZERO));
+        pairs.push((a, b));
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snacknoc_core::token::ResultDest;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 4)
+    }
+
+    #[test]
+    fn compiled_matmul_validates_and_uses_mac_blocks() {
+        let mut cxt = Context::new("mm");
+        let a = cxt.input(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let b = cxt.input(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], 3, 2).unwrap();
+        let ab = cxt.mul(a, b).unwrap();
+        let k = cxt.compile(ab, &MapperConfig::for_mesh(&mesh())).unwrap();
+        k.validate().unwrap();
+        // 4 output elements × 3 MACs each.
+        assert_eq!(k.len(), 12);
+        assert_eq!(k.num_outputs, 4);
+        assert!(k.instructions.iter().all(|i| i.op == Op::Mac));
+        // Inputs are immediates: no tokens at all for a single expression.
+        assert!(k
+            .instructions
+            .iter()
+            .all(|i| !matches!(i.dest, ResultDest::Token { .. })));
+    }
+
+    #[test]
+    fn round_robin_spreads_elements_across_rcus() {
+        let mut cxt = Context::new("rr");
+        let a = cxt.input(&vec![1.0; 32], 4, 8).unwrap();
+        let b = cxt.input(&vec![2.0; 32], 4, 8).unwrap();
+        let s = cxt.add(a, b).unwrap();
+        let k = cxt.compile(s, &MapperConfig::for_mesh(&mesh())).unwrap();
+        k.validate().unwrap();
+        let mut pes: Vec<usize> = k.instructions.iter().map(|i| i.pe.index()).collect();
+        // First 16 elements cover all 16 RCUs exactly once.
+        let first: Vec<usize> = pes.drain(..16).collect();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_expressions_produce_tokens_with_exact_dependents() {
+        // alpha * (A×B) + C: the A×B elements are consumed once each by the
+        // scaling, whose results are consumed once each by the add.
+        let mut cxt = Context::new("chain");
+        let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = cxt.input(&[1.0, 1.0, 1.0, 1.0], 2, 2).unwrap();
+        let c = cxt.input(&[0.5, 0.5, 0.5, 0.5], 2, 2).unwrap();
+        let alpha = cxt.scalar(3.0);
+        let ab = cxt.mul(a, b).unwrap();
+        let sab = cxt.mul(alpha, ab).unwrap();
+        let d = cxt.add(sab, c).unwrap();
+        let k = cxt.compile(d, &MapperConfig::for_mesh(&mesh())).unwrap();
+        k.validate().unwrap();
+        for ins in &k.instructions {
+            if let ResultDest::Token { dependents, .. } = ins.dest {
+                assert_eq!(dependents, 1, "each intermediate consumed exactly once here");
+            }
+        }
+        // Exactly 8 tokens: 4 from A×B, 4 from the scaling.
+        let tokens =
+            k.instructions.iter().filter(|i| matches!(i.dest, ResultDest::Token { .. })).count();
+        assert_eq!(tokens, 8);
+    }
+
+    #[test]
+    fn shared_intermediate_counts_every_consumer() {
+        // sq = x*x (1 element), y = sq + sq: dependents of sq must be 2.
+        let mut cxt = Context::new("shared");
+        let x = cxt.scalar(2.0);
+        let sq = cxt.elem_mul(x, x).unwrap();
+        let y = cxt.add(sq, sq).unwrap();
+        let k = cxt.compile(y, &MapperConfig::for_mesh(&mesh())).unwrap();
+        k.validate().unwrap();
+        let deps: Vec<u32> = k
+            .instructions
+            .iter()
+            .filter_map(|i| match i.dest {
+                ResultDest::Token { dependents, .. } => Some(dependents),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deps, vec![2]);
+    }
+
+    #[test]
+    fn long_dot_product_is_chunked_across_rcus() {
+        let mut cxt = Context::new("dot");
+        let n = 256;
+        let a = cxt.input(&vec![1.0; n], 1, n).unwrap();
+        let b = cxt.input(&vec![1.0; n], n, 1).unwrap();
+        let d = cxt.mul(a, b).unwrap();
+        let k = cxt.compile(d, &MapperConfig::for_mesh(&mesh())).unwrap();
+        k.validate().unwrap();
+        let pes: std::collections::HashSet<usize> =
+            k.instructions.iter().map(|i| i.pe.index()).collect();
+        assert!(pes.len() >= 8, "dot product must spread over RCUs, used {}", pes.len());
+    }
+
+    #[test]
+    fn mac_fusion_off_distributes_multiplies() {
+        let mut cxt = Context::new("nofuse");
+        let a = cxt.input(&[1.0; 16], 4, 4).unwrap();
+        let b = cxt.input(&[1.0; 16], 4, 4).unwrap();
+        let ab = cxt.mul(a, b).unwrap();
+        let cfg = MapperConfig::for_mesh(&mesh()).with_mac_fusion(false);
+        let k = cxt.compile(ab, &cfg).unwrap();
+        k.validate().unwrap();
+        let muls = k.instructions.iter().filter(|i| i.op == Op::Mul).count();
+        let accs = k.instructions.iter().filter(|i| i.op == Op::Acc).count();
+        assert_eq!(muls, 64, "4x4x4 multiplies");
+        assert!(accs >= 16, "plus reduction chains");
+        // More network traffic than the fused version: tokens exist.
+        assert!(k.instructions.iter().any(|i| matches!(i.dest, ResultDest::Token { .. })));
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let build = || {
+            let mut cxt = Context::new("det");
+            let a = cxt.input(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+            let b = cxt.input(&[4.0, 3.0, 2.0, 1.0], 2, 2).unwrap();
+            let ab = cxt.mul(a, b).unwrap();
+            let r = cxt.reduce(ab).unwrap();
+            cxt.compile(r, &MapperConfig::for_mesh(&mesh())).unwrap()
+        };
+        let k1 = build();
+        let k2 = build();
+        assert_eq!(k1.instructions, k2.instructions);
+    }
+
+    #[test]
+    fn input_as_root_materialises_outputs() {
+        let mut cxt = Context::new("id");
+        let a = cxt.input(&[7.0, 8.0], 1, 2).unwrap();
+        let k = cxt.compile(a, &MapperConfig::for_mesh(&mesh())).unwrap();
+        k.validate().unwrap();
+        assert_eq!(k.num_outputs, 2);
+        assert_eq!(k.len(), 2);
+    }
+}

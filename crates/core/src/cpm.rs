@@ -1,0 +1,645 @@
+//! The Central Packet Manager: the controller of the SnackNoC platform
+//! (paper §III-C).
+//!
+//! The CPM sits at a memory-controller node. It:
+//!
+//! 1. fetches the kernel's command buffer from main memory in DRAM batches,
+//! 2. assembles instruction flits and issues them at 1 packet per cycle,
+//! 3. tracks kernel execution state and collects results in an output FIFO,
+//! 4. monitors NoC congestion with an ALO-style free-VC heuristic and, when
+//!    the network is saturated, absorbs passing transient data tokens into
+//!    an overflow buffer in main memory, replaying them when the pressure
+//!    clears (paper §III-C2),
+//! 5. answers runtime submissions — with a *busy* rejection while a kernel
+//!    is resident or the network is in overflow.
+
+use crate::dram::DramModel;
+use crate::fixed::Fixed;
+use crate::token::{CompiledKernel, DataToken, Instruction, ProgramError};
+use snacknoc_noc::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Tunable CPM parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CpmConfig {
+    /// Capacity of the internal instruction buffer, in instructions.
+    /// Paper §III-C1 sizes it from the peak DDR3 stream rate.
+    pub instr_buffer_capacity: usize,
+    /// Instructions fetched per DRAM batch.
+    pub fetch_batch: usize,
+    /// Instructions packed into one instruction packet (flit). With 16 B
+    /// instructions on a 32 B channel this is 2 (paper Table IV flit size).
+    pub instrs_per_packet: usize,
+    /// Enter the overflow state when the fraction of useful free output
+    /// VCs at the CPM's router drops below this.
+    pub overflow_enter_below: f64,
+    /// Leave the overflow state when the fraction rises above this
+    /// (hysteresis).
+    pub overflow_exit_above: f64,
+    /// Capacity of the Offload Data Memory Buffer in tokens; paper
+    /// §III-C2 sizes it to 4 instruction flits (one 64 B DDR3 transaction).
+    pub offload_buffer_tokens: usize,
+}
+
+impl Default for CpmConfig {
+    fn default() -> Self {
+        CpmConfig {
+            instr_buffer_capacity: 128,
+            fetch_batch: 64,
+            instrs_per_packet: 2,
+            overflow_enter_below: 0.25,
+            overflow_exit_above: 0.50,
+            offload_buffer_tokens: 4,
+        }
+    }
+}
+
+/// Kernel execution state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpmState {
+    /// No kernel resident.
+    Idle,
+    /// Fetching/issuing/awaiting results of the resident kernel.
+    Running,
+}
+
+/// The CPM rejected a submission because a kernel is already resident
+/// (paper: the CPM "delivers a busy response to the runtime").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CpmBusy;
+
+impl fmt::Display for CpmBusy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpm busy: a kernel is already resident")
+    }
+}
+
+impl std::error::Error for CpmBusy {}
+
+/// Why a kernel submission failed.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// A kernel is already resident.
+    Busy,
+    /// The program failed validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "cpm busy: a kernel is already resident"),
+            SubmitError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Something the CPM wants to inject this cycle.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CpmEmission {
+    /// An instruction packet (one flit) carrying instructions for one RCU.
+    Instructions(Vec<Instruction>),
+    /// A replayed overflow token, re-launched onto the ring.
+    ReplayToken(DataToken),
+}
+
+/// Counters for the cost/QoS analyses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CpmStats {
+    /// Instruction packets issued.
+    pub packets_issued: u64,
+    /// Instructions issued.
+    pub instructions_issued: u64,
+    /// Tokens absorbed into the overflow buffer.
+    pub tokens_absorbed: u64,
+    /// Tokens replayed from the overflow buffer.
+    pub tokens_replayed: u64,
+    /// Cycles spent in the overflow state.
+    pub overflow_cycles: u64,
+    /// Submissions rejected busy.
+    pub busy_rejections: u64,
+}
+
+/// Bit position of the CPM namespace within dependency ids and output
+/// indices. A decentralized platform (paper §VII) runs one CPM per memory
+/// controller; each tags the tokens it issues with its namespace so
+/// concurrently-resident kernels never collide on the ring.
+pub const NAMESPACE_SHIFT: u32 = 24;
+
+/// Mask selecting the intra-kernel part of a dependency id/output index.
+pub const NAMESPACE_MASK: u32 = (1 << NAMESPACE_SHIFT) - 1;
+
+/// The Central Packet Manager.
+#[derive(Clone, Debug)]
+pub struct Cpm {
+    node: NodeId,
+    /// Namespace tag stamped into issued dependency ids and output indices.
+    namespace: u32,
+    cfg: CpmConfig,
+    dram: DramModel,
+    state: CpmState,
+    /// Resident program (command buffer in main memory).
+    program: Vec<Instruction>,
+    /// Next program index to fetch from memory.
+    fetch_ptr: usize,
+    /// In-flight DRAM batch: (ready_at, count).
+    fetch_inflight: Option<(u64, usize)>,
+    /// Assembled instructions awaiting issue.
+    instr_buffer: VecDeque<Instruction>,
+    /// Output results FIFO (slot-indexed).
+    results: Vec<Option<Fixed>>,
+    results_remaining: usize,
+    kernel_name: String,
+    started_at: u64,
+    finished_at: Option<u64>,
+    /// Offload Data Memory Buffer: staging for overflow tokens. Tokens
+    /// beyond its capacity spill (conceptually) straight to the in-memory
+    /// overflow region, modelled by the same queue.
+    overflow: VecDeque<DataToken>,
+    in_overflow: bool,
+    /// Alternation flag between overflow replay and instruction issue.
+    replay_turn: bool,
+    /// Whether the resident kernel's operand assembly is an irregular
+    /// gather (throttles the DRAM stream rate — SPMV, paper §V-B).
+    irregular_fetch: bool,
+    /// Whether the command-buffer stream has already paid its first row
+    /// activation: subsequent batches pipeline behind the open row.
+    row_open: bool,
+    /// Counters.
+    pub stats: CpmStats,
+}
+
+impl Cpm {
+    /// Creates a CPM attached to the router at `node` (a memory-controller
+    /// node in the paper's floorplan).
+    pub fn new(node: NodeId, cfg: CpmConfig, dram: DramModel) -> Self {
+        Self::with_namespace(node, 0, cfg, dram)
+    }
+
+    /// Creates a CPM with an explicit namespace tag (used by the
+    /// decentralized multi-CPM platform; see [`NAMESPACE_SHIFT`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace` does not fit above [`NAMESPACE_SHIFT`].
+    pub fn with_namespace(node: NodeId, namespace: u32, cfg: CpmConfig, dram: DramModel) -> Self {
+        assert!(namespace < (1 << (32 - NAMESPACE_SHIFT)), "namespace too large");
+        Cpm {
+            node,
+            namespace,
+            cfg,
+            dram,
+            state: CpmState::Idle,
+            program: Vec::new(),
+            fetch_ptr: 0,
+            fetch_inflight: None,
+            instr_buffer: VecDeque::new(),
+            results: Vec::new(),
+            results_remaining: 0,
+            kernel_name: String::new(),
+            started_at: 0,
+            finished_at: None,
+            overflow: VecDeque::new(),
+            in_overflow: false,
+            replay_turn: false,
+            irregular_fetch: false,
+            row_open: false,
+            stats: CpmStats::default(),
+        }
+    }
+
+    /// The node this CPM is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current kernel state.
+    pub fn state(&self) -> CpmState {
+        self.state
+    }
+
+    /// Whether the CPM is in the NoC-overflow state.
+    pub fn in_overflow(&self) -> bool {
+        self.in_overflow
+    }
+
+    /// Cycle the resident kernel finished, if it has.
+    pub fn finished_at(&self) -> Option<u64> {
+        self.finished_at
+    }
+
+    /// Submits a kernel for execution.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] while a kernel is resident;
+    /// [`SubmitError::Invalid`] if the program fails validation.
+    pub fn submit(&mut self, kernel: &CompiledKernel, now: u64) -> Result<(), SubmitError> {
+        if self.state != CpmState::Idle {
+            self.stats.busy_rejections += 1;
+            return Err(SubmitError::Busy);
+        }
+        kernel.validate().map_err(SubmitError::Invalid)?;
+        let fits = |v: u32| v <= NAMESPACE_MASK;
+        if !fits(kernel.num_outputs as u32)
+            || kernel.instructions.iter().any(|i| {
+                !fits(i.sub_block)
+                    || matches!(i.dest, crate::token::ResultDest::Token { dep, .. } if !fits(dep))
+            })
+        {
+            return Err(SubmitError::Invalid(ProgramError::NamespaceOverflow));
+        }
+        self.program = kernel.instructions.clone();
+        self.kernel_name = kernel.name.clone();
+        self.irregular_fetch = kernel.irregular_fetch;
+        self.row_open = false;
+        self.fetch_ptr = 0;
+        self.instr_buffer.clear();
+        self.results = vec![None; kernel.num_outputs];
+        self.results_remaining = kernel.num_outputs;
+        self.started_at = now;
+        self.finished_at = None;
+        self.state = CpmState::Running;
+        // Kick off the first command-buffer fetch.
+        self.start_fetch(now);
+        Ok(())
+    }
+
+    /// Takes the completed kernel's results, returning the CPM to idle.
+    /// Returns `None` if no kernel has finished.
+    pub fn take_results(&mut self) -> Option<(String, Vec<Fixed>)> {
+        self.finished_at?;
+        let values =
+            self.results.iter().map(|r| r.expect("all results arrived")).collect();
+        self.state = CpmState::Idle;
+        self.finished_at = None;
+        let name = std::mem::take(&mut self.kernel_name);
+        self.results.clear();
+        Some((name, values))
+    }
+
+    /// Receives a kernel result routed back from an RCU. The index may
+    /// carry this CPM's namespace tag in its high bits.
+    pub fn accept_result(&mut self, index: u32, value: Fixed, now: u64) {
+        let slot = &mut self.results[(index & NAMESPACE_MASK) as usize];
+        debug_assert!(slot.is_none(), "output {index} written twice");
+        *slot = Some(value);
+        self.results_remaining -= 1;
+        if self.results_remaining == 0 {
+            // Remaining FIFO entries are written back to memory; the final
+            // writeback transaction closes the kernel (paper §III-C).
+            self.finished_at = Some(now + self.dram.access_latency);
+        }
+    }
+
+    /// Offers a transient token passing through the CPM node. In the
+    /// overflow state the CPM absorbs it into the offload buffer and
+    /// returns `true`; otherwise the token continues on the ring.
+    pub fn maybe_absorb(&mut self, token: DataToken) -> Option<DataToken> {
+        if self.in_overflow {
+            self.overflow.push_back(token);
+            self.stats.tokens_absorbed += 1;
+            None
+        } else {
+            Some(token)
+        }
+    }
+
+    /// Number of tokens parked in the overflow path.
+    pub fn overflow_backlog(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Advances the CPM one cycle.
+    ///
+    /// `congestion` is the ALO signal from the local router:
+    /// `(useful_free_vcs, total_vcs)`. Returns at most one emission (the
+    /// CPM issues one flit per cycle, the NoC transaction speed).
+    pub fn tick(&mut self, cycle: u64, congestion: (usize, usize)) -> Option<CpmEmission> {
+        // Congestion state with hysteresis.
+        let (free, total) = congestion;
+        if total > 0 {
+            let frac = free as f64 / total as f64;
+            if !self.in_overflow && frac < self.cfg.overflow_enter_below {
+                self.in_overflow = true;
+            } else if self.in_overflow && frac > self.cfg.overflow_exit_above {
+                self.in_overflow = false;
+            }
+        }
+        if self.in_overflow {
+            self.stats.overflow_cycles += 1;
+        }
+        // Complete an in-flight command-buffer fetch.
+        if let Some((ready, count)) = self.fetch_inflight {
+            if cycle >= ready {
+                let from = self.fetch_ptr;
+                self.instr_buffer.extend(self.program[from..from + count].iter().copied());
+                self.fetch_ptr += count;
+                self.fetch_inflight = None;
+            }
+        }
+        // Refill when the buffer runs low.
+        if self.fetch_inflight.is_none()
+            && self.fetch_ptr < self.program.len()
+            && self.instr_buffer.len() < self.cfg.instr_buffer_capacity / 2
+        {
+            self.start_fetch(cycle);
+        }
+        if self.state != CpmState::Running {
+            return None;
+        }
+        // In overflow: pause issue entirely — CMP workloads take priority.
+        if self.in_overflow {
+            return None;
+        }
+        // Alternate overflow replay with instruction issue once pressure
+        // has cleared (paper §III-C2).
+        if !self.overflow.is_empty() && (self.replay_turn || self.instr_buffer.is_empty()) {
+            self.replay_turn = false;
+            let token = self.overflow.pop_front().expect("non-empty");
+            self.stats.tokens_replayed += 1;
+            return Some(CpmEmission::ReplayToken(token));
+        }
+        self.replay_turn = !self.overflow.is_empty();
+        // Issue one instruction packet: up to `instrs_per_packet`
+        // consecutive instructions sharing a destination RCU. Dependency
+        // ids and output indices are stamped with this CPM's namespace so
+        // kernels resident on different CPMs never collide on the wire.
+        let first = self.instr_buffer.pop_front()?;
+        let mut packet = vec![self.stamp(first)];
+        while packet.len() < self.cfg.instrs_per_packet {
+            match self.instr_buffer.front() {
+                Some(next) if next.pe == packet[0].pe => {
+                    let ins = self.instr_buffer.pop_front().expect("peeked");
+                    packet.push(self.stamp(ins));
+                }
+                _ => break,
+            }
+        }
+        self.stats.packets_issued += 1;
+        self.stats.instructions_issued += packet.len() as u64;
+        Some(CpmEmission::Instructions(packet))
+    }
+
+    /// The namespace tag of this CPM.
+    pub fn namespace(&self) -> u32 {
+        self.namespace
+    }
+
+    /// Applies this CPM's namespace to an instruction's wire-visible ids.
+    fn stamp(&self, mut ins: Instruction) -> Instruction {
+        use crate::token::{Operand, ResultDest};
+        let tag = self.namespace << NAMESPACE_SHIFT;
+        if self.namespace == 0 {
+            return ins;
+        }
+        for op in [&mut ins.vl, &mut ins.vr] {
+            if let Operand::Dep(d) = op {
+                *d |= tag;
+            }
+        }
+        match &mut ins.dest {
+            ResultDest::Token { dep, .. } => *dep |= tag,
+            ResultDest::Output { index } => *index |= tag,
+            ResultDest::Accumulate => {}
+        }
+        // Sub-blocks are namespaced too: concurrent kernels may map
+        // sub-blocks to the same RCU, and its ordered instruction buffer
+        // keys on the block id.
+        ins.sub_block |= tag;
+        ins
+    }
+
+    fn start_fetch(&mut self, now: u64) {
+        let remaining = self.program.len() - self.fetch_ptr;
+        let count = remaining.min(self.cfg.fetch_batch);
+        if count == 0 {
+            return;
+        }
+        // The command buffer is a sequential stream: after the first row
+        // activation, batches pipeline at the DRAM stream rate (the paper's
+        // "peak rate of 45 SnackNoC instructions/cycle buffered", §III-C1).
+        let mut latency = self.dram.stream_cycles(count, self.irregular_fetch);
+        if !self.row_open {
+            latency += self.dram.access_latency;
+            self.row_open = true;
+        }
+        self.fetch_inflight = Some((now + latency, count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Op, Operand, ResultDest};
+
+    fn imm(v: f64) -> Operand {
+        Operand::Imm(Fixed::from_f64(v))
+    }
+
+    /// n independent single-instruction blocks, alternating between 2 PEs.
+    fn program(n: usize) -> CompiledKernel {
+        CompiledKernel {
+            irregular_fetch: false,
+            name: "p".into(),
+            num_outputs: n,
+            instructions: (0..n)
+                .map(|i| Instruction {
+                    op: Op::Add,
+                    pe: NodeId::new(i % 2),
+                    vl: imm(i as f64),
+                    vr: imm(1.0),
+                    dest: ResultDest::Output { index: i as u32 },
+                    sub_block: i as u32,
+                    seq: 0,
+                    ends_block: true,
+                })
+                .collect(),
+        }
+    }
+
+    fn uncongested() -> (usize, usize) {
+        (16, 16)
+    }
+
+    #[test]
+    fn fetch_then_issue_one_packet_per_cycle() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        cpm.submit(&program(8), 0).unwrap();
+        assert_eq!(cpm.state(), CpmState::Running);
+        // Nothing can issue before the DRAM batch lands.
+        let mut first_issue = None;
+        let mut packets = 0;
+        for c in 1..200 {
+            if let Some(CpmEmission::Instructions(p)) = cpm.tick(c, uncongested()) {
+                first_issue.get_or_insert(c);
+                assert!(!p.is_empty() && p.len() <= 2);
+                assert!(p.iter().all(|i| i.pe == p[0].pe), "packet targets one RCU");
+                packets += 1;
+            }
+        }
+        let first = first_issue.expect("issues eventually");
+        assert!(first > DramModel::default().access_latency, "waits for DRAM");
+        // Alternating PEs defeat packing, so 8 packets of 1.
+        assert_eq!(packets, 8);
+        assert_eq!(cpm.stats.instructions_issued, 8);
+    }
+
+    #[test]
+    fn packs_consecutive_same_pe_instructions() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        let mut k = program(8);
+        for ins in &mut k.instructions {
+            ins.pe = NodeId::new(5);
+        }
+        cpm.submit(&k, 0).unwrap();
+        let mut packets = 0;
+        for c in 1..200 {
+            if let Some(CpmEmission::Instructions(p)) = cpm.tick(c, uncongested()) {
+                assert_eq!(p.len(), 2);
+                packets += 1;
+            }
+        }
+        assert_eq!(packets, 4);
+    }
+
+    #[test]
+    fn busy_until_results_collected() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        cpm.submit(&program(2), 0).unwrap();
+        assert_eq!(cpm.submit(&program(2), 1), Err(SubmitError::Busy));
+        assert_eq!(cpm.stats.busy_rejections, 1);
+        cpm.accept_result(0, Fixed::ONE, 100);
+        assert!(cpm.finished_at().is_none());
+        cpm.accept_result(1, Fixed::ONE, 120);
+        let done = cpm.finished_at().expect("all results in");
+        assert!(done > 120, "writeback latency applies");
+        let (name, values) = cpm.take_results().expect("results ready");
+        assert_eq!(name, "p");
+        assert_eq!(values.len(), 2);
+        assert_eq!(cpm.state(), CpmState::Idle);
+        cpm.submit(&program(2), 200).expect("idle again");
+    }
+
+    #[test]
+    fn rejects_invalid_programs() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        let bad = CompiledKernel::default();
+        assert!(matches!(cpm.submit(&bad, 0), Err(SubmitError::Invalid(_))));
+    }
+
+    #[test]
+    fn overflow_state_absorbs_and_replays_tokens() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        cpm.submit(&program(4), 0).unwrap();
+        // Congested: below the 25% enter threshold.
+        assert_eq!(cpm.tick(1, (2, 16)), None, "no issue while congested");
+        assert!(cpm.in_overflow());
+        let tok = DataToken { dep: 1, dependents: 3, value: Fixed::ONE };
+        assert_eq!(cpm.maybe_absorb(tok), None, "token absorbed");
+        assert_eq!(cpm.overflow_backlog(), 1);
+        assert_eq!(cpm.stats.tokens_absorbed, 1);
+        // Still congested at 40% (hysteresis: needs > 50% to exit).
+        cpm.tick(2, (6, 16));
+        assert!(cpm.in_overflow());
+        // Pressure clears: replay comes back out before/interleaved with
+        // instruction issue.
+        let mut replayed = false;
+        for c in 3..300 {
+            match cpm.tick(c, (14, 16)) {
+                Some(CpmEmission::ReplayToken(t)) => {
+                    assert_eq!(t.dep, 1);
+                    replayed = true;
+                }
+                Some(CpmEmission::Instructions(_)) | None => {}
+            }
+        }
+        assert!(!cpm.in_overflow());
+        assert!(replayed);
+        assert_eq!(cpm.stats.tokens_replayed, 1);
+        // Tokens pass through untouched when not in overflow.
+        let tok2 = DataToken { dep: 2, dependents: 1, value: Fixed::ONE };
+        assert_eq!(cpm.maybe_absorb(tok2), Some(tok2));
+    }
+
+    #[test]
+    fn namespace_stamps_wire_visible_ids() {
+        use crate::token::{Operand, ResultDest};
+        let mut cpm =
+            Cpm::with_namespace(NodeId::new(0), 3, CpmConfig::default(), DramModel::default());
+        assert_eq!(cpm.namespace(), 3);
+        let kernel = CompiledKernel {
+            name: "ns".into(),
+            num_outputs: 1,
+            irregular_fetch: false,
+            instructions: vec![
+                Instruction {
+                    op: Op::Add,
+                    pe: NodeId::new(1),
+                    vl: imm(1.0),
+                    vr: imm(2.0),
+                    dest: ResultDest::Token { dep: 5, dependents: 1 },
+                    sub_block: 0,
+                    seq: 0,
+                    ends_block: true,
+                },
+                Instruction {
+                    op: Op::Add,
+                    pe: NodeId::new(2),
+                    vl: Operand::Dep(5),
+                    vr: imm(0.0),
+                    dest: ResultDest::Output { index: 0 },
+                    sub_block: 1,
+                    seq: 0,
+                    ends_block: true,
+                },
+            ],
+        };
+        cpm.submit(&kernel, 0).unwrap();
+        let tag = 3u32 << NAMESPACE_SHIFT;
+        let mut seen = Vec::new();
+        for c in 1..500 {
+            if let Some(CpmEmission::Instructions(p)) = cpm.tick(c, (16, 16)) {
+                seen.extend(p);
+            }
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].dest, ResultDest::Token { dep: 5 | tag, dependents: 1 });
+        assert_eq!(seen[0].sub_block, tag);
+        assert_eq!(seen[1].vl, Operand::Dep(5 | tag));
+        assert_eq!(seen[1].dest, ResultDest::Output { index: tag });
+        // Results arrive with the tag; the slot is the masked index.
+        cpm.accept_result(tag, Fixed::ONE, 600);
+        assert!(cpm.finished_at().is_some());
+    }
+
+    #[test]
+    fn oversized_ids_are_rejected_for_namespacing() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        let mut k = program(2);
+        k.instructions[0].sub_block = NAMESPACE_MASK + 1;
+        k.instructions[0].ends_block = true;
+        assert!(matches!(
+            cpm.submit(&k, 0),
+            Err(SubmitError::Invalid(ProgramError::BadSubBlock(_) | ProgramError::NamespaceOverflow))
+        ));
+    }
+
+    #[test]
+    fn instruction_buffer_refills_in_batches() {
+        let cfg = CpmConfig { fetch_batch: 16, instr_buffer_capacity: 32, ..CpmConfig::default() };
+        let mut cpm = Cpm::new(NodeId::new(0), cfg, DramModel::default());
+        cpm.submit(&program(64), 0).unwrap();
+        let mut issued = 0;
+        for c in 1..2_000 {
+            if let Some(CpmEmission::Instructions(p)) = cpm.tick(c, uncongested()) {
+                issued += p.len();
+            }
+        }
+        assert_eq!(issued, 64, "all instructions eventually issued across refills");
+    }
+}

@@ -1,0 +1,215 @@
+//! Q16.16 signed fixed-point arithmetic — the RCU datapath number format.
+//!
+//! The paper's RTL uses "32-bit fixed point functional units to keep area
+//! costs low as opposed to floating point units" (§III-F). We adopt Q16.16:
+//! 16 integer bits, 16 fractional bits, two's complement. All platform
+//! arithmetic (RCU ALUs *and* the reference interpreter) uses this type, so
+//! simulated kernel results can be compared bit-exactly.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Number of fractional bits.
+pub const FRAC_BITS: u32 = 16;
+
+/// A 32-bit Q16.16 fixed-point value.
+///
+/// Addition and subtraction wrap (matching the behaviour of the 32-bit
+/// parallel adder/subtractor of Table II); multiplication computes the
+/// full 64-bit product and truncates toward negative infinity (arithmetic
+/// shift), as a hardware multiplier would.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed(i32);
+
+impl Fixed {
+    /// Zero.
+    pub const ZERO: Fixed = Fixed(0);
+    /// One (1.0).
+    pub const ONE: Fixed = Fixed(1 << FRAC_BITS);
+    /// Largest representable value.
+    pub const MAX: Fixed = Fixed(i32::MAX);
+    /// Smallest representable value.
+    pub const MIN: Fixed = Fixed(i32::MIN);
+
+    /// Builds a value from raw Q16.16 bits.
+    pub fn from_bits(bits: i32) -> Fixed {
+        Fixed(bits)
+    }
+
+    /// The raw Q16.16 bits.
+    pub fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating at the
+    /// representable range.
+    pub fn from_f64(v: f64) -> Fixed {
+        let scaled = (v * f64::from(1u32 << FRAC_BITS)).round();
+        if scaled >= f64::from(i32::MAX) {
+            Fixed::MAX
+        } else if scaled <= f64::from(i32::MIN) {
+            Fixed::MIN
+        } else {
+            Fixed(scaled as i32)
+        }
+    }
+
+    /// Converts to `f64` (exact: every Q16.16 value is representable).
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(1u32 << FRAC_BITS)
+    }
+
+    /// Builds from an integer, saturating.
+    pub fn from_int(v: i32) -> Fixed {
+        if v > i16::MAX as i32 {
+            Fixed::MAX
+        } else if v < i16::MIN as i32 {
+            Fixed::MIN
+        } else {
+            Fixed(v << FRAC_BITS)
+        }
+    }
+
+    /// Fused multiply-add: `self + a * b`, with the product truncated to
+    /// Q16.16 before the (wrapping) addition — the MAC unit datapath.
+    pub fn mac(self, a: Fixed, b: Fixed) -> Fixed {
+        self + a * b
+    }
+
+    /// Absolute value (saturating at `MAX` for `MIN`).
+    pub fn abs(self) -> Fixed {
+        if self.0 == i32::MIN {
+            Fixed::MAX
+        } else {
+            Fixed(self.0.abs())
+        }
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl AddAssign for Fixed {
+    fn add_assign(&mut self, rhs: Fixed) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Fixed {
+    fn sub_assign(&mut self, rhs: Fixed) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        let wide = i64::from(self.0) * i64::from(rhs.0);
+        Fixed((wide >> FRAC_BITS) as i32)
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        Fixed(self.0.wrapping_neg())
+    }
+}
+
+impl From<i16> for Fixed {
+    fn from(v: i16) -> Fixed {
+        Fixed(i32::from(v) << FRAC_BITS)
+    }
+}
+
+impl fmt::Debug for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_quantised_values() {
+        for v in [-2.0, -1.5, -0.00390625, 0.0, 0.5, 1.0, 1.25, 7.75] {
+            assert_eq!(Fixed::from_f64(v).to_f64(), v, "exact at 1/256 grid");
+        }
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Fixed::from_f64(1.5);
+        let b = Fixed::from_f64(2.25);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((a - b).to_f64(), -0.75);
+        assert_eq!((a * b).to_f64(), 3.375);
+        assert_eq!((-a).to_f64(), -1.5);
+        assert_eq!(Fixed::ZERO.mac(a, b), a * b);
+        assert_eq!(Fixed::ONE.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn mul_truncates_like_hardware() {
+        // 0.1 is not representable; check the truncation direction of the
+        // product is toward -inf (arithmetic shift).
+        let a = Fixed::from_bits(3); // 3 * 2^-16
+        let b = Fixed::from_bits(3);
+        assert_eq!((a * b).to_bits(), 0, "underflow truncates to zero");
+        let c = Fixed::from_bits(-3);
+        assert_eq!((c * b).to_bits(), -1, "negative underflow truncates toward -inf");
+    }
+
+    #[test]
+    fn saturating_conversions() {
+        assert_eq!(Fixed::from_f64(1e9), Fixed::MAX);
+        assert_eq!(Fixed::from_f64(-1e9), Fixed::MIN);
+        assert_eq!(Fixed::from_int(40_000), Fixed::MAX);
+        assert_eq!(Fixed::from_int(-40_000), Fixed::MIN);
+        assert_eq!(Fixed::from_int(12).to_f64(), 12.0);
+        assert_eq!(Fixed::from(3i16).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn add_wraps_like_rtl() {
+        let r = Fixed::MAX + Fixed::from_bits(1);
+        assert_eq!(r, Fixed::MIN);
+    }
+
+    #[test]
+    fn mac_chain_matches_separate_ops() {
+        let xs = [0.5, -1.25, 2.0, 0.75];
+        let ys = [1.5, 0.25, -0.5, 3.0];
+        let mut acc = Fixed::ZERO;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            acc = acc.mac(Fixed::from_f64(x), Fixed::from_f64(y));
+        }
+        let expect: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        assert_eq!(acc.to_f64(), expect, "exact for 1/256-grid inputs");
+    }
+
+    #[test]
+    fn abs_handles_min() {
+        assert_eq!(Fixed::MIN.abs(), Fixed::MAX);
+        assert_eq!(Fixed::from_f64(-2.5).abs().to_f64(), 2.5);
+    }
+}

@@ -1,0 +1,842 @@
+//! The assembled SnackNoC platform: a mesh NoC whose routers carry RCUs,
+//! a CPM at a memory-controller node, and (optionally) a CMP workload
+//! sharing the network — the full system of paper Fig. 5.
+
+use crate::cpm::{Cpm, CpmConfig, CpmEmission, CpmState, SubmitError, NAMESPACE_MASK, NAMESPACE_SHIFT};
+use crate::dram::DramModel;
+use crate::fixed::Fixed;
+use crate::token::{CompiledKernel, DataToken, Instruction, DATA_TOKEN_BYTES, INSTRUCTION_BYTES};
+use crate::rcu::{Emission, Rcu, RcuStats};
+use snacknoc_noc::{
+    ConfigError, Mesh, NetStats, Network, NocConfig, NodeId, PacketSpec, TrafficClass,
+};
+use snacknoc_workloads::coherence::{AccessPattern, CohMessage, CoherentEngine};
+use snacknoc_workloads::{BenchmarkProfile, CmpMessage, TrafficEngine};
+use std::fmt;
+
+/// The payload carried by every packet on a SnackNoC platform network.
+#[derive(Clone, Debug)]
+pub enum SnackPayload {
+    /// Baseline CMP communication (phase-model traffic).
+    Cmp(CmpMessage),
+    /// Baseline CMP communication (MESI coherence traffic).
+    Coh(CohMessage),
+    /// An instruction packet: one flit carrying instructions for one RCU.
+    Instructions(Vec<Instruction>),
+    /// A transient data token hopping along the static ring.
+    Data(DataToken),
+    /// A kernel result headed for the CPM output FIFO.
+    Result {
+        /// Output slot.
+        index: u32,
+        /// Result value.
+        value: Fixed,
+    },
+}
+
+/// Error building a [`SnackPlatform`].
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// Invalid NoC configuration.
+    Config(ConfigError),
+    /// The mesh has no Hamiltonian ring for transient data
+    /// (needs at least one even side).
+    Ring(snacknoc_noc::topology::RingError),
+    /// The configuration lacks the dedicated SnackNoC virtual network
+    /// (needs at least 3 vnets).
+    MissingSnackVnet,
+    /// A decentralized platform asked for more CPMs than the mesh has
+    /// memory-controller corners.
+    BadCpmCount {
+        /// CPMs requested.
+        requested: usize,
+        /// Corners available.
+        corners: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Config(e) => write!(f, "noc config: {e}"),
+            PlatformError::Ring(e) => write!(f, "transient ring: {e}"),
+            PlatformError::MissingSnackVnet => {
+                write!(f, "platform needs >= 3 vnets (requests, responses, snack)")
+            }
+            PlatformError::BadCpmCount { requested, corners } => {
+                write!(f, "requested {requested} cpms but the mesh has {corners} corners")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<ConfigError> for PlatformError {
+    fn from(e: ConfigError) -> Self {
+        PlatformError::Config(e)
+    }
+}
+
+/// Result of running one kernel to completion.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles from submission to the final result writeback.
+    pub cycles: u64,
+    /// The kernel outputs, in slot order.
+    pub outputs: Vec<Fixed>,
+}
+
+/// The CMP workload sharing the platform's NoC.
+#[derive(Debug)]
+enum Workload {
+    /// Phase-model closed-loop traffic (the calibrated Table III suite).
+    Phase(TrafficEngine),
+    /// Directory-MESI coherence traffic from synthetic address streams.
+    Coherent(CoherentEngine),
+}
+
+/// Result of a multi-program run (CMP benchmark + repeated kernels).
+#[derive(Clone, Debug)]
+pub struct MultiProgramRun {
+    /// CMP application runtime in cycles.
+    pub app_runtime: u64,
+    /// Whether the application finished before the safety cap.
+    pub app_finished: bool,
+    /// Kernels completed during the application run.
+    pub kernels_completed: u64,
+    /// Mean kernel latency in cycles (completed kernels only).
+    pub mean_kernel_cycles: f64,
+    /// Final network statistics.
+    pub stats: NetStats,
+}
+
+/// The SnackNoC platform: network + one or more CPMs + one RCU per router
+/// (+ an optional CMP workload).
+///
+/// The paper's baseline uses a single CPM at one memory controller; its
+/// §VII sketches a *decentralized* variant with a CPM per memory
+/// controller issuing kernels in parallel. Build the latter with
+/// [`SnackPlatform::with_cpm_count`].
+#[derive(Debug)]
+pub struct SnackPlatform {
+    net: Network<SnackPayload>,
+    rcus: Vec<Rcu>,
+    cpms: Vec<Cpm>,
+    engine: Option<Workload>,
+    /// `ring_next[node]` = successor on the transient-data ring.
+    ring_next: Vec<NodeId>,
+    submitted_at: Vec<u64>,
+    nodes: Vec<NodeId>,
+    /// The virtual network carrying SnackNoC tokens: the last vnet, so the
+    /// CMP workload owns the lower ones (2 for the phase model's
+    /// request/response pair, 3 for the MESI protocol classes).
+    snack_vnet: u8,
+}
+
+impl SnackPlatform {
+    /// Builds a platform on `cfg`, with the CPM at the first corner
+    /// memory-controller node and one RCU per router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] for invalid configs, meshes without a
+    /// Hamiltonian ring, or fewer than 3 vnets.
+    pub fn new(cfg: NocConfig) -> Result<Self, PlatformError> {
+        Self::with_cpm_config(cfg, CpmConfig::default(), DramModel::default())
+    }
+
+    /// Builds a *decentralized* platform (paper §VII) with `cpm_count`
+    /// CPMs, one per memory-controller corner in corner order.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnackPlatform::new`]. Also fails if the mesh has fewer
+    /// corners than `cpm_count`.
+    pub fn with_cpm_count(cfg: NocConfig, cpm_count: usize) -> Result<Self, PlatformError> {
+        let mut platform = Self::with_cpm_config(cfg, CpmConfig::default(), DramModel::default())?;
+        let corners = platform.net.mesh().corner_nodes();
+        if cpm_count == 0 || cpm_count > corners.len() {
+            return Err(PlatformError::BadCpmCount { requested: cpm_count, corners: corners.len() });
+        }
+        platform.cpms = corners[..cpm_count]
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                Cpm::with_namespace(node, i as u32, CpmConfig::default(), DramModel::default())
+            })
+            .collect();
+        platform.submitted_at = vec![0; cpm_count];
+        Ok(platform)
+    }
+
+    /// Builds a platform with explicit CPM and DRAM parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnackPlatform::new`].
+    pub fn with_cpm_config(
+        cfg: NocConfig,
+        cpm_cfg: CpmConfig,
+        dram: DramModel,
+    ) -> Result<Self, PlatformError> {
+        if cfg.vnets < 3 {
+            return Err(PlatformError::MissingSnackVnet);
+        }
+        let net: Network<SnackPayload> = Network::new(cfg)?;
+        let mesh = *net.mesh();
+        let ring = mesh.ring().map_err(PlatformError::Ring)?;
+        let mut ring_next = vec![NodeId::new(0); mesh.node_count()];
+        for (i, &node) in ring.iter().enumerate() {
+            ring_next[node.index()] = ring[(i + 1) % ring.len()];
+        }
+        let cpm_node = mesh.corner_nodes()[0];
+        let snack_vnet = net.config().vnets - 1;
+        Ok(SnackPlatform {
+            rcus: (0..mesh.node_count()).map(|_| Rcu::new()).collect(),
+            cpms: vec![Cpm::new(cpm_node, cpm_cfg, dram)],
+            engine: None,
+            ring_next,
+            submitted_at: vec![0],
+            nodes: mesh.nodes().collect(),
+            snack_vnet,
+            net,
+        })
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh {
+        self.net.mesh()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.net.cycle()
+    }
+
+    /// Network statistics.
+    pub fn stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    /// The primary CPM (kernel controller).
+    pub fn cpm(&self) -> &Cpm {
+        &self.cpms[0]
+    }
+
+    /// The `i`-th CPM of a decentralized platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpm_count()`.
+    pub fn cpm_at(&self, i: usize) -> &Cpm {
+        &self.cpms[i]
+    }
+
+    /// Number of CPMs on this platform.
+    pub fn cpm_count(&self) -> usize {
+        self.cpms.len()
+    }
+
+    /// Replaces every RCU with a `lanes`-wide vectorized one
+    /// (paper §VII: increased compute density). Call before submitting
+    /// kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn set_rcu_lanes(&mut self, lanes: usize) {
+        self.rcus = (0..self.rcus.len()).map(|_| Rcu::with_lanes(lanes)).collect();
+    }
+
+    /// Aggregated RCU statistics across all routers.
+    pub fn rcu_stats(&self) -> RcuStats {
+        let mut agg = RcuStats::default();
+        for r in &self.rcus {
+            agg.executed += r.stats.executed;
+            agg.captures += r.stats.captures;
+            agg.stalled_cycles += r.stats.stalled_cycles;
+        }
+        agg
+    }
+
+    /// Attaches a phase-model CMP workload that shares the NoC with kernel
+    /// execution.
+    pub fn attach_workload(&mut self, profile: &BenchmarkProfile, seed: u64) {
+        self.engine =
+            Some(Workload::Phase(TrafficEngine::new(profile.clone(), *self.net.mesh(), seed)));
+    }
+
+    /// Attaches a directory-MESI coherent CMP workload (higher-fidelity
+    /// traffic: the protocol of Table IV). Requires a 4-vnet config so the
+    /// three protocol classes don't share the SnackNoC vnet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform has fewer than 4 vnets.
+    pub fn attach_coherent_workload(&mut self, pattern: AccessPattern, seed: u64) {
+        assert!(
+            self.snack_vnet >= 3,
+            "coherent workloads need 4 vnets (request/forward/response + snack)"
+        );
+        self.engine = Some(Workload::Coherent(CoherentEngine::new(
+            pattern,
+            *self.net.mesh(),
+            Default::default(),
+            seed,
+        )));
+    }
+
+    /// Whether the attached workload (if any) has completed.
+    pub fn workload_done(&self) -> bool {
+        match &self.engine {
+            None => true,
+            Some(Workload::Phase(e)) => e.done(),
+            Some(Workload::Coherent(e)) => e.done(),
+        }
+    }
+
+    /// The attached workload's runtime, if it finished.
+    pub fn workload_runtime(&self) -> Option<u64> {
+        match &self.engine {
+            None => None,
+            Some(Workload::Phase(e)) => e.finished_at(),
+            Some(Workload::Coherent(e)) => e.finished_at(),
+        }
+    }
+
+    /// Submits a kernel to the CPM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the CPM's busy/validation errors.
+    pub fn submit_kernel(&mut self, kernel: &CompiledKernel) -> Result<(), SubmitError> {
+        self.submit_kernel_to(0, kernel)
+    }
+
+    /// Submits a kernel to the `i`-th CPM of a decentralized platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the CPM's busy/validation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpm_count()`.
+    pub fn submit_kernel_to(&mut self, i: usize, kernel: &CompiledKernel) -> Result<(), SubmitError> {
+        self.cpms[i].submit(kernel, self.net.cycle())?;
+        self.submitted_at[i] = self.net.cycle();
+        Ok(())
+    }
+
+    /// Takes the finished kernel's outputs from the primary CPM.
+    pub fn take_kernel_results(&mut self) -> Option<KernelRun> {
+        self.take_kernel_results_from(0)
+    }
+
+    /// Takes the finished kernel's outputs from the `i`-th CPM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpm_count()`.
+    pub fn take_kernel_results_from(&mut self, i: usize) -> Option<KernelRun> {
+        let finished_at = self.cpms[i].finished_at()?;
+        if self.net.cycle() < finished_at {
+            return None;
+        }
+        let (name, outputs) = self.cpms[i].take_results()?;
+        Some(KernelRun { name, cycles: finished_at - self.submitted_at[i], outputs })
+    }
+
+    /// Advances the platform by one cycle: workload traffic, CPM issue,
+    /// RCU execution, one network step, and delivery dispatch.
+    pub fn step(&mut self) {
+        let now = self.net.cycle();
+        // CMP workload injections.
+        match &mut self.engine {
+            None => {}
+            Some(Workload::Phase(engine)) => {
+                for spec in engine.tick(now) {
+                    let mapped = PacketSpec::new(
+                        spec.src,
+                        spec.dst,
+                        spec.vnet,
+                        spec.class,
+                        spec.size_bytes,
+                        SnackPayload::Cmp(spec.payload),
+                    );
+                    self.net.inject(mapped).expect("engine produces valid packets");
+                }
+            }
+            Some(Workload::Coherent(engine)) => {
+                for spec in engine.tick(now) {
+                    let mapped = PacketSpec::new(
+                        spec.src,
+                        spec.dst,
+                        spec.vnet,
+                        spec.class,
+                        spec.size_bytes,
+                        SnackPayload::Coh(spec.payload),
+                    );
+                    self.net.inject(mapped).expect("engine produces valid packets");
+                }
+            }
+        }
+        // CPM issue (1 flit/cycle each).
+        for c in 0..self.cpms.len() {
+            let node = self.cpms[c].node();
+            let congestion = self.net.useful_free_output_vcs(node);
+            match self.cpms[c].tick(now, congestion) {
+                Some(CpmEmission::Instructions(packet)) => {
+                    let dst = packet[0].pe;
+                    let bytes = INSTRUCTION_BYTES * packet.len() as u32;
+                    let spec = PacketSpec::new(
+                        node,
+                        dst,
+                        self.snack_vnet,
+                        TrafficClass::SnackInstruction,
+                        bytes,
+                        SnackPayload::Instructions(packet),
+                    );
+                    self.net.inject(spec).expect("valid instruction packet");
+                }
+                Some(CpmEmission::ReplayToken(token)) => {
+                    self.launch_token(node, token);
+                }
+                None => {}
+            }
+        }
+        // RCU execution.
+        for i in 0..self.rcus.len() {
+            for emission in self.rcus[i].tick(now) {
+                let node = self.nodes[i];
+                match emission {
+                    Emission::Token(token) => self.launch_token(node, token),
+                    Emission::Output { index, value } => {
+                        // The namespace in the index's high bits routes the
+                        // result home to the CPM that issued the kernel.
+                        let home = (index >> NAMESPACE_SHIFT) as usize;
+                        let spec = PacketSpec::new(
+                            node,
+                            self.cpms[home.min(self.cpms.len() - 1)].node(),
+                            self.snack_vnet,
+                            TrafficClass::SnackData,
+                            DATA_TOKEN_BYTES,
+                            SnackPayload::Result { index, value },
+                        );
+                        self.net.inject(spec).expect("valid result packet");
+                    }
+                }
+            }
+        }
+        // The network cycle.
+        self.net.step();
+        // Deliveries.
+        let now = self.net.cycle();
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i];
+            for pkt in self.net.drain_ejected(node) {
+                match pkt.payload {
+                    SnackPayload::Cmp(msg) => {
+                        if let Some(Workload::Phase(engine)) = &mut self.engine {
+                            engine.deliver(now, node, msg);
+                        }
+                    }
+                    SnackPayload::Coh(msg) => {
+                        if let Some(Workload::Coherent(engine)) = &mut self.engine {
+                            engine.deliver(now, node, msg);
+                        }
+                    }
+                    SnackPayload::Instructions(instrs) => {
+                        for ins in instrs {
+                            debug_assert_eq!(ins.pe, node, "instruction routed to its PE");
+                            self.rcus[i].accept_instruction(ins);
+                        }
+                    }
+                    SnackPayload::Data(token) => self.ring_pass(node, token),
+                    SnackPayload::Result { index, value } => {
+                        let home = ((index >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
+                        self.cpms[home].accept_result(index & NAMESPACE_MASK, value, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Submits `kernel` and steps until its results are written back.
+    ///
+    /// Returns `None` if the kernel does not finish within `max_cycles`
+    /// (indicating saturation or an invalid mapping).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPM submission errors.
+    pub fn run_kernel(
+        &mut self,
+        kernel: &CompiledKernel,
+        max_cycles: u64,
+    ) -> Result<Option<KernelRun>, SubmitError> {
+        self.submit_kernel(kernel)?;
+        let deadline = self.net.cycle() + max_cycles;
+        while self.net.cycle() < deadline {
+            self.step();
+            if let Some(run) = self.take_kernel_results() {
+                return Ok(Some(run));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs the attached workload to completion while *continually*
+    /// re-submitting `kernel` (the paper's multi-program experiment:
+    /// kernels execute on the NoC simultaneously with CMP applications).
+    ///
+    /// Pass `kernel = None` to run the workload alone on the same platform
+    /// (the interference baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload is attached.
+    pub fn run_multiprogram(
+        &mut self,
+        kernel: Option<&CompiledKernel>,
+        max_cycles: u64,
+    ) -> MultiProgramRun {
+        assert!(self.engine.is_some(), "attach_workload first");
+        let mut kernels_completed = 0u64;
+        let mut kernel_cycles_sum = 0u64;
+        let deadline = self.net.cycle() + max_cycles;
+        while !self.workload_done() && self.net.cycle() < deadline {
+            if let Some(k) = kernel {
+                if self.cpms[0].state() == CpmState::Idle {
+                    self.submit_kernel(k).expect("cpm idle");
+                }
+            }
+            self.step();
+            if let Some(run) = self.take_kernel_results() {
+                kernels_completed += 1;
+                kernel_cycles_sum += run.cycles;
+            }
+        }
+        MultiProgramRun {
+            app_runtime: self.workload_runtime().unwrap_or(self.net.cycle()),
+            app_finished: self.workload_done(),
+            kernels_completed,
+            mean_kernel_cycles: if kernels_completed == 0 {
+                0.0
+            } else {
+                kernel_cycles_sum as f64 / kernels_completed as f64
+            },
+            stats: self.net.stats().clone(),
+        }
+    }
+
+    /// Launches a data token from `node` to the next node on the static
+    /// ring.
+    fn launch_token(&mut self, node: NodeId, token: DataToken) {
+        debug_assert!(token.dependents > 0, "dead token launched");
+        let next = self.ring_next[node.index()];
+        let spec = PacketSpec::new(
+            node,
+            next,
+            self.snack_vnet,
+            TrafficClass::SnackData,
+            DATA_TOKEN_BYTES,
+            SnackPayload::Data(token),
+        );
+        self.net.inject(spec).expect("valid token packet");
+    }
+
+    /// Handles a ring token arriving at `node`: CPM overflow absorption,
+    /// RCU inspection, then retirement or the next hop.
+    fn ring_pass(&mut self, node: NodeId, token: DataToken) {
+        let cpm_here = self.cpms.iter().position(|c| c.node() == node);
+        let mut token = if let Some(ci) = cpm_here {
+            match self.cpms[ci].maybe_absorb(token) {
+                Some(t) => t,
+                None => return, // parked in the overflow buffer
+            }
+        } else {
+            token
+        };
+        self.rcus[node.index()].observe_token(&mut token);
+        if token.dependents > 0 {
+            self.launch_token(node, token);
+        }
+    }
+
+    /// Count of transient data tokens currently parked in CPM overflow
+    /// buffers. Useful for conservation tests.
+    pub fn live_tokens_lower_bound(&self) -> usize {
+        self.cpms.iter().map(|c| c.overflow_backlog()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Op, Operand, ResultDest};
+
+    fn imm(v: f64) -> Operand {
+        Operand::Imm(Fixed::from_f64(v))
+    }
+
+    fn platform() -> SnackPlatform {
+        SnackPlatform::new(NocConfig::default().with_sample_window(1_000)).unwrap()
+    }
+
+    /// out0 = (1+2)*4 computed on two different RCUs via a ring token.
+    fn cross_pe_kernel(mesh: &Mesh) -> CompiledKernel {
+        CompiledKernel {
+            irregular_fetch: false,
+            name: "cross".into(),
+            num_outputs: 1,
+            instructions: vec![
+                Instruction {
+                    op: Op::Add,
+                    pe: mesh.node_at(1, 1),
+                    vl: imm(1.0),
+                    vr: imm(2.0),
+                    dest: ResultDest::Token { dep: 0, dependents: 1 },
+                    sub_block: 0,
+                    seq: 0,
+                    ends_block: true,
+                },
+                Instruction {
+                    op: Op::Mul,
+                    pe: mesh.node_at(2, 3),
+                    vl: Operand::Dep(0),
+                    vr: imm(4.0),
+                    dest: ResultDest::Output { index: 0 },
+                    sub_block: 1,
+                    seq: 0,
+                    ends_block: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn runs_a_cross_pe_kernel_end_to_end() {
+        let mut p = platform();
+        let k = cross_pe_kernel(&p.mesh().clone());
+        let run = p.run_kernel(&k, 10_000).unwrap().expect("kernel finishes");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+        assert!(run.cycles > 60, "includes DRAM fetch latency");
+        assert_eq!(run.name, "cross");
+        let rs = p.rcu_stats();
+        assert_eq!(rs.executed, 2);
+        assert!(rs.captures >= 1);
+    }
+
+    #[test]
+    fn mac_reduction_kernel_on_one_rcu() {
+        let mut p = platform();
+        let pe = p.mesh().node_at(3, 3);
+        // acc = 1*2 + 3*4 + 5*6 = 44.
+        let pairs = [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)];
+        let n = pairs.len();
+        let instructions = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Instruction {
+                op: Op::Mac,
+                pe,
+                vl: imm(a),
+                vr: imm(b),
+                dest: if i == n - 1 {
+                    ResultDest::Output { index: 0 }
+                } else {
+                    ResultDest::Accumulate
+                },
+                sub_block: 0,
+                seq: i as u32,
+                ends_block: i == n - 1,
+            })
+            .collect();
+        let k = CompiledKernel { name: "dot".into(), num_outputs: 1, instructions, irregular_fetch: false };
+        let run = p.run_kernel(&k, 10_000).unwrap().expect("finishes");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(44.0)]);
+    }
+
+    #[test]
+    fn token_with_many_dependents_feeds_every_rcu() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let producer = mesh.node_at(0, 1);
+        let n = mesh.node_count() as u32;
+        let mut instructions = vec![Instruction {
+            op: Op::Add,
+            pe: producer,
+            vl: imm(5.0),
+            vr: imm(5.0),
+            dest: ResultDest::Token { dep: 0, dependents: n },
+            sub_block: 0,
+            seq: 0,
+            ends_block: true,
+        }];
+        for (i, node) in mesh.nodes().enumerate() {
+            instructions.push(Instruction {
+                op: Op::Add,
+                pe: node,
+                vl: Operand::Dep(0),
+                vr: imm(i as f64),
+                dest: ResultDest::Output { index: i as u32 },
+                sub_block: 1 + i as u32,
+                seq: 0,
+                ends_block: true,
+            });
+        }
+        let k = CompiledKernel { name: "bcast".into(), num_outputs: 16, instructions, irregular_fetch: false };
+        let run = p.run_kernel(&k, 50_000).unwrap().expect("finishes");
+        for (i, out) in run.outputs.iter().enumerate() {
+            assert_eq!(*out, Fixed::from_f64(10.0 + i as f64), "output {i}");
+        }
+    }
+
+    #[test]
+    fn workload_alone_matches_standalone_runner_protocol() {
+        let mut p = platform();
+        let profile = snacknoc_workloads::suite::profile(snacknoc_workloads::Benchmark::Fmm)
+            .scaled(0.005);
+        p.attach_workload(&profile, 11);
+        let run = p.run_multiprogram(None, 50_000_000);
+        assert!(run.app_finished);
+        assert_eq!(run.kernels_completed, 0);
+        assert!(run.app_runtime > 0);
+    }
+
+    #[test]
+    fn multiprogram_runs_kernels_alongside_workload() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let profile = snacknoc_workloads::suite::profile(snacknoc_workloads::Benchmark::Volrend)
+            .scaled(0.003);
+        p.attach_workload(&profile, 13);
+        let k = cross_pe_kernel(&mesh);
+        let run = p.run_multiprogram(Some(&k), 100_000_000);
+        assert!(run.app_finished);
+        assert!(run.kernels_completed > 0, "kernels complete during the app");
+        assert!(run.mean_kernel_cycles > 0.0);
+    }
+
+    #[test]
+    fn rejects_two_vnets() {
+        let cfg = NocConfig::default().with_vnets(2);
+        assert!(matches!(
+            SnackPlatform::new(cfg),
+            Err(PlatformError::MissingSnackVnet)
+        ));
+    }
+
+    #[test]
+    fn decentralized_cpms_run_kernels_concurrently() {
+        // Paper §VII future work: one CPM per memory controller. Four
+        // kernels with *identical* dependency ids run at once; namespacing
+        // keeps their ring tokens apart and routes results home.
+        let mut p = SnackPlatform::with_cpm_count(
+            NocConfig::default().with_sample_window(1_000),
+            4,
+        )
+        .unwrap();
+        assert_eq!(p.cpm_count(), 4);
+        let mesh = *p.mesh();
+        let kernels: Vec<CompiledKernel> = (0..4)
+            .map(|i| {
+                let mut k = cross_pe_kernel(&mesh);
+                // Different immediate so each CPM's answer is distinct:
+                // out = (1 + 2 + i) * 4.
+                k.instructions[0].vr = imm(2.0 + i as f64);
+                k.name = format!("k{i}");
+                k
+            })
+            .collect();
+        for (i, k) in kernels.iter().enumerate() {
+            p.submit_kernel_to(i, k).expect("idle cpm accepts");
+        }
+        let mut done = vec![None; 4];
+        for _ in 0..100_000 {
+            p.step();
+            for (i, slot) in done.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = p.take_kernel_results_from(i);
+                }
+            }
+            if done.iter().all(|d| d.is_some()) {
+                break;
+            }
+        }
+        for (i, run) in done.into_iter().enumerate() {
+            let run = run.unwrap_or_else(|| panic!("kernel {i} must finish"));
+            assert_eq!(run.name, format!("k{i}"));
+            assert_eq!(run.outputs, vec![Fixed::from_f64((3.0 + i as f64) * 4.0)], "kernel {i}");
+        }
+    }
+
+    #[test]
+    fn decentralized_cpm_count_is_validated() {
+        assert!(matches!(
+            SnackPlatform::with_cpm_count(NocConfig::default(), 5),
+            Err(PlatformError::BadCpmCount { requested: 5, corners: 4 })
+        ));
+        assert!(matches!(
+            SnackPlatform::with_cpm_count(NocConfig::default(), 0),
+            Err(PlatformError::BadCpmCount { .. })
+        ));
+    }
+
+    #[test]
+    fn coherent_workload_shares_the_noc_with_kernels() {
+        // The MESI traffic mode: protocol classes on vnets 0-2, snack on 3.
+        let cfg = NocConfig::default().with_vnets(4).with_sample_window(1_000);
+        let mut p = SnackPlatform::new(cfg).unwrap();
+        let mesh = *p.mesh();
+        p.attach_coherent_workload(
+            AccessPattern { accesses_per_core: 200, ..AccessPattern::shared_heavy() },
+            21,
+        );
+        let k = cross_pe_kernel(&mesh);
+        let run = p.run_multiprogram(Some(&k), 100_000_000);
+        assert!(run.app_finished, "coherent workload completes");
+        assert!(run.kernels_completed > 0, "kernels complete alongside MESI traffic");
+    }
+
+    #[test]
+    fn coherent_workload_requires_four_vnets() {
+        let mut p = SnackPlatform::new(NocConfig::default()).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.attach_coherent_workload(AccessPattern::default(), 1);
+        }));
+        assert!(result.is_err(), "3-vnet platform must reject coherent workloads");
+    }
+
+    #[test]
+    fn kernel_latency_grows_under_interference() {
+        // Zero-load kernel latency vs the same kernel sharing the NoC with
+        // a heavy benchmark: interference must not speed the kernel up, and
+        // the paper reports it slows by a few percent at most.
+        let mesh_kernel = |p: &SnackPlatform| cross_pe_kernel(p.mesh());
+        let mut alone = platform();
+        let k = mesh_kernel(&alone);
+        let solo = alone.run_kernel(&k, 100_000).unwrap().expect("finishes").cycles;
+
+        let mut shared = platform();
+        let profile = snacknoc_workloads::suite::profile(snacknoc_workloads::Benchmark::Radix)
+            .scaled(0.001);
+        shared.attach_workload(&profile, 17);
+        // Let the workload warm up, then run the kernel.
+        shared.run(2_000);
+        let busy = shared.run_kernel(&k, 200_000).unwrap().expect("finishes").cycles;
+        assert!(busy >= solo, "interference cannot accelerate the kernel: {busy} vs {solo}");
+    }
+}

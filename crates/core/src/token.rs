@@ -1,0 +1,445 @@
+//! The SnackNoC token vocabulary: instruction tokens, transient data
+//! tokens, compiled kernel programs and their validation.
+//!
+//! Paper §III-A defines two token types:
+//!
+//! * **Instruction tokens** `⟨O, P, Vl, Vr, N⟩` — operation, destination
+//!   PE, two operands (immediate or dependency references), and the
+//!   dependent count of the result.
+//! * **Data tokens** `⟨S, N, V⟩` — dependency id, remaining dependents, and
+//!   the value. Data tokens have *no destination list*: they circulate on
+//!   the static ring until `N` consumers have captured them.
+
+use crate::fixed::Fixed;
+use snacknoc_noc::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dependency identifier (`S` in the paper's data-token tuple).
+pub type DepId = u32;
+
+/// Identifier of a sub-block: an intra-dependent instruction set that owns
+/// the RCU accumulator while it executes (paper §III-D1).
+pub type SubBlockId = u32;
+
+/// An RCU scalar operation (`O` in the instruction tuple).
+///
+/// Latencies follow paper §III-D2: 1-cycle operations traverse the router
+/// in 3 cycles total, 2-cycle operations (multiply) in 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// `r = vl + vr` (1 cycle).
+    Add,
+    /// `r = vl - vr` (1 cycle).
+    Sub,
+    /// `r = vl * vr` (2 cycles).
+    Mul,
+    /// `acc = acc + vl * vr; r = acc` (2 cycles) — the MAC unit.
+    Mac,
+    /// `acc = acc + vl + vr; r = acc` (1 cycle) — accumulating add, used by
+    /// reductions to consume two elements per instruction.
+    Acc,
+}
+
+impl Op {
+    /// ALU latency in RCU cycles.
+    pub fn latency(self) -> u64 {
+        match self {
+            Op::Add | Op::Sub | Op::Acc => 1,
+            Op::Mul | Op::Mac => 2,
+        }
+    }
+
+    /// Whether the operation reads/writes the accumulator register.
+    pub fn uses_accumulator(self) -> bool {
+        matches!(self, Op::Mac | Op::Acc)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Mac => "mac",
+            Op::Acc => "acc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instruction operand (`Vl` / `Vr`): an immediate streamed from memory
+/// by the CPM, or a reference to a transient dependency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// Immediately available value.
+    Imm(Fixed),
+    /// Reference to the data token with this dependency id.
+    Dep(DepId),
+}
+
+impl Operand {
+    /// The dependency id, if this operand is a reference.
+    pub fn dep(self) -> Option<DepId> {
+        match self {
+            Operand::Imm(_) => None,
+            Operand::Dep(d) => Some(d),
+        }
+    }
+}
+
+/// Where an instruction's result goes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResultDest {
+    /// Result stays in the RCU accumulator (the paper's same-source/
+    /// destination special case: no data token is transmitted).
+    Accumulate,
+    /// Result becomes a transient data token `⟨dep, dependents, value⟩`
+    /// circulating on the static ring.
+    Token {
+        /// Dependency id assigned by the compiler.
+        dep: DepId,
+        /// Total number of consuming instruction operands, across all RCUs.
+        dependents: u32,
+    },
+    /// Result is a kernel output: routed to the CPM and written to the
+    /// output-results FIFO at `index`.
+    Output {
+        /// Output buffer slot.
+        index: u32,
+    },
+}
+
+/// A SnackNoC instruction token.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Op,
+    /// Destination processing element (`P`): the RCU that executes this.
+    pub pe: NodeId,
+    /// Left operand.
+    pub vl: Operand,
+    /// Right operand.
+    pub vr: Operand,
+    /// Result destination.
+    pub dest: ResultDest,
+    /// Sub-block this instruction belongs to.
+    pub sub_block: SubBlockId,
+    /// Position within the sub-block (executed in order).
+    pub seq: u32,
+    /// Whether this is the final instruction of its sub-block (releases the
+    /// accumulator).
+    pub ends_block: bool,
+}
+
+/// A transient data token `⟨S, N, V⟩`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DataToken {
+    /// Dependency id.
+    pub dep: DepId,
+    /// Remaining dependents; the token retires when this reaches zero.
+    pub dependents: u32,
+    /// The value.
+    pub value: Fixed,
+}
+
+/// On-wire size of one encoded instruction in bytes: `O` (1) + `P` (2) +
+/// two operands (5 each: tag + 32-bit value) + destination/ordering
+/// metadata (3). Used to decide how many instructions share a flit.
+pub const INSTRUCTION_BYTES: u32 = 16;
+
+/// On-wire size of a data-token packet in bytes (`S` + `N` + `V` + header).
+pub const DATA_TOKEN_BYTES: u32 = 16;
+
+/// A compiled SnackNoC kernel: the CPM command buffer plus metadata.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledKernel {
+    /// Instructions in CPM issue (program) order.
+    pub instructions: Vec<Instruction>,
+    /// Number of kernel outputs (size of the CPM output FIFO allocation).
+    pub num_outputs: usize,
+    /// Human-readable kernel name for reports.
+    pub name: String,
+    /// Whether assembling this kernel's operands requires irregular
+    /// (indexed-gather) memory accesses, which throttle the CPM's DRAM
+    /// stream rate. Set by the compiler for SPMV — the paper attributes
+    /// SPMV's reduced SnackNoC speedup to "the irregular data pattern in
+    /// accessing an indexed vector prior to computation" (§V-B).
+    pub irregular_fetch: bool,
+}
+
+/// A violation found by [`CompiledKernel::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// A dependency is produced by more than one instruction.
+    DuplicateProducer(DepId),
+    /// A dependency is referenced but never produced.
+    MissingProducer(DepId),
+    /// A produced token's dependent count does not equal its reference
+    /// count (would strand or prematurely retire the token).
+    DependentMismatch {
+        /// The dependency in question.
+        dep: DepId,
+        /// Dependents declared by the producer.
+        declared: u32,
+        /// References found across all instructions.
+        referenced: u32,
+    },
+    /// An output index is written more than once.
+    DuplicateOutput(u32),
+    /// Output indices are not exactly `0..num_outputs`.
+    OutputGap(u32),
+    /// Sub-block sequence numbers are not contiguous from zero, or the
+    /// block-terminator flag is wrong.
+    BadSubBlock(SubBlockId),
+    /// A sub-block spans more than one PE (the accumulator is per-RCU).
+    SubBlockSpansPes(SubBlockId),
+    /// An accumulator op appears outside any multi-instruction sub-block
+    /// context it could initialise (first instruction of a block must not
+    /// read a stale accumulator — enforced structurally here).
+    EmptyProgram,
+    /// A dependency id or output index does not fit below the CPM
+    /// namespace bits (kernel too large for multi-CPM namespacing).
+    NamespaceOverflow,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DuplicateProducer(d) => write!(f, "dependency {d} produced twice"),
+            ProgramError::MissingProducer(d) => write!(f, "dependency {d} never produced"),
+            ProgramError::DependentMismatch { dep, declared, referenced } => write!(
+                f,
+                "dependency {dep} declares {declared} dependents but is referenced {referenced} times"
+            ),
+            ProgramError::DuplicateOutput(i) => write!(f, "output {i} written twice"),
+            ProgramError::OutputGap(i) => write!(f, "output {i} never written"),
+            ProgramError::BadSubBlock(b) => write!(f, "sub-block {b} has non-contiguous sequence"),
+            ProgramError::SubBlockSpansPes(b) => write!(f, "sub-block {b} spans multiple PEs"),
+            ProgramError::EmptyProgram => write!(f, "program has no instructions"),
+            ProgramError::NamespaceOverflow => {
+                write!(f, "dependency/output ids exceed the cpm namespace range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl CompiledKernel {
+    /// Checks the structural invariants the platform relies on:
+    ///
+    /// * every referenced dependency has exactly one producer;
+    /// * every producer's declared dependent count equals the number of
+    ///   operand references (so ring tokens retire exactly on time);
+    /// * outputs are written exactly once each, densely `0..num_outputs`;
+    /// * sub-blocks have contiguous `seq` from 0, a single terminator at
+    ///   the end, and live on a single PE.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.instructions.is_empty() {
+            return Err(ProgramError::EmptyProgram);
+        }
+        let mut produced: HashMap<DepId, u32> = HashMap::new();
+        let mut referenced: HashMap<DepId, u32> = HashMap::new();
+        let mut outputs: Vec<u32> = Vec::new();
+        let mut blocks: HashMap<SubBlockId, (Vec<u32>, bool, NodeId)> = HashMap::new();
+        for ins in &self.instructions {
+            for operand in [ins.vl, ins.vr] {
+                if let Some(d) = operand.dep() {
+                    *referenced.entry(d).or_insert(0) += 1;
+                }
+            }
+            match ins.dest {
+                ResultDest::Token { dep, dependents } => {
+                    if produced.insert(dep, dependents).is_some() {
+                        return Err(ProgramError::DuplicateProducer(dep));
+                    }
+                }
+                ResultDest::Output { index } => outputs.push(index),
+                ResultDest::Accumulate => {}
+            }
+            let entry =
+                blocks.entry(ins.sub_block).or_insert_with(|| (Vec::new(), false, ins.pe));
+            entry.0.push(ins.seq);
+            entry.1 |= ins.ends_block;
+            if entry.2 != ins.pe {
+                return Err(ProgramError::SubBlockSpansPes(ins.sub_block));
+            }
+        }
+        for (&dep, &refs) in &referenced {
+            match produced.get(&dep) {
+                None => return Err(ProgramError::MissingProducer(dep)),
+                Some(&declared) if declared != refs => {
+                    return Err(ProgramError::DependentMismatch { dep, declared, referenced: refs })
+                }
+                _ => {}
+            }
+        }
+        for (&dep, &declared) in &produced {
+            let refs = referenced.get(&dep).copied().unwrap_or(0);
+            if declared != refs {
+                return Err(ProgramError::DependentMismatch { dep, declared, referenced: refs });
+            }
+        }
+        outputs.sort_unstable();
+        for (i, &o) in outputs.iter().enumerate() {
+            if o as usize != i {
+                if i > 0 && outputs[i - 1] == o {
+                    return Err(ProgramError::DuplicateOutput(o));
+                }
+                return Err(ProgramError::OutputGap(i as u32));
+            }
+        }
+        if outputs.len() != self.num_outputs {
+            return Err(ProgramError::OutputGap(outputs.len() as u32));
+        }
+        for (&b, (seqs, has_end, _)) in &blocks {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            let contiguous = s.iter().enumerate().all(|(i, &v)| v as usize == i);
+            if !contiguous || !has_end {
+                return Err(ProgramError::BadSubBlock(b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn imm(v: f64) -> Operand {
+        Operand::Imm(Fixed::from_f64(v))
+    }
+
+    /// out0 = (1+2) + (3+4) via a token from PE0 to PE1.
+    fn two_pe_program() -> CompiledKernel {
+        CompiledKernel {
+            irregular_fetch: false,
+            name: "test".into(),
+            num_outputs: 1,
+            instructions: vec![
+                Instruction {
+                    op: Op::Add,
+                    pe: pe(0),
+                    vl: imm(1.0),
+                    vr: imm(2.0),
+                    dest: ResultDest::Token { dep: 0, dependents: 1 },
+                    sub_block: 0,
+                    seq: 0,
+                    ends_block: true,
+                },
+                Instruction {
+                    op: Op::Add,
+                    pe: pe(1),
+                    vl: Operand::Dep(0),
+                    vr: imm(7.0),
+                    dest: ResultDest::Output { index: 0 },
+                    sub_block: 1,
+                    seq: 0,
+                    ends_block: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        two_pe_program().validate().unwrap();
+    }
+
+    #[test]
+    fn detects_missing_producer() {
+        let mut p = two_pe_program();
+        p.instructions.remove(0);
+        assert_eq!(p.validate(), Err(ProgramError::MissingProducer(0)));
+    }
+
+    #[test]
+    fn detects_dependent_mismatch() {
+        let mut p = two_pe_program();
+        if let ResultDest::Token { dependents, .. } = &mut p.instructions[0].dest {
+            *dependents = 3;
+        }
+        assert!(matches!(p.validate(), Err(ProgramError::DependentMismatch { dep: 0, .. })));
+    }
+
+    #[test]
+    fn detects_duplicate_producer() {
+        let mut p = two_pe_program();
+        let mut dup = p.instructions[0];
+        dup.sub_block = 2;
+        p.instructions.push(dup);
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::DuplicateProducer(0) | ProgramError::DependentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_output_gap_and_duplicates() {
+        let mut p = two_pe_program();
+        if let ResultDest::Output { index } = &mut p.instructions[1].dest {
+            *index = 1;
+        }
+        assert_eq!(p.validate(), Err(ProgramError::OutputGap(0)));
+    }
+
+    #[test]
+    fn detects_bad_sub_block() {
+        let mut p = two_pe_program();
+        p.instructions[1].seq = 5;
+        assert_eq!(p.validate(), Err(ProgramError::BadSubBlock(1)));
+        let mut q = two_pe_program();
+        q.instructions[1].ends_block = false;
+        assert_eq!(q.validate(), Err(ProgramError::BadSubBlock(1)));
+    }
+
+    #[test]
+    fn detects_sub_block_spanning_pes() {
+        let mut p = two_pe_program();
+        p.instructions[1].sub_block = 0;
+        p.instructions[1].seq = 1;
+        p.instructions[0].ends_block = false;
+        assert_eq!(p.validate(), Err(ProgramError::SubBlockSpansPes(0)));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = CompiledKernel::default();
+        assert_eq!(p.validate(), Err(ProgramError::EmptyProgram));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn op_latencies_match_paper() {
+        assert_eq!(Op::Add.latency(), 1);
+        assert_eq!(Op::Sub.latency(), 1);
+        assert_eq!(Op::Acc.latency(), 1);
+        assert_eq!(Op::Mul.latency(), 2);
+        assert_eq!(Op::Mac.latency(), 2);
+        assert!(Op::Mac.uses_accumulator());
+        assert!(!Op::Add.uses_accumulator());
+    }
+}

@@ -1,0 +1,245 @@
+//! # snacknoc-cost
+//!
+//! The 45 nm area/power cost model of the SnackNoC paper: the per-unit
+//! synthesis results of Table II (Synopsys DC, NCSU 45 nm, 1 GHz), the
+//! platform scaling to 16–147 RCUs, the CPU comparison of Table V, and the
+//! Cacti/Orion-style uncore breakdown of Fig. 10.
+//!
+//! Everything here is constants plus linear arithmetic — exactly what the
+//! paper reports — so these results reproduce Table II to within its
+//! printed rounding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Add;
+
+/// Power (W) and area (mm²) of one unit at 45 nm / 1 GHz.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct UnitCost {
+    /// Power in watts.
+    pub power_w: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+}
+
+impl UnitCost {
+    /// Creates a cost entry.
+    pub const fn new(power_w: f64, area_mm2: f64) -> Self {
+        UnitCost { power_w, area_mm2 }
+    }
+
+    /// Scales both power and area by `n` instances.
+    pub fn times(self, n: usize) -> UnitCost {
+        UnitCost { power_w: self.power_w * n as f64, area_mm2: self.area_mm2 * n as f64 }
+    }
+}
+
+impl Add for UnitCost {
+    type Output = UnitCost;
+    fn add(self, rhs: UnitCost) -> UnitCost {
+        UnitCost { power_w: self.power_w + rhs.power_w, area_mm2: self.area_mm2 + rhs.area_mm2 }
+    }
+}
+
+impl fmt::Display for UnitCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W / {:.3} mm2", self.power_w, self.area_mm2)
+    }
+}
+
+/// A named cost line item, as printed in Table II.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CostItem {
+    /// Component name (Table II row).
+    pub name: &'static str,
+    /// Its cost.
+    pub cost: UnitCost,
+}
+
+/// The CPM component costs (Table II, upper half).
+pub const CPM_ITEMS: [CostItem; 5] = [
+    CostItem { name: "Assembly Logic and Buffers", cost: UnitCost::new(0.4e-3, 0.05) },
+    CostItem { name: "Kernel State", cost: UnitCost::new(0.8e-3, 0.002) },
+    CostItem { name: "Instruction Buffer", cost: UnitCost::new(53e-3, 0.53) },
+    CostItem { name: "Offload Data Memory Buffer", cost: UnitCost::new(4.7e-3, 0.047) },
+    CostItem { name: "Output Result FIFO", cost: UnitCost::new(4.7e-3, 0.047) },
+];
+
+/// The RCU component costs (Table II, lower half).
+pub const RCU_ITEMS: [CostItem; 7] = [
+    CostItem { name: "32-bit Parallel Adder", cost: UnitCost::new(0.5e-3, 0.002) },
+    CostItem { name: "32-bit Parallel Subtractor", cost: UnitCost::new(0.5e-3, 0.002) },
+    CostItem { name: "32-bit Multiply and Accumulate (MAC)", cost: UnitCost::new(0.9e-3, 0.003) },
+    CostItem { name: "Ordered Instruction Buffer", cost: UnitCost::new(0.9e-3, 0.004) },
+    CostItem { name: "Dependency Buffer", cost: UnitCost::new(1.1e-3, 0.002) },
+    CostItem { name: "Accumulator Buffer", cost: UnitCost::new(0.3e-3, 0.0002) },
+    CostItem { name: "Sub Block List", cost: UnitCost::new(0.1e-3, 0.003) },
+];
+
+/// Total cost of one CPM.
+pub fn cpm_cost() -> UnitCost {
+    CPM_ITEMS.iter().fold(UnitCost::default(), |acc, i| acc + i.cost)
+}
+
+/// Total cost of one RCU.
+pub fn rcu_cost() -> UnitCost {
+    RCU_ITEMS.iter().fold(UnitCost::default(), |acc, i| acc + i.cost)
+}
+
+/// Total SnackNoC platform cost for one CPM plus `rcus` RCUs
+/// (Table II's "Total CPM + N RCU" rows; the paper tabulates N ∈
+/// {16, 32, 64, 128, 147}, the last being the ITRS-projected 2029 socket).
+pub fn platform_cost(rcus: usize) -> UnitCost {
+    cpm_cost() + rcu_cost().times(rcus)
+}
+
+/// The Intel Xeon E5-2660 v3 reference point of Table V.
+pub const XEON_E5_2660_V3: UnitCost = UnitCost::new(105.0, 492.0);
+
+/// Intel Teraflops Research processor power range (paper §III-F), watts.
+pub const TERAFLOPS_POWER_RANGE_W: (f64, f64) = (65.0, 265.0);
+
+/// Per-instance uncore component costs for a 45 nm CMP node
+/// (Cacti-7.0-style SRAM estimates and Orion-3.0-style router estimates),
+/// chosen to reproduce the Fig. 10 uncore breakdown for a 16-core CMP.
+pub mod uncore {
+    use super::UnitCost;
+
+    /// One 256 KB shared-L2 bank.
+    pub const L2_BANK: UnitCost = UnitCost::new(0.380, 4.42);
+    /// One core's 32 KB L1 I + 32 KB L1 D pair.
+    pub const L1_PAIR: UnitCost = UnitCost::new(0.0962, 0.707);
+    /// One baseline NoC router with its link drivers.
+    pub const ROUTER: UnitCost = UnitCost::new(0.0309, 0.1275);
+}
+
+/// One slice of the uncore breakdown (Fig. 10).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct UncoreSlice {
+    /// Component name.
+    pub name: &'static str,
+    /// Absolute cost.
+    pub cost: UnitCost,
+    /// Share of total uncore power, in percent.
+    pub power_pct: f64,
+    /// Share of total uncore area, in percent.
+    pub area_pct: f64,
+}
+
+/// The uncore power/area breakdown for a CMP with `cores` cores (one L2
+/// bank, L1 pair and router per core) plus the SnackNoC additions
+/// (CPM + one RCU per core). Reproduces Fig. 10 at `cores = 16`.
+pub fn uncore_breakdown(cores: usize) -> Vec<UncoreSlice> {
+    let l2 = uncore::L2_BANK.times(cores);
+    let l1 = uncore::L1_PAIR.times(cores);
+    let noc = uncore::ROUTER.times(cores);
+    let snack = platform_cost(cores);
+    let total = l2 + l1 + noc + snack;
+    let slice = |name, cost: UnitCost| UncoreSlice {
+        name,
+        cost,
+        power_pct: 100.0 * cost.power_w / total.power_w,
+        area_pct: 100.0 * cost.area_mm2 / total.area_mm2,
+    };
+    vec![
+        slice("L2 Cache", l2),
+        slice("L1 Cache", l1),
+        slice("Baseline NoC", noc),
+        slice("SnackNoC Additions", snack),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II prints totals at two significant figures; allow that
+    /// rounding.
+    fn close(got: f64, want: f64, tol: f64) -> bool {
+        (got - want).abs() <= tol
+    }
+
+    #[test]
+    fn platform_totals_match_table_two() {
+        // Table II: (RCUs, power W, area mm2).
+        let rows = [
+            (16, 0.13, 0.90),
+            (32, 0.20, 1.16),
+            (64, 0.34, 1.67),
+            (128, 0.61, 2.71),
+            (147, 0.70, 3.02),
+        ];
+        for (n, p, a) in rows {
+            let c = platform_cost(n);
+            assert!(close(c.power_w, p, 0.01), "{n} RCUs power: {} vs {p}", c.power_w);
+            assert!(close(c.area_mm2, a, 0.06), "{n} RCUs area: {} vs {a}", c.area_mm2);
+        }
+    }
+
+    #[test]
+    fn rcu_is_small_relative_to_cpm() {
+        // Paper: "the CPM accounts for 71% of the area resources" at 16
+        // RCUs.
+        let total = platform_cost(16);
+        let share = cpm_cost().area_mm2 / total.area_mm2;
+        assert!((0.65..0.78).contains(&share), "cpm area share {share}");
+    }
+
+    #[test]
+    fn teraflops_comparison_is_about_one_percent() {
+        // Paper §III-F: 147-RCU SnackNoC ≈ 1% of the 65 W Teraflops chip.
+        let frac = platform_cost(147).power_w / TERAFLOPS_POWER_RANGE_W.0;
+        assert!((0.008..0.015).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn table_five_reference_point() {
+        assert_eq!(XEON_E5_2660_V3.power_w, 105.0);
+        assert_eq!(XEON_E5_2660_V3.area_mm2, 492.0);
+        let snack = platform_cost(16);
+        assert!(snack.power_w < XEON_E5_2660_V3.power_w / 500.0);
+        assert!(snack.area_mm2 < XEON_E5_2660_V3.area_mm2 / 400.0);
+    }
+
+    #[test]
+    fn uncore_breakdown_matches_figure_ten() {
+        // Fig. 10 (16-core): power L2 73.7 / L1 18.7 / NoC 6.0 / Snack 1.6;
+        // area L2 83.2 / L1 13.3 / NoC 2.4 / Snack 1.1 (percent).
+        let slices = uncore_breakdown(16);
+        let get = |name: &str| slices.iter().find(|s| s.name == name).unwrap();
+        assert!(close(get("L2 Cache").power_pct, 73.7, 1.0));
+        assert!(close(get("L1 Cache").power_pct, 18.7, 1.0));
+        assert!(close(get("Baseline NoC").power_pct, 6.0, 0.8));
+        assert!(close(get("SnackNoC Additions").power_pct, 1.6, 0.4));
+        assert!(close(get("L2 Cache").area_pct, 83.2, 1.0));
+        assert!(close(get("L1 Cache").area_pct, 13.3, 1.0));
+        assert!(close(get("Baseline NoC").area_pct, 2.4, 0.5));
+        assert!(close(get("SnackNoC Additions").area_pct, 1.1, 0.3));
+        // Shares sum to 100%.
+        let p: f64 = slices.iter().map(|s| s.power_pct).sum();
+        let a: f64 = slices.iter().map(|s| s.area_pct).sum();
+        assert!(close(p, 100.0, 1e-9) && close(a, 100.0, 1e-9));
+    }
+
+    #[test]
+    fn costs_scale_monotonically() {
+        let mut prev = UnitCost::default();
+        for n in [1, 16, 32, 64, 128, 147, 256] {
+            let c = platform_cost(n);
+            assert!(c.power_w > prev.power_w && c.area_mm2 > prev.area_mm2);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn unit_cost_arithmetic() {
+        let a = UnitCost::new(1.0, 2.0);
+        let b = UnitCost::new(0.5, 0.5);
+        let s = a + b;
+        assert_eq!(s, UnitCost::new(1.5, 2.5));
+        assert_eq!(a.times(3), UnitCost::new(3.0, 6.0));
+        assert!(s.to_string().contains("W"));
+    }
+}

@@ -1,0 +1,207 @@
+//! # snacknoc-cpu
+//!
+//! The multicore CPU baseline performance model behind Fig. 9 of the
+//! SnackNoC paper: kernel execution time on an Intel Haswell-EP-class
+//! processor (Xeon E5-2660 v3, Table IV) running the OpenMP kernels with
+//! 1–8 threads.
+//!
+//! The paper measures a physical Dell server; this model substitutes an
+//! analytic one with two per-kernel parameters:
+//!
+//! * **`cycles_per_op`** — effective core cycles per arithmetic operation
+//!   for the naive single-thread kernel, folding in cache/memory behaviour
+//!   (large-matrix GEMM thrashes, streaming reductions run near bandwidth,
+//!   SPMV gathers irregularly). Calibrated so the SnackNoC-to-1-core
+//!   ratios land in the paper's reported range.
+//! * **`serial_fraction`** — an Amdahl term fitted to the paper's measured
+//!   8-thread speedups (7.86× SGEMM, 7.89× Reduction, 7.57× MAC, 5.4×
+//!   SPMV).
+//!
+//! Both calibrations are documented per kernel in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Kernel identifiers, mirrored from the workloads crate to keep this
+/// model dependency-free (the two enums are bridged in the bench crate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CpuKernel {
+    /// Dense matrix multiply.
+    Sgemm,
+    /// Vector sum reduction.
+    Reduction,
+    /// Vector dot product (multiply-accumulate).
+    Mac,
+    /// Sparse matrix-vector multiply.
+    Spmv,
+}
+
+impl CpuKernel {
+    /// All kernels in paper order.
+    pub const ALL: [CpuKernel; 4] =
+        [CpuKernel::Sgemm, CpuKernel::Reduction, CpuKernel::Mac, CpuKernel::Spmv];
+}
+
+/// Per-kernel model parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KernelParams {
+    /// Effective core cycles per arithmetic operation, single thread.
+    pub cycles_per_op: f64,
+    /// Amdahl serial fraction governing thread scaling.
+    pub serial_fraction: f64,
+}
+
+/// An analytic multicore CPU.
+#[derive(Clone, Debug)]
+pub struct CpuModel {
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Model name for reports.
+    pub name: &'static str,
+    params: HashMap<CpuKernel, KernelParams>,
+}
+
+impl CpuModel {
+    /// The paper's native platform: Xeon E5-2660 v3 ("Haswell EP") at
+    /// 2.6 GHz (Table IV), with per-kernel parameters calibrated to the
+    /// paper's Fig. 9 measurements.
+    pub fn haswell() -> Self {
+        let mut params = HashMap::new();
+        // cycles_per_op: naive 4Kx4K GEMM is cache-hostile (~4 cy/op);
+        // streaming reduction and MAC run near memory bandwidth; SPMV pays
+        // for the indexed gather.
+        params.insert(
+            CpuKernel::Sgemm,
+            KernelParams { cycles_per_op: 4.0, serial_fraction: 0.0025 },
+        );
+        params.insert(
+            CpuKernel::Reduction,
+            KernelParams { cycles_per_op: 1.8, serial_fraction: 0.0020 },
+        );
+        params.insert(CpuKernel::Mac, KernelParams { cycles_per_op: 1.7, serial_fraction: 0.0080 });
+        params.insert(
+            CpuKernel::Spmv,
+            KernelParams { cycles_per_op: 2.7, serial_fraction: 0.0686 },
+        );
+        CpuModel { freq_ghz: 2.6, name: "Xeon E5-2660 v3", params }
+    }
+
+    /// The simulated 2 GHz in-order CMP core of Table IV (used for
+    /// sensitivity checks; roughly 1.8× the cycles per op of the
+    /// out-of-order Haswell core).
+    pub fn simulated_inorder() -> Self {
+        let mut model = Self::haswell();
+        model.freq_ghz = 2.0;
+        model.name = "simulated in-order";
+        for p in model.params.values_mut() {
+            p.cycles_per_op *= 1.8;
+        }
+        model
+    }
+
+    /// Model parameters for `kernel`.
+    pub fn params(&self, kernel: CpuKernel) -> KernelParams {
+        self.params[&kernel]
+    }
+
+    /// Amdahl speedup of `threads` threads over one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn speedup(&self, kernel: CpuKernel, threads: usize) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        let s = self.params[&kernel].serial_fraction;
+        1.0 / (s + (1.0 - s) / threads as f64)
+    }
+
+    /// Core cycles to execute `ops` arithmetic operations on `threads`
+    /// threads.
+    pub fn kernel_cycles(&self, kernel: CpuKernel, ops: u64, threads: usize) -> u64 {
+        let single = ops as f64 * self.params[&kernel].cycles_per_op;
+        (single / self.speedup(kernel, threads)).ceil() as u64
+    }
+
+    /// Wall-clock seconds for `ops` operations on `threads` threads.
+    pub fn kernel_seconds(&self, kernel: CpuKernel, ops: u64, threads: usize) -> f64 {
+        self.kernel_cycles(kernel, ops, threads) as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_thread_speedups_match_paper_measurements() {
+        // Paper Fig. 9: 7.86x, 7.89x, 7.57x, 5.4x at 8 cores.
+        let cpu = CpuModel::haswell();
+        let expect = [
+            (CpuKernel::Sgemm, 7.86),
+            (CpuKernel::Reduction, 7.89),
+            (CpuKernel::Mac, 7.57),
+            (CpuKernel::Spmv, 5.4),
+        ];
+        for (k, want) in expect {
+            let got = cpu.speedup(k, 8);
+            assert!(
+                (got - want).abs() / want < 0.03,
+                "{k:?}: modelled {got:.2} vs paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn intermediate_thread_counts_track_paper_shape() {
+        let cpu = CpuModel::haswell();
+        // Paper: SGEMM 2.0x/3.9x at 2/4 cores, SPMV 1.8x/3.5x.
+        assert!((cpu.speedup(CpuKernel::Sgemm, 2) - 2.0).abs() < 0.05);
+        assert!((cpu.speedup(CpuKernel::Sgemm, 4) - 3.9).abs() < 0.15);
+        assert!((cpu.speedup(CpuKernel::Spmv, 2) - 1.8).abs() < 0.1);
+        assert!((cpu.speedup(CpuKernel::Spmv, 4) - 3.5).abs() < 0.25);
+    }
+
+    #[test]
+    fn speedup_is_monotone_and_bounded() {
+        let cpu = CpuModel::haswell();
+        for k in CpuKernel::ALL {
+            let mut prev = 0.0;
+            for t in 1..=16 {
+                let s = cpu.speedup(k, t);
+                assert!(s > prev, "{k:?} speedup must grow with threads");
+                assert!(s <= t as f64 + 1e-9, "no superlinear scaling");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_ops_and_threads() {
+        let cpu = CpuModel::haswell();
+        let one = cpu.kernel_cycles(CpuKernel::Mac, 1_000_000, 1);
+        let two = cpu.kernel_cycles(CpuKernel::Mac, 2_000_000, 1);
+        assert!(two > one && (two as f64 / one as f64 - 2.0).abs() < 0.01);
+        let eight = cpu.kernel_cycles(CpuKernel::Mac, 1_000_000, 8);
+        assert!(eight < one);
+    }
+
+    #[test]
+    fn seconds_respect_frequency() {
+        let hw = CpuModel::haswell();
+        let sim = CpuModel::simulated_inorder();
+        let ops = 10_000_000;
+        // The in-order core is slower per op and lower-clocked.
+        assert!(
+            sim.kernel_seconds(CpuKernel::Sgemm, ops, 1)
+                > hw.kernel_seconds(CpuKernel::Sgemm, ops, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        CpuModel::haswell().speedup(CpuKernel::Sgemm, 0);
+    }
+}

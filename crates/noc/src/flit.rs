@@ -1,0 +1,118 @@
+//! Flits: the atomic flow-control units that traverse the network.
+
+use crate::packet::PacketId;
+use crate::topology::NodeId;
+use std::fmt;
+
+/// Position of a flit within its packet, for wormhole switching.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries routing info and payload.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit; departure frees the packet's virtual channels.
+    Tail,
+    /// A single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit opens a packet (carries the route/payload).
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit closes a packet (frees the VC on departure).
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// The traffic class of a flit, used by the priority arbiters and the
+/// statistics machinery.
+///
+/// `Communication` is baseline CMP traffic (cache/memory messages).
+/// `SnackInstruction` and `SnackData` are the two SnackNoC token types
+/// (§III-A of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrafficClass {
+    /// Baseline CMP communication traffic — always wins priority arbitration.
+    Communication,
+    /// A SnackNoC instruction token en route from the CPM to an RCU.
+    SnackInstruction,
+    /// A SnackNoC transient data token circulating on the static ring.
+    SnackData,
+}
+
+impl TrafficClass {
+    /// Whether this class belongs to the SnackNoC computation layer (loses
+    /// priority arbitration to communication traffic).
+    pub fn is_snack(self) -> bool {
+        !matches!(self, TrafficClass::Communication)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Communication => "comm",
+            TrafficClass::SnackInstruction => "snack-instr",
+            TrafficClass::SnackData => "snack-data",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A flit in flight. `P` is the packet payload type carried by head flits.
+#[derive(Clone, Debug)]
+pub struct Flit<P> {
+    /// Unique flit id (monotone per network).
+    pub id: u64,
+    /// Id of the packet this flit belongs to.
+    pub packet_id: PacketId,
+    /// Head/body/tail position.
+    pub kind: FlitKind,
+    /// Traffic class (communication vs. snack instruction/data).
+    pub class: TrafficClass,
+    /// Virtual network index.
+    pub vnet: u8,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle at which the packet was queued at the source NI.
+    pub queued_at: u64,
+    /// Payload; present only on head flits.
+    pub payload: Option<P>,
+    /// Router hops taken so far.
+    pub hops: u32,
+    /// Input virtual channel (within the port) this flit occupies/targets.
+    pub(crate) vc: u8,
+    /// Cycle the flit was written into the current router's input buffer;
+    /// gates switch allocation to model pipeline depth.
+    pub(crate) buffered_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Tail.is_head());
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(!TrafficClass::Communication.is_snack());
+        assert!(TrafficClass::SnackInstruction.is_snack());
+        assert!(TrafficClass::SnackData.is_snack());
+        assert_eq!(TrafficClass::Communication.to_string(), "comm");
+    }
+}

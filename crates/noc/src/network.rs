@@ -1,0 +1,693 @@
+//! The whole-network simulator: routers, links, network interfaces,
+//! packet segmentation/reassembly and the per-cycle evaluation loop.
+
+use crate::config::{ConfigError, NocConfig};
+use crate::flit::{Flit, FlitKind};
+use crate::packet::{Packet, PacketId, PacketSpec};
+use crate::router::Router;
+use crate::routing::Dir;
+use crate::stats::NetStats;
+use crate::topology::{Mesh, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// A one-cycle-latency directed link between two routers.
+#[derive(Clone, Debug)]
+struct Link<P> {
+    to_router: usize,
+    in_port: Dir,
+    slot: Option<Flit<P>>,
+}
+
+/// A credit / VC-free signal in flight back to an upstream router.
+#[derive(Clone, Copy, Debug)]
+struct CreditMsg {
+    router: usize,
+    port: Dir,
+    vc: u8,
+    frees_vc: bool,
+}
+
+/// Per-node network interface: per-vnet injection FIFOs.
+#[derive(Clone, Debug)]
+struct NetIf<P> {
+    /// Per-vnet queues of pre-segmented flits.
+    queues: Vec<VecDeque<Flit<P>>>,
+    /// Per-vnet: the Local input VC currently receiving a packet's flits.
+    streaming: Vec<Option<u8>>,
+    /// Round-robin pointer over vnets.
+    rr: usize,
+}
+
+/// Reassembly state for one in-flight packet at its destination NI.
+#[derive(Debug)]
+struct Partial<P> {
+    head: Option<Flit<P>>,
+    flits: u64,
+}
+
+/// A cycle-level mesh NoC. `P` is the packet payload type.
+///
+/// See the [crate-level documentation](crate) for the model and an example.
+#[derive(Debug)]
+pub struct Network<P> {
+    cfg: NocConfig,
+    mesh: Mesh,
+    routers: Vec<Router<P>>,
+    nis: Vec<NetIf<P>>,
+    links: Vec<Link<P>>,
+    /// `link_of[router][dir]` = outgoing link id.
+    link_of: Vec<[Option<usize>; 4]>,
+    pending_credits: Vec<CreditMsg>,
+    reassembly: HashMap<PacketId, Partial<P>>,
+    ejected: Vec<Vec<Packet<P>>>,
+    work: Vec<bool>,
+    cycle: u64,
+    next_packet_id: PacketId,
+    next_flit_id: u64,
+    buffered_total: u64,
+    buffer_capacity: u64,
+    injected_packets: u64,
+    delivered_packets: u64,
+    stats: NetStats,
+}
+
+/// Error returned by [`Network::inject`] for malformed packet specs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum InjectError {
+    /// The vnet index is out of range.
+    BadVnet(u8),
+    /// Source or destination node is out of range.
+    BadNode,
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectError::BadVnet(v) => write!(f, "vnet {v} out of range"),
+            InjectError::BadNode => write!(f, "source or destination node out of range"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+impl<P> Network<P> {
+    /// Builds a network from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: NocConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let mesh = Mesh::new(cfg.cols, cfg.rows);
+        let n = mesh.node_count();
+        let routers: Vec<Router<P>> =
+            mesh.nodes().map(|node| Router::new(&cfg, &mesh, node)).collect();
+        let mut links = Vec::new();
+        let mut link_of = vec![[None; 4]; n];
+        for node in mesh.nodes() {
+            for d in Dir::ROUTER_DIRS {
+                if let Some(nb) = mesh.neighbor(node, d) {
+                    link_of[node.index()][d.index()] = Some(links.len());
+                    links.push(Link { to_router: nb.index(), in_port: d.opposite(), slot: None });
+                }
+            }
+        }
+        let nis = (0..n)
+            .map(|_| NetIf {
+                queues: (0..cfg.vnets).map(|_| VecDeque::new()).collect(),
+                streaming: vec![None; cfg.vnets as usize],
+                rr: 0,
+            })
+            .collect();
+        let buffer_capacity = (n * Dir::COUNT * cfg.vcs_per_port()) as u64
+            * u64::from(cfg.buffers_per_vc);
+        let stats = NetStats::new(n, links.len(), cfg.sample_window);
+        Ok(Network {
+            cfg,
+            mesh,
+            routers,
+            nis,
+            links,
+            link_of,
+            pending_credits: Vec::new(),
+            reassembly: HashMap::new(),
+            ejected: (0..n).map(|_| Vec::new()).collect(),
+            work: vec![false; n],
+            cycle: 0,
+            next_packet_id: 0,
+            next_flit_id: 0,
+            buffered_total: 0,
+            buffer_capacity,
+            injected_packets: 0,
+            delivered_packets: 0,
+            stats,
+        })
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Gathered statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Queues a packet for injection at its source NI.
+    ///
+    /// The packet is segmented into flits immediately; flits enter the
+    /// network as the NI wins buffer space, at most
+    /// [`NocConfig::ni_flits_per_cycle`] per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError`] if the vnet or either node is out of range.
+    pub fn inject(&mut self, spec: PacketSpec<P>) -> Result<PacketId, InjectError> {
+        if spec.vnet >= self.cfg.vnets {
+            return Err(InjectError::BadVnet(spec.vnet));
+        }
+        let n = self.mesh.node_count();
+        if spec.src.index() >= n || spec.dst.index() >= n {
+            return Err(InjectError::BadNode);
+        }
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        self.injected_packets += 1;
+        let nf = self.cfg.flits_for(spec.size_bytes);
+        let mut payload = Some(spec.payload);
+        let queue = &mut self.nis[spec.src.index()].queues[spec.vnet as usize];
+        for i in 0..nf {
+            let kind = match (i, nf) {
+                (0, 1) => FlitKind::HeadTail,
+                (0, _) => FlitKind::Head,
+                (i, nf) if i == nf - 1 => FlitKind::Tail,
+                _ => FlitKind::Body,
+            };
+            queue.push_back(Flit {
+                id: self.next_flit_id,
+                packet_id: id,
+                kind,
+                class: spec.class,
+                vnet: spec.vnet,
+                src: spec.src,
+                dst: spec.dst,
+                queued_at: self.cycle,
+                payload: if kind.is_head() { payload.take() } else { None },
+                hops: 0,
+                vc: 0,
+                buffered_at: 0,
+            });
+            self.next_flit_id += 1;
+        }
+        Ok(id)
+    }
+
+    /// Takes all packets delivered to `node` since the last drain.
+    pub fn drain_ejected(&mut self, node: NodeId) -> Vec<Packet<P>> {
+        std::mem::take(&mut self.ejected[node.index()])
+    }
+
+    /// Whether any node currently has undrained delivered packets.
+    pub fn has_ejected(&self) -> bool {
+        self.ejected.iter().any(|q| !q.is_empty())
+    }
+
+    /// Packets injected but not yet fully delivered.
+    pub fn pending_packets(&self) -> u64 {
+        self.injected_packets - self.delivered_packets
+    }
+
+    /// Total packets injected so far.
+    pub fn injected_packets(&self) -> u64 {
+        self.injected_packets
+    }
+
+    /// Total packets fully delivered so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Flits waiting in the injection queue of `node` (all vnets).
+    pub fn ni_backlog(&self, node: NodeId) -> usize {
+        self.nis[node.index()].queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Flits currently resident in router input buffers, network-wide.
+    pub fn buffered_flits(&self) -> u64 {
+        self.buffered_total
+    }
+
+    /// ALO-style congestion signal at `node`: `(useful_free, total)` output
+    /// VCs that are unallocated and hold at least one credit
+    /// (paper §III-C2).
+    pub fn useful_free_output_vcs(&self, node: NodeId) -> (usize, usize) {
+        self.routers[node.index()].useful_free_output_vcs()
+    }
+
+    /// Advances the network by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let cycle = self.cycle;
+
+        // Phase 1: apply credit / VC-free signals sent last cycle.
+        let credits = std::mem::take(&mut self.pending_credits);
+        for msg in credits {
+            let r = &mut self.routers[msg.router];
+            r.return_credit(msg.port, msg.vc, self.cfg.buffers_per_vc);
+            if msg.frees_vc {
+                r.free_output_vc(msg.port, msg.vc);
+            }
+            self.work[msg.router] = true;
+        }
+
+        // Phase 2: link traversal — deliver flits sent last cycle.
+        let cap = self.cfg.buffers_per_vc as usize;
+        for link in &mut self.links {
+            if let Some(flit) = link.slot.take() {
+                self.routers[link.to_router].accept_flit(link.in_port, flit, cycle, cap);
+                self.work[link.to_router] = true;
+                self.buffered_total += 1;
+            }
+        }
+
+        // Phase 3: NI injection.
+        self.inject_from_nis(cycle);
+
+        // Phase 4: router pipelines (RC, VA, SA/ST) + ejection.
+        self.run_routers(cycle);
+
+        // Phase 5: per-router input-buffer occupancy samples + window roll.
+        // The paper's Fig. 3 measures buffer utilization per router-cycle:
+        // localized contention shows up even when the network as a whole is
+        // nearly empty.
+        let per_router_capacity = self.buffer_capacity as f64 / self.routers.len() as f64;
+        let mut zeros = 0u64;
+        for r in &self.routers {
+            let buffered = r.buffered_flits();
+            if buffered == 0 {
+                zeros += 1;
+            } else {
+                self.stats.occupancy.record(buffered as f64 / per_router_capacity);
+            }
+        }
+        self.stats.occupancy.record_zeros(zeros);
+        self.stats.end_cycle(cycle);
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Steps until every injected packet is delivered, up to `max_cycles`.
+    /// Returns `true` if the network drained.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        let deadline = self.cycle + max_cycles;
+        while self.pending_packets() > 0 && self.cycle < deadline {
+            self.step();
+        }
+        self.pending_packets() == 0
+    }
+
+    fn inject_from_nis(&mut self, cycle: u64) {
+        let vnets = self.cfg.vnets as usize;
+        let k = self.cfg.vcs_per_vnet as usize;
+        let cap = self.cfg.buffers_per_vc as usize;
+        for node in 0..self.nis.len() {
+            for _ in 0..self.cfg.ni_flits_per_cycle {
+                let mut pushed = false;
+                for step in 0..vnets {
+                    let v = (self.nis[node].rr + step) % vnets;
+                    let ni = &mut self.nis[node];
+                    let Some(front) = ni.queues[v].front() else { continue };
+                    let router = &self.routers[node];
+                    let vc = match ni.streaming[v] {
+                        Some(vc) => {
+                            debug_assert!(!front.kind.is_head());
+                            if router.local_vc_accepts(vc as usize, false, cap) {
+                                Some(vc)
+                            } else {
+                                None
+                            }
+                        }
+                        None => {
+                            debug_assert!(front.kind.is_head());
+                            (v * k..(v + 1) * k)
+                                .find(|&vc| router.local_vc_accepts(vc, true, cap))
+                                .map(|vc| vc as u8)
+                        }
+                    };
+                    let Some(vc) = vc else { continue };
+                    let ni = &mut self.nis[node];
+                    let mut flit = ni.queues[v].pop_front().expect("front checked above");
+                    flit.vc = vc;
+                    ni.streaming[v] = if flit.kind.is_tail() { None } else { Some(vc) };
+                    self.routers[node].accept_flit(Dir::Local, flit, cycle, cap);
+                    self.buffered_total += 1;
+                    self.stats.injected_flits += 1;
+                    self.work[node] = true;
+                    self.nis[node].rr = (v + 1) % vnets;
+                    pushed = true;
+                    break;
+                }
+                if !pushed {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_routers(&mut self, cycle: u64) {
+        for r in 0..self.routers.len() {
+            if !self.work[r] {
+                continue;
+            }
+            let departures = {
+                let router = &mut self.routers[r];
+                router.route_compute(&self.mesh, &self.cfg);
+                router.vc_allocate(&self.cfg);
+                router.switch_allocate(&self.cfg, cycle)
+            };
+            if !departures.is_empty() {
+                self.stats.record_router_cycle(r, true);
+                self.stats.crossbar_transfers += departures.len() as u64;
+            }
+            for dep in departures {
+                self.buffered_total -= 1;
+                if dep.in_port != Dir::Local {
+                    let upstream = self
+                        .mesh
+                        .neighbor(NodeId::new(r), dep.in_port)
+                        .expect("flit arrived from a connected port");
+                    self.pending_credits.push(CreditMsg {
+                        router: upstream.index(),
+                        port: dep.in_port.opposite(),
+                        vc: dep.in_vc,
+                        frees_vc: dep.was_tail,
+                    });
+                }
+                if dep.out_port == Dir::Local {
+                    self.eject(r, dep.flit, cycle);
+                } else {
+                    let lid = self.link_of[r][dep.out_port.index()]
+                        .expect("departure through a connected port");
+                    debug_assert!(self.links[lid].slot.is_none(), "link carries one flit per cycle");
+                    self.links[lid].slot = Some(dep.flit);
+                    self.stats.record_link_cycle(lid, true);
+                }
+            }
+            self.work[r] = self.routers[r].buffered_flits() > 0;
+        }
+    }
+
+    fn eject(&mut self, node: usize, flit: Flit<P>, cycle: u64) {
+        let pid = flit.packet_id;
+        let is_tail = flit.kind.is_tail();
+        let entry = self.reassembly.entry(pid).or_insert(Partial { head: None, flits: 0 });
+        entry.flits += 1;
+        if flit.kind.is_head() {
+            entry.head = Some(flit);
+        }
+        if is_tail {
+            // Wormhole routing ejects a packet's flits in order, so the
+            // head is always present by the time the tail arrives.
+            let partial = self.reassembly.remove(&pid).expect("entry inserted above");
+            let mut head = partial.head.expect("tail implies a head was ejected");
+            let packet = Packet {
+                id: head.packet_id,
+                src: head.src,
+                dst: head.dst,
+                vnet: head.vnet,
+                class: head.class,
+                queued_at: head.queued_at,
+                delivered_at: cycle,
+                hops: head.hops,
+                payload: head.payload.take().expect("head carries the payload"),
+            };
+            self.stats.record_delivery(packet.class, partial.flits, packet.latency());
+            self.delivered_packets += 1;
+            self.ejected[node].push(packet);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use crate::flit::TrafficClass;
+    use crate::routing::hop_count;
+
+    fn net(cfg: NocConfig) -> Network<u64> {
+        Network::new(cfg).expect("valid config")
+    }
+
+    fn comm(src: NodeId, dst: NodeId, bytes: u32, tag: u64) -> PacketSpec<u64> {
+        PacketSpec::new(src, dst, 0, TrafficClass::Communication, bytes, tag)
+    }
+
+    #[test]
+    fn delivers_a_single_packet_with_correct_hops() {
+        let mut n = net(NocConfig::binochs());
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 2);
+        n.inject(comm(src, dst, 32, 7)).unwrap();
+        assert!(n.run_until_drained(1_000));
+        let pkts = n.drain_ejected(dst);
+        assert_eq!(pkts.len(), 1);
+        let p = &pkts[0];
+        assert_eq!(p.payload, 7);
+        assert_eq!(p.hops as usize, hop_count(n.mesh(), src, dst));
+        assert_eq!(p.src, src);
+        assert!(p.latency() > 0);
+    }
+
+    #[test]
+    fn per_hop_latency_scales_with_pipeline_depth() {
+        // One single-flit packet across the full row; latency grows with
+        // pipeline depth by (stages delta) × hops.
+        let mut lat = Vec::new();
+        for stages in [2u8, 3, 4] {
+            let cfg = NocConfig::binochs().with_pipeline_stages(stages);
+            let mut n = net(cfg);
+            let src = n.mesh().node_at(0, 0);
+            let dst = n.mesh().node_at(3, 0);
+            n.inject(comm(src, dst, 32, 0)).unwrap();
+            assert!(n.run_until_drained(1_000));
+            let p = n.drain_ejected(dst).remove(0);
+            lat.push(p.latency());
+        }
+        // 3 network hops + ejection; each extra stage adds ~1 cycle per
+        // router visited (4 routers on this path).
+        assert!(lat[1] > lat[0] && lat[2] > lat[1], "latencies: {lat:?}");
+        assert_eq!(lat[1] - lat[0], 4);
+        assert_eq!(lat[2] - lat[1], 4);
+    }
+
+    #[test]
+    fn multi_flit_packets_reassemble() {
+        let cfg = NocConfig::dapper(); // 16 B channels
+        let mut n = net(cfg);
+        let src = n.mesh().node_at(0, 3);
+        let dst = n.mesh().node_at(3, 0);
+        n.inject(comm(src, dst, 64, 99)).unwrap(); // 4 flits
+        assert!(n.run_until_drained(2_000));
+        let pkts = n.drain_ejected(dst);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].payload, 99);
+        assert_eq!(n.stats().class(TrafficClass::Communication).flits, 4);
+    }
+
+    #[test]
+    fn conservation_under_random_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut n = net(NocConfig::axnoc());
+        let nodes = n.mesh().node_count();
+        let mut sent = 0u64;
+        for i in 0..400 {
+            let src = NodeId::new(rng.random_range(0..nodes));
+            let dst = NodeId::new(rng.random_range(0..nodes));
+            let vnet = rng.random_range(0..3u8);
+            let bytes = *[16u32, 32, 64, 128].get(rng.random_range(0..4)).unwrap();
+            n.inject(PacketSpec::new(src, dst, vnet, TrafficClass::Communication, bytes, i))
+                .unwrap();
+            sent += 1;
+            if i % 4 == 0 {
+                n.step();
+            }
+        }
+        assert!(n.run_until_drained(100_000), "network must drain");
+        assert_eq!(n.delivered_packets(), sent);
+        let mut got = 0;
+        for node in 0..nodes {
+            got += n.drain_ejected(NodeId::new(node)).len();
+        }
+        assert_eq!(got as u64, sent, "every packet ejected exactly once");
+    }
+
+    #[test]
+    fn self_addressed_packets_loop_back() {
+        let mut n = net(NocConfig::binochs());
+        let a = n.mesh().node_at(1, 1);
+        n.inject(comm(a, a, 32, 5)).unwrap();
+        assert!(n.run_until_drained(100));
+        let pkts = n.drain_ejected(a);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].hops, 0);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let mut n = net(NocConfig::binochs());
+        let a = n.mesh().node_at(0, 0);
+        let bad = NodeId::new(999);
+        assert_eq!(
+            n.inject(PacketSpec::new(a, bad, 0, TrafficClass::Communication, 8, 0)),
+            Err(InjectError::BadNode)
+        );
+        assert_eq!(
+            n.inject(PacketSpec::new(a, a, 9, TrafficClass::Communication, 8, 0)),
+            Err(InjectError::BadVnet(9))
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_crossbar_and_link_usage() {
+        let mut n = net(NocConfig::binochs().with_sample_window(100));
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 0);
+        for i in 0..20 {
+            n.inject(comm(src, dst, 32, i)).unwrap();
+        }
+        n.run(300);
+        assert!(n.stats().crossbar_transfers > 0);
+        assert!(n.stats().peak_crossbar_utilization() > 0.0);
+        assert!(n.stats().peak_link_utilization() > 0.0);
+        // One occupancy sample per router per cycle.
+        assert_eq!(n.stats().occupancy.total_cycles(), 300 * 16);
+    }
+
+    #[test]
+    fn vnets_isolate_head_of_line_blocking() {
+        // Saturate vnet 0 towards a hotspot; a lone vnet-1 packet crossing
+        // the same region must still get through quickly (separate VCs).
+        let mut n = net(NocConfig::binochs());
+        let hot = n.mesh().node_at(0, 0);
+        for node in n.mesh().nodes().collect::<Vec<_>>() {
+            for i in 0..30 {
+                n.inject(comm(node, hot, 128, i)).unwrap();
+            }
+        }
+        n.run(20); // let congestion build
+        let src = n.mesh().node_at(3, 3);
+        n.inject(PacketSpec::new(src, hot, 1, TrafficClass::Communication, 32, 9999))
+            .unwrap();
+        let injected_at = n.cycle();
+        let mut arrival = None;
+        for _ in 0..100_000 {
+            n.step();
+            for p in n.drain_ejected(hot) {
+                if p.vnet == 1 {
+                    arrival = Some(n.cycle());
+                }
+            }
+            if arrival.is_some() {
+                break;
+            }
+        }
+        let lat = arrival.expect("vnet-1 packet delivered") - injected_at;
+        // The vnet-0 backlog is hundreds of flits; the vnet-1 packet should
+        // cross in a small multiple of its zero-load latency (it still
+        // shares physical links, so allow generous slack).
+        assert!(lat < 2_000, "vnet-1 latency {lat} under vnet-0 saturation");
+        assert!(n.run_until_drained(200_000));
+    }
+
+    #[test]
+    fn yx_routing_delivers_everything_too() {
+        use crate::routing::RoutingAlgorithm;
+        let mut n = net(NocConfig::binochs().with_routing(RoutingAlgorithm::Yx));
+        let nodes: Vec<_> = n.mesh().nodes().collect();
+        for (i, &src) in nodes.iter().enumerate() {
+            for (j, &dst) in nodes.iter().enumerate() {
+                n.inject(comm(src, dst, 32, (i * 16 + j) as u64)).unwrap();
+            }
+        }
+        assert!(n.run_until_drained(100_000));
+        let mut got = 0;
+        for &node in &nodes {
+            for p in n.drain_ejected(node) {
+                assert_eq!(p.dst, node);
+                assert_eq!(p.hops as usize, hop_count(n.mesh(), p.src, p.dst), "minimal route");
+                got += 1;
+            }
+        }
+        assert_eq!(got, 256);
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone_under_load() {
+        let mut n = net(NocConfig::dapper());
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 3);
+        for i in 0..100 {
+            n.inject(comm(src, dst, 64, i)).unwrap();
+        }
+        assert!(n.run_until_drained(100_000));
+        let c = n.stats().class(TrafficClass::Communication);
+        assert_eq!(c.delivered, 100);
+        let p50 = c.latency_percentile(50.0);
+        let p99 = c.latency_percentile(99.0);
+        assert!(p50 > 0 && p99 >= p50);
+        assert!(c.latency_max as f64 >= c.mean_latency());
+    }
+
+    #[test]
+    fn heavy_hotspot_traffic_eventually_drains() {
+        // Everyone sends to one corner: worst-case contention.
+        let mut n = net(NocConfig::binochs());
+        let dst = n.mesh().node_at(0, 0);
+        for node in n.mesh().nodes().collect::<Vec<_>>() {
+            for i in 0..10 {
+                n.inject(comm(node, dst, 64, i)).unwrap();
+            }
+        }
+        assert!(n.run_until_drained(50_000));
+        assert_eq!(n.drain_ejected(dst).len(), 160);
+    }
+
+    #[test]
+    fn useful_free_vcs_drop_under_load() {
+        let mut n = net(NocConfig::binochs());
+        let probe = n.mesh().node_at(0, 0);
+        let (free0, total) = n.useful_free_output_vcs(probe);
+        assert_eq!(free0, total);
+        // Saturate the corner.
+        for node in n.mesh().nodes().collect::<Vec<_>>() {
+            for i in 0..20 {
+                n.inject(comm(node, probe, 128, i)).unwrap();
+            }
+        }
+        n.run(50);
+        let (free_loaded, _) = n.useful_free_output_vcs(probe);
+        assert!(free_loaded <= free0);
+        assert!(n.run_until_drained(100_000));
+    }
+}

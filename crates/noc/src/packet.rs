@@ -1,0 +1,69 @@
+//! Packets: the unit of injection and delivery. The network segments a
+//! packet into flits at the source NI and reassembles it at the destination.
+
+use crate::flit::TrafficClass;
+use crate::topology::NodeId;
+
+/// Unique packet identifier, assigned by the network at injection.
+pub type PacketId = u64;
+
+/// A request to send a packet, handed to [`crate::Network::inject`].
+#[derive(Clone, Debug)]
+pub struct PacketSpec<P> {
+    /// Source node (must own the injecting NI).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual network to travel on.
+    pub vnet: u8,
+    /// Traffic class for arbitration and statistics.
+    pub class: TrafficClass,
+    /// Packet size in bytes; determines the flit count.
+    pub size_bytes: u32,
+    /// Opaque payload delivered with the packet.
+    pub payload: P,
+}
+
+impl<P> PacketSpec<P> {
+    /// Creates a packet spec.
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        vnet: u8,
+        class: TrafficClass,
+        size_bytes: u32,
+        payload: P,
+    ) -> Self {
+        PacketSpec { src, dst, vnet, class, size_bytes, payload }
+    }
+}
+
+/// A delivered packet, returned by [`crate::Network::drain_ejected`].
+#[derive(Clone, Debug)]
+pub struct Packet<P> {
+    /// Packet id assigned at injection.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node (where it was ejected).
+    pub dst: NodeId,
+    /// Virtual network it travelled on.
+    pub vnet: u8,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Cycle the packet was queued at the source NI.
+    pub queued_at: u64,
+    /// Cycle the tail flit was ejected at the destination.
+    pub delivered_at: u64,
+    /// Router hops the head flit took.
+    pub hops: u32,
+    /// The payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// End-to-end latency in cycles, including source queueing.
+    pub fn latency(&self) -> u64 {
+        self.delivered_at.saturating_sub(self.queued_at)
+    }
+}

@@ -1,0 +1,533 @@
+//! The virtual-channel router microarchitecture: input units, route
+//! computation, separable VC / switch allocation and the crossbar.
+//!
+//! Each router is a canonical input-queued VC router. Per cycle it performs,
+//! in order: **RC** (route computation for newly-arrived head flits), **VA**
+//! (virtual-channel allocation, atomic — a downstream VC is granted only
+//! when idle and drained) and **SA/ST** (separable two-stage switch
+//! allocation followed by crossbar traversal). Pipeline depth is modelled
+//! by gating switch allocation until a flit has been buffered for
+//! `pipeline_stages - 1` cycles, reproducing the 2/3/4-cycle per-hop
+//! latencies of the BiNoCHS / AxNoC / DAPPER baselines.
+//!
+//! When [`NocConfig::priority_arbitration`] is set, both allocators
+//! round-robin over communication-class requests first and consider
+//! SnackNoC instruction/data flits only if no communication flit requests
+//! the resource (paper §III-D3).
+
+use crate::config::NocConfig;
+use crate::flit::{Flit, TrafficClass};
+use crate::routing::Dir;
+use crate::topology::{Mesh, NodeId};
+use std::collections::VecDeque;
+
+/// State of an input virtual channel's resident packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VcState {
+    /// No packet resident.
+    Idle,
+    /// Head flit routed; waiting for an output VC.
+    Routed { out_port: Dir },
+    /// Output VC allocated; flits may compete for the switch.
+    Active { out_port: Dir, out_vc: u8 },
+}
+
+/// One input virtual channel: a FIFO flit buffer plus packet state.
+#[derive(Clone, Debug)]
+struct InputVc<P> {
+    buf: VecDeque<Flit<P>>,
+    state: VcState,
+}
+
+impl<P> InputVc<P> {
+    fn new(depth: usize) -> Self {
+        InputVc { buf: VecDeque::with_capacity(depth), state: VcState::Idle }
+    }
+}
+
+/// Credit/allocation state for one downstream virtual channel.
+#[derive(Clone, Copy, Debug)]
+struct OutputVc {
+    /// Whether the downstream VC is unallocated (atomic VC reuse).
+    free: bool,
+    /// Buffer slots available downstream.
+    credits: u8,
+}
+
+/// A flit leaving the router through the crossbar this cycle.
+#[derive(Debug)]
+pub(crate) struct Departure<P> {
+    /// The flit (already stamped with its downstream VC).
+    pub flit: Flit<P>,
+    /// Output port it leaves through (`Local` = ejection).
+    pub out_port: Dir,
+    /// Input port it occupied (`Local` = it was injected here).
+    pub in_port: Dir,
+    /// Input VC it occupied, for the upstream credit return.
+    pub in_vc: u8,
+    /// Whether this was the packet's tail (frees the upstream output VC).
+    pub was_tail: bool,
+}
+
+/// A single mesh router with its input units, allocators and crossbar-side
+/// output bookkeeping.
+#[derive(Clone, Debug)]
+pub(crate) struct Router<P> {
+    node: NodeId,
+    /// `inputs[port][vc]`.
+    inputs: Vec<Vec<InputVc<P>>>,
+    /// `outputs[port][vc]`; empty vec for unconnected ports. The `Local`
+    /// output (ejection) has no VC/credit limits and is handled specially.
+    outputs: Vec<Vec<OutputVc>>,
+    /// Whether each output port has a link (Local is always "connected").
+    connected: [bool; Dir::COUNT],
+    /// Round-robin pointer for VC allocation, over flattened (port, vc).
+    va_rr: usize,
+    /// Per-input-port round-robin pointer over VCs for SA stage 1.
+    sa_in_rr: [usize; Dir::COUNT],
+    /// Per-output-port round-robin pointer over input ports for SA stage 2.
+    sa_out_rr: [usize; Dir::COUNT],
+    /// Flits currently buffered across all input VCs.
+    buffered: usize,
+}
+
+impl<P> Router<P> {
+    pub(crate) fn new(cfg: &NocConfig, mesh: &Mesh, node: NodeId) -> Self {
+        let vcs = cfg.vcs_per_port();
+        let inputs = (0..Dir::COUNT)
+            .map(|_| (0..vcs).map(|_| InputVc::new(cfg.buffers_per_vc as usize)).collect())
+            .collect();
+        let mut connected = [false; Dir::COUNT];
+        connected[Dir::Local.index()] = true;
+        let mut outputs: Vec<Vec<OutputVc>> = vec![Vec::new(); Dir::COUNT];
+        for d in Dir::ROUTER_DIRS {
+            if mesh.neighbor(node, d).is_some() {
+                connected[d.index()] = true;
+                outputs[d.index()] =
+                    vec![OutputVc { free: true, credits: cfg.buffers_per_vc }; vcs];
+            }
+        }
+        Router {
+            node,
+            inputs,
+            outputs,
+            connected,
+            va_rr: 0,
+            sa_in_rr: [0; Dir::COUNT],
+            sa_out_rr: [0; Dir::COUNT],
+            buffered: 0,
+        }
+    }
+
+    /// Number of flits buffered in this router's input units.
+    pub(crate) fn buffered_flits(&self) -> usize {
+        self.buffered
+    }
+
+    /// Writes an arriving flit into its input buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if credit-based flow control was violated.
+    pub(crate) fn accept_flit(&mut self, in_port: Dir, mut flit: Flit<P>, cycle: u64, cap: usize) {
+        flit.buffered_at = cycle;
+        let vc = &mut self.inputs[in_port.index()][flit.vc as usize];
+        debug_assert!(vc.buf.len() < cap, "input buffer overflow: credit protocol violated");
+        vc.buf.push_back(flit);
+        self.buffered += 1;
+    }
+
+    /// Whether the NI can start/continue streaming into a Local input VC.
+    pub(crate) fn local_vc_accepts(&self, vc: usize, needs_idle: bool, cap: usize) -> bool {
+        let v = &self.inputs[Dir::Local.index()][vc];
+        if needs_idle {
+            v.state == VcState::Idle && v.buf.is_empty()
+        } else {
+            v.buf.len() < cap
+        }
+    }
+
+    /// Restores one credit for `(out_port, vc)` after a downstream buffer
+    /// slot drained.
+    pub(crate) fn return_credit(&mut self, out_port: Dir, vc: u8, max: u8) {
+        let o = &mut self.outputs[out_port.index()][vc as usize];
+        o.credits += 1;
+        debug_assert!(o.credits <= max, "credit overflow");
+    }
+
+    /// Marks `(out_port, vc)` free after the downstream VC drained a tail.
+    pub(crate) fn free_output_vc(&mut self, out_port: Dir, vc: u8) {
+        self.outputs[out_port.index()][vc as usize].free = true;
+    }
+
+    /// Counts `(free, total)` *useful* free output VCs — free and holding at
+    /// least one credit — across the router-to-router output ports. This is
+    /// the ALO-style congestion signal the SnackNoC CPM monitors
+    /// (paper §III-C2, after Baydal et al.).
+    pub(crate) fn useful_free_output_vcs(&self) -> (usize, usize) {
+        let mut free = 0;
+        let mut total = 0;
+        for d in Dir::ROUTER_DIRS {
+            for vc in &self.outputs[d.index()] {
+                total += 1;
+                if vc.free && vc.credits > 0 {
+                    free += 1;
+                }
+            }
+        }
+        (free, total)
+    }
+
+    /// RC stage: route newly-arrived head flits.
+    pub(crate) fn route_compute(&mut self, mesh: &Mesh, cfg: &NocConfig) {
+        for port in 0..Dir::COUNT {
+            for vc in self.inputs[port].iter_mut() {
+                if vc.state == VcState::Idle {
+                    if let Some(head) = vc.buf.front() {
+                        debug_assert!(
+                            head.kind.is_head(),
+                            "non-head flit at front of an idle VC"
+                        );
+                        let out_port = cfg.routing.route(mesh, self.node, head.dst);
+                        vc.state = VcState::Routed { out_port };
+                    }
+                }
+            }
+        }
+    }
+
+    /// VA stage: grant free downstream VCs to routed packets, communication
+    /// class first when priority arbitration is on.
+    pub(crate) fn vc_allocate(&mut self, cfg: &NocConfig) {
+        let vcs = cfg.vcs_per_port();
+        let total = Dir::COUNT * vcs;
+        let passes: &[Option<bool>] = if cfg.priority_arbitration {
+            // Pass 0: communication only; pass 1: snack only.
+            &[Some(false), Some(true)]
+        } else {
+            &[None]
+        };
+        for &snack_pass in passes {
+            for step in 0..total {
+                let idx = (self.va_rr + step) % total;
+                let (port, vc_idx) = (idx / vcs, idx % vcs);
+                let vc = &self.inputs[port][vc_idx];
+                let VcState::Routed { out_port } = vc.state else { continue };
+                let Some(head) = vc.buf.front() else { continue };
+                if let Some(want_snack) = snack_pass {
+                    if head.class.is_snack() != want_snack {
+                        continue;
+                    }
+                }
+                let out_vc = if out_port == Dir::Local {
+                    // Ejection has no VC contention: the NI reassembles any
+                    // number of interleaved packets.
+                    Some(head.vc)
+                } else {
+                    let vnet = head.vnet as usize;
+                    let lo = vnet * cfg.vcs_per_vnet as usize;
+                    let hi = lo + cfg.vcs_per_vnet as usize;
+                    self.outputs[out_port.index()][lo..hi]
+                        .iter()
+                        .position(|o| o.free)
+                        .map(|off| (lo + off) as u8)
+                };
+                if let Some(out_vc) = out_vc {
+                    if out_port != Dir::Local {
+                        self.outputs[out_port.index()][out_vc as usize].free = false;
+                    }
+                    self.inputs[port][vc_idx].state = VcState::Active { out_port, out_vc };
+                }
+            }
+        }
+        self.va_rr = (self.va_rr + 1) % total;
+    }
+
+    /// SA + ST: separable two-stage switch allocation, then crossbar
+    /// traversal of the winners. Returns the departing flits.
+    pub(crate) fn switch_allocate(&mut self, cfg: &NocConfig, cycle: u64) -> Vec<Departure<P>> {
+        // A flit spends `pipeline_stages - 1` cycles in the router before
+        // link traversal, giving the per-hop latencies of paper §III-D2.
+        let extra = cfg.pipeline_extra();
+        // Stage 1: each input port nominates one ready VC.
+        let mut nominees: [Option<usize>; Dir::COUNT] = [None; Dir::COUNT];
+        for (port, nominee) in nominees.iter_mut().enumerate() {
+            *nominee = self.pick_input_vc(port, cycle, extra, cfg.priority_arbitration);
+        }
+        // Stage 2: each output port grants one nominee.
+        let mut departures = Vec::new();
+        for out in 0..Dir::COUNT {
+            if !self.connected[out] {
+                continue;
+            }
+            let winner = self.pick_output_winner(out, &nominees, cfg.priority_arbitration);
+            let Some(in_port) = winner else { continue };
+            let vc_idx = nominees[in_port.index()].expect("winner must have a nominee");
+            nominees[in_port.index()] = None; // an input port sends one flit per cycle
+            departures.push(self.traverse(in_port, vc_idx));
+        }
+        departures
+    }
+
+    /// Picks the input VC that port `port` nominates for the switch.
+    fn pick_input_vc(
+        &mut self,
+        port: usize,
+        cycle: u64,
+        extra: u64,
+        priority: bool,
+    ) -> Option<usize> {
+        let vcs = self.inputs[port].len();
+        let ready = |vc: &InputVc<P>| -> Option<TrafficClass> {
+            let VcState::Active { out_port, out_vc } = vc.state else { return None };
+            let flit = vc.buf.front()?;
+            if cycle < flit.buffered_at + extra {
+                return None;
+            }
+            if out_port != Dir::Local
+                && self.outputs[out_port.index()][out_vc as usize].credits == 0
+            {
+                return None;
+            }
+            Some(flit.class)
+        };
+        let passes: &[Option<bool>] = if priority { &[Some(false), Some(true)] } else { &[None] };
+        for &snack_pass in passes {
+            for step in 0..vcs {
+                let idx = (self.sa_in_rr[port] + step) % vcs;
+                if let Some(class) = ready(&self.inputs[port][idx]) {
+                    if let Some(want_snack) = snack_pass {
+                        if class.is_snack() != want_snack {
+                            continue;
+                        }
+                    }
+                    self.sa_in_rr[port] = (idx + 1) % vcs;
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Picks the winning input port for output `out` among the nominees.
+    fn pick_output_winner(
+        &mut self,
+        out: usize,
+        nominees: &[Option<usize>; Dir::COUNT],
+        priority: bool,
+    ) -> Option<Dir> {
+        let requests = |in_port: usize| -> Option<TrafficClass> {
+            let vc_idx = nominees[in_port]?;
+            let vc = &self.inputs[in_port][vc_idx];
+            let VcState::Active { out_port, .. } = vc.state else { return None };
+            if out_port.index() != out {
+                return None;
+            }
+            vc.buf.front().map(|f| f.class)
+        };
+        let passes: &[Option<bool>] = if priority { &[Some(false), Some(true)] } else { &[None] };
+        for &snack_pass in passes {
+            for step in 0..Dir::COUNT {
+                let in_port = (self.sa_out_rr[out] + step) % Dir::COUNT;
+                if let Some(class) = requests(in_port) {
+                    if let Some(want_snack) = snack_pass {
+                        if class.is_snack() != want_snack {
+                            continue;
+                        }
+                    }
+                    self.sa_out_rr[out] = (in_port + 1) % Dir::COUNT;
+                    return Some(Dir::from_index(in_port));
+                }
+            }
+        }
+        None
+    }
+
+    /// ST: pops the granted flit, charges credits, advances VC state.
+    fn traverse(&mut self, in_port: Dir, vc_idx: usize) -> Departure<P> {
+        let vc = &mut self.inputs[in_port.index()][vc_idx];
+        let VcState::Active { out_port, out_vc } = vc.state else {
+            unreachable!("traverse on non-active VC")
+        };
+        let mut flit = vc.buf.pop_front().expect("traverse on empty VC");
+        self.buffered -= 1;
+        let was_tail = flit.kind.is_tail();
+        if was_tail {
+            vc.state = VcState::Idle;
+        }
+        if out_port != Dir::Local {
+            // Atomic VC reuse: the output VC stays allocated until the
+            // downstream input VC signals that the tail drained.
+            let o = &mut self.outputs[out_port.index()][out_vc as usize];
+            debug_assert!(o.credits > 0, "ST without credit");
+            o.credits -= 1;
+            flit.hops += 1;
+            flit.vc = out_vc;
+        }
+        Departure { flit, out_port, in_port, in_vc: vc_idx as u8, was_tail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+
+    fn test_cfg() -> NocConfig {
+        NocConfig::default().with_vnets(1).with_vcs_per_vnet(2).with_buffers_per_vc(4)
+    }
+
+    fn flit(dst: NodeId, kind: FlitKind, class: TrafficClass, vc: u8) -> Flit<u32> {
+        Flit {
+            id: 0,
+            packet_id: 0,
+            kind,
+            class,
+            vnet: 0,
+            src: NodeId::new(0),
+            dst,
+            queued_at: 0,
+            payload: None,
+            hops: 0,
+            vc,
+            buffered_at: 0,
+        }
+    }
+
+    #[test]
+    fn single_flit_departs_toward_destination() {
+        let cfg = test_cfg();
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let f = flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0);
+        r.accept_flit(Dir::West, f, 0, 4);
+        assert_eq!(r.buffered_flits(), 1);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        let deps = r.switch_allocate(&cfg, 10);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].out_port, Dir::East);
+        assert_eq!(deps[0].in_port, Dir::West);
+        assert!(deps[0].was_tail);
+        assert_eq!(deps[0].flit.hops, 1);
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn ejection_at_destination() {
+        let cfg = test_cfg();
+        let mesh = Mesh::new(4, 4);
+        let node = mesh.node_at(2, 2);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, node);
+        r.accept_flit(Dir::North, flit(node, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        let deps = r.switch_allocate(&cfg, 10);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].out_port, Dir::Local);
+        assert_eq!(deps[0].flit.hops, 0, "ejection is not a hop");
+    }
+
+    #[test]
+    fn pipeline_depth_gates_switch_allocation() {
+        let cfg = test_cfg().with_pipeline_stages(4); // 3 router cycles buffered
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        r.accept_flit(
+            Dir::West,
+            flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0),
+            10,
+            4,
+        );
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        assert!(r.switch_allocate(&cfg, 10).is_empty(), "too early at t");
+        assert!(r.switch_allocate(&cfg, 11).is_empty(), "too early at t+1");
+        assert!(r.switch_allocate(&cfg, 12).is_empty(), "too early at t+2");
+        assert_eq!(r.switch_allocate(&cfg, 13).len(), 1, "ready at t + (stages-1)");
+    }
+
+    #[test]
+    fn credits_block_traversal() {
+        let cfg = test_cfg().with_buffers_per_vc(1);
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let dst = mesh.node_at(3, 1);
+        // Two single-flit packets from different VCs toward the same output.
+        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
+        r.accept_flit(Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        // First wins the only free VC/credit pair on vc0; second got vc1.
+        let d1 = r.switch_allocate(&cfg, 5);
+        assert_eq!(d1.len(), 1, "both VCs have a credit, but one output port grant per cycle");
+        let d2 = r.switch_allocate(&cfg, 6);
+        assert_eq!(d2.len(), 1);
+        assert_ne!(d1[0].flit.vc, d2[0].flit.vc, "packets allocated distinct output VCs");
+        // Credits now exhausted on both VCs.
+        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 6, 1);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        assert!(
+            r.switch_allocate(&cfg, 8).is_empty(),
+            "no credits and no free VCs: nothing may traverse"
+        );
+        // Returning a credit + freeing the VC unblocks it.
+        r.return_credit(Dir::East, 0, 1);
+        r.free_output_vc(Dir::East, 0);
+        r.vc_allocate(&cfg);
+        assert_eq!(r.switch_allocate(&cfg, 9).len(), 1);
+    }
+
+    #[test]
+    fn priority_arbitration_prefers_communication() {
+        let cfg = test_cfg().with_priority_arbitration(true);
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let dst = mesh.node_at(3, 1);
+        // Snack flit arrives first and would win round-robin.
+        r.accept_flit(Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::SnackInstruction, 0), 0, 4);
+        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        let deps = r.switch_allocate(&cfg, 10);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].flit.class, TrafficClass::Communication);
+        let deps = r.switch_allocate(&cfg, 11);
+        assert_eq!(deps[0].flit.class, TrafficClass::SnackInstruction);
+    }
+
+    #[test]
+    fn useful_free_vcs_counts_interior_router() {
+        let cfg = test_cfg();
+        let mesh = Mesh::new(4, 4);
+        let r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let (free, total) = r.useful_free_output_vcs();
+        assert_eq!(total, 4 * cfg.vcs_per_port());
+        assert_eq!(free, total);
+        let corner: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
+        let (_, corner_total) = corner.useful_free_output_vcs();
+        assert_eq!(corner_total, 2 * cfg.vcs_per_port());
+    }
+
+    #[test]
+    fn wormhole_keeps_packet_on_one_output_vc() {
+        let cfg = test_cfg();
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
+        let dst = mesh.node_at(3, 0);
+        r.accept_flit(Dir::Local, flit(dst, FlitKind::Head, TrafficClass::Communication, 0), 0, 4);
+        r.accept_flit(Dir::Local, flit(dst, FlitKind::Body, TrafficClass::Communication, 0), 0, 4);
+        r.accept_flit(Dir::Local, flit(dst, FlitKind::Tail, TrafficClass::Communication, 0), 0, 4);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        let mut out_vcs = Vec::new();
+        for t in 5..8 {
+            let deps = r.switch_allocate(&cfg, t);
+            assert_eq!(deps.len(), 1);
+            out_vcs.push(deps[0].flit.vc);
+        }
+        assert!(out_vcs.windows(2).all(|w| w[0] == w[1]), "all flits share the output VC");
+        assert_eq!(r.buffered_flits(), 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Network statistics: utilization time series, buffer-occupancy CDFs and
+//! per-class latency accounting.
+//!
+//! These are the measurements §II of the paper uses to identify NoC slack:
+//! router crossbar usage (Fig. 2a), link usage (Fig. 2b) and input-buffer
+//! occupancy (Fig. 3), plus the delivered-packet latency/runtime statistics
+//! behind the QoS experiments (Figs. 11–13).
+
+use crate::flit::TrafficClass;
+
+/// One sample of a windowed utilization time series.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SeriesSample {
+    /// Cycle at which the window ended.
+    pub end_cycle: u64,
+    /// Utilization over the window, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// A windowed utilization counter: counts "busy" events per sampling window
+/// and emits one [`SeriesSample`] per window.
+#[derive(Clone, Debug)]
+pub struct WindowSeries {
+    window: u64,
+    busy_in_window: u64,
+    samples: Vec<SeriesSample>,
+}
+
+impl WindowSeries {
+    fn new(window: u64) -> Self {
+        WindowSeries { window, busy_in_window: 0, samples: Vec::new() }
+    }
+
+    fn record(&mut self, busy: bool) {
+        if busy {
+            self.busy_in_window += 1;
+        }
+    }
+
+    fn roll(&mut self, end_cycle: u64) {
+        let utilization = self.busy_in_window as f64 / self.window as f64;
+        self.samples.push(SeriesSample { end_cycle, utilization });
+        self.busy_in_window = 0;
+    }
+
+    /// The completed window samples.
+    pub fn samples(&self) -> &[SeriesSample] {
+        &self.samples
+    }
+
+    /// Median utilization across completed windows (0 if no windows yet).
+    pub fn median(&self) -> f64 {
+        percentile(self.samples.iter().map(|s| s.utilization), 50.0)
+    }
+
+    /// Peak window utilization.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|s| s.utilization).fold(0.0, f64::max)
+    }
+
+    /// Mean utilization across completed windows.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.utilization).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Computes the `p`-th percentile (0–100) of a sequence; 0.0 when empty.
+pub fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not be NaN"));
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// A cumulative distribution of buffer occupancy, bucketed at 1 % steps
+/// (the paper's Fig. 3).
+#[derive(Clone, Debug)]
+pub struct OccupancyCdf {
+    /// `buckets[i]` counts cycles with occupancy in `[i%, (i+1)%)`;
+    /// bucket 100 counts exactly-full cycles.
+    buckets: [u64; 101],
+    total: u64,
+}
+
+impl Default for OccupancyCdf {
+    fn default() -> Self {
+        OccupancyCdf { buckets: [0; 101], total: 0 }
+    }
+}
+
+impl OccupancyCdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample at the given occupancy fraction (`0.0..=1.0`).
+    pub fn record(&mut self, fraction: f64) {
+        let pct = (fraction.clamp(0.0, 1.0) * 100.0).round() as usize;
+        self.buckets[pct.min(100)] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` zero-occupancy samples at once (bulk path for idle
+    /// routers).
+    pub fn record_zeros(&mut self, n: u64) {
+        self.buckets[0] += n;
+        self.total += n;
+    }
+
+    /// Cumulative probability that occupancy is `<= pct` percent.
+    pub fn cumulative_at(&self, pct: usize) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let sum: u64 = self.buckets[..=pct.min(100)].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The full CDF as 101 `(percent, cumulative_probability)` points.
+    pub fn points(&self) -> Vec<(usize, f64)> {
+        (0..=100).map(|p| (p, self.cumulative_at(p))).collect()
+    }
+
+    /// Fraction of recorded cycles with zero occupancy.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.buckets[0] as f64 / self.total as f64
+    }
+
+    /// Number of recorded cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A log₂-bucketed latency histogram supporting approximate percentiles.
+///
+/// Bucket `i` counts latencies in `[2^i, 2^(i+1))` (bucket 0 holds 0 and
+/// 1). Percentile queries interpolate within the winning bucket, giving
+/// tail-latency estimates without storing every sample.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 32],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 32], total: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        let bucket = (64 - latency.max(1).leading_zeros() - 1).min(31) as usize;
+        self.buckets[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `p`-th percentile (0–100) latency in cycles.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                // Interpolate inside [2^i, 2^(i+1)).
+                let lo = 1u64 << i;
+                let width = lo; // bucket width equals its lower bound
+                let into = (rank - seen) as f64 / count as f64;
+                return lo + (into * width as f64) as u64;
+            }
+            seen += count;
+        }
+        u64::MAX
+    }
+}
+
+/// Latency and delivery accounting for one traffic class.
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Flits delivered.
+    pub flits: u64,
+    /// Sum of end-to-end packet latencies (cycles).
+    pub latency_sum: u64,
+    /// Maximum packet latency seen.
+    pub latency_max: u64,
+    /// Log-bucketed latency distribution.
+    pub latency_hist: LatencyHistogram,
+}
+
+impl ClassStats {
+    /// Mean packet latency in cycles (0 if nothing delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Approximate `p`-th percentile latency (see [`LatencyHistogram`]).
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        self.latency_hist.percentile(p)
+    }
+}
+
+/// All statistics gathered by a [`crate::Network`].
+#[derive(Clone, Debug)]
+pub struct NetStats {
+    window: u64,
+    cycles_in_window: u64,
+    /// Per-router crossbar-busy series.
+    crossbar: Vec<WindowSeries>,
+    /// Per-directed-link usage series, indexed by link id.
+    links: Vec<WindowSeries>,
+    /// Network-wide input-buffer occupancy CDF.
+    pub occupancy: OccupancyCdf,
+    /// Per-class delivery stats, indexed by class.
+    comm: ClassStats,
+    instr: ClassStats,
+    data: ClassStats,
+    /// Total flits injected into router input buffers from NIs.
+    pub injected_flits: u64,
+    /// Total crossbar transfers (flits moved input→output).
+    pub crossbar_transfers: u64,
+}
+
+impl NetStats {
+    pub(crate) fn new(routers: usize, links: usize, window: u64) -> Self {
+        NetStats {
+            window,
+            cycles_in_window: 0,
+            crossbar: (0..routers).map(|_| WindowSeries::new(window)).collect(),
+            links: (0..links).map(|_| WindowSeries::new(window)).collect(),
+            occupancy: OccupancyCdf::new(),
+            comm: ClassStats::default(),
+            instr: ClassStats::default(),
+            data: ClassStats::default(),
+            injected_flits: 0,
+            crossbar_transfers: 0,
+        }
+    }
+
+    pub(crate) fn record_router_cycle(&mut self, router: usize, crossbar_busy: bool) {
+        self.crossbar[router].record(crossbar_busy);
+    }
+
+    pub(crate) fn record_link_cycle(&mut self, link: usize, busy: bool) {
+        self.links[link].record(busy);
+    }
+
+    pub(crate) fn end_cycle(&mut self, cycle: u64) {
+        self.cycles_in_window += 1;
+        if self.cycles_in_window >= self.window {
+            for s in &mut self.crossbar {
+                s.roll(cycle);
+            }
+            for s in &mut self.links {
+                s.roll(cycle);
+            }
+            self.cycles_in_window = 0;
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, class: TrafficClass, flits: u64, latency: u64) {
+        let c = self.class_mut(class);
+        c.delivered += 1;
+        c.flits += flits;
+        c.latency_sum += latency;
+        c.latency_max = c.latency_max.max(latency);
+        c.latency_hist.record(latency);
+    }
+
+    fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
+        match class {
+            TrafficClass::Communication => &mut self.comm,
+            TrafficClass::SnackInstruction => &mut self.instr,
+            TrafficClass::SnackData => &mut self.data,
+        }
+    }
+
+    /// Delivery stats for a traffic class.
+    pub fn class(&self, class: TrafficClass) -> &ClassStats {
+        match class {
+            TrafficClass::Communication => &self.comm,
+            TrafficClass::SnackInstruction => &self.instr,
+            TrafficClass::SnackData => &self.data,
+        }
+    }
+
+    /// The crossbar-usage time series of router `r`.
+    pub fn crossbar_series(&self, r: usize) -> &WindowSeries {
+        &self.crossbar[r]
+    }
+
+    /// Number of router series tracked.
+    pub fn router_count(&self) -> usize {
+        self.crossbar.len()
+    }
+
+    /// The usage time series of directed link `l`.
+    pub fn link_series(&self, l: usize) -> &WindowSeries {
+        &self.links[l]
+    }
+
+    /// Number of directed router-router links tracked.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Median crossbar utilization across all routers and completed windows.
+    pub fn median_crossbar_utilization(&self) -> f64 {
+        percentile(
+            self.crossbar.iter().flat_map(|s| s.samples().iter().map(|x| x.utilization)),
+            50.0,
+        )
+    }
+
+    /// Peak crossbar utilization across all routers and windows.
+    pub fn peak_crossbar_utilization(&self) -> f64 {
+        self.crossbar.iter().map(|s| s.peak()).fold(0.0, f64::max)
+    }
+
+    /// Median link utilization across all links and completed windows.
+    pub fn median_link_utilization(&self) -> f64 {
+        percentile(
+            self.links.iter().flat_map(|s| s.samples().iter().map(|x| x.utilization)),
+            50.0,
+        )
+    }
+
+    /// Peak link utilization across all links and windows.
+    pub fn peak_link_utilization(&self) -> f64 {
+        self.links.iter().map(|s| s.peak()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_series_rolls() {
+        let mut s = WindowSeries::new(10);
+        for i in 0..10 {
+            s.record(i < 3);
+        }
+        s.roll(10);
+        assert_eq!(s.samples().len(), 1);
+        assert!((s.samples()[0].utilization - 0.3).abs() < 1e-12);
+        assert_eq!(s.samples()[0].end_cycle, 10);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(v.iter().copied(), 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(v.iter().copied(), 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(v.iter().copied(), 100.0) - 4.0).abs() < 1e-12);
+        assert_eq!(percentile(std::iter::empty(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn occupancy_cdf_accumulates() {
+        let mut cdf = OccupancyCdf::new();
+        for _ in 0..96 {
+            cdf.record(0.0);
+        }
+        for _ in 0..4 {
+            cdf.record(0.10);
+        }
+        assert!((cdf.zero_fraction() - 0.96).abs() < 1e-12);
+        assert!((cdf.cumulative_at(9) - 0.96).abs() < 1e-12);
+        assert!((cdf.cumulative_at(10) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.total_cycles(), 100);
+        assert_eq!(cdf.points().len(), 101);
+    }
+
+    #[test]
+    fn occupancy_cdf_clamps() {
+        let mut cdf = OccupancyCdf::new();
+        cdf.record(2.0);
+        cdf.record(-1.0);
+        assert!((cdf.cumulative_at(100) - 1.0).abs() < 1e-12);
+        assert!((cdf.zero_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for lat in 1..=1000u64 {
+            h.record(lat);
+        }
+        assert_eq!(h.samples(), 1000);
+        let p50 = h.percentile(50.0);
+        assert!((256..=1024).contains(&p50), "p50 {p50} near the median bucket");
+        let p99 = h.percentile(99.0);
+        assert!(p99 >= p50, "p99 {p99} >= p50 {p50}");
+        assert!(h.percentile(100.0) >= p99);
+        assert_eq!(LatencyHistogram::new().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.samples(), 2);
+        assert!(h.percentile(99.0) > 0);
+    }
+
+    #[test]
+    fn class_stats_mean() {
+        let mut st = NetStats::new(1, 0, 10);
+        st.record_delivery(TrafficClass::Communication, 4, 20);
+        st.record_delivery(TrafficClass::Communication, 4, 40);
+        let c = st.class(TrafficClass::Communication);
+        assert_eq!(c.delivered, 2);
+        assert_eq!(c.flits, 8);
+        assert!((c.mean_latency() - 30.0).abs() < 1e-12);
+        assert_eq!(c.latency_max, 40);
+        assert_eq!(st.class(TrafficClass::SnackData).delivered, 0);
+    }
+}

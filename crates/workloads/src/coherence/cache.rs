@@ -1,0 +1,194 @@
+//! A private set-associative L1 cache with MESI line states and LRU
+//! replacement.
+
+use super::msg::LineAddr;
+
+/// MESI state of a resident L1 line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LineState {
+    /// Modified: sole dirty copy.
+    Modified,
+    /// Exclusive: sole clean copy (silent upgrade to M on write).
+    Exclusive,
+    /// Shared: read-only copy, others may share.
+    Shared,
+}
+
+/// L1 geometry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    /// The paper's 32 KB, 4-way L1 with 64 B lines: 128 sets × 4 ways.
+    fn default() -> Self {
+        CacheConfig { sets: 128, ways: 4 }
+    }
+}
+
+/// One cache way.
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: LineAddr,
+    state: LineState,
+    /// LRU stamp (bigger = more recent).
+    used: u64,
+}
+
+/// A private L1 cache.
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+}
+
+impl L1Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets > 0 && cfg.ways > 0, "cache geometry must be non-zero");
+        L1Cache { cfg, sets: vec![Vec::new(); cfg.sets], tick: 0 }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line % self.cfg.sets as u64) as usize
+    }
+
+    /// Looks up `line`, refreshing LRU on hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<LineState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let way = self.sets[set].iter_mut().find(|w| w.line == line)?;
+        way.used = tick;
+        Some(way.state)
+    }
+
+    /// Peeks at `line` without touching LRU.
+    pub fn peek(&self, line: LineAddr) -> Option<LineState> {
+        self.sets[self.set_of(line)].iter().find(|w| w.line == line).map(|w| w.state)
+    }
+
+    /// Sets the state of a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn set_state(&mut self, line: LineAddr, state: LineState) {
+        let set = self.set_of(line);
+        let way = self.sets[set]
+            .iter_mut()
+            .find(|w| w.line == line)
+            .expect("set_state on a non-resident line");
+        way.state = state;
+    }
+
+    /// Removes `line`, returning its state if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
+        let set = self.set_of(line);
+        let at = self.sets[set].iter().position(|w| w.line == line)?;
+        Some(self.sets[set].swap_remove(at).state)
+    }
+
+    /// Installs `line` in `state`, evicting the LRU way if the set is
+    /// full. Returns the evicted `(line, state)`, which the caller must
+    /// write back if modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident (install implies a miss).
+    pub fn install(&mut self, line: LineAddr, state: LineState) -> Option<(LineAddr, LineState)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        assert!(set.iter().all(|w| w.line != line), "install of a resident line");
+        let victim = if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.used)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let v = set.swap_remove(lru);
+            Some((v.line, v.state))
+        } else {
+            None
+        };
+        set.push(Way { line, state, used: tick });
+        victim
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> L1Cache {
+        L1Cache::new(CacheConfig { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn install_lookup_invalidate_round_trip() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(4), None);
+        assert_eq!(c.install(4, LineState::Exclusive), None);
+        assert_eq!(c.lookup(4), Some(LineState::Exclusive));
+        c.set_state(4, LineState::Modified);
+        assert_eq!(c.peek(4), Some(LineState::Modified));
+        assert_eq!(c.invalidate(4), Some(LineState::Modified));
+        assert_eq!(c.lookup(4), None);
+        assert_eq!(c.invalidate(4), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_within_set() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0.
+        c.install(0, LineState::Shared);
+        c.install(2, LineState::Modified);
+        c.lookup(0); // refresh 0: line 2 is now LRU
+        let victim = c.install(4, LineState::Shared);
+        assert_eq!(victim, Some((2, LineState::Modified)));
+        assert_eq!(c.peek(0), Some(LineState::Shared));
+        assert_eq!(c.peek(4), Some(LineState::Shared));
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.install(0, LineState::Shared); // set 0
+        c.install(1, LineState::Shared); // set 1
+        c.install(2, LineState::Shared); // set 0
+        c.install(3, LineState::Shared); // set 1
+        assert_eq!(c.resident(), 4);
+        // Fifth install in set 0 evicts only from set 0.
+        let v = c.install(4, LineState::Shared).expect("eviction");
+        assert_eq!(v.0 % 2, 0, "victim came from set 0");
+        assert_eq!(c.peek(1), Some(LineState::Shared));
+        assert_eq!(c.peek(3), Some(LineState::Shared));
+    }
+
+    #[test]
+    #[should_panic(expected = "resident")]
+    fn double_install_rejected() {
+        let mut c = tiny();
+        c.install(7, LineState::Shared);
+        c.install(7, LineState::Shared);
+    }
+}

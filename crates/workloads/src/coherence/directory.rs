@@ -1,0 +1,290 @@
+//! The home-node directory controller: one per L2 bank, serialising
+//! coherence transactions per line with a busy bit and a pending queue.
+
+use super::msg::{CohMessage, LineAddr};
+use snacknoc_noc::NodeId;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Directory-visible state of one line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum DirState {
+    /// No cached copies (home/L2 owns the data).
+    Uncached,
+    /// Read-only copies at these cores.
+    Shared(BTreeSet<NodeId>),
+    /// Exclusive/modified at this core.
+    Modified(NodeId),
+}
+
+/// Per-line directory entry.
+#[derive(Clone, Debug)]
+struct DirLine {
+    state: DirState,
+    /// A forward is outstanding; conflicting requests queue.
+    busy: bool,
+    pending: VecDeque<CohMessage>,
+}
+
+impl Default for DirLine {
+    fn default() -> Self {
+        DirLine { state: DirState::Uncached, busy: false, pending: VecDeque::new() }
+    }
+}
+
+/// Counters for protocol analyses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectoryStats {
+    /// Read requests processed.
+    pub gets: u64,
+    /// Write requests processed.
+    pub getm: u64,
+    /// Dirty writebacks accepted.
+    pub putm: u64,
+    /// Writebacks that lost a race to a forward (ignored).
+    pub stale_putm: u64,
+    /// Invalidations sent.
+    pub invalidations: u64,
+    /// Forwards sent to owners.
+    pub forwards: u64,
+    /// Requests that had to queue behind a busy line.
+    pub queued: u64,
+}
+
+/// One home-node (L2 bank) directory.
+///
+/// The directory is allocated on demand per line; the backing L2 is
+/// modelled as always hitting (the shared L2 of Table IV is large relative
+/// to the synthetic working sets — off-chip refills would only add a fixed
+/// latency to `Data` responses).
+#[derive(Clone, Debug)]
+pub struct Directory {
+    home: NodeId,
+    lines: HashMap<LineAddr, DirLine>,
+    /// Counters.
+    pub stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Creates the directory for home node `home`.
+    pub fn new(home: NodeId) -> Self {
+        Directory { home, lines: HashMap::new(), stats: DirectoryStats::default() }
+    }
+
+    /// The home node this directory lives at.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Handles a message addressed to this home, returning the messages to
+    /// send in response (destinations are encoded in the messages).
+    pub fn handle(&mut self, msg: CohMessage) -> Vec<CohMessage> {
+        let mut out = Vec::new();
+        self.process(msg, &mut out);
+        out
+    }
+
+    fn process(&mut self, msg: CohMessage, out: &mut Vec<CohMessage>) {
+        let line = msg.line();
+        let entry = self.lines.entry(line).or_default();
+        match msg {
+            CohMessage::GetS { core, .. } | CohMessage::GetM { core, .. } => {
+                if entry.busy {
+                    entry.pending.push_back(msg);
+                    self.stats.queued += 1;
+                    return;
+                }
+                let is_write = matches!(msg, CohMessage::GetM { .. });
+                if is_write {
+                    self.stats.getm += 1;
+                } else {
+                    self.stats.gets += 1;
+                }
+                match entry.state.clone() {
+                    DirState::Uncached => {
+                        entry.state = DirState::Modified(core);
+                        out.push(CohMessage::Data { core, line, exclusive: true, acks_needed: 0 });
+                    }
+                    DirState::Shared(mut sharers) => {
+                        if is_write {
+                            sharers.remove(&core);
+                            let acks = sharers.len() as u32;
+                            for sharer in &sharers {
+                                out.push(CohMessage::Inv { sharer: *sharer, requestor: core, line });
+                            }
+                            self.stats.invalidations += u64::from(acks);
+                            entry.state = DirState::Modified(core);
+                            out.push(CohMessage::Data {
+                                core,
+                                line,
+                                exclusive: true,
+                                acks_needed: acks,
+                            });
+                        } else {
+                            sharers.insert(core);
+                            entry.state = DirState::Shared(sharers);
+                            out.push(CohMessage::Data {
+                                core,
+                                line,
+                                exclusive: false,
+                                acks_needed: 0,
+                            });
+                        }
+                    }
+                    DirState::Modified(owner) => {
+                        debug_assert_ne!(owner, core, "owner re-requesting its own line");
+                        entry.busy = true;
+                        self.stats.forwards += 1;
+                        out.push(if is_write {
+                            CohMessage::FwdGetM { owner, requestor: core, line }
+                        } else {
+                            CohMessage::FwdGetS { owner, requestor: core, line }
+                        });
+                    }
+                }
+            }
+            CohMessage::PutM { core, .. } => {
+                if entry.busy {
+                    entry.pending.push_back(msg);
+                    self.stats.queued += 1;
+                    return;
+                }
+                match entry.state {
+                    DirState::Modified(owner) if owner == core => {
+                        entry.state = DirState::Uncached;
+                        self.stats.putm += 1;
+                    }
+                    _ => {
+                        // The line was forwarded away while the PutM was in
+                        // flight: the evictor no longer owns it. Ack so it
+                        // can drop its retained copy.
+                        self.stats.stale_putm += 1;
+                    }
+                }
+                out.push(CohMessage::PutAck { core, line });
+            }
+            CohMessage::CopyBack { from, requestor, kept_shared, .. } => {
+                debug_assert!(entry.busy, "copy-back without an outstanding forward");
+                entry.busy = false;
+                entry.state = if kept_shared {
+                    DirState::Shared([from, requestor].into_iter().collect())
+                } else {
+                    DirState::Modified(requestor)
+                };
+                // Drain requests that queued behind the forward, stopping
+                // if one of them makes the line busy again.
+                loop {
+                    let next = match self.lines.get_mut(&line) {
+                        Some(e) if !e.busy => e.pending.pop_front(),
+                        _ => None,
+                    };
+                    let Some(next) = next else { break };
+                    self.process(next, out);
+                }
+            }
+            other => unreachable!("directory received a core-side message: {other:?}"),
+        }
+    }
+
+    /// Whether any line is mid-transaction (used by drain checks).
+    pub fn is_quiescent(&self) -> bool {
+        self.lines.values().all(|l| !l.busy && l.pending.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn uncached_read_grants_exclusive() {
+        let mut d = Directory::new(n(0));
+        let out = d.handle(CohMessage::GetS { core: n(1), line: 9 });
+        assert_eq!(out, vec![CohMessage::Data { core: n(1), line: 9, exclusive: true, acks_needed: 0 }]);
+    }
+
+    #[test]
+    fn second_reader_must_wait_for_forward() {
+        let mut d = Directory::new(n(0));
+        d.handle(CohMessage::GetS { core: n(1), line: 9 });
+        let out = d.handle(CohMessage::GetS { core: n(2), line: 9 });
+        assert_eq!(out, vec![CohMessage::FwdGetS { owner: n(1), requestor: n(2), line: 9 }]);
+        // A third reader queues behind the busy line...
+        assert!(d.handle(CohMessage::GetS { core: n(3), line: 9 }).is_empty());
+        assert_eq!(d.stats.queued, 1);
+        assert!(!d.is_quiescent());
+        // ...and is served when the copy-back lands.
+        let out = d.handle(CohMessage::CopyBack {
+            line: 9,
+            from: n(1),
+            requestor: n(2),
+            kept_shared: true,
+        });
+        assert_eq!(
+            out,
+            vec![CohMessage::Data { core: n(3), line: 9, exclusive: false, acks_needed: 0 }]
+        );
+        assert!(d.is_quiescent());
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_all_other_sharers() {
+        let mut d = Directory::new(n(0));
+        d.handle(CohMessage::GetS { core: n(1), line: 4 });
+        // Core 2 reads too: home forwards to core 1, the copy-back leaves
+        // the line shared by {1, 2}.
+        d.handle(CohMessage::GetS { core: n(2), line: 4 });
+        d.handle(CohMessage::CopyBack { line: 4, from: n(1), requestor: n(2), kept_shared: true });
+        // line 4 shared by {1,2}; core 3 writes.
+        let mut out = d.handle(CohMessage::GetM { core: n(3), line: 4 });
+        out.sort_by_key(|m| format!("{m:?}"));
+        assert!(out.contains(&CohMessage::Inv { sharer: n(1), requestor: n(3), line: 4 }));
+        assert!(out.contains(&CohMessage::Inv { sharer: n(2), requestor: n(3), line: 4 }));
+        assert!(out.contains(&CohMessage::Data {
+            core: n(3),
+            line: 4,
+            exclusive: true,
+            acks_needed: 2
+        }));
+        assert_eq!(d.stats.invalidations, 2);
+    }
+
+    #[test]
+    fn upgrade_by_a_sharer_skips_its_own_invalidation() {
+        let mut d = Directory::new(n(0));
+        d.handle(CohMessage::GetS { core: n(1), line: 4 });
+        d.handle(CohMessage::GetS { core: n(2), line: 4 });
+        d.handle(CohMessage::CopyBack { line: 4, from: n(1), requestor: n(2), kept_shared: true });
+        let out = d.handle(CohMessage::GetM { core: n(1), line: 4 });
+        assert!(out.contains(&CohMessage::Inv { sharer: n(2), requestor: n(1), line: 4 }));
+        assert!(out.contains(&CohMessage::Data {
+            core: n(1),
+            line: 4,
+            exclusive: true,
+            acks_needed: 1
+        }));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn writeback_frees_the_line_and_stale_writeback_is_ignored() {
+        let mut d = Directory::new(n(0));
+        d.handle(CohMessage::GetM { core: n(1), line: 5 });
+        let out = d.handle(CohMessage::PutM { core: n(1), line: 5, dirty: true });
+        assert_eq!(out, vec![CohMessage::PutAck { core: n(1), line: 5 }]);
+        assert_eq!(d.stats.putm, 1);
+        // Next reader sees it uncached again.
+        let out = d.handle(CohMessage::GetS { core: n(2), line: 5 });
+        assert_eq!(out, vec![CohMessage::Data { core: n(2), line: 5, exclusive: true, acks_needed: 0 }]);
+        // A stale PutM from core 1 (who no longer owns it) is acked but
+        // does not disturb core 2's ownership.
+        let out = d.handle(CohMessage::PutM { core: n(1), line: 5, dirty: true });
+        assert_eq!(out, vec![CohMessage::PutAck { core: n(1), line: 5 }]);
+        assert_eq!(d.stats.stale_putm, 1);
+        let out = d.handle(CohMessage::GetS { core: n(3), line: 5 });
+        assert_eq!(out, vec![CohMessage::FwdGetS { owner: n(2), requestor: n(3), line: 5 }]);
+    }
+}

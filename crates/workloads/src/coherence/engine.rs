@@ -1,0 +1,604 @@
+//! The coherent traffic engine: in-order cores with private L1s running
+//! synthetic address streams over the MESI protocol. Pumped with the same
+//! `tick`/`deliver` protocol as [`crate::TrafficEngine`].
+
+use super::cache::{CacheConfig, L1Cache, LineState};
+use super::directory::Directory;
+use super::msg::{CohMessage, LineAddr};
+use crate::hashrand::unit;
+use snacknoc_noc::{Mesh, NodeId, PacketSpec, TrafficClass};
+use std::collections::VecDeque;
+
+/// A synthetic per-core address stream.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AccessPattern {
+    /// Lines in each core's private region.
+    pub private_lines: u64,
+    /// Lines in the globally shared region.
+    pub shared_lines: u64,
+    /// Probability an access targets the shared region.
+    pub shared_fraction: f64,
+    /// Probability an access is a write.
+    pub write_fraction: f64,
+    /// Mean think cycles between accesses (an in-order core: one access
+    /// outstanding at a time).
+    pub think_time: f64,
+    /// Accesses each core performs.
+    pub accesses_per_core: u64,
+}
+
+impl Default for AccessPattern {
+    fn default() -> Self {
+        AccessPattern {
+            private_lines: 2_048,
+            shared_lines: 256,
+            shared_fraction: 0.2,
+            write_fraction: 0.3,
+            think_time: 250.0,
+            accesses_per_core: 2_000,
+        }
+    }
+}
+
+impl AccessPattern {
+    /// A sharing-heavy pattern (lots of invalidations and forwards).
+    pub fn shared_heavy() -> Self {
+        AccessPattern {
+            shared_lines: 64,
+            shared_fraction: 0.6,
+            write_fraction: 0.4,
+            ..Self::default()
+        }
+    }
+
+    /// A streaming pattern over a large private footprint (capacity
+    /// misses and writebacks dominate).
+    pub fn private_streaming() -> Self {
+        AccessPattern {
+            private_lines: 16_384,
+            shared_fraction: 0.02,
+            write_fraction: 0.5,
+            think_time: 150.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// An in-flight miss.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    line: LineAddr,
+    is_write: bool,
+    data_got: bool,
+    exclusive: bool,
+    acks_needed: u32,
+    acks_got: u32,
+    /// An invalidation raced past this read miss: complete the access but
+    /// do not install the (already-invalidated) line.
+    squashed: bool,
+}
+
+/// Per-core state.
+#[derive(Clone, Debug)]
+struct CoreState {
+    node: NodeId,
+    issued: u64,
+    completed: u64,
+    next_at: u64,
+    waiting: Option<Pending>,
+    /// Forwards/invalidations that raced ahead of this core's pending
+    /// data; replayed once the miss completes.
+    stalled: Vec<CohMessage>,
+    /// Lines written back but retained until the `PutAck` (so racing
+    /// forwards can still be served).
+    evicting: Vec<LineAddr>,
+}
+
+/// Counters for the traffic/protocol analyses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoherentStats {
+    /// L1 hits.
+    pub hits: u64,
+    /// L1 misses (including upgrades).
+    pub misses: u64,
+    /// S→M upgrades.
+    pub upgrades: u64,
+    /// Invalidations received.
+    pub invalidations: u64,
+    /// Dirty writebacks sent.
+    pub writebacks: u64,
+    /// Forwards served from the owning L1.
+    pub forwards_served: u64,
+}
+
+/// The MESI-coherent CMP traffic engine.
+///
+/// ```
+/// use snacknoc_workloads::coherence::{AccessPattern, CoherentEngine};
+/// use snacknoc_noc::{Mesh, Network, NocConfig};
+///
+/// let cfg = NocConfig::dapper(); // 3 vnets: request/forward/response
+/// let mut net = Network::new(cfg).unwrap();
+/// let mut eng = CoherentEngine::new(
+///     AccessPattern { accesses_per_core: 50, ..AccessPattern::default() },
+///     *net.mesh(),
+///     Default::default(),
+///     7,
+/// );
+/// while !eng.done() && net.cycle() < 1_000_000 {
+///     for spec in eng.tick(net.cycle()) {
+///         net.inject(spec).unwrap();
+///     }
+///     net.step();
+///     let now = net.cycle();
+///     for node in net.mesh().nodes().collect::<Vec<_>>() {
+///         for pkt in net.drain_ejected(node) {
+///             eng.deliver(now, node, pkt.payload);
+///         }
+///     }
+/// }
+/// assert!(eng.done());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoherentEngine {
+    pattern: AccessPattern,
+    mesh: Mesh,
+    seed: u64,
+    caches: Vec<L1Cache>,
+    dirs: Vec<Directory>,
+    cores: Vec<CoreState>,
+    /// Messages generated during delivery, injected on the next tick.
+    outbox: VecDeque<(NodeId, CohMessage)>,
+    finished_at: Option<u64>,
+    total_completed: u64,
+    /// Counters.
+    pub stats: CoherentStats,
+}
+
+impl CoherentEngine {
+    /// Creates an engine running `pattern` on every node of `mesh` with
+    /// the given L1 geometry, deterministically seeded.
+    pub fn new(pattern: AccessPattern, mesh: Mesh, l1: CacheConfig, seed: u64) -> Self {
+        CoherentEngine {
+            caches: (0..mesh.node_count()).map(|_| L1Cache::new(l1)).collect(),
+            dirs: mesh.nodes().map(Directory::new).collect(),
+            cores: mesh
+                .nodes()
+                .enumerate()
+                .map(|(i, node)| CoreState {
+                    node,
+                    issued: 0,
+                    completed: 0,
+                    // Stagger core start-up.
+                    next_at: (i as u64) * (pattern.think_time as u64 / mesh.node_count() as u64).max(1),
+                    waiting: None,
+                    stalled: Vec::new(),
+                    evicting: Vec::new(),
+                })
+                .collect(),
+            pattern,
+            mesh,
+            seed,
+            outbox: VecDeque::new(),
+            finished_at: None,
+            total_completed: 0,
+            stats: CoherentStats::default(),
+        }
+    }
+
+    /// Whether every core finished its access stream.
+    pub fn done(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// The cycle the last access completed, if finished.
+    pub fn finished_at(&self) -> Option<u64> {
+        self.finished_at
+    }
+
+    /// Total accesses completed so far.
+    pub fn completed(&self) -> u64 {
+        self.total_completed
+    }
+
+    /// Aggregate directory statistics across all home nodes.
+    pub fn directory_stats(&self) -> super::directory::DirectoryStats {
+        let mut agg = super::directory::DirectoryStats::default();
+        for d in &self.dirs {
+            agg.gets += d.stats.gets;
+            agg.getm += d.stats.getm;
+            agg.putm += d.stats.putm;
+            agg.stale_putm += d.stats.stale_putm;
+            agg.invalidations += d.stats.invalidations;
+            agg.forwards += d.stats.forwards;
+            agg.queued += d.stats.queued;
+        }
+        agg
+    }
+
+    /// The home L2 bank of a line (block-interleaved).
+    fn home_of(&self, line: LineAddr) -> NodeId {
+        NodeId::new((line % self.mesh.node_count() as u64) as usize)
+    }
+
+    fn dest_of(&self, msg: CohMessage) -> NodeId {
+        match msg {
+            CohMessage::GetS { line, .. }
+            | CohMessage::GetM { line, .. }
+            | CohMessage::PutM { line, .. }
+            | CohMessage::CopyBack { line, .. } => self.home_of(line),
+            CohMessage::Data { core, .. } | CohMessage::PutAck { core, .. } => core,
+            CohMessage::FwdGetS { owner, .. } | CohMessage::FwdGetM { owner, .. } => owner,
+            CohMessage::Inv { sharer, .. } => sharer,
+            CohMessage::InvAck { requestor, .. } => requestor,
+        }
+    }
+
+    fn spec(&self, src: NodeId, msg: CohMessage) -> PacketSpec<CohMessage> {
+        PacketSpec::new(
+            src,
+            self.dest_of(msg),
+            msg.vnet(),
+            TrafficClass::Communication,
+            msg.size_bytes(),
+            msg,
+        )
+    }
+
+    /// Produces the packets to inject at `cycle`: protocol responses from
+    /// the previous delivery round plus new core accesses.
+    pub fn tick(&mut self, cycle: u64) -> Vec<PacketSpec<CohMessage>> {
+        let mut out: Vec<PacketSpec<CohMessage>> = Vec::new();
+        while let Some((src, msg)) = self.outbox.pop_front() {
+            out.push(self.spec(src, msg));
+        }
+        for c in 0..self.cores.len() {
+            if let Some((src, msg)) = self.try_access(c, cycle) {
+                out.push(self.spec(src, msg));
+            }
+        }
+        out
+    }
+
+    /// Attempts one access on core `c`; returns a request on a miss.
+    fn try_access(&mut self, c: usize, cycle: u64) -> Option<(NodeId, CohMessage)> {
+        let core = &self.cores[c];
+        if core.waiting.is_some()
+            || core.issued >= self.pattern.accesses_per_core
+            || cycle < core.next_at
+        {
+            return None;
+        }
+        let node = core.node;
+        let k = core.issued;
+        let line = self.sample_line(c, k);
+        if core.evicting.contains(&line) {
+            // The writeback of this very line is in flight; re-requesting
+            // it could overtake the PutM at the home. Retry after the ack.
+            return None;
+        }
+        let is_write = unit(self.seed, c as u64, k, 11) < self.pattern.write_fraction;
+        self.cores[c].issued += 1;
+        let state = self.caches[c].lookup(line);
+        let hit = match state {
+            Some(LineState::Modified) => true,
+            Some(LineState::Exclusive) => {
+                if is_write {
+                    // Silent E→M upgrade.
+                    self.caches[c].set_state(line, LineState::Modified);
+                }
+                true
+            }
+            Some(LineState::Shared) => !is_write,
+            None => false,
+        };
+        if hit {
+            self.stats.hits += 1;
+            self.complete_access(c, cycle);
+            return None;
+        }
+        self.stats.misses += 1;
+        if state == Some(LineState::Shared) {
+            self.stats.upgrades += 1;
+        }
+        self.cores[c].waiting = Some(Pending {
+            line,
+            is_write,
+            data_got: false,
+            exclusive: false,
+            acks_needed: 0,
+            acks_got: 0,
+            squashed: false,
+        });
+        let msg = if is_write {
+            CohMessage::GetM { core: node, line }
+        } else {
+            CohMessage::GetS { core: node, line }
+        };
+        Some((node, msg))
+    }
+
+    fn sample_line(&self, c: usize, k: u64) -> LineAddr {
+        let shared = unit(self.seed, c as u64, k, 12) < self.pattern.shared_fraction;
+        if shared {
+            let u = unit(self.seed, c as u64, k, 13);
+            (u * self.pattern.shared_lines as f64) as u64
+        } else {
+            // Private regions are disjoint per core, above the shared one.
+            let u = unit(self.seed, c as u64, k, 14);
+            self.pattern.shared_lines
+                + c as u64 * self.pattern.private_lines
+                + (u * self.pattern.private_lines as f64) as u64
+        }
+    }
+
+    fn complete_access(&mut self, c: usize, cycle: u64) {
+        let core = &mut self.cores[c];
+        core.completed += 1;
+        self.total_completed += 1;
+        let exp = -(1.0 - unit(self.seed, c as u64, core.completed, 15)).ln();
+        core.next_at = cycle + (self.pattern.think_time * exp).max(1.0) as u64;
+        let total = self.pattern.accesses_per_core * self.mesh.node_count() as u64;
+        if self.total_completed == total && self.finished_at.is_none() {
+            self.finished_at = Some(cycle);
+        }
+    }
+
+    /// Hands the engine a delivered coherence message.
+    pub fn deliver(&mut self, cycle: u64, at: NodeId, msg: CohMessage) {
+        match msg {
+            CohMessage::GetS { .. }
+            | CohMessage::GetM { .. }
+            | CohMessage::PutM { .. }
+            | CohMessage::CopyBack { .. } => {
+                for reply in self.dirs[at.index()].handle(msg) {
+                    self.outbox.push_back((at, reply));
+                }
+            }
+            _ => self.deliver_to_core(cycle, at.index(), msg),
+        }
+    }
+
+    fn deliver_to_core(&mut self, cycle: u64, c: usize, msg: CohMessage) {
+        // Forwards for a line this core is itself missing on may overtake
+        // the data response; stall them until it lands (the data is on its
+        // way unconditionally, so this cannot deadlock). Invalidations
+        // must NOT stall: the invalidating writer may be waiting on our
+        // ack while our own completion waits on that writer — ack
+        // immediately and squash a pending read's install instead.
+        let waiting_line = self.cores[c].waiting.map(|p| p.line);
+        match msg {
+            CohMessage::FwdGetS { line, .. } | CohMessage::FwdGetM { line, .. }
+                if waiting_line == Some(line) =>
+            {
+                self.cores[c].stalled.push(msg);
+                return;
+            }
+            CohMessage::Inv { line, .. } if waiting_line == Some(line) => {
+                if let Some(p) = self.cores[c].waiting.as_mut() {
+                    if !p.is_write {
+                        p.squashed = true;
+                    }
+                }
+                // Fall through to the normal Inv handling below.
+            }
+            _ => {}
+        }
+        let node = self.cores[c].node;
+        match msg {
+            CohMessage::Data { line, exclusive, acks_needed, .. } => {
+                let p = self.cores[c].waiting.as_mut().expect("data matches a pending miss");
+                debug_assert_eq!(p.line, line);
+                p.data_got = true;
+                p.exclusive = exclusive;
+                p.acks_needed = acks_needed;
+                self.try_finish_miss(c, cycle);
+            }
+            CohMessage::InvAck { line, .. } => {
+                let p = self.cores[c].waiting.as_mut().expect("ack matches a pending miss");
+                debug_assert_eq!(p.line, line);
+                p.acks_got += 1;
+                self.try_finish_miss(c, cycle);
+            }
+            CohMessage::FwdGetS { requestor, line, .. } => {
+                self.stats.forwards_served += 1;
+                if self.caches[c].peek(line).is_some() {
+                    self.caches[c].set_state(line, LineState::Shared);
+                    self.outbox.push_back((
+                        node,
+                        CohMessage::Data { core: requestor, line, exclusive: false, acks_needed: 0 },
+                    ));
+                    self.outbox.push_back((
+                        node,
+                        CohMessage::CopyBack { line, from: node, requestor, kept_shared: true },
+                    ));
+                } else {
+                    // Served from the retained copy of an in-flight
+                    // eviction: hand the requestor exclusive ownership.
+                    debug_assert!(self.cores[c].evicting.contains(&line));
+                    self.outbox.push_back((
+                        node,
+                        CohMessage::Data { core: requestor, line, exclusive: true, acks_needed: 0 },
+                    ));
+                    self.outbox.push_back((
+                        node,
+                        CohMessage::CopyBack { line, from: node, requestor, kept_shared: false },
+                    ));
+                }
+            }
+            CohMessage::FwdGetM { requestor, line, .. } => {
+                self.stats.forwards_served += 1;
+                self.caches[c].invalidate(line);
+                self.outbox.push_back((
+                    node,
+                    CohMessage::Data { core: requestor, line, exclusive: true, acks_needed: 0 },
+                ));
+                self.outbox.push_back((
+                    node,
+                    CohMessage::CopyBack { line, from: node, requestor, kept_shared: false },
+                ));
+            }
+            CohMessage::Inv { requestor, line, .. } => {
+                self.stats.invalidations += 1;
+                self.caches[c].invalidate(line);
+                self.outbox.push_back((node, CohMessage::InvAck { requestor, line }));
+            }
+            CohMessage::PutAck { line, .. } => {
+                self.cores[c].evicting.retain(|&l| l != line);
+            }
+            other => unreachable!("core received a home-side message: {other:?}"),
+        }
+    }
+
+    fn try_finish_miss(&mut self, c: usize, cycle: u64) {
+        let Some(p) = self.cores[c].waiting else { return };
+        if !p.data_got || p.acks_got < p.acks_needed {
+            return;
+        }
+        let node = self.cores[c].node;
+        let state = if p.is_write {
+            LineState::Modified
+        } else if p.exclusive {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        if p.squashed {
+            // A racing invalidation already claimed the line: consume the
+            // data transiently without caching it.
+        } else if self.caches[c].peek(p.line).is_some() {
+            // Upgrade: the line is already resident.
+            self.caches[c].set_state(p.line, state);
+        } else if let Some((victim, victim_state)) = self.caches[c].install(p.line, state) {
+            // Owned victims (M dirty, E clean) notify the home so the
+            // directory never believes a departed owner still holds the
+            // line; shared victims evict silently.
+            match victim_state {
+                LineState::Modified | LineState::Exclusive => {
+                    let dirty = victim_state == LineState::Modified;
+                    if dirty {
+                        self.stats.writebacks += 1;
+                    }
+                    self.cores[c].evicting.push(victim);
+                    self.outbox
+                        .push_back((node, CohMessage::PutM { core: node, line: victim, dirty }));
+                }
+                LineState::Shared => {}
+            }
+        }
+        self.cores[c].waiting = None;
+        self.complete_access(c, cycle);
+        // Replay forwards/invalidations that raced ahead of the data.
+        let stalled = std::mem::take(&mut self.cores[c].stalled);
+        for msg in stalled {
+            self.deliver_to_core(cycle, c, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snacknoc_noc::{Network, NocConfig};
+
+    fn pump(pattern: AccessPattern, seed: u64, cap: u64) -> (CoherentEngine, u64) {
+        let mut net: Network<CohMessage> =
+            Network::new(NocConfig::dapper().with_sample_window(1_000)).unwrap();
+        let mut eng = CoherentEngine::new(pattern, *net.mesh(), CacheConfig::default(), seed);
+        let nodes: Vec<_> = net.mesh().nodes().collect();
+        while !eng.done() && net.cycle() < cap {
+            for spec in eng.tick(net.cycle()) {
+                net.inject(spec).unwrap();
+            }
+            net.step();
+            let now = net.cycle();
+            for &node in &nodes {
+                for pkt in net.drain_ejected(node) {
+                    eng.deliver(now, node, pkt.payload);
+                }
+            }
+        }
+        let cycles = net.cycle();
+        (eng, cycles)
+    }
+
+    #[test]
+    fn private_streams_complete_with_writebacks() {
+        let (eng, _) = pump(
+            AccessPattern {
+                accesses_per_core: 600,
+                shared_fraction: 0.0,
+                ..AccessPattern::private_streaming()
+            },
+            5,
+            10_000_000,
+        );
+        assert!(eng.done(), "all accesses complete");
+        assert_eq!(eng.completed(), 600 * 16);
+        assert!(eng.stats.writebacks > 0, "capacity misses evict dirty lines");
+        assert_eq!(eng.stats.invalidations, 0, "private data is never invalidated");
+        let d = eng.directory_stats();
+        assert_eq!(d.forwards, 0, "no sharing, no forwards");
+        assert!(d.putm > 0);
+    }
+
+    #[test]
+    fn shared_writes_generate_invalidations_and_forwards() {
+        let (eng, _) = pump(
+            AccessPattern { accesses_per_core: 400, ..AccessPattern::shared_heavy() },
+            6,
+            10_000_000,
+        );
+        assert!(eng.done());
+        assert!(eng.stats.invalidations > 0, "sharers get invalidated");
+        let d = eng.directory_stats();
+        assert!(d.forwards > 0, "dirty lines get forwarded");
+        assert!(d.invalidations >= eng.stats.invalidations);
+        assert!(eng.stats.forwards_served > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = AccessPattern { accesses_per_core: 150, ..AccessPattern::shared_heavy() };
+        let (a, ca) = pump(p, 9, 10_000_000);
+        let (b, cb) = pump(p, 9, 10_000_000);
+        assert_eq!(ca, cb);
+        assert_eq!(a.stats.misses, b.stats.misses);
+        assert_eq!(a.stats.invalidations, b.stats.invalidations);
+        let (c, cc) = pump(p, 10, 10_000_000);
+        assert!(c.done());
+        assert!(cc != ca || c.stats.misses != a.stats.misses, "seeds differ");
+    }
+
+    #[test]
+    fn hit_rate_is_high_for_small_working_sets() {
+        let (eng, _) = pump(
+            AccessPattern {
+                private_lines: 64,
+                shared_lines: 16,
+                shared_fraction: 0.1,
+                accesses_per_core: 1_000,
+                ..AccessPattern::default()
+            },
+            3,
+            10_000_000,
+        );
+        assert!(eng.done());
+        let hit_rate = eng.stats.hits as f64 / (eng.stats.hits + eng.stats.misses) as f64;
+        assert!(hit_rate > 0.8, "small working set must mostly hit: {hit_rate}");
+    }
+
+    #[test]
+    fn directories_quiesce_after_completion() {
+        let (eng, _) = pump(
+            AccessPattern { accesses_per_core: 200, ..AccessPattern::shared_heavy() },
+            4,
+            10_000_000,
+        );
+        assert!(eng.done());
+        // Give in-flight acks/writebacks time to land: the protocol may
+        // finish the *accesses* before PutAcks drain, but directories must
+        // not be stuck busy.
+        assert!(eng.dirs.iter().all(|d| d.is_quiescent()), "no stuck transactions");
+    }
+}

@@ -1,0 +1,42 @@
+//! A directory-based MESI coherence substrate.
+//!
+//! The paper's simulated CMP runs "a 2-level cache and directory-based
+//! MESI protocol" (Table IV); its NoC traffic is cache/coherence messages.
+//! The phase-model [`crate::TrafficEngine`] abstracts that traffic
+//! statistically; this module provides the higher-fidelity alternative: a
+//! real MESI protocol — per-core private L1s, a distributed L2 home
+//! directory, invalidations, forwards and writebacks — driven by synthetic
+//! per-core address streams. NoC traffic *emerges* from memory accesses
+//! instead of being sampled from a profile.
+//!
+//! ## Protocol summary
+//!
+//! Three virtual networks keep the protocol deadlock-free:
+//! requests ([`VNET_COH_REQUEST`]), forwards/invalidations
+//! ([`VNET_COH_FORWARD`]) and responses ([`VNET_COH_RESPONSE`]). Platforms
+//! that add SnackNoC traffic place it on a fourth vnet.
+//!
+//! * **Read miss** — `GetS` to the line's home bank. Uncached lines return
+//!   exclusive data (E); shared lines add a sharer; a modified line makes
+//!   the home *busy* while the owner forwards data to the requestor and
+//!   copies back to the home.
+//! * **Write miss / upgrade** — `GetM`. Shared lines are invalidated
+//!   (sharers ack directly to the requestor); a modified line is forwarded
+//!   from its owner.
+//! * **Eviction** — dirty victims write back with `PutM`; the evicting
+//!   core retains the data until `PutAck`, so forwards that race with the
+//!   writeback are still served (the home ignores a stale `PutM` whose
+//!   sender no longer owns the line).
+//!
+//! The home serialises conflicting transactions per line with a busy bit
+//! and a pending queue — no NACK/retry traffic.
+
+mod cache;
+mod directory;
+mod engine;
+mod msg;
+
+pub use cache::{CacheConfig, L1Cache, LineState};
+pub use directory::{Directory, DirectoryStats};
+pub use engine::{AccessPattern, CoherentEngine, CoherentStats};
+pub use msg::{CohMessage, LineAddr, VNET_COH_FORWARD, VNET_COH_REQUEST, VNET_COH_RESPONSE};

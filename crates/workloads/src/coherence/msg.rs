@@ -1,0 +1,197 @@
+//! The MESI protocol message vocabulary.
+
+use snacknoc_noc::NodeId;
+
+/// A cache-line address (64 B lines; the value is the line index).
+pub type LineAddr = u64;
+
+/// Virtual network carrying core→home requests.
+pub const VNET_COH_REQUEST: u8 = 0;
+/// Virtual network carrying home→core forwards and invalidations.
+pub const VNET_COH_FORWARD: u8 = 1;
+/// Virtual network carrying data, acks and writebacks.
+pub const VNET_COH_RESPONSE: u8 = 2;
+
+/// A coherence protocol message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CohMessage {
+    /// Read request: core wants the line in S (or E if uncached).
+    GetS {
+        /// Requesting core.
+        core: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// Write request: core wants the line in M.
+    GetM {
+        /// Requesting core.
+        core: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// Writeback of an evicted owned line (dirty data for M, a clean
+    /// ownership-release notice for E — silent E evictions would leave the
+    /// directory believing a departed owner still has the line).
+    PutM {
+        /// Evicting core.
+        core: NodeId,
+        /// The line.
+        line: LineAddr,
+        /// Whether data travels with the writeback (M) or not (E).
+        dirty: bool,
+    },
+    /// Home/owner → requestor: the line's data.
+    Data {
+        /// Destination core.
+        core: NodeId,
+        /// The line.
+        line: LineAddr,
+        /// Grant exclusive (E/M) rather than shared (S).
+        exclusive: bool,
+        /// Invalidation acks the requestor must additionally collect
+        /// before the write completes (GetM on a shared line).
+        acks_needed: u32,
+    },
+    /// Home → current owner: forward the line to `requestor` for reading
+    /// (owner downgrades M→S and copies back to the home).
+    FwdGetS {
+        /// Current owner.
+        owner: NodeId,
+        /// Reading core.
+        requestor: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// Home → current owner: forward the line to `requestor` for writing
+    /// (owner invalidates).
+    FwdGetM {
+        /// Current owner.
+        owner: NodeId,
+        /// Writing core.
+        requestor: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// Home → sharer: invalidate and ack to `requestor`.
+    Inv {
+        /// Sharer to invalidate.
+        sharer: NodeId,
+        /// Core collecting the acks.
+        requestor: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// Sharer → requestor: invalidation done.
+    InvAck {
+        /// Core collecting the acks.
+        requestor: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// Ex-owner → home: copy-back after a `FwdGetS`/`FwdGetM`, releasing
+    /// the home's busy state (carries whether the owner kept a shared
+    /// copy).
+    CopyBack {
+        /// The line.
+        line: LineAddr,
+        /// The core that served the forward.
+        from: NodeId,
+        /// The requestor the data went to (the new owner/sharer).
+        requestor: NodeId,
+        /// Whether the server kept an S copy (FwdGetS) or invalidated
+        /// (FwdGetM).
+        kept_shared: bool,
+    },
+    /// Home → evicting core: `PutM` processed (or recognised as stale).
+    PutAck {
+        /// The evicting core.
+        core: NodeId,
+        /// The line.
+        line: LineAddr,
+    },
+}
+
+impl CohMessage {
+    /// The vnet this message travels on (request/forward/response classes
+    /// keep the protocol deadlock-free).
+    pub fn vnet(self) -> u8 {
+        match self {
+            CohMessage::GetS { .. } | CohMessage::GetM { .. } | CohMessage::PutM { .. } => {
+                VNET_COH_REQUEST
+            }
+            CohMessage::FwdGetS { .. } | CohMessage::FwdGetM { .. } | CohMessage::Inv { .. } => {
+                VNET_COH_FORWARD
+            }
+            CohMessage::Data { .. }
+            | CohMessage::InvAck { .. }
+            | CohMessage::CopyBack { .. }
+            | CohMessage::PutAck { .. } => VNET_COH_RESPONSE,
+        }
+    }
+
+    /// On-wire size: data-bearing messages carry a 64 B line + 8 B header.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            CohMessage::Data { .. } | CohMessage::CopyBack { .. } => 72,
+            CohMessage::PutM { dirty, .. }
+                if dirty => {
+                    72
+                }
+            _ => 8,
+        }
+    }
+
+    /// The line this message concerns.
+    pub fn line(self) -> LineAddr {
+        match self {
+            CohMessage::GetS { line, .. }
+            | CohMessage::GetM { line, .. }
+            | CohMessage::PutM { line, .. }
+            | CohMessage::Data { line, .. }
+            | CohMessage::FwdGetS { line, .. }
+            | CohMessage::FwdGetM { line, .. }
+            | CohMessage::Inv { line, .. }
+            | CohMessage::InvAck { line, .. }
+            | CohMessage::CopyBack { line, .. }
+            | CohMessage::PutAck { line, .. } => line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vnet_classes_are_disjoint_and_acyclic() {
+        let c = NodeId::new(0);
+        assert_eq!(CohMessage::GetS { core: c, line: 1 }.vnet(), VNET_COH_REQUEST);
+        assert_eq!(CohMessage::PutM { core: c, line: 1, dirty: true }.vnet(), VNET_COH_REQUEST);
+        assert_eq!(
+            CohMessage::Inv { sharer: c, requestor: c, line: 1 }.vnet(),
+            VNET_COH_FORWARD
+        );
+        assert_eq!(
+            CohMessage::FwdGetM { owner: c, requestor: c, line: 1 }.vnet(),
+            VNET_COH_FORWARD
+        );
+        assert_eq!(
+            CohMessage::Data { core: c, line: 1, exclusive: false, acks_needed: 0 }.vnet(),
+            VNET_COH_RESPONSE
+        );
+        assert_eq!(CohMessage::PutAck { core: c, line: 1 }.vnet(), VNET_COH_RESPONSE);
+    }
+
+    #[test]
+    fn data_messages_are_line_sized() {
+        let c = NodeId::new(2);
+        assert_eq!(CohMessage::PutM { core: c, line: 0, dirty: true }.size_bytes(), 72);
+        assert_eq!(CohMessage::PutM { core: c, line: 0, dirty: false }.size_bytes(), 8);
+        assert_eq!(CohMessage::GetS { core: c, line: 0 }.size_bytes(), 8);
+        assert_eq!(
+            CohMessage::CopyBack { line: 0, from: c, requestor: c, kept_shared: true }.size_bytes(),
+            72
+        );
+        assert_eq!(CohMessage::InvAck { requestor: c, line: 3 }.line(), 3);
+    }
+}

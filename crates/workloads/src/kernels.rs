@@ -1,0 +1,226 @@
+//! Input generators for the four SnackNoC linear-algebra kernels
+//! (paper Table III: SGEMM, Reduction, MAC, SPMV).
+//!
+//! Values are kept small (|x| < 8) so that 32-bit Q16.16 fixed-point
+//! evaluation on the RCUs cannot overflow for the kernel sizes used in the
+//! experiments.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The four SnackNoC kernels of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kernel {
+    /// Dense matrix–matrix multiplication (paper input: 4K×4K).
+    Sgemm,
+    /// Sum-reduction of a vector (paper input: 640M elements).
+    Reduction,
+    /// Element-wise multiply-accumulate of two vectors (paper: 640K).
+    Mac,
+    /// Sparse matrix × dense vector, 70 % sparsity (paper: 4096).
+    Spmv,
+}
+
+impl Kernel {
+    /// All four kernels, in paper order.
+    pub const ALL: [Kernel; 4] = [Kernel::Sgemm, Kernel::Reduction, Kernel::Mac, Kernel::Spmv];
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Sgemm => "SGEMM",
+            Kernel::Reduction => "Reduction",
+            Kernel::Mac => "MAC",
+            Kernel::Spmv => "SPMV",
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dense row-major matrix of `f64` samples.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DenseMatrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` entries.
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+}
+
+/// A sparse matrix in compressed-sparse-row form.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CsrMatrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes the entries of row `r`.
+    pub row_ptr: Vec<usize>,
+    /// Column index of each stored entry.
+    pub col_idx: Vec<usize>,
+    /// Value of each stored entry.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are zero.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Dense `y = A x` reference product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                (self.row_ptr[r]..self.row_ptr[r + 1])
+                    .map(|i| self.values[i] * x[self.col_idx[i]])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+fn small_value(rng: &mut StdRng) -> f64 {
+    // Uniform in [-2, 2), quantised to 1/256 so fixed-point round trips are
+    // exact in Q16.16.
+    (rng.random_range(-512i32..512) as f64) / 256.0
+}
+
+/// Generates a `rows × cols` dense matrix with seeded small values.
+pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| small_value(&mut rng)).collect();
+    DenseMatrix { rows, cols, data }
+}
+
+/// Generates a length-`n` vector with seeded small values.
+pub fn vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| small_value(&mut rng)).collect()
+}
+
+/// Generates an `n × n` CSR matrix with the given `sparsity` (fraction of
+/// zero entries — the paper uses 0.7 for SPMV).
+///
+/// Every row is guaranteed at least one stored entry so row reductions are
+/// never empty.
+pub fn sparse_matrix(n: usize, sparsity: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..n {
+        let row_start = values.len();
+        for c in 0..n {
+            if rng.random::<f64>() >= sparsity {
+                col_idx.push(c);
+                values.push(small_value(&mut rng));
+            }
+        }
+        if values.len() == row_start {
+            // Guarantee a non-empty row.
+            col_idx.push(rng.random_range(0..n));
+            values.push(small_value(&mut rng));
+        }
+        row_ptr.push(values.len());
+    }
+    CsrMatrix { rows: n, cols: n, row_ptr, col_idx, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_is_seeded_and_sized() {
+        let a = dense_matrix(8, 6, 1);
+        let b = dense_matrix(8, 6, 1);
+        let c = dense_matrix(8, 6, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.data.len(), 48);
+        assert!(a.data.iter().all(|v| v.abs() <= 2.0));
+        assert_eq!(a.at(7, 5), a.data[47]);
+    }
+
+    #[test]
+    fn sparse_matrix_has_requested_sparsity() {
+        let m = sparse_matrix(64, 0.7, 3);
+        let s = m.sparsity();
+        assert!((0.6..0.8).contains(&s), "sparsity {s}");
+        assert_eq!(m.row_ptr.len(), 65);
+        // Every row non-empty.
+        for r in 0..64 {
+            assert!(m.row_ptr[r + 1] > m.row_ptr[r]);
+        }
+        // Column indices in range and sorted per row.
+        for r in 0..64 {
+            let cols = &m.col_idx[m.row_ptr[r]..m.row_ptr[r + 1]];
+            assert!(cols.iter().all(|&c| c < 64));
+            assert!(cols.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn csr_multiply_matches_dense() {
+        let m = sparse_matrix(16, 0.5, 9);
+        let x = vector(16, 10);
+        let y = m.multiply(&x);
+        // Dense reference.
+        let mut dense = vec![vec![0.0; 16]; 16];
+        for (r, row) in dense.iter_mut().enumerate() {
+            for i in m.row_ptr[r]..m.row_ptr[r + 1] {
+                row[m.col_idx[i]] += m.values[i];
+            }
+        }
+        for (r, row) in dense.iter().enumerate() {
+            let want: f64 = (0..16).map(|c| row[c] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn values_are_fixed_point_exact() {
+        // Quantised to 1/256: representable exactly in Q16.16.
+        for v in vector(100, 5) {
+            let q = (v * 65536.0).round() / 65536.0;
+            assert_eq!(v, q);
+        }
+    }
+
+    #[test]
+    fn kernel_names() {
+        assert_eq!(Kernel::ALL.len(), 4);
+        assert_eq!(Kernel::Sgemm.to_string(), "SGEMM");
+    }
+}

@@ -1,0 +1,51 @@
+//! # snacknoc-workloads
+//!
+//! Synthetic CMP traffic models for the 16 benchmark applications of the
+//! SnackNoC paper (Table III: PARSEC 3.0, Splash2X and FastForward2 suites),
+//! plus input generators for the four linear-algebra kernels.
+//!
+//! The paper drives its NoC with SynchroTrace traces of the real
+//! applications; those traces are not available, so each benchmark is
+//! modelled as a **closed-loop phase program**: every core issues cache/
+//! memory requests through a bounded outstanding-request window, paced by
+//! per-phase mean intervals and burstiness, toward per-phase destination
+//! distributions (distributed L2 banks, corner memory controllers, or
+//! neighbours). Because the loop is closed, added NoC contention delays
+//! responses, which delays subsequent issues — so *application runtime is
+//! an emergent function of network interference*, exactly the quantity the
+//! paper's QoS experiments (Figs. 12–13) measure.
+//!
+//! Profiles are calibrated against the utilization characterisation in
+//! §II-A of the paper (e.g. FMM median crossbar utilization ≈ 0.8 %,
+//! Cholesky ≈ 0.5 %, LULESH ≈ 9.3 % with spikes to ≈ 36 %, Graph500 median
+//! ≈ 13 % with spikes to ≈ 42 %, Radix ≈ 20× CoMD's relative load).
+//!
+//! ## Example
+//!
+//! ```
+//! use snacknoc_workloads::{suite, runner};
+//! use snacknoc_noc::NocConfig;
+//!
+//! let profile = suite::profile(suite::Benchmark::Fmm).scaled(0.02);
+//! let result = runner::run_benchmark(&profile, NocConfig::dapper(), 7).unwrap();
+//! assert!(result.runtime_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod engine;
+mod hashrand;
+pub mod kernels;
+pub mod message;
+pub mod profile;
+pub mod runner;
+pub mod suite;
+pub mod trace;
+
+pub use engine::TrafficEngine;
+pub use message::CmpMessage;
+pub use profile::{BenchmarkProfile, DestModel, Phase};
+pub use runner::{run_benchmark, RunResult};
+pub use suite::Benchmark;

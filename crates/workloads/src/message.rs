@@ -1,0 +1,90 @@
+//! The CMP coherence/memory message vocabulary carried by communication
+//! packets.
+
+use snacknoc_noc::NodeId;
+
+/// A baseline CMP communication message: the request/response protocol the
+//  traffic engine plays over the NoC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpMessage {
+    /// A read request from `core` to an L2 bank or memory controller.
+    ReadReq {
+        /// The issuing core's node.
+        core: NodeId,
+        /// Per-core request sequence number.
+        req_id: u64,
+    },
+    /// A write/writeback request (carries a data payload on the wire).
+    WriteReq {
+        /// The issuing core's node.
+        core: NodeId,
+        /// Per-core request sequence number.
+        req_id: u64,
+    },
+    /// A data response to a [`CmpMessage::ReadReq`].
+    ReadResp {
+        /// The core awaiting the data.
+        core: NodeId,
+        /// Request being answered.
+        req_id: u64,
+    },
+    /// An acknowledgement of a [`CmpMessage::WriteReq`].
+    WriteAck {
+        /// The core awaiting the ack.
+        core: NodeId,
+        /// Request being answered.
+        req_id: u64,
+    },
+}
+
+impl CmpMessage {
+    /// Whether this is a request (travels on the request vnet).
+    pub fn is_request(self) -> bool {
+        matches!(self, CmpMessage::ReadReq { .. } | CmpMessage::WriteReq { .. })
+    }
+
+    /// The core that originated the transaction.
+    pub fn core(self) -> NodeId {
+        match self {
+            CmpMessage::ReadReq { core, .. }
+            | CmpMessage::WriteReq { core, .. }
+            | CmpMessage::ReadResp { core, .. }
+            | CmpMessage::WriteAck { core, .. } => core,
+        }
+    }
+
+    /// On-wire size in bytes: control messages are 8 B, data-bearing
+    /// messages carry a 64 B cache block plus an 8 B header.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            CmpMessage::ReadReq { .. } | CmpMessage::WriteAck { .. } => 8,
+            CmpMessage::WriteReq { .. } | CmpMessage::ReadResp { .. } => 72,
+        }
+    }
+}
+
+/// Virtual network used by CMP requests.
+pub const VNET_REQUEST: u8 = 0;
+/// Virtual network used by CMP responses (separate from requests to avoid
+/// protocol deadlock in the closed request/response loop).
+pub const VNET_RESPONSE: u8 = 1;
+/// Virtual network dedicated to SnackNoC tokens (paper §III-B).
+pub const VNET_SNACK: u8 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_classes() {
+        let c = NodeId::new(3);
+        assert!(CmpMessage::ReadReq { core: c, req_id: 0 }.is_request());
+        assert!(CmpMessage::WriteReq { core: c, req_id: 0 }.is_request());
+        assert!(!CmpMessage::ReadResp { core: c, req_id: 0 }.is_request());
+        assert!(!CmpMessage::WriteAck { core: c, req_id: 0 }.is_request());
+        assert_eq!(CmpMessage::ReadReq { core: c, req_id: 0 }.size_bytes(), 8);
+        assert_eq!(CmpMessage::ReadResp { core: c, req_id: 0 }.size_bytes(), 72);
+        assert_eq!(CmpMessage::WriteReq { core: c, req_id: 0 }.size_bytes(), 72);
+        assert_eq!(CmpMessage::ReadReq { core: c, req_id: 9 }.core(), c);
+    }
+}

@@ -1,0 +1,178 @@
+//! Benchmark traffic profiles: phase programs describing how each CMP
+//! application loads the NoC over its execution.
+
+use std::fmt;
+
+/// Where a phase's requests are addressed.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DestModel {
+    /// Block-interleaved shared L2: destinations uniform over all nodes
+    /// (the common case for structured shared-memory applications).
+    L2Interleaved,
+    /// Off-chip phases: destinations are the corner memory controllers.
+    MemoryHotspot,
+    /// A mixture: `mem_fraction` of requests go to memory controllers, the
+    /// rest to L2 banks.
+    Mixed {
+        /// Fraction of requests addressed to memory controllers (`0..=1`).
+        mem_fraction: f64,
+    },
+    /// Nearest-neighbour exchange (stencil/particle codes): destinations
+    /// are mesh neighbours of the issuing core.
+    Neighbor,
+}
+
+/// One execution phase of a benchmark.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Phase {
+    /// Requests each core issues during this phase.
+    pub requests_per_core: u64,
+    /// Mean think cycles between a slot's response arriving and that slot
+    /// issuing its next request (exponential). Effective per-core request
+    /// rate ≈ `outstanding / (think_time + transaction latency)`, so
+    /// application runtime responds to NoC latency.
+    pub think_time: f64,
+    /// Burstiness in `[0, 1]`: fraction of traffic compressed into on/off
+    /// bursts. 0 = smooth Poisson arrivals, 1 = highly clustered.
+    pub burstiness: f64,
+    /// Destination distribution.
+    pub dest: DestModel,
+    /// Fraction of requests that are writes (writes carry data out, acks
+    /// return; reads send control out, data returns).
+    pub write_fraction: f64,
+}
+
+impl Phase {
+    /// A smooth phase addressed at the distributed L2.
+    pub fn smooth(requests_per_core: u64, think_time: f64) -> Self {
+        Phase {
+            requests_per_core,
+            think_time,
+            burstiness: 0.0,
+            dest: DestModel::L2Interleaved,
+            write_fraction: 0.3,
+        }
+    }
+
+    /// Sets the burstiness.
+    pub fn with_burstiness(mut self, b: f64) -> Self {
+        self.burstiness = b;
+        self
+    }
+
+    /// Sets the destination model.
+    pub fn with_dest(mut self, dest: DestModel) -> Self {
+        self.dest = dest;
+        self
+    }
+
+    /// Sets the write fraction.
+    pub fn with_writes(mut self, f: f64) -> Self {
+        self.write_fraction = f;
+        self
+    }
+}
+
+/// A complete benchmark model: an ordered phase program plus the core's
+/// memory-level parallelism.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (paper Table III).
+    pub name: &'static str,
+    /// Ordered phases; every core walks the program independently.
+    pub phases: Vec<Phase>,
+    /// Maximum outstanding requests per core (MLP window).
+    pub outstanding: usize,
+}
+
+impl BenchmarkProfile {
+    /// Total requests each core issues across all phases.
+    pub fn requests_per_core(&self) -> u64 {
+        self.phases.iter().map(|p| p.requests_per_core).sum()
+    }
+
+    /// Returns a copy with every phase's request quota scaled by `factor`
+    /// (rounded up to at least 1 request). Used to shrink paper-scale
+    /// multi-billion-cycle workloads to CI-scale runs while preserving the
+    /// phase structure and intensities.
+    pub fn scaled(&self, factor: f64) -> BenchmarkProfile {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| Phase {
+                requests_per_core: ((p.requests_per_core as f64 * factor).ceil() as u64).max(1),
+                ..*p
+            })
+            .collect();
+        BenchmarkProfile { name: self.name, phases, outstanding: self.outstanding }
+    }
+
+    /// Approximate zero-load request rate in requests per core per cycle:
+    /// each of the `outstanding` slots completes one request per think
+    /// time (ignoring transaction latency).
+    pub fn mean_request_rate(&self) -> f64 {
+        let total: u64 = self.requests_per_core();
+        if total == 0 {
+            return 0.0;
+        }
+        let slot_cycles: f64 =
+            self.phases.iter().map(|p| p.requests_per_core as f64 * p.think_time).sum();
+        total as f64 / (slot_cycles / self.outstanding as f64)
+    }
+}
+
+impl fmt::Display for BenchmarkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} phases, {} req/core)",
+            self.name,
+            self.phases.len(),
+            self.requests_per_core()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "test",
+            phases: vec![Phase::smooth(100, 50.0), Phase::smooth(200, 10.0).with_burstiness(0.5)],
+            outstanding: 8,
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let p = sample();
+        assert_eq!(p.requests_per_core(), 300);
+        let rate = p.mean_request_rate();
+        // 300 requests over (100*50 + 200*10) / 8 slots = 875 slot-cycles.
+        assert!((rate - 300.0 / 875.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let p = sample().scaled(0.01);
+        assert_eq!(p.phases.len(), 2);
+        assert_eq!(p.phases[0].requests_per_core, 1);
+        assert_eq!(p.phases[1].requests_per_core, 2);
+        assert_eq!(p.phases[1].burstiness, 0.5);
+        assert_eq!(p.outstanding, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = sample().scaled(0.0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(sample().to_string().contains("test"));
+    }
+}

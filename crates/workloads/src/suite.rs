@@ -1,0 +1,307 @@
+//! The 16-benchmark suite of paper Table III, modelled as phase programs.
+//!
+//! Each profile is calibrated so that, on the paper's DAPPER 4×4 baseline,
+//! the *relative* NoC load matches the characterisation in §II-A of the
+//! paper: FMM and Cholesky in the low-utilization quartile (median router
+//! crossbar usage well under 1 %), LULESH medium-high (~9 % median with
+//! spikes), Graph500 high (~13 % median, spikes past 40 %), and Radix
+//! sustaining roughly 20× CoMD's relative utilization.
+
+use crate::profile::{BenchmarkProfile, DestModel, Phase};
+
+/// The 16 CMP benchmark applications (paper Table III).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Benchmark {
+    /// Splash2X N-body simulation (32768 particles).
+    Barnes,
+    /// PARSEC EDA kernel (100K nets) — unstructured, cache-miss heavy.
+    Canneal,
+    /// FastForward2 molecular dynamics proxy.
+    CoMD,
+    /// Splash2X complex 1D FFT (64K points) — all-to-all transposes.
+    Fft,
+    /// Splash2X dense matrix triangulation (1500×1500).
+    Lu,
+    /// Shock hydrodynamics proxy (30³ mesh, 20 iterations).
+    Lulesh,
+    /// Splash2X matrix factorization (tk29) — low utilization.
+    Cholesky,
+    /// Splash2X fast multipole N-body (16384 particles) — low utilization.
+    Fmm,
+    /// Splash2X graphics radiosity.
+    Radiosity,
+    /// Splash2X integer sort (64M keys) — sustained heavy traffic.
+    Radix,
+    /// PARSEC 3D rendering (4 balls) — bursty, buffer-sensitive.
+    Raytrace,
+    /// Splash2X volume rendering.
+    Volrend,
+    /// Splash2X molecular dynamics, O(n²) forces.
+    WaterNSquared,
+    /// Splash2X molecular dynamics, spatial decomposition.
+    WaterSpatial,
+    /// Monte Carlo neutron transport lookup kernel (15M lookups).
+    XsBench,
+    /// Graph500 BFS (R-MAT scale 15) — high, phase-heavy traffic.
+    Graph500,
+}
+
+impl Benchmark {
+    /// All benchmarks, in paper Table III order.
+    pub const ALL: [Benchmark; 16] = [
+        Benchmark::Barnes,
+        Benchmark::Canneal,
+        Benchmark::CoMD,
+        Benchmark::Fft,
+        Benchmark::Lu,
+        Benchmark::Lulesh,
+        Benchmark::Cholesky,
+        Benchmark::Fmm,
+        Benchmark::Radiosity,
+        Benchmark::Radix,
+        Benchmark::Raytrace,
+        Benchmark::Volrend,
+        Benchmark::WaterNSquared,
+        Benchmark::WaterSpatial,
+        Benchmark::XsBench,
+        Benchmark::Graph500,
+    ];
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Barnes => "Barnes",
+            Benchmark::Canneal => "Canneal",
+            Benchmark::CoMD => "CoMD",
+            Benchmark::Fft => "FFT",
+            Benchmark::Lu => "LU",
+            Benchmark::Lulesh => "LULESH",
+            Benchmark::Cholesky => "Cholesky",
+            Benchmark::Fmm => "FMM",
+            Benchmark::Radiosity => "Radiosity",
+            Benchmark::Radix => "Radix",
+            Benchmark::Raytrace => "Raytrace",
+            Benchmark::Volrend => "Volrend",
+            Benchmark::WaterNSquared => "Water-NSquared",
+            Benchmark::WaterSpatial => "Water-Spatial",
+            Benchmark::XsBench => "XSBench",
+            Benchmark::Graph500 => "Graph500",
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The traffic profile for `benchmark`, at full (paper) scale.
+///
+/// Full-scale profiles run for tens of millions of cycles; use
+/// [`BenchmarkProfile::scaled`] to shrink them for CI-scale experiments.
+pub fn profile(benchmark: Benchmark) -> BenchmarkProfile {
+    use Benchmark::*;
+    let mixed = |f| DestModel::Mixed { mem_fraction: f };
+    let (phases, outstanding): (Vec<Phase>, usize) = match benchmark {
+        Barnes => (
+            // 4 timesteps: bursty tree build (memory), then smooth force
+            // computation over shared data.
+            std::iter::repeat_n(
+                [
+                    Phase::smooth(800, 1_090.0).with_burstiness(0.6).with_dest(mixed(0.5)),
+                    Phase::smooth(2_000, 2_750.0),
+                ],
+                4,
+            )
+            .flatten()
+            .collect(),
+            2,
+        ),
+        Canneal => (
+            // Unstructured random swaps: steady cache-missing traffic.
+            vec![Phase::smooth(30_000, 730.0).with_burstiness(0.2).with_dest(mixed(0.5))],
+            2,
+        ),
+        CoMD => (
+            // Halo exchanges with neighbours between quiet compute spans.
+            std::iter::repeat_n(
+                [
+                    Phase::smooth(400, 1_775.0)
+                        .with_burstiness(0.4)
+                        .with_dest(DestModel::Neighbor),
+                    Phase::smooth(1_200, 4_750.0),
+                ],
+                5,
+            )
+            .flatten()
+            .collect(),
+            2,
+        ),
+        Fft => (
+            // Quiet butterfly compute alternating with all-to-all transposes.
+            std::iter::repeat_n(
+                [
+                    Phase::smooth(1_500, 5_950.0),
+                    Phase::smooth(4_000, 250.0).with_burstiness(0.3).with_writes(0.5),
+                ],
+                3,
+            )
+            .flatten()
+            .collect(),
+            2,
+        ),
+        Lu => (
+            // Shrinking active set: utilization decays across the run.
+            vec![
+                Phase::smooth(8_000, 950.0).with_burstiness(0.2),
+                Phase::smooth(6_000, 1_550.0).with_burstiness(0.2),
+                Phase::smooth(4_000, 2_950.0).with_burstiness(0.2),
+            ],
+            2,
+        ),
+        Lulesh => (
+            // 20 hydro iterations: heavy neighbour/L2 communication spikes
+            // between quieter stress phases (paper Fig. 2(a)-3).
+            std::iter::repeat_n(
+                [
+                    Phase::smooth(1_200, 80.0).with_dest(mixed(0.25)),
+                    Phase::smooth(3_000, 430.0),
+                ],
+                20,
+            )
+            .flatten()
+            .collect(),
+            2,
+        ),
+        Cholesky => (
+            // Sparse factorization of tk29: very low, slightly lumpy load
+            // (paper: 0.5 % median crossbar usage).
+            vec![Phase::smooth(6_000, 7_550.0).with_burstiness(0.1)],
+            2,
+        ),
+        Fmm => (
+            // Multipole passes: mostly quiet with short interaction bursts
+            // (paper: 0.8 % median crossbar usage).
+            std::iter::repeat_n(
+                [
+                    Phase::smooth(500, 1_550.0).with_burstiness(0.7),
+                    Phase::smooth(2_000, 5_550.0),
+                ],
+                4,
+            )
+            .flatten()
+            .collect(),
+            2,
+        ),
+        Radiosity => (
+            vec![Phase::smooth(9_000, 4_350.0).with_burstiness(0.3)],
+            2,
+        ),
+        Radix => (
+            // Streaming integer sort: sustained traffic ≈20× CoMD's rate,
+            // with heavy writeback (key permutation) to memory.
+            vec![Phase::smooth(120_000, 100.0).with_writes(0.5).with_dest(mixed(0.6))],
+            2,
+        ),
+        Raytrace => (
+            // Mostly idle with localized contention bursts — the benchmark
+            // the paper uses for the buffer-occupancy CDF (Fig. 3).
+            vec![Phase::smooth(18_000, 1_320.0).with_burstiness(0.8).with_dest(mixed(0.3))],
+            2,
+        ),
+        Volrend => (
+            vec![Phase::smooth(12_000, 1_950.0).with_burstiness(0.5)],
+            2,
+        ),
+        WaterNSquared => (
+            vec![Phase::smooth(7_000, 3_550.0).with_burstiness(0.3)],
+            2,
+        ),
+        WaterSpatial => (
+            std::iter::repeat_n(
+                [
+                    Phase::smooth(600, 2_375.0).with_dest(DestModel::Neighbor),
+                    Phase::smooth(1_400, 5_150.0),
+                ],
+                4,
+            )
+            .flatten()
+            .collect(),
+            2,
+        ),
+        XsBench => (
+            // Random cross-section table lookups: steady mixed L2/memory.
+            vec![Phase::smooth(40_000, 890.0).with_dest(mixed(0.5))],
+            2,
+        ),
+        Graph500 => (
+            // BFS: quiet construction, then wave-front levels that swell and
+            // shrink (paper Fig. 2(a)-4: quiet start, heavy after 2B cycles).
+            vec![
+                Phase::smooth(800, 4_950.0),
+                Phase::smooth(8_000, 180.0).with_burstiness(0.1).with_dest(mixed(0.4)),
+                Phase::smooth(3_000, 10.0).with_dest(mixed(0.4)),
+                Phase::smooth(45_000, 170.0).with_burstiness(0.1).with_dest(mixed(0.4)),
+                Phase::smooth(12_000, 330.0).with_burstiness(0.1),
+            ],
+            2,
+        ),
+    };
+    BenchmarkProfile { name: benchmark.name(), phases, outstanding }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_wellformed() {
+        for b in Benchmark::ALL {
+            let p = profile(b);
+            assert!(!p.phases.is_empty(), "{b} has phases");
+            assert!(p.outstanding > 0);
+            assert!(p.requests_per_core() > 0);
+            for ph in &p.phases {
+                assert!(ph.think_time >= 1.0, "{b} think time sane");
+                assert!((0.0..=1.0).contains(&ph.burstiness));
+                assert!((0.0..=1.0).contains(&ph.write_fraction));
+            }
+        }
+    }
+
+    #[test]
+    fn radix_is_about_twenty_times_comd() {
+        // Paper §V-C: "Radix consistently generates traffic to the NoC
+        // routers at higher relative utilization ... approximately 20×
+        // greater than CoMD".
+        let radix = profile(Benchmark::Radix).mean_request_rate();
+        let comd = profile(Benchmark::CoMD).mean_request_rate();
+        // `mean_request_rate` is the zero-latency nominal rate; Radix is
+        // latency-bound (short think times), so its *achieved* rate is
+        // roughly half nominal, landing the achieved ratio near the paper's
+        // ~20x. The nominal ratio sits in a correspondingly wider band; the
+        // achieved ordering is covered by the runner tests.
+        let ratio = radix / comd;
+        assert!((15.0..60.0).contains(&ratio), "radix/comd rate ratio {ratio}");
+    }
+
+    #[test]
+    fn quartile_ordering_matches_paper() {
+        // FMM and Cholesky are low-utilization; LULESH medium-high;
+        // Graph500 and Radix high.
+        let rate = |b| profile(b).mean_request_rate();
+        assert!(rate(Benchmark::Fmm) < rate(Benchmark::Lulesh));
+        assert!(rate(Benchmark::Cholesky) < rate(Benchmark::Lulesh));
+        assert!(rate(Benchmark::Lulesh) < rate(Benchmark::Radix));
+        assert!(rate(Benchmark::Cholesky) < rate(Benchmark::Graph500));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+}

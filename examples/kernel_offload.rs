@@ -1,0 +1,48 @@
+//! Kernel offload: run the paper's four linear-algebra kernels (SGEMM,
+//! Reduction, MAC, SPMV — Table III) on a zero-load SnackNoC and compare
+//! against the multicore CPU baseline model, reproducing the shape of
+//! Fig. 9.
+//!
+//! Run with: `cargo run --release --example kernel_offload`
+
+use snacknoc::compiler::{build, op_count, sim_size, MapperConfig};
+use snacknoc::core::SnackPlatform;
+use snacknoc::cpu::{CpuKernel, CpuModel};
+use snacknoc::noc::NocConfig;
+use snacknoc::workloads::kernels::Kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cpu = CpuModel::haswell();
+    println!("Kernel offload: SnackNoC (16 RCUs @ 1 GHz) vs {} @ {} GHz\n", cpu.name, cpu.freq_ghz);
+    for kernel in Kernel::ALL {
+        let size = sim_size(kernel);
+        let built = build(kernel, size, 42);
+
+        let mut platform = SnackPlatform::new(NocConfig::default())?;
+        let compiled = built.context.compile(built.root, &MapperConfig::for_mesh(platform.mesh()))?;
+        let run = platform.run_kernel(&compiled, 10_000_000)?.expect("kernel finishes");
+        let reference = built.context.interpret(built.root)?;
+        assert_eq!(run.outputs, reference, "{kernel}: bit-exact check");
+
+        let snack_s = run.cycles as f64 / 1e9;
+        let ops = op_count(kernel, size);
+        let ck = match kernel {
+            Kernel::Sgemm => CpuKernel::Sgemm,
+            Kernel::Reduction => CpuKernel::Reduction,
+            Kernel::Mac => CpuKernel::Mac,
+            Kernel::Spmv => CpuKernel::Spmv,
+        };
+        let one_core = cpu.kernel_seconds(ck, ops, 1);
+        let eight_core = cpu.kernel_seconds(ck, ops, 8);
+        println!(
+            "{:<9} size {:>6}: {:>8} cycles on SnackNoC | {:.2}x vs 1 core, 8 cores reach {:.2}x",
+            kernel.name(),
+            size,
+            run.cycles,
+            one_core / snack_s,
+            one_core / eight_core,
+        );
+    }
+    println!("\nPaper Fig. 9: SGEMM 6.15x, Reduction 2.76x, MAC 2.57x, SPMV 2.09x vs one core.");
+    Ok(())
+}

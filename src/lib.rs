@@ -1,0 +1,23 @@
+//! # snacknoc
+//!
+//! Facade crate for the SnackNoC (HPCA 2020) reproduction: re-exports every
+//! workspace crate under one roof so examples and downstream users can
+//! depend on a single crate.
+//!
+//! * [`noc`] — the cycle-level virtual-channel mesh NoC simulator.
+//! * [`workloads`] — synthetic CMP benchmark traffic models.
+//! * [`core`] — the SnackNoC platform (CPM, RCUs, tokens, transient ring).
+//! * [`compiler`] — the programming model and JIT kernel compiler.
+//! * [`cpu`] — the multicore CPU baseline performance model.
+//! * [`cost`] — the 45 nm area/power cost model.
+//!
+//! See the repository README for a tour and `examples/` for runnable demos.
+
+#![forbid(unsafe_code)]
+
+pub use snacknoc_compiler as compiler;
+pub use snacknoc_core as core;
+pub use snacknoc_cost as cost;
+pub use snacknoc_cpu as cpu;
+pub use snacknoc_noc as noc;
+pub use snacknoc_workloads as workloads;

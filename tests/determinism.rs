@@ -1,0 +1,66 @@
+//! Whole-stack determinism: identical seeds must reproduce identical
+//! simulations bit-for-bit, across every subsystem at once. This guards
+//! the common-random-numbers machinery the experiments rely on (any
+//! accidental dependence on iteration order or ambient randomness breaks
+//! the paper comparisons silently).
+
+use snacknoc::compiler::{build, MapperConfig};
+use snacknoc::core::SnackPlatform;
+use snacknoc::noc::{NocConfig, TrafficClass};
+use snacknoc::workloads::kernels::Kernel;
+use snacknoc::workloads::suite::{profile, Benchmark};
+
+/// A fingerprint of a multi-program run that any nondeterminism would
+/// perturb.
+fn fingerprint(seed: u64) -> (u64, u64, f64, u64, u64) {
+    let mut p = SnackPlatform::new(
+        NocConfig::dapper().with_priority_arbitration(true).with_sample_window(500),
+    )
+    .expect("valid platform");
+    let built = build(Kernel::Spmv, 48, seed);
+    let kernel = built
+        .context
+        .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
+        .expect("compiles");
+    p.attach_workload(&profile(Benchmark::Graph500).scaled(0.0008), seed);
+    let run = p.run_multiprogram(Some(&kernel), u64::MAX / 2);
+    assert!(run.app_finished);
+    let comm = run.stats.class(TrafficClass::Communication);
+    (
+        run.app_runtime,
+        run.kernels_completed,
+        run.stats.median_crossbar_utilization(),
+        comm.latency_sum,
+        p.rcu_stats().executed,
+    )
+}
+
+#[test]
+fn multiprogram_runs_are_bit_reproducible() {
+    let a = fingerprint(41);
+    let b = fingerprint(41);
+    assert_eq!(a, b, "same seed, same universe");
+    let c = fingerprint(42);
+    assert_ne!(a, c, "different seeds diverge");
+}
+
+#[test]
+fn kernel_results_do_not_depend_on_interference() {
+    // QoS may change *when* a kernel finishes, never *what* it computes.
+    let built = build(Kernel::Sgemm, 16, 7);
+    let reference = built.context.interpret(built.root).expect("interpretable");
+    for (arb, attach) in [(false, false), (true, false), (false, true), (true, true)] {
+        let mut p = SnackPlatform::new(NocConfig::dapper().with_priority_arbitration(arb))
+            .expect("valid platform");
+        let kernel = built
+            .context
+            .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
+            .expect("compiles");
+        if attach {
+            p.attach_workload(&profile(Benchmark::Radix).scaled(0.0005), 3);
+            p.run(1_000);
+        }
+        let run = p.run_kernel(&kernel, 10_000_000).expect("idle").expect("finishes");
+        assert_eq!(run.outputs, reference, "arb={arb} attach={attach}");
+    }
+}
