@@ -1,11 +1,11 @@
-//! Criterion: ablations of the design choices DESIGN.md §6 calls out.
-//! Each benchmark simulates the same work under the design-on and
-//! design-off variants; the *simulated-cycle* comparison (the
-//! architectural result) is produced by `cargo run --bin ablation_report`,
-//! while this harness tracks the host-side simulation cost of each
-//! variant.
+//! Ablations of the design choices DESIGN.md §6 calls out. Each benchmark
+//! simulates the same work under the design-on and design-off variants;
+//! the *simulated-cycle* comparison (the architectural result) is produced
+//! by `cargo run --bin ablation_report`, while this harness tracks the
+//! host-side simulation cost of each variant. Runs on the in-repo
+//! wall-clock harness (`snacknoc_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_bench::harness::Harness;
 use snacknoc_compiler::{build, MapperConfig};
 use snacknoc_core::SnackPlatform;
 use snacknoc_noc::NocConfig;
@@ -14,50 +14,45 @@ use snacknoc_workloads::suite::{profile, Benchmark};
 
 /// MAC fusion on vs off: fused inner products keep partial sums in the
 /// accumulator; unfused ones push every product through the ring.
-fn bench_mac_fusion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_mac_fusion");
+fn bench_mac_fusion(h: &mut Harness) {
     for fusion in [true, false] {
-        group.bench_with_input(BenchmarkId::new("sgemm12", fusion), &fusion, |b, &fusion| {
-            let built = build(Kernel::Sgemm, 12, 7);
-            let sample = SnackPlatform::new(NocConfig::default()).unwrap();
-            let cfg = MapperConfig::for_mesh(sample.mesh()).with_mac_fusion(fusion);
-            let kernel = built.context.compile(built.root, &cfg).unwrap();
-            b.iter_batched(
-                || SnackPlatform::new(NocConfig::default()).unwrap(),
-                |mut p| p.run_kernel(&kernel, 5_000_000).unwrap().expect("finishes"),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        let built = build(Kernel::Sgemm, 12, 7);
+        let sample = SnackPlatform::new(NocConfig::default()).unwrap();
+        let cfg = MapperConfig::for_mesh(sample.mesh()).with_mac_fusion(fusion);
+        let kernel = built.context.compile(built.root, &cfg).unwrap();
+        h.bench_with_setup(
+            &format!("ablation_mac_fusion/sgemm12/{fusion}"),
+            || SnackPlatform::new(NocConfig::default()).unwrap(),
+            |mut p| p.run_kernel(&kernel, 5_000_000).unwrap().expect("finishes"),
+        );
     }
-    group.finish();
 }
 
 /// Priority arbitration on vs off under mixed CMP + kernel traffic.
-fn bench_priority_arbitration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_priority_arb");
-    group.sample_size(10);
+fn bench_priority_arbitration(h: &mut Harness) {
     for arb in [true, false] {
-        group.bench_with_input(BenchmarkId::new("radix+sgemm", arb), &arb, |b, &arb| {
-            let workload = profile(Benchmark::Radix).scaled(0.0002);
-            let built = build(Kernel::Sgemm, 12, 7);
-            b.iter_batched(
-                || {
-                    let cfg = NocConfig::dapper().with_priority_arbitration(arb);
-                    let mut p = SnackPlatform::new(cfg).unwrap();
-                    let kernel = built
-                        .context
-                        .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
-                        .unwrap();
-                    p.attach_workload(&workload, 3);
-                    (p, kernel)
-                },
-                |(mut p, kernel)| p.run_multiprogram(Some(&kernel), u64::MAX / 2),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        let workload = profile(Benchmark::Radix).scaled(0.0002);
+        let built = build(Kernel::Sgemm, 12, 7);
+        h.bench_with_setup(
+            &format!("ablation_priority_arb/radix+sgemm/{arb}"),
+            || {
+                let cfg = NocConfig::dapper().with_priority_arbitration(arb);
+                let mut p = SnackPlatform::new(cfg).unwrap();
+                let kernel = built
+                    .context
+                    .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
+                    .unwrap();
+                p.attach_workload(&workload, 3);
+                (p, kernel)
+            },
+            |(mut p, kernel)| p.run_multiprogram(Some(&kernel), u64::MAX / 2),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mac_fusion, bench_priority_arbitration);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("ablations");
+    bench_mac_fusion(&mut h);
+    bench_priority_arbitration(&mut h);
+    h.finish();
+}

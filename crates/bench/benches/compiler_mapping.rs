@@ -1,42 +1,32 @@
-//! Criterion: JIT-compilation cost — graph construction, post-order
-//! mapping, round-robin scheduling and dependent counting. The paper's
-//! runtime compiles kernels just-in-time, so mapping speed matters.
+//! JIT-compilation cost — graph construction, post-order mapping,
+//! round-robin scheduling and dependent counting. The paper's runtime
+//! compiles kernels just-in-time, so mapping speed matters. Runs on the
+//! in-repo wall-clock harness (`snacknoc_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_bench::harness::Harness;
 use snacknoc_compiler::{build, MapperConfig};
 use snacknoc_noc::Mesh;
 use snacknoc_workloads::kernels::Kernel;
 
-fn bench_mapping(c: &mut Criterion) {
+fn main() {
     let mesh = Mesh::new(4, 4);
     let cfg = MapperConfig::for_mesh(&mesh);
-    let mut group = c.benchmark_group("jit");
+    let mut h = Harness::from_env("compiler_mapping");
     for (kernel, size) in
         [(Kernel::Sgemm, 32), (Kernel::Reduction, 16_384), (Kernel::Mac, 8_192), (Kernel::Spmv, 96)]
     {
         let built = build(kernel, size, 42);
-        group.bench_with_input(
-            BenchmarkId::new("compile", format!("{kernel}-{size}")),
-            &built,
-            |b, built| {
-                b.iter(|| built.context.compile(built.root, &cfg).expect("compiles"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("interpret", format!("{kernel}-{size}")),
-            &built,
-            |b, built| b.iter(|| built.context.interpret(built.root).expect("interprets")),
-        );
+        h.bench(&format!("jit/compile/{kernel}-{size}"), || {
+            built.context.compile(built.root, &cfg).expect("compiles")
+        });
+        h.bench(&format!("jit/interpret/{kernel}-{size}"), || {
+            built.context.interpret(built.root).expect("interprets")
+        });
     }
-    group.finish();
 
     // Validation pass alone (the CPM runs it on submit).
     let built = build(Kernel::Sgemm, 32, 42);
     let compiled = built.context.compile(built.root, &cfg).unwrap();
-    c.bench_function("jit/validate/SGEMM-32", |b| {
-        b.iter(|| compiled.validate().expect("valid"));
-    });
+    h.bench("jit/validate/SGEMM-32", || compiled.validate().expect("valid"));
+    h.finish();
 }
-
-criterion_group!(benches, bench_mapping);
-criterion_main!(benches);

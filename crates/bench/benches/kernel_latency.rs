@@ -1,15 +1,16 @@
-//! Criterion: end-to-end simulation cost of small SnackNoC kernels — the
-//! whole pipeline (compile once, then CPM fetch/issue, RCU execution,
-//! transient tokens, result writeback) per iteration.
+//! End-to-end simulation cost of small SnackNoC kernels — the whole
+//! pipeline (compile once, then CPM fetch/issue, RCU execution, transient
+//! tokens, result writeback) per iteration. Runs on the in-repo
+//! wall-clock harness (`snacknoc_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_bench::harness::Harness;
 use snacknoc_compiler::{build, MapperConfig};
 use snacknoc_core::SnackPlatform;
 use snacknoc_noc::NocConfig;
 use snacknoc_workloads::kernels::Kernel;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_sim");
+fn main() {
+    let mut h = Harness::from_env("kernel_latency");
     for kernel in Kernel::ALL {
         let size = match kernel {
             Kernel::Sgemm => 8,
@@ -21,25 +22,16 @@ fn bench_kernels(c: &mut Criterion) {
         let sample = SnackPlatform::new(NocConfig::default()).unwrap();
         let compiled =
             built.context.compile(built.root, &MapperConfig::for_mesh(sample.mesh())).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("run", format!("{kernel}-{size}")),
-            &compiled,
-            |b, compiled| {
-                b.iter_batched(
-                    || SnackPlatform::new(NocConfig::default()).unwrap(),
-                    |mut platform| {
-                        platform
-                            .run_kernel(compiled, 1_000_000)
-                            .expect("cpm idle")
-                            .expect("kernel finishes")
-                    },
-                    criterion::BatchSize::SmallInput,
-                );
+        h.bench_with_setup(
+            &format!("kernel_sim/run/{kernel}-{size}"),
+            || SnackPlatform::new(NocConfig::default()).unwrap(),
+            |mut platform| {
+                platform
+                    .run_kernel(&compiled, 1_000_000)
+                    .expect("cpm idle")
+                    .expect("kernel finishes")
             },
         );
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion: cycle-throughput of the NoC simulator under load, for the
-//! three baseline router configurations, plus the idle fast path.
+//! Cycle-throughput of the NoC simulator under load, for the three
+//! baseline router configurations, plus the idle fast path. Runs on the
+//! in-repo wall-clock harness (`snacknoc_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snacknoc_bench::harness::Harness;
 use snacknoc_noc::{Network, NocConfig, NocPreset, NodeId, PacketSpec, TrafficClass};
 
 fn saturated_network(cfg: NocConfig) -> Network<u32> {
@@ -16,35 +17,24 @@ fn saturated_network(cfg: NocConfig) -> Network<u32> {
     net
 }
 
-fn bench_router_cycles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_step");
+fn main() {
+    let mut h = Harness::from_env("router_throughput");
     for preset in NocPreset::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("loaded_4x4", preset.to_string()),
-            &preset,
-            |b, &preset| {
-                b.iter_batched(
-                    || saturated_network(NocConfig::preset(preset)),
-                    |mut net| {
-                        net.run(200);
-                        net
-                    },
-                    criterion::BatchSize::SmallInput,
-                );
+        h.bench_with_setup(
+            &format!("network_step/loaded_4x4/{preset}"),
+            || saturated_network(NocConfig::preset(preset)),
+            |mut net| {
+                net.run(200);
+                net
             },
         );
     }
-    group.finish();
 
     // Idle network: the common case the active-router optimisation targets.
-    c.bench_function("network_step/idle_4x4", |b| {
-        let mut net: Network<u32> = Network::new(NocConfig::binochs()).unwrap();
-        b.iter(|| {
-            net.run(1_000);
-            net.cycle()
-        });
+    let mut net: Network<u32> = Network::new(NocConfig::binochs()).unwrap();
+    h.bench("network_step/idle_4x4", || {
+        net.run(1_000);
+        net.cycle()
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_router_cycles);
-criterion_main!(benches);

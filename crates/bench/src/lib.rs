@@ -1,9 +1,9 @@
 //! # snacknoc-bench
 //!
 //! The experiment harness of the SnackNoC reproduction: one binary per
-//! table/figure of the paper (see `src/bin/`), plus Criterion
-//! microbenchmarks (see `benches/`) and the shared drivers in this
-//! library.
+//! table/figure of the paper (see `src/bin/`), plus in-repo wall-clock
+//! microbenchmarks (see `benches/`, built on [`harness`]) and the shared
+//! drivers in this library.
 //!
 //! Every binary prints the rows/series the corresponding paper artifact
 //! reports, next to the paper's published values where applicable, and is
@@ -14,6 +14,7 @@
 
 pub mod csv;
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::{

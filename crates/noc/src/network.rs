@@ -515,17 +515,16 @@ mod tests {
 
     #[test]
     fn conservation_under_random_traffic() {
-        use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
+        use snacknoc_prng::Rng;
+        let mut rng = Rng::new(42);
         let mut n = net(NocConfig::axnoc());
         let nodes = n.mesh().node_count();
         let mut sent = 0u64;
         for i in 0..400 {
-            let src = NodeId::new(rng.random_range(0..nodes));
-            let dst = NodeId::new(rng.random_range(0..nodes));
-            let vnet = rng.random_range(0..3u8);
-            let bytes = *[16u32, 32, 64, 128].get(rng.random_range(0..4)).unwrap();
+            let src = NodeId::new(rng.range_usize(0..nodes));
+            let dst = NodeId::new(rng.range_usize(0..nodes));
+            let vnet = rng.range(0..3) as u8;
+            let bytes = *rng.choose(&[16u32, 32, 64, 128]).unwrap();
             n.inject(PacketSpec::new(src, dst, vnet, TrafficClass::Communication, bytes, i))
                 .unwrap();
             sent += 1;

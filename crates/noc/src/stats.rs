@@ -154,16 +154,10 @@ impl OccupancyCdf {
 /// Bucket `i` counts latencies in `[2^i, 2^(i+1))` (bucket 0 holds 0 and
 /// 1). Percentile queries interpolate within the winning bucket, giving
 /// tail-latency estimates without storing every sample.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LatencyHistogram {
     buckets: [u64; 32],
     total: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: [0; 32], total: 0 }
-    }
 }
 
 impl LatencyHistogram {

@@ -1,0 +1,135 @@
+//! A minimal in-repo property-test harness (the offline `proptest`
+//! replacement).
+//!
+//! [`prop_check!`](crate::prop_check) runs a closure over `N` cases, each
+//! with an independent deterministic [`Rng`] derived from the base seed and
+//! the case index. On failure it prints the case index and the *case seed*,
+//! so a single failing case can be replayed in isolation with
+//! [`replay`] — no shrinking, but exact, instant reproduction.
+//!
+//! ```
+//! use snacknoc_prng::prop_check;
+//!
+//! prop_check!(cases = 32, seed = 0xC0FFEE, |rng| {
+//!     let a = rng.range(0..100);
+//!     let b = rng.range(0..100);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::{hashrand, Rng};
+
+/// Derives the per-case seed from the base seed and case index.
+///
+/// Exposed so a failure report's case seed can be reproduced from
+/// `(seed, case)` too.
+#[must_use]
+pub fn case_seed(seed: u64, case: u64) -> u64 {
+    hashrand::splitmix(seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// Runs `body` for `cases` cases. Prefer the [`prop_check!`](crate::prop_check)
+/// macro, which fills in the caller's location for the failure report.
+///
+/// # Panics
+///
+/// Re-raises the body's panic after printing the failing case index and
+/// case seed for replay.
+pub fn run<F>(location: &str, cases: u64, seed: u64, mut body: F)
+where
+    F: FnMut(&mut Rng),
+{
+    assert!(cases > 0, "prop_check: need at least one case");
+    for case in 0..cases {
+        let cs = case_seed(seed, case);
+        let mut rng = Rng::new(cs);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "prop_check failed at {location}: case {case}/{cases} \
+                 (seed {seed:#x}, case_seed {cs:#x})\n\
+                 replay: snacknoc_prng::check::replay({cs:#x}, |rng| ...)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays a single failing case by its reported `case_seed`.
+pub fn replay<F>(case_seed: u64, mut body: F)
+where
+    F: FnMut(&mut Rng),
+{
+    let mut rng = Rng::new(case_seed);
+    body(&mut rng);
+}
+
+/// Runs a property over `N` deterministic cases:
+/// `prop_check!(cases = N, seed = S, |rng| { ... })`.
+///
+/// `rng` is a fresh [`Rng`](crate::Rng) per case; use plain `assert!`
+/// macros in the body. On failure the failing case index and case seed are
+/// printed for replay with [`check::replay`](crate::check::replay).
+#[macro_export]
+macro_rules! prop_check {
+    (cases = $cases:expr, seed = $seed:expr, $body:expr $(,)?) => {
+        $crate::check::run(
+            concat!(file!(), ":", line!()),
+            $cases,
+            $seed,
+            $body,
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case_with_distinct_seeds() {
+        let mut seen = Vec::new();
+        prop_check!(cases = 16, seed = 9, |rng| {
+            seen.push(rng.next_u64());
+        });
+        assert_eq!(seen.len(), 16);
+        let mut uniq = seen.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 16, "cases draw from independent streams");
+    }
+
+    #[test]
+    fn failure_reports_replayable_case_seed() {
+        // Find the failing case via catch_unwind, then replay it.
+        let failing = std::panic::catch_unwind(|| {
+            prop_check!(cases = 64, seed = 123, |rng| {
+                assert!(rng.range(0..10) != 3, "hit the bad value");
+            });
+        });
+        assert!(failing.is_err(), "some case must draw a 3");
+        // The report derives case seeds via `case_seed`; scan for the
+        // first failing case and confirm replay reproduces it.
+        let bad = (0..64).find(|&c| {
+            let mut rng = Rng::new(case_seed(123, c));
+            rng.range(0..10) == 3
+        });
+        let bad = bad.expect("a failing case exists");
+        let mut reproduced = false;
+        replay(case_seed(123, bad), |rng| {
+            reproduced = rng.range(0..10) == 3;
+        });
+        assert!(reproduced, "replay reproduces the draw");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let collect = || {
+            let mut v = Vec::new();
+            run("here", 8, 42, |rng| v.push(rng.unit_f64()));
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,69 @@
+//! Hash-derived randomness for traffic engines (*common random numbers*).
+//!
+//! Engines derive every random decision by hashing
+//! `(seed, core, event index, purpose)` instead of consuming a sequential
+//! RNG stream. This gives *common random numbers* across NoC
+//! configurations — event `k` of core `c` makes the same choices no matter
+//! how the network reorders deliveries — so experiment deltas (paper
+//! Figs. 1, 12, 13) measure latency effects, not sampling noise.
+//!
+//! The constants here are the single source of truth for the whole
+//! workspace (`snacknoc_workloads::hashrand` re-exports this module) and
+//! are pinned by fingerprint tests: changing them silently changes every
+//! recorded figure.
+
+/// SplitMix64 finalizer: advances the input by the golden gamma and mixes.
+///
+/// Also serves as the seed expander for [`crate::Rng`].
+#[must_use]
+pub fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform `[0, 1)` draw for decision `salt` of event `k` on core `c`.
+#[must_use]
+pub fn unit(seed: u64, c: u64, k: u64, salt: u64) -> f64 {
+    let z = splitmix(
+        splitmix(seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ c.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+            ^ k.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    );
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pre-migration fingerprint of the `workloads::hashrand`
+    /// implementation. Kernel inputs and every figure in `EXPERIMENTS.md`
+    /// depend on these exact bits — do not "fix" this test.
+    #[test]
+    fn unit_fingerprint_is_bit_identical_to_seed_implementation() {
+        assert_eq!(unit(7, 3, 0, 1).to_bits(), 0x3FE2_EBC6_81F0_250E);
+        assert_eq!(unit(7, 3, 0, 1), 0.591_281_179_223_331_5);
+        assert_eq!(unit(1, 0, 0, 9), 0.476_973_884_903_163_6);
+    }
+
+    #[test]
+    fn unit_is_deterministic_and_in_range() {
+        for k in 0..1000 {
+            let u = unit(7, 3, k, 1);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, unit(7, 3, k, 1));
+        }
+        assert_ne!(unit(7, 3, 0, 1), unit(8, 3, 0, 1), "seed matters");
+        assert_ne!(unit(7, 3, 0, 1), unit(7, 4, 0, 1), "core matters");
+        assert_ne!(unit(7, 3, 0, 1), unit(7, 3, 0, 2), "salt matters");
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|k| unit(1, 0, k, 9)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

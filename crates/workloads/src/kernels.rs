@@ -5,8 +5,7 @@
 //! evaluation on the RCUs cannot overflow for the kernel sizes used in the
 //! experiments.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use snacknoc_prng::Rng;
 
 /// The four SnackNoC kernels of the paper's evaluation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -108,22 +107,22 @@ impl CsrMatrix {
     }
 }
 
-fn small_value(rng: &mut StdRng) -> f64 {
+fn small_value(rng: &mut Rng) -> f64 {
     // Uniform in [-2, 2), quantised to 1/256 so fixed-point round trips are
     // exact in Q16.16.
-    (rng.random_range(-512i32..512) as f64) / 256.0
+    (rng.range_i64(-512..512) as f64) / 256.0
 }
 
 /// Generates a `rows × cols` dense matrix with seeded small values.
 pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let data = (0..rows * cols).map(|_| small_value(&mut rng)).collect();
     DenseMatrix { rows, cols, data }
 }
 
 /// Generates a length-`n` vector with seeded small values.
 pub fn vector(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     (0..n).map(|_| small_value(&mut rng)).collect()
 }
 
@@ -134,7 +133,7 @@ pub fn vector(n: usize, seed: u64) -> Vec<f64> {
 /// never empty.
 pub fn sparse_matrix(n: usize, sparsity: f64, seed: u64) -> CsrMatrix {
     assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut row_ptr = Vec::with_capacity(n + 1);
     let mut col_idx = Vec::new();
     let mut values = Vec::new();
@@ -142,14 +141,14 @@ pub fn sparse_matrix(n: usize, sparsity: f64, seed: u64) -> CsrMatrix {
     for _ in 0..n {
         let row_start = values.len();
         for c in 0..n {
-            if rng.random::<f64>() >= sparsity {
+            if rng.unit_f64() >= sparsity {
                 col_idx.push(c);
                 values.push(small_value(&mut rng));
             }
         }
         if values.len() == row_start {
             // Guarantee a non-empty row.
-            col_idx.push(rng.random_range(0..n));
+            col_idx.push(rng.range_usize(0..n));
             values.push(small_value(&mut rng));
         }
         row_ptr.push(values.len());

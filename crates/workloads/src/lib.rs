@@ -36,7 +36,7 @@
 
 pub mod coherence;
 pub mod engine;
-mod hashrand;
+pub mod hashrand;
 pub mod kernels;
 pub mod message;
 pub mod profile;

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the SnackNoC reproduction — fully offline.
+#
+# The workspace owns all of its randomness (crates/prng) and vendors no
+# third-party crates, so everything here must succeed with zero network
+# and zero registry access. Run from anywhere; operates on the repo root.
+#
+#   ./scripts/verify.sh          # guard + build + test + clippy
+#   ./scripts/verify.sh guard    # manifest guard only (fast)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# ---------------------------------------------------------------------------
+# Guard: no registry dependencies may be (re)introduced. Every entry in any
+# dependency section of any manifest must be a path dependency or a
+# `workspace = true` reference to one; `[workspace.dependencies]` itself
+# may contain only path deps. A bare `name = "1.2"` or a `version =` key
+# inside a dependency table is a registry dep and fails the build.
+# ---------------------------------------------------------------------------
+guard() {
+  local bad=0
+  for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # awk: track the current [section]; inside dependency sections, flag
+    # any non-blank, non-comment line that neither declares a path dep nor
+    # opts into the workspace dep table.
+    local offending
+    offending=$(awk '
+      /^\[/ {
+        in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies(\.|\])/)
+        next
+      }
+      in_deps && NF && $0 !~ /^[[:space:]]*#/ \
+              && $0 !~ /path[[:space:]]*=/ \
+              && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/ {
+        print FILENAME ": " $0
+      }
+    ' "$manifest")
+    if [ -n "$offending" ]; then
+      echo "ERROR: non-path/non-workspace dependency in $manifest:" >&2
+      echo "$offending" >&2
+      bad=1
+    fi
+  done
+  if [ "$bad" -ne 0 ]; then
+    echo "The SnackNoC workspace is hermetic: only path deps and" >&2
+    echo "'workspace = true' references are allowed (see README §Building)." >&2
+    exit 1
+  fi
+  echo "manifest guard: ok (all dependencies are in-repo)"
+}
+
+guard
+if [ "${1:-}" = "guard" ]; then
+  exit 0
+fi
+
+echo "+ cargo build --release --offline"
+cargo build --release --offline
+
+echo "+ cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "+ cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: all green"

@@ -10,6 +10,9 @@
 //! * [`compiler`] — the programming model and JIT kernel compiler.
 //! * [`cpu`] — the multicore CPU baseline performance model.
 //! * [`cost`] — the 45 nm area/power cost model.
+//! * [`prng`] — in-repo deterministic randomness (stream RNG, common
+//!   random numbers, property-test harness); the repo vendors no
+//!   third-party crates.
 //!
 //! See the repository README for a tour and `examples/` for runnable demos.
 
@@ -20,4 +23,5 @@ pub use snacknoc_core as core;
 pub use snacknoc_cost as cost;
 pub use snacknoc_cpu as cpu;
 pub use snacknoc_noc as noc;
+pub use snacknoc_prng as prng;
 pub use snacknoc_workloads as workloads;

@@ -1,40 +1,39 @@
-//! Cross-crate property-based tests (proptest): the invariants listed in
-//! DESIGN.md §5, exercised with randomly generated traffic, graphs and
-//! topologies.
+//! Cross-crate property-based tests (on the in-repo `snacknoc_prng`
+//! harness): the invariants listed in DESIGN.md §5, exercised with
+//! randomly generated traffic, graphs and topologies.
+//!
+//! Each test runs `cases` deterministic cases (at least the 24 the old
+//! proptest configuration used); on failure the harness prints the case
+//! seed for exact replay via `snacknoc_prng::check::replay`.
 
-use proptest::prelude::*;
 use snacknoc::compiler::{Context, MapperConfig, Res};
 use snacknoc::core::SnackPlatform;
 use snacknoc::noc::{Mesh, Network, NocConfig, NodeId, PacketSpec, TrafficClass};
+use snacknoc_prng::{prop_check, Rng};
 
-/// Strategy: a small mesh with at least one even side (ring exists).
-fn mesh_dims() -> impl Strategy<Value = (u16, u16)> {
-    (2u16..=5, 1u16..=3).prop_map(|(c, r)| (c, r * 2))
+/// Generator: a small mesh with at least one even side (ring exists).
+fn mesh_dims(rng: &mut Rng) -> (u16, u16) {
+    (rng.range(2..6) as u16, 2 * rng.range(1..4) as u16)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every injected packet is delivered exactly once, regardless of
-    /// traffic pattern, vnet mix, packet sizes and mesh shape.
-    #[test]
-    fn flit_conservation(
-        (cols, rows) in mesh_dims(),
-        packets in prop::collection::vec(
-            (0usize..64, 0usize..64, 0u8..3, 1u32..200), 1..120),
-        stagger in 1u64..5,
-    ) {
+/// Every injected packet is delivered exactly once, regardless of traffic
+/// pattern, vnet mix, packet sizes and mesh shape.
+#[test]
+fn flit_conservation() {
+    prop_check!(cases = 24, seed = 0x51AC_0001, |rng| {
+        let (cols, rows) = mesh_dims(rng);
+        let stagger = rng.range(1..5);
         let cfg = NocConfig::default().with_mesh(cols, rows);
         let mut net: Network<usize> = Network::new(cfg).unwrap();
         let n = net.mesh().node_count();
         let mut sent = 0u64;
-        for (i, (src, dst, vnet, bytes)) in packets.into_iter().enumerate() {
+        for i in 0..rng.range_usize(1..120) {
             let spec = PacketSpec::new(
-                NodeId::new(src % n),
-                NodeId::new(dst % n),
-                vnet,
+                NodeId::new(rng.range_usize(0..64) % n),
+                NodeId::new(rng.range_usize(0..64) % n),
+                rng.range(0..3) as u8,
                 TrafficClass::Communication,
-                bytes,
+                rng.range(1..200) as u32,
                 i,
             );
             net.inject(spec).unwrap();
@@ -43,31 +42,33 @@ proptest! {
                 net.step();
             }
         }
-        prop_assert!(net.run_until_drained(2_000_000), "network must drain");
-        prop_assert_eq!(net.delivered_packets(), sent);
+        assert!(net.run_until_drained(2_000_000), "network must drain");
+        assert_eq!(net.delivered_packets(), sent);
         let mut got = Vec::new();
         for node in 0..n {
             for p in net.drain_ejected(NodeId::new(node)) {
-                prop_assert_eq!(p.dst.index(), node, "delivered at its destination");
+                assert_eq!(p.dst.index(), node, "delivered at its destination");
                 got.push(p.payload);
             }
         }
         got.sort_unstable();
         got.dedup();
-        prop_assert_eq!(got.len() as u64, sent, "no duplicates");
-        prop_assert_eq!(net.buffered_flits(), 0, "no stranded flits");
-    }
+        assert_eq!(got.len() as u64, sent, "no duplicates");
+        assert_eq!(net.buffered_flits(), 0, "no stranded flits");
+    });
+}
 
-    /// The ring route is a Hamiltonian cycle on every mesh with an even
-    /// side.
-    #[test]
-    fn ring_is_hamiltonian((cols, rows) in mesh_dims()) {
+/// The ring route is a Hamiltonian cycle on every mesh with an even side.
+#[test]
+fn ring_is_hamiltonian() {
+    prop_check!(cases = 32, seed = 0x51AC_0002, |rng| {
+        let (cols, rows) = mesh_dims(rng);
         let mesh = Mesh::new(cols, rows);
         let ring = mesh.ring().unwrap();
-        prop_assert_eq!(ring.len(), mesh.node_count());
+        assert_eq!(ring.len(), mesh.node_count());
         let mut seen = vec![false; mesh.node_count()];
         for n in &ring {
-            prop_assert!(!seen[n.index()]);
+            assert!(!seen[n.index()]);
             seen[n.index()] = true;
         }
         for i in 0..ring.len() {
@@ -76,21 +77,22 @@ proptest! {
             let adjacent = snacknoc::noc::Dir::ROUTER_DIRS
                 .iter()
                 .any(|&d| mesh.neighbor(a, d) == Some(b));
-            prop_assert!(adjacent, "consecutive ring nodes adjacent");
+            assert!(adjacent, "consecutive ring nodes adjacent");
         }
-    }
+    });
+}
 
-    /// Compiling and simulating a random dataflow expression produces
-    /// bit-exactly the interpreter's result — under either mapping
-    /// strategy (MAC fusion on or off).
-    #[test]
-    fn random_expressions_simulate_exactly(
-        ops in prop::collection::vec(0u8..5, 1..6),
-        dims in (1usize..4, 1usize..4, 1usize..4),
-        values in prop::collection::vec(-64i32..64, 64),
-        fusion in any::<bool>(),
-    ) {
-        let (m, k, n) = dims;
+/// Compiling and simulating a random dataflow expression produces
+/// bit-exactly the interpreter's result — under either mapping strategy
+/// (MAC fusion on or off).
+#[test]
+fn random_expressions_simulate_exactly() {
+    prop_check!(cases = 24, seed = 0x51AC_0003, |rng| {
+        let (m, k, n) =
+            (rng.range_usize(1..4), rng.range_usize(1..4), rng.range_usize(1..4));
+        let values: Vec<i32> =
+            (0..64).map(|_| rng.range_i64(-64..64) as i32).collect();
+        let fusion = rng.flip();
         let v = |i: usize| f64::from(values[i % values.len()]) / 8.0;
         let mut cxt = Context::new("prop");
         let a_data: Vec<f64> = (0..m * k).map(v).collect();
@@ -99,9 +101,11 @@ proptest! {
         let b = cxt.input(&b_data, k, n).unwrap();
         let mut root: Res = cxt.mul(a, b).unwrap();
         // Grow a random chain of further array expressions on top.
-        for (step, op) in ops.into_iter().enumerate() {
+        for step in 0..rng.range_usize(1..6) {
+            let op = rng.range(0..5) as u8;
             let shape = cxt.shape(root).unwrap();
-            let extra: Vec<f64> = (0..shape.len()).map(|i| v(i + 13 * (step + 1))).collect();
+            let extra: Vec<f64> =
+                (0..shape.len()).map(|i| v(i + 13 * (step + 1))).collect();
             let e = cxt.input(&extra, shape.rows, shape.cols).unwrap();
             root = match op {
                 0 => cxt.add(root, e).unwrap(),
@@ -123,31 +127,29 @@ proptest! {
             .unwrap()
             .expect("kernel must finish");
         let reference = cxt.interpret(root).unwrap();
-        prop_assert_eq!(run.outputs, reference);
-    }
+        assert_eq!(run.outputs, reference);
+    });
+}
 
-    /// The MESI protocol is live: random access patterns always complete,
-    /// every directory quiesces, and no packets are left in the network.
-    #[test]
-    fn coherence_protocol_never_deadlocks(
-        seed in 0u64..1000,
-        shared_lines in 1u64..64,
-        shared_fraction in 0.0f64..1.0,
-        write_fraction in 0.0f64..1.0,
-        think in 1.0f64..120.0,
-    ) {
-        use snacknoc::workloads::coherence::{AccessPattern, CoherentEngine};
+/// The MESI protocol is live: random access patterns always complete,
+/// every directory quiesces, and no packets are left in the network.
+#[test]
+fn coherence_protocol_never_deadlocks() {
+    use snacknoc::workloads::coherence::{AccessPattern, CoherentEngine};
+    prop_check!(cases = 24, seed = 0x51AC_0004, |rng| {
         let pattern = AccessPattern {
             private_lines: 128,
-            shared_lines,
-            shared_fraction,
-            write_fraction,
-            think_time: think,
+            shared_lines: rng.range(1..64),
+            shared_fraction: rng.unit_f64(),
+            write_fraction: rng.unit_f64(),
+            think_time: rng.range_f64(1.0..120.0),
             accesses_per_core: 120,
         };
+        let engine_seed = rng.range(0..1000);
         let mut net: snacknoc::noc::Network<snacknoc::workloads::coherence::CohMessage> =
             snacknoc::noc::Network::new(NocConfig::dapper()).unwrap();
-        let mut eng = CoherentEngine::new(pattern, *net.mesh(), Default::default(), seed);
+        let mut eng =
+            CoherentEngine::new(pattern, *net.mesh(), Default::default(), engine_seed);
         let nodes: Vec<_> = net.mesh().nodes().collect();
         while !eng.done() && net.cycle() < 5_000_000 {
             for spec in eng.tick(net.cycle()) {
@@ -161,20 +163,22 @@ proptest! {
                 }
             }
         }
-        prop_assert!(eng.done(), "protocol must complete all accesses");
-        prop_assert_eq!(eng.completed(), 120 * 16);
+        assert!(eng.done(), "protocol must complete all accesses");
+        assert_eq!(eng.completed(), 120 * 16);
         // Drain residual acks/writebacks.
-        prop_assert!(net.run_until_drained(1_000_000));
-    }
+        assert!(net.run_until_drained(1_000_000));
+    });
+}
 
-    /// Mapping is deterministic: the same context compiles to the same
-    /// instruction stream every time.
-    #[test]
-    fn mapping_is_deterministic(
-        seedlets in prop::collection::vec(-16i32..16, 16),
-        rows in 1usize..4,
-        cols in 1usize..4,
-    ) {
+/// Mapping is deterministic: the same context compiles to the same
+/// instruction stream every time.
+#[test]
+fn mapping_is_deterministic() {
+    prop_check!(cases = 32, seed = 0x51AC_0005, |rng| {
+        let seedlets: Vec<i32> =
+            (0..16).map(|_| rng.range_i64(-16..16) as i32).collect();
+        let rows = rng.range_usize(1..4);
+        let cols = rng.range_usize(1..4);
         let build = || {
             let mut cxt = Context::new("det");
             let data: Vec<f64> = seedlets.iter().map(|&x| f64::from(x) / 4.0).collect();
@@ -186,6 +190,6 @@ proptest! {
         };
         let k1 = build();
         let k2 = build();
-        prop_assert_eq!(k1.instructions, k2.instructions);
-    }
+        assert_eq!(k1.instructions, k2.instructions);
+    });
 }
