@@ -1,32 +1,40 @@
 //! JIT-compilation cost — graph construction, post-order mapping,
 //! round-robin scheduling and dependent counting. The paper's runtime
-//! compiles kernels just-in-time, so mapping speed matters. Runs on the
-//! in-repo wall-clock harness (`snacknoc_bench::harness`).
+//! compiles kernels just-in-time, so mapping speed matters. Cases are
+//! registered as [`TimedJob`]s on the deterministic sweep pool
+//! (`snacknoc_bench::sweep`); set `SNACKNOC_BENCH_THREADS` to time them
+//! concurrently.
 
 use snacknoc_bench::harness::Harness;
+use snacknoc_bench::sweep::TimedJob;
 use snacknoc_compiler::{build, MapperConfig};
 use snacknoc_noc::Mesh;
 use snacknoc_workloads::kernels::Kernel;
 
 fn main() {
     let mesh = Mesh::new(4, 4);
-    let cfg = MapperConfig::for_mesh(&mesh);
     let mut h = Harness::from_env("compiler_mapping");
+    let mut jobs = Vec::new();
     for (kernel, size) in
         [(Kernel::Sgemm, 32), (Kernel::Reduction, 16_384), (Kernel::Mac, 8_192), (Kernel::Spmv, 96)]
     {
         let built = build(kernel, size, 42);
-        h.bench(&format!("jit/compile/{kernel}-{size}"), || {
+        let cfg = MapperConfig::for_mesh(&mesh);
+        jobs.push(TimedJob::simple(&format!("jit/compile/{kernel}-{size}"), move || {
             built.context.compile(built.root, &cfg).expect("compiles")
-        });
-        h.bench(&format!("jit/interpret/{kernel}-{size}"), || {
+        }));
+        let built = build(kernel, size, 42);
+        jobs.push(TimedJob::simple(&format!("jit/interpret/{kernel}-{size}"), move || {
             built.context.interpret(built.root).expect("interprets")
-        });
+        }));
     }
 
     // Validation pass alone (the CPM runs it on submit).
     let built = build(Kernel::Sgemm, 32, 42);
-    let compiled = built.context.compile(built.root, &cfg).unwrap();
-    h.bench("jit/validate/SGEMM-32", || compiled.validate().expect("valid"));
+    let compiled = built.context.compile(built.root, &MapperConfig::for_mesh(&mesh)).unwrap();
+    jobs.push(TimedJob::simple("jit/validate/SGEMM-32", move || {
+        compiled.validate().expect("valid")
+    }));
+    h.bench_jobs(jobs);
     h.finish();
 }

@@ -1,9 +1,12 @@
 //! End-to-end simulation cost of small SnackNoC kernels — the whole
 //! pipeline (compile once, then CPM fetch/issue, RCU execution, transient
-//! tokens, result writeback) per iteration. Runs on the in-repo
-//! wall-clock harness (`snacknoc_bench::harness`).
+//! tokens, result writeback) per iteration. Cases are registered as
+//! [`TimedJob`]s on the deterministic sweep pool
+//! (`snacknoc_bench::sweep`); set `SNACKNOC_BENCH_THREADS` to time them
+//! concurrently.
 
 use snacknoc_bench::harness::Harness;
+use snacknoc_bench::sweep::TimedJob;
 use snacknoc_compiler::{build, MapperConfig};
 use snacknoc_core::SnackPlatform;
 use snacknoc_noc::NocConfig;
@@ -11,6 +14,7 @@ use snacknoc_workloads::kernels::Kernel;
 
 fn main() {
     let mut h = Harness::from_env("kernel_latency");
+    let mut jobs = Vec::new();
     for kernel in Kernel::ALL {
         let size = match kernel {
             Kernel::Sgemm => 8,
@@ -22,16 +26,17 @@ fn main() {
         let sample = SnackPlatform::new(NocConfig::default()).unwrap();
         let compiled =
             built.context.compile(built.root, &MapperConfig::for_mesh(sample.mesh())).unwrap();
-        h.bench_with_setup(
+        jobs.push(TimedJob::batched(
             &format!("kernel_sim/run/{kernel}-{size}"),
             || SnackPlatform::new(NocConfig::default()).unwrap(),
-            |mut platform| {
+            move |mut platform| {
                 platform
                     .run_kernel(&compiled, 1_000_000)
                     .expect("cpm idle")
                     .expect("kernel finishes")
             },
-        );
+        ));
     }
+    h.bench_jobs(jobs);
     h.finish();
 }

@@ -1,8 +1,11 @@
 //! Cycle-throughput of the NoC simulator under load, for the three
-//! baseline router configurations, plus the idle fast path. Runs on the
-//! in-repo wall-clock harness (`snacknoc_bench::harness`).
+//! baseline router configurations, plus the idle fast path. Cases are
+//! registered as [`TimedJob`]s on the deterministic sweep pool
+//! (`snacknoc_bench::sweep`); set `SNACKNOC_BENCH_THREADS` to time them
+//! concurrently.
 
 use snacknoc_bench::harness::Harness;
+use snacknoc_bench::sweep::TimedJob;
 use snacknoc_noc::{Network, NocConfig, NocPreset, NodeId, PacketSpec, TrafficClass};
 
 fn saturated_network(cfg: NocConfig) -> Network<u32> {
@@ -19,22 +22,24 @@ fn saturated_network(cfg: NocConfig) -> Network<u32> {
 
 fn main() {
     let mut h = Harness::from_env("router_throughput");
+    let mut jobs = Vec::new();
     for preset in NocPreset::ALL {
-        h.bench_with_setup(
+        jobs.push(TimedJob::batched(
             &format!("network_step/loaded_4x4/{preset}"),
-            || saturated_network(NocConfig::preset(preset)),
+            move || saturated_network(NocConfig::preset(preset)),
             |mut net| {
                 net.run(200);
                 net
             },
-        );
+        ));
     }
 
     // Idle network: the common case the active-router optimisation targets.
     let mut net: Network<u32> = Network::new(NocConfig::binochs()).unwrap();
-    h.bench("network_step/idle_4x4", || {
+    jobs.push(TimedJob::simple("network_step/idle_4x4", move || {
         net.run(1_000);
         net.cycle()
-    });
+    }));
+    h.bench_jobs(jobs);
     h.finish();
 }

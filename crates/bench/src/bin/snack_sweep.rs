@@ -1,0 +1,153 @@
+//! `snack-sweep` — the deterministic parallel sweep driver.
+//!
+//! Runs a declarative `{benchmark | kernel} × {NoC preset} × {seed}` grid
+//! over the std-only worker pool in `snacknoc_bench::sweep`, prints the
+//! per-cell table, and writes machine-readable reports:
+//!
+//! * `BENCH_sweep.json` (override with `--json <path>`): per-cell
+//!   simulation metrics + wall-clock stats + pool accounting
+//!   (cells/sec, worker utilization).
+//! * optional CSV (`--csv <path>`) in the harness layout
+//!   (`bench,samples,median_ns,p90_ns,min_ns,max_ns`).
+//!
+//! The merged simulation output is **bit-identical for any `--threads`
+//! value** (see `tests/determinism.rs`), so parallelism is purely a
+//! wall-clock optimization.
+//!
+//! ```text
+//! snack-sweep [--benchmarks all|fmm,radix,...] [--kernels sgemm,spmv,...]
+//!             [--configs all|dapper,axnoc,binochs] [--seeds N]
+//!             [--scale F] [--kernel-size N] [--threads N] [--samples N]
+//!             [--json PATH] [--csv PATH]
+//! ```
+//!
+//! Defaults: all 16 benchmarks, no kernels, all three Table I presets,
+//! 1 seed, scale 0.002 (CI scale; 1.0 is paper scale), kernel size 16,
+//! threads = available parallelism, 1 sample, JSON to `BENCH_sweep.json`.
+
+use snacknoc_bench::experiments::{arg_f64, arg_u64};
+use snacknoc_bench::sweep::{run_sweep, SweepSpec};
+use snacknoc_noc::NocPreset;
+use snacknoc_workloads::kernels::Kernel;
+use snacknoc_workloads::suite::Benchmark;
+
+/// Parses `--<name> <value>` as a raw string.
+fn arg_str(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| *a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Splits a comma-separated list, trimming blanks.
+fn split_list(v: &str) -> Vec<&str> {
+    v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_benchmarks(spec: &str) -> Vec<Benchmark> {
+    if spec.eq_ignore_ascii_case("all") {
+        return Benchmark::ALL.to_vec();
+    }
+    split_list(spec)
+        .into_iter()
+        .map(|name| {
+            name.parse().unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "known benchmarks: {}",
+                    Benchmark::ALL.map(|b| b.to_string()).join(", ")
+                );
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_kernels(spec: &str) -> Vec<Kernel> {
+    if spec.eq_ignore_ascii_case("all") {
+        return Kernel::ALL.to_vec();
+    }
+    split_list(spec)
+        .into_iter()
+        .map(|name| {
+            Kernel::ALL
+                .into_iter()
+                .find(|k| k.to_string().eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| {
+                    eprintln!("error: unknown kernel '{name}'");
+                    eprintln!("known kernels: {}", Kernel::ALL.map(|k| k.to_string()).join(", "));
+                    std::process::exit(2);
+                })
+        })
+        .collect()
+}
+
+fn parse_presets(spec: &str) -> Vec<NocPreset> {
+    if spec.eq_ignore_ascii_case("all") {
+        return NocPreset::ALL.to_vec();
+    }
+    split_list(spec)
+        .into_iter()
+        .map(|name| {
+            let norm: String =
+                name.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase();
+            NocPreset::ALL
+                .into_iter()
+                .find(|p| p.to_string().to_lowercase() == norm)
+                .unwrap_or_else(|| {
+                    eprintln!("error: unknown NoC config '{name}'");
+                    eprintln!("known configs: {}", NocPreset::ALL.map(|p| p.to_string()).join(", "));
+                    std::process::exit(2);
+                })
+        })
+        .collect()
+}
+
+fn main() {
+    let benchmarks = parse_benchmarks(&arg_str("benchmarks").unwrap_or_else(|| "all".into()));
+    let kernels = arg_str("kernels").map(|s| parse_kernels(&s)).unwrap_or_default();
+    let presets = parse_presets(&arg_str("configs").unwrap_or_else(|| "all".into()));
+    let seeds: Vec<u64> = (1..=arg_u64("seeds", 1).max(1)).collect();
+    let scale = arg_f64("scale", 0.002);
+    let kernel_size = arg_u64("kernel-size", 16) as usize;
+    let threads = arg_u64(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+    ) as usize;
+    let samples = u32::try_from(arg_u64("samples", 1).max(1)).unwrap_or(1);
+    let json_path = arg_str("json").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let csv_path = arg_str("csv");
+
+    let spec = SweepSpec::grid(&benchmarks, &presets, &seeds, scale)
+        .with_kernels(&kernels, kernel_size, &presets, &seeds)
+        .with_threads(threads)
+        .with_samples(samples);
+    if spec.cells.is_empty() {
+        eprintln!("error: empty sweep (no benchmarks or kernels selected)");
+        std::process::exit(2);
+    }
+    println!(
+        "sweep: {} cells ({} benchmark(s), {} kernel(s), {} preset(s), {} seed(s)) on {} thread(s), {} sample(s)/cell",
+        spec.cells.len(),
+        benchmarks.len(),
+        kernels.len(),
+        presets.len(),
+        seeds.len(),
+        spec.threads,
+        spec.samples,
+    );
+    let results = run_sweep(&spec);
+    results.print_table();
+
+    let file = std::fs::File::create(&json_path).expect("create JSON report");
+    results.write_json(std::io::BufWriter::new(file)).expect("write JSON report");
+    println!("json: {json_path}");
+    if let Some(path) = csv_path {
+        let file = std::fs::File::create(&path).expect("create CSV report");
+        results.write_csv(std::io::BufWriter::new(file)).expect("write CSV report");
+        println!("csv: {path}");
+    }
+    if results.cells.iter().any(|c| !c.finished) {
+        eprintln!("warning: some cells did not finish (saturated network or failed verification)");
+        std::process::exit(1);
+    }
+}

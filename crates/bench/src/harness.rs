@@ -151,6 +151,24 @@ impl Harness {
         self.results.push(summarize(name, &timings));
     }
 
+    /// Times a batch of [`crate::sweep::TimedJob`]s over the deterministic
+    /// worker pool ([`crate::sweep::time_jobs`]) and appends their stats.
+    ///
+    /// Thread count comes from `SNACKNOC_BENCH_THREADS` (default 1:
+    /// serial timing is the most comparable). Jobs not matching the CLI
+    /// filter are skipped before the pool starts. Results land in
+    /// registration order regardless of the thread count.
+    pub fn bench_jobs(&mut self, jobs: Vec<crate::sweep::TimedJob>) {
+        let threads = std::env::var("SNACKNOC_BENCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
+        let kept: Vec<_> = jobs.into_iter().filter(|j| !self.skipped(j.name())).collect();
+        self.results
+            .extend(crate::sweep::time_jobs(kept, threads, WARMUP, self.samples));
+    }
+
     /// Results accumulated so far.
     #[must_use]
     pub fn results(&self) -> &[BenchStats] {

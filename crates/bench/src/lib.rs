@@ -15,6 +15,7 @@
 pub mod csv;
 pub mod experiments;
 pub mod harness;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{

@@ -222,6 +222,14 @@ impl SnackPlatform {
         self.net.stats()
     }
 
+    /// Flushes the trailing partial sampling window and returns the
+    /// statistics (see [`snacknoc_noc::Network::finalize_stats`]). Call
+    /// at the end of a measurement so runs shorter than one sampling
+    /// window still report utilization samples.
+    pub fn finalize_stats(&mut self) -> &NetStats {
+        self.net.finalize_stats()
+    }
+
     /// The primary CPM (kernel controller).
     pub fn cpm(&self) -> &Cpm {
         &self.cpms[0]
@@ -537,7 +545,9 @@ impl SnackPlatform {
             } else {
                 kernel_cycles_sum as f64 / kernels_completed as f64
             },
-            stats: self.net.stats().clone(),
+            // Flush the trailing partial sampling window so short runs
+            // report real utilization medians (not a silent 0.0).
+            stats: self.net.finalize_stats().clone(),
         }
     }
 
@@ -728,6 +738,18 @@ mod tests {
         assert!(run.app_finished);
         assert!(run.kernels_completed > 0, "kernels complete during the app");
         assert!(run.mean_kernel_cycles > 0.0);
+    }
+
+    #[test]
+    fn platform_and_results_are_send() {
+        // The parallel sweep harness constructs platforms from owned
+        // configs inside worker threads and ships results back; these
+        // bounds are load-bearing for `crates/bench/src/sweep.rs`.
+        fn assert_send<T: Send>() {}
+        assert_send::<SnackPlatform>();
+        assert_send::<MultiProgramRun>();
+        assert_send::<KernelRun>();
+        assert_send::<NocConfig>();
     }
 
     #[test]

@@ -166,6 +166,28 @@ impl<P> Network<P> {
         &self.stats
     }
 
+    /// Flushes the trailing partial sampling window (see
+    /// [`NetStats::finalize`]) and returns the statistics. Runners call
+    /// this once the workload completes so runs shorter than one sampling
+    /// window still report utilization samples. Safe to call repeatedly
+    /// and safe to keep stepping the network afterwards.
+    pub fn finalize_stats(&mut self) -> &NetStats {
+        let cycle = self.cycle;
+        self.stats.finalize(cycle);
+        &self.stats
+    }
+
+    /// Number of packets with reassembly in flight at destination NIs
+    /// (a head or body flit ejected, tail not yet seen).
+    ///
+    /// After a network has fully drained this must be zero; a nonzero
+    /// value after [`Network::run_until_drained`] returns `true` would
+    /// indicate a reassembly-map leak (an entry whose tail never ejects),
+    /// which would otherwise grow silently.
+    pub fn stuck_packets(&self) -> usize {
+        self.reassembly.len()
+    }
+
     /// Queues a packet for injection at its source NI.
     ///
     /// The packet is segmented into flits immediately; flits enter the
@@ -534,6 +556,7 @@ mod tests {
         }
         assert!(n.run_until_drained(100_000), "network must drain");
         assert_eq!(n.delivered_packets(), sent);
+        assert_eq!(n.stuck_packets(), 0, "no reassembly leaks after drain");
         let mut got = 0;
         for node in 0..nodes {
             got += n.drain_ejected(NodeId::new(node)).len();
@@ -669,7 +692,51 @@ mod tests {
             }
         }
         assert!(n.run_until_drained(50_000));
+        assert_eq!(n.stuck_packets(), 0, "hotspot drain leaves no partial reassembly");
         assert_eq!(n.drain_ejected(dst).len(), 160);
+    }
+
+    #[test]
+    fn stuck_packets_tracks_inflight_reassembly() {
+        // A multi-flit packet is "stuck" between its head ejecting and its
+        // tail ejecting; once drained the count must return to zero.
+        let mut n = net(NocConfig::dapper()); // 16 B channels -> 8 flits
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 3);
+        n.inject(comm(src, dst, 128, 1)).unwrap();
+        let mut saw_partial = false;
+        while n.pending_packets() > 0 && n.cycle() < 10_000 {
+            n.step();
+            if n.stuck_packets() > 0 {
+                saw_partial = true;
+            }
+        }
+        assert!(saw_partial, "reassembly must be observable mid-flight");
+        assert_eq!(n.pending_packets(), 0);
+        assert_eq!(n.stuck_packets(), 0, "tail ejection retires the entry");
+    }
+
+    #[test]
+    fn short_run_reports_partial_window_stats_after_finalize() {
+        // Regression: a run shorter than `sample_window` used to report
+        // zero utilization samples (median silently 0.0).
+        let mut n = net(NocConfig::binochs()); // default 10 K-cycle window
+        // Traffic from every node so every router's crossbar moves flits.
+        for (i, src) in n.mesh().nodes().collect::<Vec<_>>().into_iter().enumerate() {
+            let (x, y) = n.mesh().coords(src);
+            let dst = n.mesh().node_at(3 - x, 3 - y);
+            n.inject(comm(src, dst, 64, i as u64)).unwrap();
+        }
+        assert!(n.run_until_drained(5_000));
+        assert!(n.cycle() < 10_000, "run stays under one sampling window");
+        assert!(n.stats().crossbar_series(0).samples().is_empty(), "bug precondition");
+        assert_eq!(n.stats().median_crossbar_utilization(), 0.0, "the silent zero");
+        let stats = n.finalize_stats();
+        for r in 0..stats.router_count() {
+            assert_eq!(stats.crossbar_series(r).samples().len(), 1, "router {r}");
+        }
+        assert!(stats.median_crossbar_utilization() > 0.0, "partial window counted");
+        assert!(stats.peak_crossbar_utilization() <= 1.0);
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl WindowSeries {
         self.busy_in_window = 0;
     }
 
+    /// Rolls a *partial* window of `elapsed` cycles, normalizing by the
+    /// cycles actually observed rather than the nominal window length.
+    /// Used by [`NetStats::finalize`] so runs shorter than one sampling
+    /// window (or ending mid-window) still contribute a sample instead of
+    /// silently dropping their tail measurements.
+    fn roll_partial(&mut self, end_cycle: u64, elapsed: u64) {
+        debug_assert!(elapsed > 0, "partial roll needs observed cycles");
+        let utilization = self.busy_in_window as f64 / elapsed as f64;
+        self.samples.push(SeriesSample { end_cycle, utilization });
+        self.busy_in_window = 0;
+    }
+
     /// The completed window samples.
     pub fn samples(&self) -> &[SeriesSample] {
         &self.samples
@@ -68,12 +80,21 @@ impl WindowSeries {
 }
 
 /// Computes the `p`-th percentile (0–100) of a sequence; 0.0 when empty.
+///
+/// # NaN handling
+///
+/// Inputs are ordered with [`f64::total_cmp`], so the function never
+/// panics: positive NaNs sort after `+inf` and negative NaNs before
+/// `-inf` (IEEE 754 `totalOrder`). A NaN therefore only surfaces in the
+/// result when the requested percentile actually lands on (or
+/// interpolates with) a NaN sample — it skews the extreme tails instead
+/// of aborting the whole experiment.
 pub fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
     let mut v: Vec<f64> = values.collect();
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not be NaN"));
+    v.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -291,6 +312,30 @@ impl NetStats {
         }
     }
 
+    /// Flushes the trailing partial sampling window, if any.
+    ///
+    /// [`NetStats::end_cycle`] only emits a sample every `sample_window`
+    /// cycles, so a run shorter than one window — or one that stops
+    /// mid-window — would otherwise report *zero* samples and a silently
+    /// wrong `median_crossbar_utilization() == 0.0`. The partial window is
+    /// normalized by the cycles actually elapsed, not the nominal window
+    /// length. Idempotent: calling it again before further cycles elapse
+    /// is a no-op, and simulation may continue afterwards (a fresh window
+    /// simply starts).
+    pub fn finalize(&mut self, cycle: u64) {
+        if self.cycles_in_window == 0 {
+            return;
+        }
+        let elapsed = self.cycles_in_window;
+        for s in &mut self.crossbar {
+            s.roll_partial(cycle, elapsed);
+        }
+        for s in &mut self.links {
+            s.roll_partial(cycle, elapsed);
+        }
+        self.cycles_in_window = 0;
+    }
+
     pub(crate) fn record_delivery(&mut self, class: TrafficClass, flits: u64, latency: u64) {
         let c = self.class_mut(class);
         c.delivered += 1;
@@ -387,6 +432,60 @@ mod tests {
         assert!((percentile(v.iter().copied(), 0.0) - 1.0).abs() < 1e-12);
         assert!((percentile(v.iter().copied(), 100.0) - 4.0).abs() < 1e-12);
         assert_eq!(percentile(std::iter::empty(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_without_panicking() {
+        // Regression: `partial_cmp().expect(...)` used to panic here.
+        let v = [2.0, f64::NAN, 1.0, 3.0];
+        let p25 = percentile(v.iter().copied(), 25.0);
+        assert!((p25 - 1.75).abs() < 1e-12, "NaN sorts to the tail: {p25}");
+        assert!((percentile(v.iter().copied(), 0.0) - 1.0).abs() < 1e-12);
+        // The top percentile lands on the NaN sample itself.
+        assert!(percentile(v.iter().copied(), 100.0).is_nan());
+        // All-NaN input yields NaN, still without panicking.
+        assert!(percentile([f64::NAN].iter().copied(), 50.0).is_nan());
+    }
+
+    #[test]
+    fn finalize_flushes_partial_window_normalized_by_elapsed() {
+        // Run shorter than the sampling window: without finalize() the
+        // series has zero samples and the median silently reads 0.0.
+        let mut st = NetStats::new(2, 1, 10_000);
+        for c in 1..=100u64 {
+            st.record_router_cycle(0, c <= 50); // router 0 busy half the time
+            st.record_router_cycle(1, false);
+            st.record_link_cycle(0, true);
+            st.end_cycle(c);
+        }
+        assert!(st.crossbar_series(0).samples().is_empty(), "window not yet full");
+        st.finalize(100);
+        assert_eq!(st.crossbar_series(0).samples().len(), 1);
+        // Normalized by the 100 elapsed cycles, not the 10 K window.
+        assert!((st.crossbar_series(0).samples()[0].utilization - 0.5).abs() < 1e-12);
+        assert!((st.link_series(0).samples()[0].utilization - 1.0).abs() < 1e-12);
+        assert!((st.median_crossbar_utilization() - 0.25).abs() < 1e-12);
+        // Idempotent until more cycles elapse.
+        st.finalize(100);
+        assert_eq!(st.crossbar_series(0).samples().len(), 1);
+        // Simulation may continue: a fresh window starts cleanly.
+        st.record_router_cycle(0, true);
+        st.end_cycle(101);
+        st.finalize(101);
+        assert_eq!(st.crossbar_series(0).samples().len(), 2);
+        assert!((st.crossbar_series(0).samples()[1].utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_after_exact_window_boundary_is_a_noop() {
+        let mut st = NetStats::new(1, 0, 50);
+        for c in 1..=50u64 {
+            st.record_router_cycle(0, true);
+            st.end_cycle(c);
+        }
+        assert_eq!(st.crossbar_series(0).samples().len(), 1);
+        st.finalize(50);
+        assert_eq!(st.crossbar_series(0).samples().len(), 1, "no empty partial sample");
     }
 
     #[test]

@@ -64,11 +64,14 @@ pub fn run_benchmark(
         .sum();
     let cap = (nominal as u64 + 100_000) * SAFETY_FACTOR;
     drive(&mut net, &mut engine, cap);
+    // Flush the trailing partial sampling window so short (CI-scale) runs
+    // still report utilization samples instead of a silent zero median.
+    let stats = net.finalize_stats().clone();
     Ok(RunResult {
         runtime_cycles: engine.finished_at().unwrap_or(net.cycle()),
         finished: engine.done(),
         completed_requests: engine.completed(),
-        stats: net.stats().clone(),
+        stats,
     })
 }
 
@@ -143,6 +146,29 @@ mod tests {
             high.median_crossbar(),
             low.median_crossbar()
         );
+    }
+
+    #[test]
+    fn short_run_below_sample_window_still_reports_samples() {
+        // Regression for the end_cycle partial-window bug: with the
+        // paper-default 10 K-cycle window, a CI-scale run finishing in a
+        // few thousand cycles used to report zero samples and
+        // `median_crossbar_utilization() == 0.0` silently.
+        let p = profile(Benchmark::Radix).scaled(0.0005);
+        let r = run_benchmark(&p, NocConfig::dapper(), 7).unwrap(); // 10 K window
+        assert!(r.finished);
+        assert!(
+            r.runtime_cycles < NocConfig::dapper().sample_window,
+            "run ({} cycles) must be shorter than the sampling window",
+            r.runtime_cycles
+        );
+        for router in 0..r.stats.router_count() {
+            assert!(
+                !r.stats.crossbar_series(router).samples().is_empty(),
+                "router {router} must have a flushed partial-window sample"
+            );
+        }
+        assert!(r.median_crossbar() > 0.0, "partial window counts toward the median");
     }
 
     #[test]

@@ -96,6 +96,36 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+/// Error parsing a [`Benchmark`] from its display name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownBenchmark(pub String);
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark {:?} (expected one of the Table III names)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = UnknownBenchmark;
+
+    /// Parses a paper Table III display name, case-insensitively and
+    /// ignoring `-`/`_` (so `water-nsquared`, `Water_NSquared` and
+    /// `WATERNSQUARED` all parse). Used by the sweep CLI's grid specs.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = |t: &str| {
+            t.chars().filter(|c| *c != '-' && *c != '_').collect::<String>().to_ascii_lowercase()
+        };
+        let wanted = norm(s);
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| norm(b.name()) == wanted)
+            .ok_or_else(|| UnknownBenchmark(s.to_string()))
+    }
+}
+
 /// The traffic profile for `benchmark`, at full (paper) scale.
 ///
 /// Full-scale profiles run for tens of millions of cycles; use
@@ -295,6 +325,18 @@ mod tests {
         assert!(rate(Benchmark::Cholesky) < rate(Benchmark::Lulesh));
         assert!(rate(Benchmark::Lulesh) < rate(Benchmark::Radix));
         assert!(rate(Benchmark::Cholesky) < rate(Benchmark::Graph500));
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+            assert_eq!(b.name().to_ascii_uppercase().parse::<Benchmark>().unwrap(), b);
+        }
+        assert_eq!("water_nsquared".parse::<Benchmark>().unwrap(), Benchmark::WaterNSquared);
+        assert_eq!("xsbench".parse::<Benchmark>().unwrap(), Benchmark::XsBench);
+        let err = "nosuch".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("nosuch"));
     }
 
     #[test]

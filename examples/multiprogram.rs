@@ -3,32 +3,42 @@
 //! layer — the paper's headline scenario (Figs. 11–12): compute "snacks"
 //! on NoC slack with negligible impact on the foreground application.
 //!
+//! The baseline (application alone) and shared (application + kernels)
+//! simulations are independent, so they run as two jobs on the
+//! deterministic sweep pool (`snacknoc_bench::sweep::parallel_map`) —
+//! results are identical to running them back to back.
+//!
 //! Run with: `cargo run --release --example multiprogram`
 
 use snacknoc::compiler::{build, MapperConfig};
-use snacknoc::core::SnackPlatform;
+use snacknoc::core::{MultiProgramRun, SnackPlatform};
 use snacknoc::noc::NocConfig;
 use snacknoc::workloads::kernels::Kernel;
 use snacknoc::workloads::suite::{profile, Benchmark};
+use snacknoc_bench::sweep::parallel_map;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = NocConfig::dapper().with_priority_arbitration(true).with_sample_window(1_000);
     let workload = profile(Benchmark::Lulesh).scaled(0.01);
     println!("LULESH on 16 cores + SPMV kernels on the NoC (priority arbitration on)\n");
 
-    // Baseline: the application alone.
-    let mut alone = SnackPlatform::new(cfg.clone())?;
-    alone.attach_workload(&workload, 31);
-    let base = alone.run_multiprogram(None, u64::MAX / 2);
+    // Job 0 — baseline: the application alone.
+    // Job 1 — shared: the same application (identical per-request
+    // randomness) with SPMV continually resubmitted to the CPM.
+    let runs: Vec<MultiProgramRun> = parallel_map(2, 2, |job| {
+        let mut p = SnackPlatform::new(cfg.clone()).expect("preset config is valid");
+        p.attach_workload(&workload, 31);
+        let kernel = (job == 1).then(|| {
+            let built = build(Kernel::Spmv, 96, 31);
+            built
+                .context
+                .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
+                .expect("SPMV compiles for the 4x4 mesh")
+        });
+        p.run_multiprogram(kernel.as_ref(), u64::MAX / 2)
+    });
+    let [base, run] = <[MultiProgramRun; 2]>::try_from(runs).expect("two jobs in, two out");
     assert!(base.app_finished);
-
-    // Shared: the same application (identical per-request randomness) with
-    // SPMV continually resubmitted to the CPM.
-    let built = build(Kernel::Spmv, 96, 31);
-    let mut shared = SnackPlatform::new(cfg)?;
-    let kernel = built.context.compile(built.root, &MapperConfig::for_mesh(shared.mesh()))?;
-    shared.attach_workload(&workload, 31);
-    let run = shared.run_multiprogram(Some(&kernel), u64::MAX / 2);
     assert!(run.app_finished);
 
     println!("application runtime alone : {} cycles", base.app_runtime);

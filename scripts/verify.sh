@@ -58,6 +58,9 @@ fi
 echo "+ cargo build --release --offline"
 cargo build --release --offline
 
+echo "+ cargo build --release --offline --workspace --examples --benches"
+cargo build --release --offline --workspace --examples --benches
+
 echo "+ cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 

@@ -6,9 +6,10 @@
 
 use snacknoc::compiler::{build, MapperConfig};
 use snacknoc::core::SnackPlatform;
-use snacknoc::noc::{NocConfig, TrafficClass};
+use snacknoc::noc::{NocConfig, NocPreset, TrafficClass};
 use snacknoc::workloads::kernels::Kernel;
 use snacknoc::workloads::suite::{profile, Benchmark};
+use snacknoc_bench::sweep::{run_sweep, SweepSpec};
 
 /// A fingerprint of a multi-program run that any nondeterminism would
 /// perturb.
@@ -42,6 +43,40 @@ fn multiprogram_runs_are_bit_reproducible() {
     assert_eq!(a, b, "same seed, same universe");
     let c = fingerprint(42);
     assert_ne!(a, c, "different seeds diverge");
+}
+
+/// The parallel sweep pool is a pure wall-clock optimization: the merged
+/// simulation report is byte-identical whether one worker runs every cell
+/// or four workers race for them (and whether a cell is repeated for
+/// wall-clock sampling).
+#[test]
+fn sweep_reports_are_thread_count_invariant() {
+    let cells = SweepSpec::grid(
+        &[Benchmark::Fmm, Benchmark::WaterSpatial],
+        &[NocPreset::Dapper, NocPreset::BiNoChs],
+        &[11, 12],
+        0.003,
+    )
+    .with_kernels(&[Kernel::Reduction, Kernel::Mac], 24, &[NocPreset::AxNoc], &[11])
+    .cells;
+    let serial = run_sweep(
+        &SweepSpec { cells: cells.clone(), threads: 1, samples: 1 },
+    );
+    let parallel = run_sweep(
+        &SweepSpec { cells: cells.clone(), threads: 4, samples: 2 },
+    );
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "threads=1 and threads=4 must merge to identical bytes"
+    );
+    assert_eq!(serial.cells.len(), cells.len());
+    assert!(serial.cells.iter().all(|c| c.finished), "every cell completes");
+    // Pool accounting is consistent even though per-worker splits vary.
+    assert_eq!(
+        parallel.pool.cells_per_worker.iter().sum::<u64>(),
+        cells.len() as u64
+    );
 }
 
 #[test]

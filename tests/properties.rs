@@ -170,6 +170,47 @@ fn coherence_protocol_never_deadlocks() {
     });
 }
 
+/// Random small sweep grids produce byte-identical deterministic JSON
+/// whether they run on one worker or four — the sweep pool's merge order
+/// never leaks thread scheduling into the report.
+#[test]
+fn random_sweeps_are_thread_count_invariant() {
+    use snacknoc::noc::NocPreset;
+    use snacknoc::workloads::kernels::Kernel;
+    use snacknoc::workloads::suite::Benchmark;
+    use snacknoc_bench::sweep::{run_sweep, SweepCell, SweepSpec};
+    // Light benchmarks only: property cases must stay CI-scale.
+    const LIGHT: [Benchmark; 4] =
+        [Benchmark::Fmm, Benchmark::Cholesky, Benchmark::Volrend, Benchmark::Barnes];
+    prop_check!(cases = 6, seed = 0x51AC_0006, |rng| {
+        let n_bench = rng.range_usize(1..3);
+        let benchmarks: Vec<Benchmark> =
+            (0..n_bench).map(|_| LIGHT[rng.range_usize(0..LIGHT.len())]).collect();
+        let presets =
+            [NocPreset::ALL[rng.range_usize(0..NocPreset::ALL.len())]];
+        let seeds: Vec<u64> = (0..rng.range(1..3)).map(|_| rng.range(0..100)).collect();
+        let scale = 0.001 + rng.unit_f64() * 0.002;
+        let mut cells: Vec<SweepCell> =
+            SweepSpec::grid(&benchmarks, &presets, &seeds, scale).cells;
+        if rng.flip() {
+            let kernel = Kernel::ALL[rng.range_usize(0..Kernel::ALL.len())];
+            let size = rng.range_usize(8..24);
+            cells.extend(
+                SweepSpec::grid(&[], &presets, &[], scale)
+                    .with_kernels(&[kernel], size, &presets, &seeds)
+                    .cells,
+            );
+        }
+        let serial = run_sweep(&SweepSpec { cells: cells.clone(), threads: 1, samples: 1 });
+        let parallel = run_sweep(&SweepSpec { cells, threads: 4, samples: 1 });
+        assert_eq!(
+            serial.deterministic_json(),
+            parallel.deterministic_json(),
+            "sweep merge must not depend on worker scheduling"
+        );
+    });
+}
+
 /// Mapping is deterministic: the same context compiles to the same
 /// instruction stream every time.
 #[test]
