@@ -26,7 +26,7 @@ fn mac_fusion_jobs(jobs: &mut Vec<TimedJob>) {
         jobs.push(TimedJob::batched(
             &format!("ablation_mac_fusion/sgemm12/{fusion}"),
             || SnackPlatform::new(NocConfig::default()).unwrap(),
-            move |mut p| p.run_kernel(&kernel, 5_000_000).unwrap().expect("finishes"),
+            move |mut p| p.run_kernel(&kernel, 5_000_000).expect("finishes"),
         ));
     }
 }

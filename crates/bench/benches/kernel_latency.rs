@@ -32,7 +32,6 @@ fn main() {
             move |mut platform| {
                 platform
                     .run_kernel(&compiled, 1_000_000)
-                    .expect("cpm idle")
                     .expect("kernel finishes")
             },
         ));

@@ -27,7 +27,7 @@ fn main() {
         let mut p = SnackPlatform::new(NocConfig::default()).expect("valid");
         let cfg = MapperConfig::for_mesh(p.mesh()).with_mac_fusion(fusion);
         let kernel = built.context.compile(built.root, &cfg).expect("compiles");
-        let run = p.run_kernel(&kernel, 10_000_000).expect("idle").expect("finishes");
+        let run = p.run_kernel(&kernel, 10_000_000).expect("finishes");
         let reference = built.context.interpret(built.root).expect("ok");
         assert_eq!(run.outputs, reference, "both mappings bit-exact");
         rows.push(vec![
@@ -80,7 +80,7 @@ fn main() {
             .context
             .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
             .expect("compiles");
-        let run = p.run_kernel(&k, 10_000_000).expect("idle").expect("finishes");
+        let run = p.run_kernel(&k, 10_000_000).expect("finishes");
         rows.push(vec![format!("{pack} instr/flit"), format!("{}", run.cycles)]);
     }
     print_table(&["Packing", "Cycles"], &rows);

@@ -1,0 +1,157 @@
+//! `snack-faults` — the deterministic fault-injection sweep driver.
+//!
+//! Runs a `{kernel} × {fault scenario} × {seed}` grid over the worker pool
+//! in `snacknoc_bench::faults`, with a seeded fault plan and the CPM
+//! token-loss watchdog enabled on every cell. Prints the per-cell
+//! fault/recovery table and writes `BENCH_faults.json` (override with
+//! `--json <path>`); the simulation output is bit-identical for any
+//! `--threads` value.
+//!
+//! ```text
+//! snack-faults [--kernels all|sgemm,spmv,...] [--size N]
+//!              [--rates R1,R2,...] [--mode drop|corrupt|both]
+//!              [--seeds N] [--threads N] [--json PATH] [--smoke]
+//! ```
+//!
+//! Defaults: all four paper kernels, size 12, rates `0.01,0.05`, both
+//! modes (plus the always-included `clean` baseline scenario), 1 seed,
+//! threads = available parallelism.
+//!
+//! `--smoke` runs a fixed 30-second-class micro-grid (one kernel, small
+//! size) and exits non-zero unless every cell is consistent — CI uses
+//! this via `scripts/verify.sh`.
+
+use snacknoc_bench::experiments::arg_u64;
+use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
+use snacknoc_workloads::kernels::Kernel;
+
+/// Parses `--<name> <value>` as a raw string.
+fn arg_str(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| *a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+fn parse_kernels(spec: &str) -> Vec<Kernel> {
+    if spec.eq_ignore_ascii_case("all") {
+        return Kernel::ALL.to_vec();
+    }
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            Kernel::ALL
+                .into_iter()
+                .find(|k| k.to_string().eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| {
+                    eprintln!("error: unknown kernel '{name}'");
+                    eprintln!("known kernels: {}", Kernel::ALL.map(|k| k.to_string()).join(", "));
+                    std::process::exit(2);
+                })
+        })
+        .collect()
+}
+
+fn parse_rates(spec: &str) -> Vec<f64> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let r: f64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad rate '{s}'");
+                std::process::exit(2);
+            });
+            if !(0.0..=1.0).contains(&r) {
+                eprintln!("error: rate {r} outside [0, 1]");
+                std::process::exit(2);
+            }
+            r
+        })
+        .collect()
+}
+
+fn scenarios(rates: &[f64], mode: &str) -> Vec<FaultScenario> {
+    let mut out = vec![FaultScenario::Clean];
+    for &rate in rates {
+        if rate == 0.0 {
+            continue; // clean already covers it
+        }
+        match mode {
+            "drop" => out.push(FaultScenario::Drop { rate }),
+            "corrupt" => out.push(FaultScenario::Corrupt { rate }),
+            "both" => {
+                out.push(FaultScenario::Drop { rate });
+                out.push(FaultScenario::Corrupt { rate });
+            }
+            other => {
+                eprintln!("error: unknown mode '{other}' (drop|corrupt|both)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = has_flag("smoke");
+    let json_path = arg_str("json").unwrap_or_else(|| "BENCH_faults.json".into());
+    let threads = arg_u64(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+    ) as usize;
+
+    let spec = if smoke {
+        FaultSweepSpec::grid(
+            &[Kernel::Mac, Kernel::Spmv],
+            8,
+            &[
+                FaultScenario::Clean,
+                FaultScenario::Drop { rate: 0.05 },
+                FaultScenario::Corrupt { rate: 0.05 },
+            ],
+            &[1],
+        )
+        .with_threads(threads)
+    } else {
+        let kernels = parse_kernels(&arg_str("kernels").unwrap_or_else(|| "all".into()));
+        let size = arg_u64("size", 12) as usize;
+        let rates = parse_rates(&arg_str("rates").unwrap_or_else(|| "0.01,0.05".into()));
+        let mode = arg_str("mode").unwrap_or_else(|| "both".into());
+        let seeds: Vec<u64> = (1..=arg_u64("seeds", 1).max(1)).collect();
+        FaultSweepSpec::grid(&kernels, size, &scenarios(&rates, &mode), &seeds)
+            .with_threads(threads)
+    };
+
+    println!(
+        "fault sweep: {} cells on {} thread(s){}",
+        spec.cells.len(),
+        spec.threads,
+        if smoke { " [smoke]" } else { "" },
+    );
+    let results = run_fault_sweep(&spec);
+    results.print_table();
+
+    let file = std::fs::File::create(&json_path).expect("create JSON report");
+    results.write_json(std::io::BufWriter::new(file)).expect("write JSON report");
+    println!("json: {json_path}");
+
+    if !results.all_consistent() {
+        eprintln!(
+            "error: inconsistent fault cells (finished-but-unverified, or \
+             recovered != detected)"
+        );
+        std::process::exit(1);
+    }
+    let recovered: u64 = results.cells.iter().map(|c| c.recovered).sum();
+    let detected: u64 = results.cells.iter().map(|c| c.detected).sum();
+    println!("recovery: {recovered}/{detected} detected losses recovered");
+    if smoke && detected == 0 {
+        eprintln!("error: smoke grid injected no recoverable faults");
+        std::process::exit(1);
+    }
+}

@@ -82,8 +82,7 @@ pub fn run_snack_kernel(kernel: Kernel, size: usize, cfg: NocConfig, seed: u64) 
     let cap = 200 * instructions as u64 + 1_000_000;
     let run = platform
         .run_kernel(&compiled, cap)
-        .expect("cpm idle")
-        .unwrap_or_else(|| panic!("{kernel} did not finish within {cap} cycles"));
+        .unwrap_or_else(|e| panic!("{kernel} did not finish within {cap} cycles: {e}"));
     let reference = built.context.interpret(built.root).expect("interpretable");
     SnackKernelRun {
         kernel,

@@ -14,6 +14,7 @@
 
 pub mod csv;
 pub mod experiments;
+pub mod faults;
 pub mod harness;
 pub mod sweep;
 pub mod table;

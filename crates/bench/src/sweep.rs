@@ -438,7 +438,7 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepResults {
 
 /// Minimal JSON string escaping (cell names are plain ASCII, but stay
 /// correct for anything).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

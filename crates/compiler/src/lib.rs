@@ -31,7 +31,7 @@
 //! let b = cxt.input(&[1.0, 1.0, 1.0, 1.0], 2, 2)?;
 //! let ab = cxt.mul(a, b)?;
 //! let kernel = cxt.compile(ab, &MapperConfig::for_mesh(platform.mesh()))?;
-//! let run = platform.run_kernel(&kernel, 100_000)?.expect("finishes");
+//! let run = platform.run_kernel(&kernel, 100_000)?;
 //! assert_eq!(run.outputs, cxt.interpret(ab)?);
 //! # Ok(())
 //! # }

@@ -15,9 +15,9 @@
 
 use crate::dram::DramModel;
 use crate::fixed::Fixed;
-use crate::token::{CompiledKernel, DataToken, Instruction, ProgramError};
-use snacknoc_noc::NodeId;
-use std::collections::VecDeque;
+use crate::token::{CompiledKernel, DataToken, DepId, Instruction, ProgramError};
+use snacknoc_noc::{LatencyHistogram, NodeId};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Tunable CPM parameters.
@@ -53,6 +53,192 @@ impl Default for CpmConfig {
             offload_buffer_tokens: 4,
         }
     }
+}
+
+/// An invalid [`CpmConfig`], rejected before a platform is built on it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CpmConfigError {
+    /// The overflow hysteresis band is empty or inverted: the enter
+    /// threshold must be strictly below the exit threshold, otherwise the
+    /// CPM oscillates in and out of the overflow state every cycle.
+    HysteresisInverted {
+        /// `overflow_enter_below`.
+        enter: f64,
+        /// `overflow_exit_above`.
+        exit: f64,
+    },
+    /// A threshold fraction is not a finite value in `[0, 1]`.
+    FractionOutOfRange {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A buffer/batch capacity is zero.
+    ZeroCapacity {
+        /// Which field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CpmConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpmConfigError::HysteresisInverted { enter, exit } => write!(
+                f,
+                "overflow hysteresis inverted: enter_below {enter} must be < exit_above {exit}"
+            ),
+            CpmConfigError::FractionOutOfRange { field, value } => {
+                write!(f, "{field} = {value} is outside [0, 1]")
+            }
+            CpmConfigError::ZeroCapacity { field } => write!(f, "{field} must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for CpmConfigError {}
+
+impl CpmConfig {
+    /// Checks the invariants the CPM relies on: both overflow thresholds
+    /// finite fractions in `[0, 1]` with `enter_below` strictly less than
+    /// `exit_above` (a real hysteresis band), and nonzero buffer, batch
+    /// and packing capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), CpmConfigError> {
+        for (field, value) in [
+            ("overflow_enter_below", self.overflow_enter_below),
+            ("overflow_exit_above", self.overflow_exit_above),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(CpmConfigError::FractionOutOfRange { field, value });
+            }
+        }
+        if self.overflow_enter_below >= self.overflow_exit_above {
+            return Err(CpmConfigError::HysteresisInverted {
+                enter: self.overflow_enter_below,
+                exit: self.overflow_exit_above,
+            });
+        }
+        for (field, value) in [
+            ("instr_buffer_capacity", self.instr_buffer_capacity),
+            ("fetch_batch", self.fetch_batch),
+            ("instrs_per_packet", self.instrs_per_packet),
+            ("offload_buffer_tokens", self.offload_buffer_tokens),
+        ] {
+            if value == 0 {
+                return Err(CpmConfigError::ZeroCapacity { field });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the CPM's token-loss watchdog (the recovery half of the
+/// fault-injection subsystem).
+///
+/// The watchdog keeps a registry of every live ring token (registered at
+/// launch, refreshed on every hop/capture the platform reports). A token
+/// whose registry entry goes quiet for longer than `deadline` cycles is
+/// presumed lost; the CPM then re-issues it — from its overflow buffer if
+/// a copy is parked there, otherwise by asking the producing RCU to
+/// retransmit from retained kernel state — with bounded retries and a
+/// linearly growing backoff between attempts.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RecoveryConfig {
+    /// Master switch. Disabled (the default) costs nothing per cycle.
+    pub enabled: bool,
+    /// Cycles of registry silence after which a token is presumed lost.
+    ///
+    /// Must exceed the worst-case hop-to-hop token latency under
+    /// congestion, or the watchdog declares merely-delayed tokens lost
+    /// (harmless — duplicates retire once the registry settles — but the
+    /// spurious retransmissions cost cycles). 512 is calibrated so a
+    /// fault-free congested SGEMM run stays at zero detections.
+    pub deadline: u64,
+    /// Cycles between watchdog sweeps of the registry.
+    pub watchdog_period: u64,
+    /// Re-issue attempts per token before the CPM gives up (the kernel
+    /// then surfaces as a `KernelTimeout` at the platform layer).
+    pub max_retries: u32,
+    /// Base backoff between attempts; attempt `n` waits `n * backoff`.
+    pub backoff: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            deadline: 512,
+            watchdog_period: 32,
+            max_retries: 16,
+            backoff: 64,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The enabled profile used by the fault experiments: default timing
+    /// with the watchdog switched on.
+    pub fn aggressive() -> Self {
+        RecoveryConfig { enabled: true, ..RecoveryConfig::default() }
+    }
+}
+
+/// Watchdog/recovery counters (the `FaultStats` of the paper-facing
+/// reports, CPM side; the NoC's injection counters live in
+/// `snacknoc_noc::FaultCounters`).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Tokens the watchdog declared lost (unique loss events).
+    pub detected: u64,
+    /// Detected tokens that subsequently retired normally.
+    pub recovered: u64,
+    /// Re-issue attempts (overflow replays + producer retransmissions).
+    pub retries: u64,
+    /// Watchdog sweeps that found at least one overdue token.
+    pub watchdog_fires: u64,
+    /// Tokens discarded on arrival because their checksum failed.
+    pub corrupt_detected: u64,
+    /// Detection-to-retirement latency of recovered tokens, in cycles.
+    pub recovery_latency: LatencyHistogram,
+}
+
+impl RecoveryStats {
+    /// Accumulates `other` into `self` (multi-CPM aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        self.detected += other.detected;
+        self.recovered += other.recovered;
+        self.retries += other.retries;
+        self.watchdog_fires += other.watchdog_fires;
+        self.corrupt_detected += other.corrupt_detected;
+        self.recovery_latency.merge(&other.recovery_latency);
+    }
+}
+
+/// Watchdog registry entry for one live ring token.
+#[derive(Clone, Debug)]
+struct TokenRecord {
+    /// The RCU that produced the token (retransmission source).
+    producer: NodeId,
+    /// Operand references not yet captured.
+    outstanding: u32,
+    /// Last cycle the platform reported any sign of life for this token.
+    last_activity: u64,
+    /// Cycle the watchdog first declared it lost.
+    first_lost_at: u64,
+    /// Re-issue attempts so far.
+    retries: u32,
+    /// Earliest cycle the next re-issue may happen (backoff).
+    next_retry_at: u64,
+    /// Whether this token has been declared lost at least once.
+    detected: bool,
+    /// Whether the token currently sits in this CPM's overflow buffer
+    /// (parked tokens are safe; the sweep skips them).
+    parked: bool,
 }
 
 /// Kernel execution state.
@@ -105,6 +291,17 @@ pub enum CpmEmission {
     Instructions(Vec<Instruction>),
     /// A replayed overflow token, re-launched onto the ring.
     ReplayToken(DataToken),
+    /// A watchdog request: `producer` should re-issue the retained token
+    /// for `dep` with `remaining` dependents (the captures already served
+    /// must not be counted again).
+    RequestRetransmit {
+        /// The lost dependency.
+        dep: DepId,
+        /// The RCU that produced it.
+        producer: NodeId,
+        /// Dependents still outstanding.
+        remaining: u32,
+    },
 }
 
 /// Counters for the cost/QoS analyses.
@@ -169,6 +366,15 @@ pub struct Cpm {
     /// Whether the command-buffer stream has already paid its first row
     /// activation: subsequent batches pipeline behind the open row.
     row_open: bool,
+    /// Token-loss watchdog parameters (disabled by default).
+    recovery: RecoveryConfig,
+    /// Watchdog registry: one record per live ring token, keyed by
+    /// dependency id (BTreeMap so sweeps are deterministic).
+    watch: BTreeMap<DepId, TokenRecord>,
+    /// Next watchdog sweep cycle.
+    next_sweep: u64,
+    /// Recovery counters.
+    rec_stats: RecoveryStats,
     /// Counters.
     pub stats: CpmStats,
 }
@@ -208,6 +414,10 @@ impl Cpm {
             replay_turn: false,
             irregular_fetch: false,
             row_open: false,
+            recovery: RecoveryConfig::default(),
+            watch: BTreeMap::new(),
+            next_sweep: 0,
+            rec_stats: RecoveryStats::default(),
             stats: CpmStats::default(),
         }
     }
@@ -230,6 +440,12 @@ impl Cpm {
     /// Cycle the resident kernel finished, if it has.
     pub fn finished_at(&self) -> Option<u64> {
         self.finished_at
+    }
+
+    /// Output slots still awaiting a result from the network (a progress
+    /// signal for the platform's no-progress detector).
+    pub fn pending_results(&self) -> usize {
+        self.results_remaining
     }
 
     /// Submits a kernel for execution.
@@ -264,6 +480,10 @@ impl Cpm {
         self.started_at = now;
         self.finished_at = None;
         self.state = CpmState::Running;
+        // Stale watchdog records from a previous kernel (e.g. tokens
+        // given up on) must not leak into this one.
+        self.watch.clear();
+        self.next_sweep = now;
         // Kick off the first command-buffer fetch.
         self.start_fetch(now);
         Ok(())
@@ -296,17 +516,201 @@ impl Cpm {
         }
     }
 
-    /// Offers a transient token passing through the CPM node. In the
-    /// overflow state the CPM absorbs it into the offload buffer and
-    /// returns `true`; otherwise the token continues on the ring.
-    pub fn maybe_absorb(&mut self, token: DataToken) -> Option<DataToken> {
+    /// Offers a transient token passing through the CPM node at cycle
+    /// `now`. In the overflow state the CPM absorbs it into the offload
+    /// buffer and returns `None`; otherwise the token continues on the
+    /// ring. Either way the watchdog registry records the sighting.
+    pub fn maybe_absorb(&mut self, token: DataToken, now: u64) -> Option<DataToken> {
         if self.in_overflow {
+            if self.recovery.enabled {
+                if let Some(rec) = self.watch.get_mut(&token.dep) {
+                    rec.parked = true;
+                    rec.last_activity = now;
+                }
+            }
             self.overflow.push_back(token);
             self.stats.tokens_absorbed += 1;
             None
         } else {
+            if self.recovery.enabled {
+                if let Some(rec) = self.watch.get_mut(&token.dep) {
+                    rec.last_activity = now;
+                }
+            }
             Some(token)
         }
+    }
+
+    // -- Token-loss watchdog (the recovery half of the fault subsystem) --
+
+    /// Switches the token-loss watchdog on/off and sets its timing.
+    pub fn enable_recovery(&mut self, cfg: RecoveryConfig) {
+        self.recovery = cfg;
+        if !cfg.enabled {
+            self.watch.clear();
+        }
+    }
+
+    /// The active recovery configuration.
+    pub fn recovery_config(&self) -> RecoveryConfig {
+        self.recovery
+    }
+
+    /// Watchdog/recovery counters.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.rec_stats
+    }
+
+    /// Registers/refreshes a ring token the platform just launched from
+    /// `producer` (first launch registers; every subsequent hop refreshes
+    /// the record's liveness and un-parks it).
+    pub fn note_token(&mut self, token: &DataToken, producer: NodeId, now: u64) {
+        if !self.recovery.enabled {
+            return;
+        }
+        self.watch
+            .entry(token.dep)
+            .and_modify(|rec| {
+                rec.last_activity = now;
+                rec.parked = false;
+            })
+            .or_insert(TokenRecord {
+                producer,
+                outstanding: token.dependents,
+                last_activity: now,
+                first_lost_at: 0,
+                retries: 0,
+                next_retry_at: 0,
+                detected: false,
+                parked: false,
+            });
+    }
+
+    /// Records `captured` operand references served from the token for
+    /// `dep` at cycle `now`.
+    pub fn note_captures(&mut self, dep: DepId, captured: u32, now: u64) {
+        if !self.recovery.enabled {
+            return;
+        }
+        if let Some(rec) = self.watch.get_mut(&dep) {
+            rec.outstanding = rec.outstanding.saturating_sub(captured);
+            rec.last_activity = now;
+        }
+    }
+
+    /// Whether the watchdog already considers `dep` fully served.
+    ///
+    /// True only with recovery enabled and a record whose `outstanding`
+    /// count reached zero — or no record at all, which means the dep was
+    /// already retired. The platform uses this to retire *duplicate*
+    /// copies: after a false-positive loss declaration the original and
+    /// the replay each serve a subset of the dependents, so neither
+    /// copy's own `dependents` field reaches zero even though every
+    /// operand reference has been satisfied. Without this check both
+    /// copies would circulate the ring forever.
+    pub fn token_settled(&self, dep: DepId) -> bool {
+        self.recovery.enabled && self.watch.get(&dep).is_none_or(|rec| rec.outstanding == 0)
+    }
+
+    /// Records that the token for `dep` retired normally (all dependents
+    /// served). Closes the watchdog record; if the token had been declared
+    /// lost, this completes its recovery.
+    pub fn note_retired(&mut self, dep: DepId, now: u64) {
+        if !self.recovery.enabled {
+            return;
+        }
+        if let Some(rec) = self.watch.remove(&dep) {
+            if rec.detected {
+                self.rec_stats.recovered += 1;
+                self.rec_stats
+                    .recovery_latency
+                    .record(now.saturating_sub(rec.first_lost_at).max(1));
+            }
+        }
+    }
+
+    /// Records that an arriving copy of `dep` failed its checksum and was
+    /// discarded. Marks the token lost immediately (no need to wait out
+    /// the deadline: the corruption is positive evidence).
+    pub fn note_corrupt(&mut self, dep: DepId, now: u64) {
+        if !self.recovery.enabled {
+            return;
+        }
+        self.rec_stats.corrupt_detected += 1;
+        if let Some(rec) = self.watch.get_mut(&dep) {
+            let first = !rec.detected;
+            if first {
+                rec.detected = true;
+                rec.first_lost_at = now;
+                self.rec_stats.detected += 1;
+                // Fast-track the first retry: no need to wait out the
+                // silence deadline, the corruption is positive evidence.
+                rec.next_retry_at = now;
+            }
+            // Later corruptions keep the standing backoff schedule so a
+            // sustained corruption burst can't burn the whole retry budget
+            // in a tight loop.
+            rec.parked = false;
+            rec.last_activity = now.saturating_sub(self.recovery.deadline + 1);
+        }
+    }
+
+    /// One watchdog sweep: declares overdue tokens lost and emits at most
+    /// one re-issue — an overflow-buffer replay if a copy is parked here,
+    /// otherwise a retransmission request to the producing RCU.
+    fn recovery_sweep(&mut self, cycle: u64) -> Option<CpmEmission> {
+        if !self.recovery.enabled || self.watch.is_empty() || cycle < self.next_sweep {
+            return None;
+        }
+        self.next_sweep = cycle + self.recovery.watchdog_period;
+        let mut emission = None;
+        let mut fired = false;
+        for (&dep, rec) in self.watch.iter_mut() {
+            if rec.parked || rec.outstanding == 0 {
+                continue;
+            }
+            if cycle.saturating_sub(rec.last_activity) <= self.recovery.deadline
+                || cycle < rec.next_retry_at
+            {
+                continue;
+            }
+            fired = true;
+            if !rec.detected {
+                rec.detected = true;
+                rec.first_lost_at = cycle;
+                self.rec_stats.detected += 1;
+            }
+            if rec.retries >= self.recovery.max_retries || emission.is_some() {
+                // Budget exhausted (give up; the platform's no-progress
+                // window surfaces this as a KernelTimeout) or another
+                // token already claimed this cycle's flit slot.
+                continue;
+            }
+            rec.retries += 1;
+            self.rec_stats.retries += 1;
+            rec.next_retry_at = cycle + self.recovery.backoff * u64::from(rec.retries);
+            rec.last_activity = cycle;
+            emission = Some(match self.overflow.iter().position(|t| t.dep == dep) {
+                Some(pos) => {
+                    // The lost copy (or a twin) is parked in the offload
+                    // buffer: replay it directly from memory.
+                    let parked = self.overflow.remove(pos).expect("position exists");
+                    self.stats.tokens_replayed += 1;
+                    CpmEmission::ReplayToken(
+                        DataToken::new(dep, rec.outstanding, parked.value).with_seq(parked.seq + 1),
+                    )
+                }
+                None => CpmEmission::RequestRetransmit {
+                    dep,
+                    producer: rec.producer,
+                    remaining: rec.outstanding,
+                },
+            });
+        }
+        if fired {
+            self.rec_stats.watchdog_fires += 1;
+        }
+        emission
     }
 
     /// Number of tokens parked in the overflow path.
@@ -355,6 +759,11 @@ impl Cpm {
         // In overflow: pause issue entirely — CMP workloads take priority.
         if self.in_overflow {
             return None;
+        }
+        // Token-loss watchdog: recovery re-issues pre-empt ordinary issue
+        // (a lost token is blocking downstream instructions anyway).
+        if let Some(emission) = self.recovery_sweep(cycle) {
+            return Some(emission);
         }
         // Alternate overflow replay with instruction issue once pressure
         // has cleared (paper §III-C2).
@@ -539,8 +948,8 @@ mod tests {
         // Congested: below the 25% enter threshold.
         assert_eq!(cpm.tick(1, (2, 16)), None, "no issue while congested");
         assert!(cpm.in_overflow());
-        let tok = DataToken { dep: 1, dependents: 3, value: Fixed::ONE };
-        assert_eq!(cpm.maybe_absorb(tok), None, "token absorbed");
+        let tok = DataToken::new(1, 3, Fixed::ONE);
+        assert_eq!(cpm.maybe_absorb(tok, 1), None, "token absorbed");
         assert_eq!(cpm.overflow_backlog(), 1);
         assert_eq!(cpm.stats.tokens_absorbed, 1);
         // Still congested at 40% (hysteresis: needs > 50% to exit).
@@ -550,20 +959,17 @@ mod tests {
         // instruction issue.
         let mut replayed = false;
         for c in 3..300 {
-            match cpm.tick(c, (14, 16)) {
-                Some(CpmEmission::ReplayToken(t)) => {
-                    assert_eq!(t.dep, 1);
-                    replayed = true;
-                }
-                Some(CpmEmission::Instructions(_)) | None => {}
+            if let Some(CpmEmission::ReplayToken(t)) = cpm.tick(c, (14, 16)) {
+                assert_eq!(t.dep, 1);
+                replayed = true;
             }
         }
         assert!(!cpm.in_overflow());
         assert!(replayed);
         assert_eq!(cpm.stats.tokens_replayed, 1);
         // Tokens pass through untouched when not in overflow.
-        let tok2 = DataToken { dep: 2, dependents: 1, value: Fixed::ONE };
-        assert_eq!(cpm.maybe_absorb(tok2), Some(tok2));
+        let tok2 = DataToken::new(2, 1, Fixed::ONE);
+        assert_eq!(cpm.maybe_absorb(tok2, 300), Some(tok2));
     }
 
     #[test]
@@ -627,6 +1033,149 @@ mod tests {
             cpm.submit(&k, 0),
             Err(SubmitError::Invalid(ProgramError::BadSubBlock(_) | ProgramError::NamespaceOverflow))
         ));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_hysteresis_and_ranges() {
+        assert_eq!(CpmConfig::default().validate(), Ok(()));
+        let inverted = CpmConfig {
+            overflow_enter_below: 0.5,
+            overflow_exit_above: 0.25,
+            ..CpmConfig::default()
+        };
+        assert_eq!(
+            inverted.validate(),
+            Err(CpmConfigError::HysteresisInverted { enter: 0.5, exit: 0.25 })
+        );
+        let empty_band = CpmConfig {
+            overflow_enter_below: 0.4,
+            overflow_exit_above: 0.4,
+            ..CpmConfig::default()
+        };
+        assert!(
+            matches!(empty_band.validate(), Err(CpmConfigError::HysteresisInverted { .. })),
+            "equal thresholds leave no hysteresis band"
+        );
+        let oor = CpmConfig { overflow_enter_below: -0.1, ..CpmConfig::default() };
+        assert!(matches!(
+            oor.validate(),
+            Err(CpmConfigError::FractionOutOfRange { field: "overflow_enter_below", .. })
+        ));
+        let nan = CpmConfig { overflow_exit_above: f64::NAN, ..CpmConfig::default() };
+        assert!(matches!(nan.validate(), Err(CpmConfigError::FractionOutOfRange { .. })));
+        let zero = CpmConfig { fetch_batch: 0, ..CpmConfig::default() };
+        assert_eq!(zero.validate(), Err(CpmConfigError::ZeroCapacity { field: "fetch_batch" }));
+        // Errors render usefully.
+        let msg = format!("{}", inverted.validate().unwrap_err());
+        assert!(msg.contains("hysteresis"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_detects_silence_and_requests_retransmission() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        let rc = RecoveryConfig {
+            enabled: true,
+            deadline: 100,
+            watchdog_period: 10,
+            max_retries: 2,
+            backoff: 50,
+        };
+        cpm.enable_recovery(rc);
+        cpm.submit(&program(2), 0).unwrap();
+        let tok = DataToken::new(7, 2, Fixed::ONE);
+        cpm.note_token(&tok, NodeId::new(5), 10);
+        // Alive and refreshed: no emission.
+        cpm.note_captures(7, 1, 50);
+        for c in 11..110 {
+            assert!(
+                !matches!(
+                    cpm.tick(c, uncongested()),
+                    Some(CpmEmission::RequestRetransmit { .. })
+                ),
+                "cycle {c}: token not yet overdue"
+            );
+        }
+        // Silence past the deadline (last activity 50, deadline 100).
+        let mut request = None;
+        for c in 110..200 {
+            if let Some(CpmEmission::RequestRetransmit { dep, producer, remaining }) =
+                cpm.tick(c, uncongested())
+            {
+                request.get_or_insert((c, dep, producer, remaining));
+            }
+        }
+        let (at, dep, producer, remaining) = request.expect("watchdog fires");
+        assert!(at > 150, "fires only after the deadline lapses");
+        assert_eq!((dep, producer, remaining), (7, NodeId::new(5), 1));
+        assert_eq!(cpm.recovery_stats().detected, 1);
+        assert_eq!(cpm.recovery_stats().retries, 1);
+        assert!(cpm.recovery_stats().watchdog_fires >= 1);
+        // Continued silence: bounded retries, then the CPM gives up.
+        let mut more = 0;
+        for c in 200..2_000 {
+            if let Some(CpmEmission::RequestRetransmit { .. }) = cpm.tick(c, uncongested()) {
+                more += 1;
+            }
+        }
+        assert_eq!(more, 1, "max_retries = 2 bounds the re-issues");
+        assert_eq!(cpm.recovery_stats().retries, 2);
+        // The token finally retires: recovery completes.
+        cpm.note_retired(7, 2_000);
+        assert_eq!(cpm.recovery_stats().recovered, 1);
+        assert_eq!(cpm.recovery_stats().recovery_latency.samples(), 1);
+    }
+
+    #[test]
+    fn watchdog_replays_parked_overflow_copies_first() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        cpm.enable_recovery(RecoveryConfig {
+            enabled: true,
+            deadline: 50,
+            watchdog_period: 5,
+            max_retries: 4,
+            backoff: 10,
+        });
+        cpm.submit(&program(2), 0).unwrap();
+        let tok = DataToken::new(9, 3, Fixed::from_f64(2.0));
+        cpm.note_token(&tok, NodeId::new(3), 1);
+        // Congestion absorbs the token; parked copies are safe from the
+        // watchdog no matter how long the pressure lasts.
+        cpm.tick(2, (1, 16));
+        assert!(cpm.in_overflow());
+        assert_eq!(cpm.maybe_absorb(tok, 2), None);
+        for c in 3..300 {
+            assert_eq!(cpm.tick(c, (1, 16)), None, "parked token never triggers recovery");
+        }
+        // A corruption report un-parks it: the watchdog re-issues from the
+        // overflow buffer (not the producer) with a bumped seq.
+        cpm.note_corrupt(9, 300);
+        let mut replay = None;
+        for c in 301..400 {
+            if let Some(CpmEmission::ReplayToken(t)) = cpm.tick(c, (14, 16)) {
+                replay.get_or_insert(t);
+                break;
+            }
+        }
+        let t = replay.expect("replayed from overflow");
+        assert_eq!((t.dep, t.dependents, t.seq), (9, 3, 1));
+        assert!(t.checksum_ok(), "replay is re-sealed");
+        assert_eq!(cpm.overflow_backlog(), 0);
+        assert_eq!(cpm.recovery_stats().corrupt_detected, 1);
+        assert_eq!(cpm.recovery_stats().detected, 1);
+    }
+
+    #[test]
+    fn disabled_recovery_keeps_the_watchdog_registry_empty() {
+        let mut cpm = Cpm::new(NodeId::new(0), CpmConfig::default(), DramModel::default());
+        cpm.submit(&program(2), 0).unwrap();
+        let tok = DataToken::new(1, 1, Fixed::ONE);
+        cpm.note_token(&tok, NodeId::new(1), 5);
+        cpm.note_captures(1, 1, 6);
+        cpm.note_retired(1, 7);
+        cpm.note_corrupt(1, 8);
+        assert_eq!(cpm.recovery_stats().detected, 0);
+        assert_eq!(cpm.recovery_stats().corrupt_detected, 0);
+        assert!(cpm.watch.is_empty());
     }
 
     #[test]

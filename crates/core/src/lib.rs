@@ -43,7 +43,7 @@
 //!         ends_block: true,
 //!     }],
 //! };
-//! let run = platform.run_kernel(&kernel, 10_000)?.expect("kernel finishes");
+//! let run = platform.run_kernel(&kernel, 10_000)?;
 //! assert_eq!(run.outputs[0], Fixed::from_f64(5.0));
 //! # Ok(())
 //! # }
@@ -51,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cpm;
 pub mod dram;
@@ -59,7 +60,9 @@ pub mod platform;
 pub mod rcu;
 pub mod token;
 
-pub use cpm::{Cpm, CpmConfig, CpmState, SubmitError};
+pub use cpm::{
+    Cpm, CpmConfig, CpmConfigError, CpmState, RecoveryConfig, RecoveryStats, SubmitError,
+};
 pub use dram::DramModel;
 pub use fixed::Fixed;
 pub use platform::{KernelRun, MultiProgramRun, PlatformError, SnackPayload, SnackPlatform};

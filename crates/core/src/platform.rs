@@ -2,13 +2,17 @@
 //! a CPM at a memory-controller node, and (optionally) a CMP workload
 //! sharing the network — the full system of paper Fig. 5.
 
-use crate::cpm::{Cpm, CpmConfig, CpmEmission, CpmState, SubmitError, NAMESPACE_MASK, NAMESPACE_SHIFT};
+use crate::cpm::{
+    Cpm, CpmConfig, CpmConfigError, CpmEmission, CpmState, RecoveryConfig, RecoveryStats,
+    SubmitError, NAMESPACE_MASK, NAMESPACE_SHIFT,
+};
 use crate::dram::DramModel;
 use crate::fixed::Fixed;
 use crate::token::{CompiledKernel, DataToken, Instruction, DATA_TOKEN_BYTES, INSTRUCTION_BYTES};
 use crate::rcu::{Emission, Rcu, RcuStats};
 use snacknoc_noc::{
-    ConfigError, Mesh, NetStats, Network, NocConfig, NodeId, PacketSpec, TrafficClass,
+    ConfigError, FaultCounters, FaultPlan, FaultPlanError, LinkFaultKind, Mesh, NetStats, Network,
+    NocConfig, NodeId, PacketSpec, StallReport, TrafficClass,
 };
 use snacknoc_workloads::coherence::{AccessPattern, CohMessage, CoherentEngine};
 use snacknoc_workloads::{BenchmarkProfile, CmpMessage, TrafficEngine};
@@ -54,6 +58,20 @@ pub enum PlatformError {
         /// Corners available.
         corners: usize,
     },
+    /// The CPM configuration failed validation (bad hysteresis thresholds,
+    /// out-of-range fractions, or zero capacities).
+    CpmConfig(CpmConfigError),
+    /// The CPM rejected the kernel at submission time.
+    Submit(SubmitError),
+    /// The kernel made no forward progress for a full watchdog window and
+    /// was aborted. Carries a structured snapshot of where the network's
+    /// in-flight state was stuck.
+    KernelTimeout {
+        /// Cycles elapsed since submission when the platform gave up.
+        cycles: u64,
+        /// In-flight network state at abort time.
+        stall: Box<StallReport>,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -67,6 +85,11 @@ impl fmt::Display for PlatformError {
             PlatformError::BadCpmCount { requested, corners } => {
                 write!(f, "requested {requested} cpms but the mesh has {corners} corners")
             }
+            PlatformError::CpmConfig(e) => write!(f, "cpm config: {e}"),
+            PlatformError::Submit(e) => write!(f, "kernel submission: {e}"),
+            PlatformError::KernelTimeout { cycles, stall } => {
+                write!(f, "kernel timeout after {cycles} cycles: {stall}")
+            }
         }
     }
 }
@@ -76,6 +99,18 @@ impl std::error::Error for PlatformError {}
 impl From<ConfigError> for PlatformError {
     fn from(e: ConfigError) -> Self {
         PlatformError::Config(e)
+    }
+}
+
+impl From<SubmitError> for PlatformError {
+    fn from(e: SubmitError) -> Self {
+        PlatformError::Submit(e)
+    }
+}
+
+impl From<CpmConfigError> for PlatformError {
+    fn from(e: CpmConfigError) -> Self {
+        PlatformError::CpmConfig(e)
     }
 }
 
@@ -186,6 +221,7 @@ impl SnackPlatform {
         if cfg.vnets < 3 {
             return Err(PlatformError::MissingSnackVnet);
         }
+        cpm_cfg.validate().map_err(PlatformError::CpmConfig)?;
         let net: Network<SnackPayload> = Network::new(cfg)?;
         let mesh = *net.mesh();
         let ring = mesh.ring().map_err(PlatformError::Ring)?;
@@ -356,7 +392,53 @@ impl SnackPlatform {
             return None;
         }
         let (name, outputs) = self.cpms[i].take_results()?;
+        // The kernel is complete: drop the RCUs' retained token copies for
+        // this CPM's namespace so retransmission state can't leak into the
+        // next kernel.
+        let ns = self.cpms[i].namespace();
+        for r in &mut self.rcus {
+            r.clear_retained_namespace(ns);
+        }
         Some(KernelRun { name, cycles: finished_at - self.submitted_at[i], outputs })
+    }
+
+    /// Installs (or replaces) the network's deterministic fault plan.
+    /// Pass [`FaultPlan::none`] to clear it; a cleared plan restores
+    /// bit-identical fault-free behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid plans (out-of-range rates, inverted windows,
+    /// off-mesh link coordinates).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        self.net.set_fault_plan(plan)
+    }
+
+    /// Fault-injection counters accumulated by the network.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.net.fault_counters()
+    }
+
+    /// Packets the fault layer dropped outright.
+    pub fn lost_packets(&self) -> u64 {
+        self.net.lost_packets()
+    }
+
+    /// Enables token-loss recovery (watchdog + retransmission) on every
+    /// CPM with the given policy.
+    pub fn enable_recovery(&mut self, cfg: RecoveryConfig) {
+        for c in &mut self.cpms {
+            c.enable_recovery(cfg);
+        }
+    }
+
+    /// Aggregated recovery statistics across all CPMs.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut agg = RecoveryStats::default();
+        for c in &self.cpms {
+            agg.merge(c.recovery_stats());
+        }
+        agg
     }
 
     /// Advances the platform by one cycle: workload traffic, CPM issue,
@@ -408,17 +490,40 @@ impl SnackPlatform {
                         TrafficClass::SnackInstruction,
                         bytes,
                         SnackPayload::Instructions(packet),
-                    );
+                    )
+                    .with_protected();
                     self.net.inject(spec).expect("valid instruction packet");
                 }
                 Some(CpmEmission::ReplayToken(token)) => {
                     self.launch_token(node, token);
                 }
+                Some(CpmEmission::RequestRetransmit { dep, producer, remaining }) => {
+                    // The watchdog asks the producing RCU to re-issue from
+                    // its retained copy. We model the request as arriving
+                    // instantly (a single control flit on the protected
+                    // class); the re-issued token pays full ring transit.
+                    if let Some(token) = self.rcus[producer.index()].retransmit(dep, remaining) {
+                        self.launch_token(producer, token);
+                    }
+                }
                 None => {}
             }
         }
-        // RCU execution.
+        // RCU execution (skipping fault-stalled RCUs for this cycle).
+        let has_stalls =
+            self.net.fault_plan().is_some_and(|p| !p.rcu_stalls.is_empty());
         for i in 0..self.rcus.len() {
+            if has_stalls {
+                let node = self.nodes[i];
+                let stalled = self
+                    .net
+                    .fault_plan()
+                    .is_some_and(|p| p.rcu_stalled(node, now));
+                if stalled {
+                    self.rcus[i].stats.stalled_cycles += 1;
+                    continue;
+                }
+            }
             for emission in self.rcus[i].tick(now) {
                 let node = self.nodes[i];
                 match emission {
@@ -434,7 +539,8 @@ impl SnackPlatform {
                             TrafficClass::SnackData,
                             DATA_TOKEN_BYTES,
                             SnackPayload::Result { index, value },
-                        );
+                        )
+                        .with_protected();
                         self.net.inject(spec).expect("valid result packet");
                     }
                 }
@@ -447,6 +553,7 @@ impl SnackPlatform {
         for i in 0..self.nodes.len() {
             let node = self.nodes[i];
             for pkt in self.net.drain_ejected(node) {
+                let corrupted = pkt.corrupted;
                 match pkt.payload {
                     SnackPayload::Cmp(msg) => {
                         if let Some(Workload::Phase(engine)) = &mut self.engine {
@@ -464,7 +571,22 @@ impl SnackPlatform {
                             self.rcus[i].accept_instruction(ins);
                         }
                     }
-                    SnackPayload::Data(token) => self.ring_pass(node, token),
+                    SnackPayload::Data(token) => {
+                        // A corrupted ring hop damages the token's value; the
+                        // checksum (sealed over dep/seq/value, not the
+                        // in-flight dependent count) is the single detection
+                        // path — corrupt tokens are quarantined and reported
+                        // to the owning CPM's watchdog instead of poisoning
+                        // downstream captures.
+                        let token = if corrupted { token.with_damaged_value() } else { token };
+                        if token.checksum_ok() {
+                            self.ring_pass(node, token);
+                        } else {
+                            let home = ((token.dep >> NAMESPACE_SHIFT) as usize)
+                                .min(self.cpms.len() - 1);
+                            self.cpms[home].note_corrupt(token.dep, now);
+                        }
+                    }
                     SnackPayload::Result { index, value } => {
                         let home = ((index >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
                         self.cpms[home].accept_result(index & NAMESPACE_MASK, value, now);
@@ -483,26 +605,71 @@ impl SnackPlatform {
 
     /// Submits `kernel` and steps until its results are written back.
     ///
-    /// Returns `None` if the kernel does not finish within `max_cycles`
-    /// (indicating saturation or an invalid mapping).
-    ///
     /// # Errors
     ///
-    /// Propagates CPM submission errors.
+    /// Propagates CPM submission errors as [`PlatformError::Submit`].
+    /// If the kernel does not finish within `max_cycles`, or makes no
+    /// forward progress for [`Self::NO_PROGRESS_WINDOW`] consecutive
+    /// cycles (tokens permanently lost beyond the recovery retry budget,
+    /// saturation, an invalid mapping), returns
+    /// [`PlatformError::KernelTimeout`] with a [`StallReport`] snapshot
+    /// instead of looping silently.
     pub fn run_kernel(
         &mut self,
         kernel: &CompiledKernel,
         max_cycles: u64,
-    ) -> Result<Option<KernelRun>, SubmitError> {
-        self.submit_kernel(kernel)?;
-        let deadline = self.net.cycle() + max_cycles;
+    ) -> Result<KernelRun, PlatformError> {
+        let started = self.net.cycle();
+        self.submit_kernel(kernel).map_err(PlatformError::Submit)?;
+        let deadline = started + max_cycles;
+        let mut last_sig = self.progress_signature();
+        let mut last_change = started;
         while self.net.cycle() < deadline {
             self.step();
             if let Some(run) = self.take_kernel_results() {
-                return Ok(Some(run));
+                return Ok(run);
+            }
+            let sig = self.progress_signature();
+            if sig != last_sig {
+                last_sig = sig;
+                last_change = self.net.cycle();
+            } else if self.net.cycle() - last_change >= Self::NO_PROGRESS_WINDOW {
+                break;
             }
         }
-        Ok(None)
+        Err(PlatformError::KernelTimeout {
+            cycles: self.net.cycle() - started,
+            stall: Box::new(self.net.stall_report()),
+        })
+    }
+
+    /// How long `run_kernel` tolerates zero forward progress before
+    /// aborting with [`PlatformError::KernelTimeout`]. Generous enough to
+    /// cover the deepest recovery backoff (`max_retries * backoff` plus a
+    /// full ring circulation) at default settings.
+    pub const NO_PROGRESS_WINDOW: u64 = 50_000;
+
+    /// A deterministic fingerprint of kernel-level forward progress:
+    /// instruction issue, RCU execution and captures, overflow absorption
+    /// and replay, recovery activity, and pending result count. Network
+    /// injections are deliberately *excluded* — a token circling the ring
+    /// without ever being captured is not progress.
+    fn progress_signature(&self) -> u64 {
+        let mut sig = 0u64;
+        for r in &self.rcus {
+            sig = sig.wrapping_add(r.stats.executed).wrapping_add(r.stats.captures);
+        }
+        for c in &self.cpms {
+            let s = &c.stats;
+            sig = sig
+                .wrapping_add(s.instructions_issued)
+                .wrapping_add(s.tokens_absorbed)
+                .wrapping_add(s.tokens_replayed);
+            let rs = c.recovery_stats();
+            sig = sig.wrapping_add(rs.retries).wrapping_add(rs.corrupt_detected);
+            sig = sig.wrapping_add(c.pending_results() as u64);
+        }
+        sig
     }
 
     /// Runs the attached workload to completion while *continually*
@@ -552,10 +719,48 @@ impl SnackPlatform {
     }
 
     /// Launches a data token from `node` to the next node on the static
-    /// ring.
+    /// ring, detouring around faulted-down ring links when a fault plan is
+    /// active.
     fn launch_token(&mut self, node: NodeId, token: DataToken) {
         debug_assert!(token.dependents > 0, "dead token launched");
-        let next = self.ring_next[node.index()];
+        let now = self.net.cycle();
+        let home = ((token.dep >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
+        self.cpms[home].note_token(&token, node, now);
+        let mut next = self.ring_next[node.index()];
+        if let Some(plan) = self.net.fault_plan() {
+            if plan.links.iter().any(|l| matches!(l.kind, LinkFaultKind::Down)) {
+                // Graceful ring degradation: if the deterministic route to
+                // the ring successor crosses a severed link right now, skip
+                // ahead to the first successor whose route is fully live.
+                // Skipped nodes are safe — a circulating token revisits
+                // them on a later lap once the link heals, and permanently
+                // unreachable captures are the watchdog's job.
+                let mesh = *self.net.mesh();
+                let routing = self.net.config().routing;
+                let route_blocked = |dst: NodeId| -> bool {
+                    let mut cur = node;
+                    while cur != dst {
+                        let dir = routing.route(&mesh, cur, dst);
+                        if plan.link_is_down(cur, dir, now) {
+                            return true;
+                        }
+                        match mesh.neighbor(cur, dir) {
+                            Some(nb) => cur = nb,
+                            None => return true,
+                        }
+                    }
+                    false
+                };
+                let mut candidate = next;
+                for _ in 0..mesh.node_count() {
+                    if candidate != node && !route_blocked(candidate) {
+                        next = candidate;
+                        break;
+                    }
+                    candidate = self.ring_next[candidate.index()];
+                }
+            }
+        }
         let spec = PacketSpec::new(
             node,
             next,
@@ -570,18 +775,33 @@ impl SnackPlatform {
     /// Handles a ring token arriving at `node`: CPM overflow absorption,
     /// RCU inspection, then retirement or the next hop.
     fn ring_pass(&mut self, node: NodeId, token: DataToken) {
+        let now = self.net.cycle();
         let cpm_here = self.cpms.iter().position(|c| c.node() == node);
         let mut token = if let Some(ci) = cpm_here {
-            match self.cpms[ci].maybe_absorb(token) {
+            match self.cpms[ci].maybe_absorb(token, now) {
                 Some(t) => t,
                 None => return, // parked in the overflow buffer
             }
         } else {
             token
         };
+        let before = token.dependents;
         self.rcus[node.index()].observe_token(&mut token);
-        if token.dependents > 0 {
+        let home = ((token.dep >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
+        let captured = before - token.dependents;
+        if captured > 0 {
+            self.cpms[home].note_captures(token.dep, captured, now);
+        }
+        // A copy retires when its own countdown hits zero — or, with the
+        // watchdog enabled, as soon as the home CPM's record says every
+        // dependent has been served. The latter catches duplicates from
+        // false-positive loss declarations: the original and the replay
+        // each capture a subset, so neither copy's own counter reaches
+        // zero even though the dep is fully settled.
+        if token.dependents > 0 && !self.cpms[home].token_settled(token.dep) {
             self.launch_token(node, token);
+        } else {
+            self.cpms[home].note_retired(token.dep, now);
         }
     }
 
@@ -640,7 +860,7 @@ mod tests {
     fn runs_a_cross_pe_kernel_end_to_end() {
         let mut p = platform();
         let k = cross_pe_kernel(&p.mesh().clone());
-        let run = p.run_kernel(&k, 10_000).unwrap().expect("kernel finishes");
+        let run = p.run_kernel(&k, 10_000).expect("kernel finishes");
         assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
         assert!(run.cycles > 60, "includes DRAM fetch latency");
         assert_eq!(run.name, "cross");
@@ -675,7 +895,7 @@ mod tests {
             })
             .collect();
         let k = CompiledKernel { name: "dot".into(), num_outputs: 1, instructions, irregular_fetch: false };
-        let run = p.run_kernel(&k, 10_000).unwrap().expect("finishes");
+        let run = p.run_kernel(&k, 10_000).expect("finishes");
         assert_eq!(run.outputs, vec![Fixed::from_f64(44.0)]);
     }
 
@@ -708,7 +928,7 @@ mod tests {
             });
         }
         let k = CompiledKernel { name: "bcast".into(), num_outputs: 16, instructions, irregular_fetch: false };
-        let run = p.run_kernel(&k, 50_000).unwrap().expect("finishes");
+        let run = p.run_kernel(&k, 50_000).expect("finishes");
         for (i, out) in run.outputs.iter().enumerate() {
             assert_eq!(*out, Fixed::from_f64(10.0 + i as f64), "output {i}");
         }
@@ -850,7 +1070,7 @@ mod tests {
         let mesh_kernel = |p: &SnackPlatform| cross_pe_kernel(p.mesh());
         let mut alone = platform();
         let k = mesh_kernel(&alone);
-        let solo = alone.run_kernel(&k, 100_000).unwrap().expect("finishes").cycles;
+        let solo = alone.run_kernel(&k, 100_000).expect("finishes").cycles;
 
         let mut shared = platform();
         let profile = snacknoc_workloads::suite::profile(snacknoc_workloads::Benchmark::Radix)
@@ -858,7 +1078,178 @@ mod tests {
         shared.attach_workload(&profile, 17);
         // Let the workload warm up, then run the kernel.
         shared.run(2_000);
-        let busy = shared.run_kernel(&k, 200_000).unwrap().expect("finishes").cycles;
+        let busy = shared.run_kernel(&k, 200_000).expect("finishes").cycles;
         assert!(busy >= solo, "interference cannot accelerate the kernel: {busy} vs {solo}");
+    }
+
+    /// A plan that drops *every* unprotected data packet on *every* link
+    /// for cycles `start..end` — the worst transient outage.
+    fn blackout_plan(mesh: &Mesh, start: u64, end: u64) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(7);
+        for node in mesh.nodes() {
+            for dir in snacknoc_noc::Dir::ROUTER_DIRS {
+                if mesh.neighbor(node, dir).is_some() {
+                    plan = plan.with_link_fault(
+                        node,
+                        dir,
+                        start,
+                        end,
+                        LinkFaultKind::Drop { rate: 1.0 },
+                    );
+                }
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn recovery_replays_tokens_lost_to_a_transient_blackout() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let k = cross_pe_kernel(&mesh);
+        p.set_fault_plan(blackout_plan(&mesh, 0, 2_000)).unwrap();
+        p.enable_recovery(RecoveryConfig::aggressive());
+        let run = p.run_kernel(&k, 100_000).expect("kernel survives the outage");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+        assert!(p.lost_packets() > 0, "the blackout actually dropped tokens");
+        let rs = p.recovery_stats();
+        assert!(rs.detected > 0, "the watchdog noticed the loss");
+        assert_eq!(rs.recovered, rs.detected, "every detected loss was recovered");
+        assert!(rs.retries >= rs.detected);
+        assert!(rs.recovery_latency.samples() > 0);
+    }
+
+    #[test]
+    fn corrupted_tokens_are_quarantined_and_retransmitted() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let k = cross_pe_kernel(&mesh);
+        // Corrupt every data packet until cycle 1500, then go clean.
+        let mut plan = FaultPlan::seeded(11);
+        for node in mesh.nodes() {
+            for dir in snacknoc_noc::Dir::ROUTER_DIRS {
+                if mesh.neighbor(node, dir).is_some() {
+                    plan = plan.with_link_fault(
+                        node,
+                        dir,
+                        0,
+                        1_500,
+                        LinkFaultKind::Corrupt { rate: 1.0 },
+                    );
+                }
+            }
+        }
+        p.set_fault_plan(plan).unwrap();
+        p.enable_recovery(RecoveryConfig::aggressive());
+        let run = p.run_kernel(&k, 100_000).expect("kernel survives corruption");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+        let rs = p.recovery_stats();
+        assert!(rs.corrupt_detected > 0, "checksums caught the damage");
+        assert_eq!(rs.recovered, rs.detected);
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+    }
+
+    #[test]
+    fn permanent_loss_terminates_with_a_kernel_timeout() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let k = cross_pe_kernel(&mesh);
+        // The blackout never lifts: the token can never reach its consumer
+        // and the retry budget runs dry. run_kernel must abort with a
+        // structured report instead of spinning to the cycle cap.
+        p.set_fault_plan(blackout_plan(&mesh, 0, u64::MAX)).unwrap();
+        p.enable_recovery(RecoveryConfig::aggressive());
+        match p.run_kernel(&k, 50_000_000) {
+            Err(PlatformError::KernelTimeout { cycles, stall }) => {
+                assert!(
+                    cycles < 1_000_000,
+                    "no-progress watchdog fires long before the cycle cap: {cycles}"
+                );
+                assert!(stall.lost_packets > 0, "report blames the dropped tokens: {stall}");
+            }
+            other => panic!("expected KernelTimeout, got {other:?}"),
+        }
+        let rs = p.recovery_stats();
+        assert!(rs.detected > 0);
+        assert!(rs.recovered < rs.detected, "the loss was genuinely unrecoverable");
+    }
+
+    #[test]
+    fn ring_detours_around_a_downed_link_without_recovery() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        // Sever the producer's outbound ring hop for the whole run. The
+        // launch path must steer tokens around the dead wire; no recovery
+        // machinery is enabled, so completion proves the detour works.
+        let ring = mesh.ring().unwrap();
+        let producer = mesh.node_at(1, 1);
+        let pos = ring.iter().position(|&n| n == producer).unwrap();
+        let succ = ring[(pos + 1) % ring.len()];
+        let dir = snacknoc_noc::Dir::ROUTER_DIRS
+            .into_iter()
+            .find(|&d| mesh.neighbor(producer, d) == Some(succ))
+            .expect("ring hops are mesh links");
+        let plan = FaultPlan::seeded(3).with_link_fault(
+            producer,
+            dir,
+            0,
+            u64::MAX,
+            LinkFaultKind::Down,
+        );
+        p.set_fault_plan(plan).unwrap();
+        let k = cross_pe_kernel(&mesh);
+        let run = p.run_kernel(&k, 100_000).expect("detour keeps the ring live");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+    }
+
+    #[test]
+    fn rcu_stall_windows_delay_but_do_not_break_kernels() {
+        let mut baseline = platform();
+        let mesh = *baseline.mesh();
+        let k = cross_pe_kernel(&mesh);
+        let clean = baseline.run_kernel(&k, 100_000).expect("finishes").cycles;
+
+        let mut p = platform();
+        let plan = FaultPlan::seeded(5)
+            .with_rcu_stall(mesh.node_at(1, 1), 0, 3_000)
+            .with_rcu_stall(mesh.node_at(2, 3), 0, 3_000);
+        p.set_fault_plan(plan).unwrap();
+        let run = p.run_kernel(&k, 100_000).expect("finishes after the stall");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+        assert!(
+            run.cycles > clean,
+            "stalled RCUs must slow the kernel: {} vs {clean}",
+            run.cycles
+        );
+    }
+
+    #[test]
+    fn with_cpm_config_rejects_inverted_hysteresis() {
+        let cfg = CpmConfig {
+            overflow_enter_below: 0.9,
+            overflow_exit_above: 0.2,
+            ..CpmConfig::default()
+        };
+        assert!(matches!(
+            SnackPlatform::with_cpm_config(NocConfig::default(), cfg, DramModel::default()),
+            Err(PlatformError::CpmConfig(CpmConfigError::HysteresisInverted { .. }))
+        ));
+    }
+
+    #[test]
+    fn default_fault_free_run_is_bit_identical_with_and_without_none_plan() {
+        // Zero-cost-when-disabled: installing FaultPlan::none() must not
+        // perturb a single cycle of the simulation.
+        let mut a = platform();
+        let mesh = *a.mesh();
+        let k = cross_pe_kernel(&mesh);
+        let run_a = a.run_kernel(&k, 100_000).expect("finishes");
+
+        let mut b = platform();
+        b.set_fault_plan(FaultPlan::none()).unwrap();
+        let run_b = b.run_kernel(&k, 100_000).expect("finishes");
+        assert_eq!(run_a.cycles, run_b.cycles);
+        assert_eq!(run_a.outputs, run_b.outputs);
+        assert_eq!(b.fault_counters(), FaultCounters::default());
     }
 }

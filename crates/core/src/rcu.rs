@@ -60,6 +60,11 @@ pub struct Rcu {
     /// Emissions produced by the in-flight instruction group, released
     /// when the ALU latency elapses.
     staged: Vec<Emission>,
+    /// Last token produced per dependency id — the *kernel state* the
+    /// CPM watchdog re-issues from when a ring token is lost to a fault
+    /// (see [`Rcu::retransmit`]). Cleared per CPM namespace when that
+    /// CPM's kernel retires its results.
+    produced: HashMap<DepId, DataToken>,
     /// Instructions fired per cycle. 1 models the paper's scalar RCU;
     /// larger widths model the *vectorized RCUs* of §VII (a MAC tree
     /// retiring several chain steps per cycle).
@@ -97,6 +102,7 @@ impl Rcu {
             active_block: None,
             busy_until: 0,
             staged: Vec::new(),
+            produced: HashMap::new(),
             lanes,
             stats: RcuStats::default(),
         }
@@ -141,6 +147,29 @@ impl Rcu {
             entry.1 += w;
             self.stats.captures += 1;
         }
+    }
+
+    /// Re-issues the retained token for `dep` with `remaining` dependents
+    /// and a bumped sequence tag — the recovery path the CPM watchdog
+    /// drives when a ring token is presumed lost (paper-faithful kernel
+    /// state lives at the producing RCU). Returns `None` if this RCU never
+    /// produced `dep` (e.g. the producer instruction has not fired yet).
+    pub fn retransmit(&mut self, dep: DepId, remaining: u32) -> Option<DataToken> {
+        let retained = self.produced.get_mut(&dep)?;
+        *retained = retained.with_seq(retained.seq + 1);
+        Some(DataToken::new(dep, remaining, retained.value).with_seq(retained.seq))
+    }
+
+    /// Drops retained tokens belonging to the CPM namespace `namespace`
+    /// (called when that CPM's kernel completes, so retained state never
+    /// leaks across kernels).
+    pub fn clear_retained_namespace(&mut self, namespace: u32) {
+        self.produced.retain(|dep, _| dep >> crate::cpm::NAMESPACE_SHIFT != namespace);
+    }
+
+    /// Number of produced tokens currently retained for retransmission.
+    pub fn retained_tokens(&self) -> usize {
+        self.produced.len()
     }
 
     /// Advances the RCU by one cycle. Returns the emissions completing
@@ -246,7 +275,9 @@ impl Rcu {
         match ins.dest {
             ResultDest::Accumulate => {}
             ResultDest::Token { dep, dependents } => {
-                self.staged.push(Emission::Token(DataToken { dep, dependents, value: result }));
+                let token = DataToken::new(dep, dependents, result);
+                self.produced.insert(dep, token);
+                self.staged.push(Emission::Token(token));
             }
             ResultDest::Output { index } => {
                 self.staged.push(Emission::Output { index, value: result });
@@ -403,7 +434,7 @@ mod tests {
             assert!(rcu.tick(c).is_empty(), "stalled on dep 7");
         }
         assert!(rcu.stats.stalled_cycles >= 3);
-        let mut tok = DataToken { dep: 7, dependents: 2, value: Fixed::from_f64(41.0) };
+        let mut tok = DataToken::new(7, 2, Fixed::from_f64(41.0));
         rcu.observe_token(&mut tok);
         assert_eq!(tok.dependents, 1, "one local reference captured");
         assert_eq!(rcu.stats.captures, 1);
@@ -414,7 +445,7 @@ mod tests {
     #[test]
     fn uninterested_tokens_pass_untouched() {
         let mut rcu = Rcu::new();
-        let mut tok = DataToken { dep: 3, dependents: 4, value: Fixed::ONE };
+        let mut tok = DataToken::new(3, 4, Fixed::ONE);
         rcu.observe_token(&mut tok);
         assert_eq!(tok.dependents, 4);
         assert_eq!(rcu.stats.captures, 0);
@@ -432,7 +463,7 @@ mod tests {
             0,
             true,
         ));
-        let mut tok = DataToken { dep: 1, dependents: 2, value: Fixed::from_f64(3.0) };
+        let mut tok = DataToken::new(1, 2, Fixed::from_f64(3.0));
         rcu.observe_token(&mut tok);
         assert_eq!(tok.dependents, 0, "both references captured in one pass");
         let (_, e) = drain(&mut rcu, 1, 10).unwrap();
@@ -445,7 +476,7 @@ mod tests {
         // dependent count includes the future want, the token keeps
         // circulating and a later pass serves it.
         let mut rcu = Rcu::new();
-        let mut tok = DataToken { dep: 9, dependents: 1, value: Fixed::from_f64(6.0) };
+        let mut tok = DataToken::new(9, 1, Fixed::from_f64(6.0));
         rcu.observe_token(&mut tok); // nothing wants it yet
         assert_eq!(tok.dependents, 1);
         rcu.accept_instruction(ins(
@@ -495,6 +526,52 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_rejected() {
         let _ = Rcu::with_lanes(0);
+    }
+
+    #[test]
+    fn retransmit_reissues_retained_tokens_with_bumped_seq() {
+        let mut rcu = Rcu::new();
+        rcu.accept_instruction(ins(
+            Op::Add,
+            imm(4.0),
+            imm(5.0),
+            ResultDest::Token { dep: 3, dependents: 2 },
+            0,
+            0,
+            true,
+        ));
+        let (_, e) = drain(&mut rcu, 1, 10).unwrap();
+        assert_eq!(e, Emission::Token(DataToken::new(3, 2, Fixed::from_f64(9.0))));
+        assert_eq!(rcu.retained_tokens(), 1);
+        // One dependent already captured elsewhere: re-issue with 1 left.
+        let r1 = rcu.retransmit(3, 1).expect("retained");
+        assert_eq!((r1.dep, r1.dependents, r1.seq), (3, 1, 1));
+        assert_eq!(r1.value, Fixed::from_f64(9.0));
+        assert!(r1.checksum_ok());
+        let r2 = rcu.retransmit(3, 1).expect("still retained");
+        assert_eq!(r2.seq, 2, "each re-issue bumps the sequence tag");
+        assert_eq!(rcu.retransmit(99, 1), None, "never produced");
+        rcu.clear_retained_namespace(0);
+        assert_eq!(rcu.retained_tokens(), 0);
+        assert_eq!(rcu.retransmit(3, 1), None, "cleared with its kernel");
+    }
+
+    #[test]
+    fn clear_retained_namespace_is_selective() {
+        let mut rcu = Rcu::new();
+        let mk = |dep: DepId, block: SubBlockId| {
+            ins(Op::Add, imm(1.0), imm(1.0), ResultDest::Token { dep, dependents: 1 }, block, 0, true)
+        };
+        let ns1 = 1u32 << crate::cpm::NAMESPACE_SHIFT;
+        rcu.accept_instruction(mk(5, 0));
+        rcu.accept_instruction(mk(5 | ns1, 1));
+        for c in 1..20 {
+            rcu.tick(c);
+        }
+        assert_eq!(rcu.retained_tokens(), 2);
+        rcu.clear_retained_namespace(1);
+        assert_eq!(rcu.retained_tokens(), 1);
+        assert!(rcu.retransmit(5, 1).is_some(), "namespace 0 survives");
     }
 
     #[test]

@@ -1,0 +1,696 @@
+//! Deterministic fault injection for the NoC substrate.
+//!
+//! A [`FaultPlan`] describes *when and where* the network misbehaves:
+//! cycle-scheduled link-down windows, per-link flit drops, payload
+//! corruption and RCU stall windows. Every decision is derived by hashing
+//! `(seed, link, packet)` with the workspace's counter-based PRNG
+//! ([`snacknoc_prng::hashrand`]), so a plan replays bit-identically no
+//! matter how the simulation is threaded or resumed — the same *common
+//! random numbers* discipline the traffic engines use.
+//!
+//! The plan is pure data; the network compiles it into a [`FaultState`]
+//! (resolving `(node, direction)` pairs to directed link ids) via
+//! [`crate::Network::set_fault_plan`]. With the default
+//! [`FaultPlan::none`] the network keeps a `None` state and the hot path
+//! is byte-identical to a build without this module.
+//!
+//! Fault semantics:
+//!
+//! * **Down** windows stall switch allocation toward the dead output
+//!   port — flits wait in their input buffers, exactly as a link whose
+//!   receiver stopped returning credits. Nothing is lost or corrupted;
+//!   a flit already on the wire when the window opens still delivers.
+//! * **Drop** removes a packet from the wire. The decision is made once,
+//!   at the head flit; body/tail flits of a dropped packet are swallowed
+//!   by a memo so a wormhole packet is never split in half. Credits are
+//!   synthesized upstream so flow control stays live.
+//! * **Corrupt** marks the head flit; the packet still delivers but
+//!   surfaces `corrupted = true` to the consumer, which is expected to
+//!   detect it via payload checksums.
+
+use crate::flit::TrafficClass;
+use crate::packet::PacketId;
+use crate::routing::Dir;
+use crate::topology::NodeId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Decision salt for drop rolls (see [`snacknoc_prng::hashrand::unit`]).
+const SALT_DROP: u64 = 0xFA17_0001;
+/// Decision salt for corruption rolls.
+const SALT_CORRUPT: u64 = 0xFA17_0002;
+
+/// What a scheduled [`LinkFault`] does to traffic on its link.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LinkFaultKind {
+    /// The link is dead: the upstream router cannot send through it.
+    Down,
+    /// Flits crossing the link are dropped with this probability
+    /// (decided per packet at its head flit).
+    Drop {
+        /// Per-packet drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Head flits crossing the link are payload-corrupted with this
+    /// probability.
+    Corrupt {
+        /// Per-packet corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+/// A cycle-scheduled fault on one directed mesh link.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinkFault {
+    /// Node owning the faulty *output* port.
+    pub from: NodeId,
+    /// Direction of the faulty output port (`Local` is not a link).
+    pub dir: Dir,
+    /// First cycle (inclusive) the fault is active.
+    pub start: u64,
+    /// Last cycle (exclusive) the fault is active.
+    pub end: u64,
+    /// What the fault does.
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFault {
+    fn active(&self, cycle: u64) -> bool {
+        (self.start..self.end).contains(&cycle)
+    }
+}
+
+/// A cycle window during which one node's RCU refuses to execute.
+///
+/// The NoC itself does not model RCUs; the platform layer polls
+/// [`FaultPlan::rcu_stalled`] before ticking each compute unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StallWindow {
+    /// The stalled node.
+    pub node: NodeId,
+    /// First cycle (inclusive) of the stall.
+    pub start: u64,
+    /// Last cycle (exclusive) of the stall.
+    pub end: u64,
+}
+
+/// Which traffic classes the random drop/corrupt rates apply to.
+///
+/// Scheduled [`LinkFault`] windows also respect this mask. `Down` windows
+/// stall *everything* regardless (a dead wire has no class filter).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultTargets {
+    /// Target SnackNoC transient data tokens (the default).
+    pub data: bool,
+    /// Target SnackNoC instruction tokens.
+    pub instructions: bool,
+    /// Target baseline communication traffic.
+    pub communication: bool,
+}
+
+impl Default for FaultTargets {
+    fn default() -> Self {
+        FaultTargets { data: true, instructions: false, communication: false }
+    }
+}
+
+impl FaultTargets {
+    /// Whether `class` is in the target set.
+    pub fn targets(&self, class: TrafficClass) -> bool {
+        match class {
+            TrafficClass::Communication => self.communication,
+            TrafficClass::SnackInstruction => self.instructions,
+            TrafficClass::SnackData => self.data,
+        }
+    }
+}
+
+/// A complete, seeded description of the faults to inject into one run.
+///
+/// The default plan ([`FaultPlan::none`]) injects nothing and compiles to
+/// no per-cycle work at all.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultPlan {
+    /// Seed for all hash-derived fault decisions.
+    pub seed: u64,
+    /// Global per-packet drop probability on every link, every cycle.
+    pub drop_rate: f64,
+    /// Global per-packet corruption probability on every link.
+    pub corrupt_rate: f64,
+    /// Scheduled per-link fault windows.
+    pub links: Vec<LinkFault>,
+    /// Scheduled RCU stall windows (consumed by the platform layer).
+    pub rcu_stalls: Vec<StallWindow>,
+    /// Which traffic classes random faults apply to.
+    pub targets: FaultTargets,
+    /// When `true` (the default), packets flagged as protected
+    /// ([`crate::PacketSpec::with_protected`]) are exempt from drops and
+    /// corruption — modelling a small ECC/ack-protected control channel.
+    pub respect_protection: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero simulation cost.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            links: Vec::new(),
+            rcu_stalls: Vec::new(),
+            targets: FaultTargets::default(),
+            respect_protection: true,
+        }
+    }
+
+    /// An empty plan carrying a decision seed, ready for builders.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::none() }
+    }
+
+    /// Sets the global per-packet drop rate.
+    #[must_use]
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the global per-packet corruption rate.
+    #[must_use]
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Schedules a fault on the directed link `from → dir` for cycles
+    /// `start..end`.
+    #[must_use]
+    pub fn with_link_fault(
+        mut self,
+        from: NodeId,
+        dir: Dir,
+        start: u64,
+        end: u64,
+        kind: LinkFaultKind,
+    ) -> Self {
+        self.links.push(LinkFault { from, dir, start, end, kind });
+        self
+    }
+
+    /// Schedules an RCU stall at `node` for cycles `start..end`.
+    #[must_use]
+    pub fn with_rcu_stall(mut self, node: NodeId, start: u64, end: u64) -> Self {
+        self.rcu_stalls.push(StallWindow { node, start, end });
+        self
+    }
+
+    /// Replaces the traffic-class target mask.
+    #[must_use]
+    pub fn with_targets(mut self, targets: FaultTargets) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// Sets whether protected packets are exempt from random faults.
+    #[must_use]
+    pub fn with_respect_protection(mut self, respect: bool) -> Self {
+        self.respect_protection = respect;
+        self
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn enabled(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || !self.links.is_empty()
+            || !self.rcu_stalls.is_empty()
+    }
+
+    /// Whether the directed link `from → dir` is inside a `Down` window
+    /// at `cycle`. Used by higher layers to steer around dead links.
+    pub fn link_is_down(&self, from: NodeId, dir: Dir, cycle: u64) -> bool {
+        self.links.iter().any(|f| {
+            f.kind == LinkFaultKind::Down && f.from == from && f.dir == dir && f.active(cycle)
+        })
+    }
+
+    /// Whether the RCU at `node` is inside a stall window at `cycle`.
+    pub fn rcu_stalled(&self, node: NodeId, cycle: u64) -> bool {
+        self.rcu_stalls.iter().any(|w| w.node == node && (w.start..w.end).contains(&cycle))
+    }
+
+    /// Validates rates and windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] for rates outside `[0, 1]` or inverted
+    /// windows.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let frac = |field: &'static str, v: f64| -> Result<(), FaultPlanError> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(FaultPlanError::RateOutOfRange { field, value: v })
+            }
+        };
+        frac("drop_rate", self.drop_rate)?;
+        frac("corrupt_rate", self.corrupt_rate)?;
+        for f in &self.links {
+            match f.kind {
+                LinkFaultKind::Drop { rate } => frac("link drop rate", rate)?,
+                LinkFaultKind::Corrupt { rate } => frac("link corrupt rate", rate)?,
+                LinkFaultKind::Down => {}
+            }
+            if f.start >= f.end {
+                return Err(FaultPlanError::EmptyWindow { start: f.start, end: f.end });
+            }
+            if f.dir == Dir::Local {
+                return Err(FaultPlanError::BadLink { node: f.from, dir: f.dir });
+            }
+        }
+        for w in &self.rcu_stalls {
+            if w.start >= w.end {
+                return Err(FaultPlanError::EmptyWindow { start: w.start, end: w.end });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a [`FaultPlan`] cannot be compiled for a network.
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A rate field is outside `[0, 1]`.
+    RateOutOfRange {
+        /// Which rate.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A scheduled window has `start >= end`.
+    EmptyWindow {
+        /// Window start (inclusive).
+        start: u64,
+        /// Window end (exclusive).
+        end: u64,
+    },
+    /// A [`LinkFault`] references a link that does not exist in the mesh.
+    BadLink {
+        /// The node owning the (nonexistent) output port.
+        node: NodeId,
+        /// The direction with no neighbour.
+        dir: Dir,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::RateOutOfRange { field, value } => {
+                write!(f, "fault {field} {value} outside [0, 1]")
+            }
+            FaultPlanError::EmptyWindow { start, end } => {
+                write!(f, "fault window {start}..{end} is empty")
+            }
+            FaultPlanError::BadLink { node, dir } => {
+                write!(f, "no link leaves {node} toward {dir}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Counters for everything the fault layer did to the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultCounters {
+    /// Fault events injected (packet drops + corruptions).
+    pub injected: u64,
+    /// Individual flits removed from the wire.
+    pub dropped_flits: u64,
+    /// Whole packets dropped (counted at their tail flit).
+    pub dropped_packets: u64,
+    /// Packets delivered with a corrupted payload.
+    pub corrupted_packets: u64,
+}
+
+/// What the fault layer decides for one flit on one link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FaultAction {
+    /// Deliver the flit untouched.
+    Deliver,
+    /// Deliver the flit with its corruption mark set.
+    DeliverCorrupted,
+    /// Swallow the flit.
+    Drop,
+}
+
+/// A [`FaultPlan`] compiled against one network's link table.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Resolved `Down` windows: `(link id, start, end)`.
+    down: Vec<(usize, u64, u64)>,
+    /// Resolved `Drop` windows: `(link id, start, end, rate)`.
+    drops: Vec<(usize, u64, u64, f64)>,
+    /// Resolved `Corrupt` windows: `(link id, start, end, rate)`.
+    corrupts: Vec<(usize, u64, u64, f64)>,
+    /// Packets whose head was dropped on a link: the rest of the wormhole
+    /// follows it into the void. Membership-only — never iterated, so the
+    /// hash order cannot leak into simulation results.
+    dropping: HashSet<(usize, PacketId)>,
+    /// What happened so far.
+    pub(crate) counters: FaultCounters,
+}
+
+impl FaultState {
+    /// Compiles `plan` using `resolve` to map `(node, dir)` to link ids.
+    pub(crate) fn compile(
+        plan: FaultPlan,
+        mut resolve: impl FnMut(NodeId, Dir) -> Option<usize>,
+    ) -> Result<Self, FaultPlanError> {
+        plan.validate()?;
+        let mut down = Vec::new();
+        let mut drops = Vec::new();
+        let mut corrupts = Vec::new();
+        for f in &plan.links {
+            let lid = resolve(f.from, f.dir)
+                .ok_or(FaultPlanError::BadLink { node: f.from, dir: f.dir })?;
+            match f.kind {
+                LinkFaultKind::Down => down.push((lid, f.start, f.end)),
+                LinkFaultKind::Drop { rate } => drops.push((lid, f.start, f.end, rate)),
+                LinkFaultKind::Corrupt { rate } => corrupts.push((lid, f.start, f.end, rate)),
+            }
+        }
+        Ok(FaultState {
+            plan,
+            down,
+            drops,
+            corrupts,
+            dropping: HashSet::new(),
+            counters: FaultCounters::default(),
+        })
+    }
+
+    /// The plan this state was compiled from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether link `lid` is inside a `Down` window at `cycle`.
+    pub(crate) fn link_down(&self, lid: usize, cycle: u64) -> bool {
+        self.down.iter().any(|&(l, s, e)| l == lid && (s..e).contains(&cycle))
+    }
+
+    /// Whether any `Down` window exists at all (lets the network skip
+    /// building per-router masks when only drop/corrupt faults run).
+    pub(crate) fn has_down_windows(&self) -> bool {
+        !self.down.is_empty()
+    }
+
+    fn drop_rate_at(&self, lid: usize, cycle: u64) -> f64 {
+        let mut rate = self.plan.drop_rate;
+        for &(l, s, e, r) in &self.drops {
+            if l == lid && (s..e).contains(&cycle) {
+                rate = rate.max(r);
+            }
+        }
+        rate
+    }
+
+    fn corrupt_rate_at(&self, lid: usize, cycle: u64) -> f64 {
+        let mut rate = self.plan.corrupt_rate;
+        for &(l, s, e, r) in &self.corrupts {
+            if l == lid && (s..e).contains(&cycle) {
+                rate = rate.max(r);
+            }
+        }
+        rate
+    }
+
+    /// Decides the fate of one flit crossing link `lid` at `cycle`.
+    ///
+    /// Drop decisions are made at head flits only; later flits of a
+    /// dropped packet follow via the memo, so a wormhole packet never
+    /// splits across a window edge.
+    pub(crate) fn on_link_flit<P>(
+        &mut self,
+        lid: usize,
+        cycle: u64,
+        flit: &crate::flit::Flit<P>,
+    ) -> FaultAction {
+        let (kind, class, protected, already_corrupted, packet_id) =
+            (flit.kind, flit.class, flit.protected, flit.corrupted, flit.packet_id);
+        if !kind.is_head() {
+            if self.dropping.contains(&(lid, packet_id)) {
+                if kind.is_tail() {
+                    self.dropping.remove(&(lid, packet_id));
+                    self.counters.dropped_packets += 1;
+                    self.counters.injected += 1;
+                }
+                self.counters.dropped_flits += 1;
+                return FaultAction::Drop;
+            }
+            return FaultAction::Deliver;
+        }
+        if !self.plan.targets.targets(class) || (protected && self.plan.respect_protection) {
+            return FaultAction::Deliver;
+        }
+        let drop = self.drop_rate_at(lid, cycle);
+        if drop > 0.0
+            && snacknoc_prng::hashrand::unit(self.plan.seed, lid as u64, packet_id, SALT_DROP)
+                < drop
+        {
+            self.counters.dropped_flits += 1;
+            if kind.is_tail() {
+                // Single-flit packet: dropped whole right here.
+                self.counters.dropped_packets += 1;
+                self.counters.injected += 1;
+            } else {
+                self.dropping.insert((lid, packet_id));
+            }
+            return FaultAction::Drop;
+        }
+        let corrupt = self.corrupt_rate_at(lid, cycle);
+        if !already_corrupted
+            && corrupt > 0.0
+            && snacknoc_prng::hashrand::unit(self.plan.seed, lid as u64, packet_id, SALT_CORRUPT)
+                < corrupt
+        {
+            self.counters.corrupted_packets += 1;
+            self.counters.injected += 1;
+            return FaultAction::DeliverCorrupted;
+        }
+        FaultAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+
+    /// Builds a minimal flit carrying just the fields the fault layer
+    /// inspects.
+    fn probe(
+        kind: FlitKind,
+        class: TrafficClass,
+        protected: bool,
+        corrupted: bool,
+        packet_id: PacketId,
+    ) -> crate::flit::Flit<()> {
+        crate::flit::Flit {
+            id: 0,
+            packet_id,
+            kind,
+            class,
+            vnet: 0,
+            src: NodeId::new(0),
+            dst: NodeId::new(0),
+            queued_at: 0,
+            payload: None,
+            hops: 0,
+            vc: 0,
+            buffered_at: 0,
+            corrupted,
+            protected,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_disabled_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(!plan.enabled());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn builders_enable_the_plan() {
+        assert!(FaultPlan::seeded(1).with_drop_rate(0.1).enabled());
+        assert!(FaultPlan::seeded(1).with_corrupt_rate(0.1).enabled());
+        assert!(FaultPlan::seeded(1)
+            .with_link_fault(NodeId::new(0), Dir::East, 0, 10, LinkFaultKind::Down)
+            .enabled());
+        assert!(FaultPlan::seeded(1).with_rcu_stall(NodeId::new(3), 5, 9).enabled());
+        assert!(!FaultPlan::seeded(77).enabled(), "a bare seed injects nothing");
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates_and_windows() {
+        assert!(matches!(
+            FaultPlan::seeded(1).with_drop_rate(1.5).validate(),
+            Err(FaultPlanError::RateOutOfRange { field: "drop_rate", .. })
+        ));
+        assert!(matches!(
+            FaultPlan::seeded(1).with_corrupt_rate(-0.1).validate(),
+            Err(FaultPlanError::RateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::seeded(1)
+                .with_link_fault(NodeId::new(0), Dir::East, 10, 10, LinkFaultKind::Down)
+                .validate(),
+            Err(FaultPlanError::EmptyWindow { start: 10, end: 10 })
+        ));
+        assert!(matches!(
+            FaultPlan::seeded(1)
+                .with_link_fault(NodeId::new(0), Dir::Local, 0, 10, LinkFaultKind::Down)
+                .validate(),
+            Err(FaultPlanError::BadLink { .. })
+        ));
+        let err = FaultPlan::seeded(1).with_drop_rate(2.0).validate().unwrap_err();
+        assert!(err.to_string().contains("drop_rate"));
+    }
+
+    #[test]
+    fn down_and_stall_windows_are_half_open() {
+        let plan = FaultPlan::seeded(9)
+            .with_link_fault(NodeId::new(2), Dir::South, 100, 200, LinkFaultKind::Down)
+            .with_rcu_stall(NodeId::new(5), 50, 60);
+        assert!(!plan.link_is_down(NodeId::new(2), Dir::South, 99));
+        assert!(plan.link_is_down(NodeId::new(2), Dir::South, 100));
+        assert!(plan.link_is_down(NodeId::new(2), Dir::South, 199));
+        assert!(!plan.link_is_down(NodeId::new(2), Dir::South, 200));
+        assert!(!plan.link_is_down(NodeId::new(3), Dir::South, 150), "other node unaffected");
+        assert!(!plan.link_is_down(NodeId::new(2), Dir::North, 150), "other dir unaffected");
+        assert!(plan.rcu_stalled(NodeId::new(5), 50));
+        assert!(!plan.rcu_stalled(NodeId::new(5), 60));
+        assert!(!plan.rcu_stalled(NodeId::new(4), 55));
+    }
+
+    #[test]
+    fn drop_decision_is_head_keyed_and_deterministic() {
+        let plan = FaultPlan::seeded(42).with_drop_rate(1.0);
+        let mut st = FaultState::compile(plan.clone(), |_, _| Some(0)).unwrap();
+        // Multi-flit packet: head decides, body/tail follow the memo.
+        assert_eq!(
+            st.on_link_flit(3, 10, &probe(FlitKind::Head, TrafficClass::SnackData, false, false, 7)),
+            FaultAction::Drop
+        );
+        assert_eq!(
+            st.on_link_flit(3, 11, &probe(FlitKind::Body, TrafficClass::SnackData, false, false, 7)),
+            FaultAction::Drop
+        );
+        assert_eq!(
+            st.on_link_flit(3, 12, &probe(FlitKind::Tail, TrafficClass::SnackData, false, false, 7)),
+            FaultAction::Drop
+        );
+        assert_eq!(st.counters.dropped_flits, 3);
+        assert_eq!(st.counters.dropped_packets, 1);
+        assert_eq!(st.counters.injected, 1);
+        // A different packet's body on the same link is untouched.
+        assert_eq!(
+            st.on_link_flit(3, 12, &probe(FlitKind::Body, TrafficClass::SnackData, false, false, 8)),
+            FaultAction::Deliver
+        );
+        // Replay is bit-identical.
+        let mut st2 = FaultState::compile(plan, |_, _| Some(0)).unwrap();
+        assert_eq!(
+            st2.on_link_flit(3, 10, &probe(FlitKind::Head, TrafficClass::SnackData, false, false, 7)),
+            FaultAction::Drop
+        );
+    }
+
+    #[test]
+    fn targeting_and_protection_exempt_traffic() {
+        let mut st =
+            FaultState::compile(FaultPlan::seeded(1).with_drop_rate(1.0), |_, _| Some(0)).unwrap();
+        // Default targets: data only.
+        assert_eq!(
+            st.on_link_flit(0, 0, &probe(FlitKind::HeadTail, TrafficClass::Communication, false, false, 1)),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            st.on_link_flit(0, 0, &probe(FlitKind::HeadTail, TrafficClass::SnackInstruction, false, false, 2)),
+            FaultAction::Deliver
+        );
+        // Protected data survives too: the would-be drop becomes delivery.
+        assert_eq!(
+            st.on_link_flit(0, 0, &probe(FlitKind::HeadTail, TrafficClass::SnackData, true, false, 3)),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            st.on_link_flit(0, 0, &probe(FlitKind::HeadTail, TrafficClass::SnackData, false, false, 4)),
+            FaultAction::Drop
+        );
+        assert_eq!(st.counters.dropped_packets, 1);
+    }
+
+    #[test]
+    fn corruption_marks_but_delivers() {
+        let mut st = FaultState::compile(FaultPlan::seeded(5).with_corrupt_rate(1.0), |_, _| {
+            Some(0)
+        })
+        .unwrap();
+        assert_eq!(
+            st.on_link_flit(0, 0, &probe(FlitKind::HeadTail, TrafficClass::SnackData, false, false, 1)),
+            FaultAction::DeliverCorrupted
+        );
+        assert_eq!(st.counters.corrupted_packets, 1);
+        assert_eq!(st.counters.dropped_flits, 0);
+    }
+
+    #[test]
+    fn windowed_drop_rate_composes_with_global() {
+        let plan = FaultPlan::seeded(3)
+            .with_link_fault(NodeId::new(0), Dir::East, 10, 20, LinkFaultKind::Drop { rate: 1.0 });
+        let mut st = FaultState::compile(plan, |_, _| Some(4)).unwrap();
+        // Outside the window: no drops at rate 0.
+        assert_eq!(
+            st.on_link_flit(4, 9, &probe(FlitKind::HeadTail, TrafficClass::SnackData, false, false, 1)),
+            FaultAction::Deliver
+        );
+        // Inside: certain drop.
+        assert_eq!(
+            st.on_link_flit(4, 10, &probe(FlitKind::HeadTail, TrafficClass::SnackData, false, false, 2)),
+            FaultAction::Drop
+        );
+        // Other links unaffected.
+        assert_eq!(
+            st.on_link_flit(5, 10, &probe(FlitKind::HeadTail, TrafficClass::SnackData, false, false, 3)),
+            FaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn compile_rejects_nonexistent_links() {
+        let plan = FaultPlan::seeded(1).with_link_fault(
+            NodeId::new(0),
+            Dir::West,
+            0,
+            10,
+            LinkFaultKind::Down,
+        );
+        assert!(matches!(
+            FaultState::compile(plan, |_, _| None),
+            Err(FaultPlanError::BadLink { .. })
+        ));
+    }
+}

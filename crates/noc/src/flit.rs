@@ -92,6 +92,12 @@ pub struct Flit<P> {
     /// Cycle the flit was written into the current router's input buffer;
     /// gates switch allocation to model pipeline depth.
     pub(crate) buffered_at: u64,
+    /// Set by the fault layer when a `Corrupt` fault hit this packet's
+    /// head flit; surfaces as [`crate::Packet::corrupted`] on delivery.
+    pub(crate) corrupted: bool,
+    /// Mirror of [`crate::PacketSpec::protected`]: exempt from random
+    /// faults when the plan respects protection.
+    pub(crate) protected: bool,
 }
 
 #[cfg(test)]

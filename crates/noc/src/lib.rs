@@ -52,8 +52,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
+pub mod fault;
 pub mod flit;
 pub mod network;
 pub mod packet;
@@ -63,9 +65,12 @@ pub mod stats;
 pub mod topology;
 
 pub use config::{ConfigError, NocConfig, NocPreset};
+pub use fault::{
+    FaultCounters, FaultPlan, FaultPlanError, FaultTargets, LinkFault, LinkFaultKind, StallWindow,
+};
 pub use flit::{Flit, FlitKind, TrafficClass};
-pub use network::Network;
+pub use network::{Network, StallReport};
 pub use packet::{Packet, PacketId, PacketSpec};
 pub use routing::{Dir, RoutingAlgorithm};
-pub use stats::{NetStats, OccupancyCdf, SeriesSample};
+pub use stats::{LatencyHistogram, NetStats, OccupancyCdf, ProtocolErrors, SeriesSample};
 pub use topology::{Mesh, NodeId};

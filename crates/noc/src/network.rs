@@ -2,6 +2,7 @@
 //! packet segmentation/reassembly and the per-cycle evaluation loop.
 
 use crate::config::{ConfigError, NocConfig};
+use crate::fault::{FaultAction, FaultCounters, FaultPlan, FaultPlanError, FaultState};
 use crate::flit::{Flit, FlitKind};
 use crate::packet::{Packet, PacketId, PacketSpec};
 use crate::router::Router;
@@ -9,6 +10,7 @@ use crate::routing::Dir;
 use crate::stats::NetStats;
 use crate::topology::{Mesh, NodeId};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 /// A one-cycle-latency directed link between two routers.
 #[derive(Clone, Debug)]
@@ -43,6 +45,52 @@ struct NetIf<P> {
 struct Partial<P> {
     head: Option<Flit<P>>,
     flits: u64,
+    corrupted: bool,
+}
+
+/// A structured snapshot of why a network failed to drain: which routers
+/// still hold flits, how many packets are starved for output VCs, and how
+/// stale the oldest in-flight flit is. Returned by
+/// [`Network::run_until_drained`] and available any time through
+/// [`Network::stall_report`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StallReport {
+    /// Cycle at which the report was taken.
+    pub cycle: u64,
+    /// Packets injected but neither delivered nor lost.
+    pub pending_packets: u64,
+    /// Packets destroyed by fault injection (never going to arrive).
+    pub lost_packets: u64,
+    /// Flits resident in router input buffers.
+    pub buffered_flits: u64,
+    /// Routers still holding at least one buffered flit.
+    pub blocked_routers: Vec<usize>,
+    /// Input VCs holding a routed packet with no output VC granted.
+    pub starved_vcs: usize,
+    /// Age (cycles since source queueing) of the oldest buffered or
+    /// NI-queued flit; 0 when nothing is in flight.
+    pub oldest_packet_age: u64,
+    /// Flits still waiting in source NI injection queues.
+    pub ni_backlog: u64,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stall at cycle {}: {} pending packets ({} lost to faults), \
+             {} buffered flits across {} blocked routers, {} starved VCs, \
+             {} flits backlogged at NIs, oldest in-flight flit {} cycles old",
+            self.cycle,
+            self.pending_packets,
+            self.lost_packets,
+            self.buffered_flits,
+            self.blocked_routers.len(),
+            self.starved_vcs,
+            self.ni_backlog,
+            self.oldest_packet_age,
+        )
+    }
 }
 
 /// A cycle-level mesh NoC. `P` is the packet payload type.
@@ -68,6 +116,10 @@ pub struct Network<P> {
     buffer_capacity: u64,
     injected_packets: u64,
     delivered_packets: u64,
+    lost_packets: u64,
+    /// Fault-injection state; `None` (the default) keeps every hot path
+    /// byte-identical to a fault-free build.
+    fault: Option<FaultState>,
     stats: NetStats,
 }
 
@@ -142,8 +194,50 @@ impl<P> Network<P> {
             buffer_capacity,
             injected_packets: 0,
             delivered_packets: 0,
+            lost_packets: 0,
+            fault: None,
             stats,
         })
+    }
+
+    /// Installs (or clears) a fault-injection plan.
+    ///
+    /// A disabled plan ([`FaultPlan::none`]) removes all fault state, so
+    /// the per-cycle cost returns to exactly zero. Scheduled link faults
+    /// are resolved against this network's link table up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] for invalid rates/windows or link
+    /// faults that reference links absent from the mesh.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        if !plan.enabled() {
+            plan.validate()?;
+            self.fault = None;
+            return Ok(());
+        }
+        let link_of = &self.link_of;
+        let state =
+            FaultState::compile(plan, |node, dir| link_of[node.index()][dir.index()])?;
+        self.fault = Some(state);
+        Ok(())
+    }
+
+    /// The installed fault plan, if any faults are enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// What the fault layer did so far (all zeros when disabled).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault.as_ref().map(|f| f.counters).unwrap_or_default()
+    }
+
+    /// Packets destroyed by fault injection or protocol-error discard;
+    /// they will never be delivered and are excluded from
+    /// [`Network::pending_packets`].
+    pub fn lost_packets(&self) -> u64 {
+        self.lost_packets
     }
 
     /// The mesh topology.
@@ -181,7 +275,7 @@ impl<P> Network<P> {
     /// (a head or body flit ejected, tail not yet seen).
     ///
     /// After a network has fully drained this must be zero; a nonzero
-    /// value after [`Network::run_until_drained`] returns `true` would
+    /// value after [`Network::run_until_drained`] returns `Ok` would
     /// indicate a reassembly-map leak (an entry whose tail never ejects),
     /// which would otherwise grow silently.
     pub fn stuck_packets(&self) -> usize {
@@ -231,6 +325,8 @@ impl<P> Network<P> {
                 hops: 0,
                 vc: 0,
                 buffered_at: 0,
+                corrupted: false,
+                protected: spec.protected,
             });
             self.next_flit_id += 1;
         }
@@ -247,9 +343,12 @@ impl<P> Network<P> {
         self.ejected.iter().any(|q| !q.is_empty())
     }
 
-    /// Packets injected but not yet fully delivered.
+    /// Packets injected but not yet fully delivered, excluding packets
+    /// known to be lost (dropped by faults or discarded on protocol
+    /// errors) — those can never drain and are tracked by
+    /// [`Network::lost_packets`] instead.
     pub fn pending_packets(&self) -> u64 {
-        self.injected_packets - self.delivered_packets
+        self.injected_packets - self.delivered_packets - self.lost_packets
     }
 
     /// Total packets injected so far.
@@ -297,12 +396,16 @@ impl<P> Network<P> {
 
         // Phase 2: link traversal — deliver flits sent last cycle.
         let cap = self.cfg.buffers_per_vc as usize;
-        for link in &mut self.links {
-            if let Some(flit) = link.slot.take() {
-                self.routers[link.to_router].accept_flit(link.in_port, flit, cycle, cap);
-                self.work[link.to_router] = true;
-                self.buffered_total += 1;
+        if self.fault.is_none() {
+            for link in &mut self.links {
+                if let Some(flit) = link.slot.take() {
+                    self.routers[link.to_router].accept_flit(link.in_port, flit, cycle, cap);
+                    self.work[link.to_router] = true;
+                    self.buffered_total += 1;
+                }
             }
+        } else {
+            self.traverse_links_with_faults(cycle, cap);
         }
 
         // Phase 3: NI injection.
@@ -336,14 +439,109 @@ impl<P> Network<P> {
         }
     }
 
-    /// Steps until every injected packet is delivered, up to `max_cycles`.
-    /// Returns `true` if the network drained.
-    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+    /// Steps until every non-lost injected packet is delivered, up to
+    /// `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallReport`] describing the blocked state if packets
+    /// remain undelivered when the cycle budget runs out.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> Result<(), StallReport> {
         let deadline = self.cycle + max_cycles;
         while self.pending_packets() > 0 && self.cycle < deadline {
             self.step();
         }
-        self.pending_packets() == 0
+        if self.pending_packets() == 0 {
+            Ok(())
+        } else {
+            Err(self.stall_report())
+        }
+    }
+
+    /// Snapshots why the network is (or would be) failing to drain:
+    /// blocked routers, starved VCs and the age of the oldest in-flight
+    /// flit. Cheap relative to simulation, but walks every buffer — call
+    /// it on failure paths, not per cycle.
+    pub fn stall_report(&self) -> StallReport {
+        let mut blocked_routers = Vec::new();
+        let mut starved_vcs = 0;
+        let mut oldest: Option<u64> = None;
+        for (i, r) in self.routers.iter().enumerate() {
+            if r.buffered_flits() > 0 {
+                blocked_routers.push(i);
+            }
+            starved_vcs += r.routed_waiting_vcs();
+            if let Some(q) = r.oldest_buffered_queued_at() {
+                oldest = Some(oldest.map_or(q, |o| o.min(q)));
+            }
+        }
+        let mut ni_backlog = 0u64;
+        for ni in &self.nis {
+            for q in &ni.queues {
+                ni_backlog += q.len() as u64;
+                if let Some(f) = q.front() {
+                    oldest = Some(oldest.map_or(f.queued_at, |o| o.min(f.queued_at)));
+                }
+            }
+        }
+        StallReport {
+            cycle: self.cycle,
+            pending_packets: self.pending_packets(),
+            lost_packets: self.lost_packets,
+            buffered_flits: self.buffered_total,
+            blocked_routers,
+            starved_vcs,
+            oldest_packet_age: oldest.map_or(0, |q| self.cycle.saturating_sub(q)),
+            ni_backlog,
+        }
+    }
+
+    /// Phase-2 link traversal with the fault layer consulted per flit.
+    /// Dropped flits synthesize their upstream credit so flow control
+    /// stays live; corrupted head flits carry the mark to delivery.
+    fn traverse_links_with_faults(&mut self, cycle: u64, cap: usize) {
+        for lid in 0..self.links.len() {
+            let Some(mut flit) = self.links[lid].slot.take() else { continue };
+            let action = match self.fault.as_mut() {
+                Some(f) => f.on_link_flit(lid, cycle, &flit),
+                None => FaultAction::Deliver,
+            };
+            let to = self.links[lid].to_router;
+            let in_port = self.links[lid].in_port;
+            match action {
+                FaultAction::Drop => {
+                    // The downstream buffer slot reserved for this flit is
+                    // never filled: return the credit (and the VC on a
+                    // tail) so the upstream router does not wedge.
+                    let upstream = self
+                        .mesh
+                        .neighbor(NodeId::new(to), in_port)
+                        .expect("every link has an upstream router");
+                    self.pending_credits.push(CreditMsg {
+                        router: upstream.index(),
+                        port: in_port.opposite(),
+                        vc: flit.vc,
+                        frees_vc: flit.kind.is_tail(),
+                    });
+                    if flit.kind.is_tail() {
+                        self.lost_packets += 1;
+                        // A partially-delivered wormhole (flits that crossed
+                        // earlier links before the drop) may sit in the
+                        // reassembly map; it can never complete, so retire
+                        // it here rather than leak it.
+                        self.reassembly.remove(&flit.packet_id);
+                    }
+                }
+                FaultAction::DeliverCorrupted | FaultAction::Deliver => {
+                    if action == FaultAction::DeliverCorrupted {
+                        flit.corrupted = true;
+                    }
+                    self.routers[to].accept_flit(in_port, flit, cycle, cap);
+                    self.work[to] = true;
+                    self.buffered_total += 1;
+                }
+            }
+        }
     }
 
     fn inject_from_nis(&mut self, cycle: u64) {
@@ -395,15 +593,26 @@ impl<P> Network<P> {
     }
 
     fn run_routers(&mut self, cycle: u64) {
+        let use_down = self.fault.as_ref().is_some_and(|f| f.has_down_windows());
         for r in 0..self.routers.len() {
             if !self.work[r] {
                 continue;
+            }
+            let mut down = Router::<P>::NO_DOWN_PORTS;
+            if use_down {
+                if let Some(f) = &self.fault {
+                    for d in Dir::ROUTER_DIRS {
+                        if let Some(lid) = self.link_of[r][d.index()] {
+                            down[d.index()] = f.link_down(lid, cycle);
+                        }
+                    }
+                }
             }
             let departures = {
                 let router = &mut self.routers[r];
                 router.route_compute(&self.mesh, &self.cfg);
                 router.vc_allocate(&self.cfg);
-                router.switch_allocate(&self.cfg, cycle)
+                router.switch_allocate(&self.cfg, cycle, &down)
             };
             if !departures.is_empty() {
                 self.stats.record_router_cycle(r, true);
@@ -440,16 +649,37 @@ impl<P> Network<P> {
     fn eject(&mut self, node: usize, flit: Flit<P>, cycle: u64) {
         let pid = flit.packet_id;
         let is_tail = flit.kind.is_tail();
-        let entry = self.reassembly.entry(pid).or_insert(Partial { head: None, flits: 0 });
+        let entry = self
+            .reassembly
+            .entry(pid)
+            .or_insert(Partial { head: None, flits: 0, corrupted: false });
         entry.flits += 1;
+        entry.corrupted |= flit.corrupted;
         if flit.kind.is_head() {
-            entry.head = Some(flit);
+            if entry.head.is_some() {
+                // Wormhole routing cannot legally deliver two heads for
+                // one packet id; count the protocol violation and keep
+                // the first head rather than abort the simulation.
+                self.stats.protocol_errors.duplicate_head += 1;
+            } else {
+                entry.head = Some(flit);
+            }
         }
         if is_tail {
             // Wormhole routing ejects a packet's flits in order, so the
-            // head is always present by the time the tail arrives.
-            let partial = self.reassembly.remove(&pid).expect("entry inserted above");
-            let mut head = partial.head.expect("tail implies a head was ejected");
+            // head is present by the time the tail arrives — unless a
+            // protocol fault lost it, which is counted rather than fatal.
+            let Some(partial) = self.reassembly.remove(&pid) else { return };
+            let Some(mut head) = partial.head else {
+                self.stats.protocol_errors.tail_without_head += 1;
+                self.lost_packets += 1;
+                return;
+            };
+            let Some(payload) = head.payload.take() else {
+                self.stats.protocol_errors.missing_payload += 1;
+                self.lost_packets += 1;
+                return;
+            };
             let packet = Packet {
                 id: head.packet_id,
                 src: head.src,
@@ -459,7 +689,8 @@ impl<P> Network<P> {
                 queued_at: head.queued_at,
                 delivered_at: cycle,
                 hops: head.hops,
-                payload: head.payload.take().expect("head carries the payload"),
+                corrupted: partial.corrupted || head.corrupted,
+                payload,
             };
             self.stats.record_delivery(packet.class, partial.flits, packet.latency());
             self.delivered_packets += 1;
@@ -489,7 +720,7 @@ mod tests {
         let src = n.mesh().node_at(0, 0);
         let dst = n.mesh().node_at(3, 2);
         n.inject(comm(src, dst, 32, 7)).unwrap();
-        assert!(n.run_until_drained(1_000));
+        assert!(n.run_until_drained(1_000).is_ok());
         let pkts = n.drain_ejected(dst);
         assert_eq!(pkts.len(), 1);
         let p = &pkts[0];
@@ -510,7 +741,7 @@ mod tests {
             let src = n.mesh().node_at(0, 0);
             let dst = n.mesh().node_at(3, 0);
             n.inject(comm(src, dst, 32, 0)).unwrap();
-            assert!(n.run_until_drained(1_000));
+            assert!(n.run_until_drained(1_000).is_ok());
             let p = n.drain_ejected(dst).remove(0);
             lat.push(p.latency());
         }
@@ -528,7 +759,7 @@ mod tests {
         let src = n.mesh().node_at(0, 3);
         let dst = n.mesh().node_at(3, 0);
         n.inject(comm(src, dst, 64, 99)).unwrap(); // 4 flits
-        assert!(n.run_until_drained(2_000));
+        assert!(n.run_until_drained(2_000).is_ok());
         let pkts = n.drain_ejected(dst);
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].payload, 99);
@@ -554,7 +785,7 @@ mod tests {
                 n.step();
             }
         }
-        assert!(n.run_until_drained(100_000), "network must drain");
+        assert!(n.run_until_drained(100_000).is_ok(), "network must drain");
         assert_eq!(n.delivered_packets(), sent);
         assert_eq!(n.stuck_packets(), 0, "no reassembly leaks after drain");
         let mut got = 0;
@@ -569,7 +800,7 @@ mod tests {
         let mut n = net(NocConfig::binochs());
         let a = n.mesh().node_at(1, 1);
         n.inject(comm(a, a, 32, 5)).unwrap();
-        assert!(n.run_until_drained(100));
+        assert!(n.run_until_drained(100).is_ok());
         let pkts = n.drain_ejected(a);
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].hops, 0);
@@ -639,7 +870,7 @@ mod tests {
         // cross in a small multiple of its zero-load latency (it still
         // shares physical links, so allow generous slack).
         assert!(lat < 2_000, "vnet-1 latency {lat} under vnet-0 saturation");
-        assert!(n.run_until_drained(200_000));
+        assert!(n.run_until_drained(200_000).is_ok());
     }
 
     #[test]
@@ -652,7 +883,7 @@ mod tests {
                 n.inject(comm(src, dst, 32, (i * 16 + j) as u64)).unwrap();
             }
         }
-        assert!(n.run_until_drained(100_000));
+        assert!(n.run_until_drained(100_000).is_ok());
         let mut got = 0;
         for &node in &nodes {
             for p in n.drain_ejected(node) {
@@ -672,7 +903,7 @@ mod tests {
         for i in 0..100 {
             n.inject(comm(src, dst, 64, i)).unwrap();
         }
-        assert!(n.run_until_drained(100_000));
+        assert!(n.run_until_drained(100_000).is_ok());
         let c = n.stats().class(TrafficClass::Communication);
         assert_eq!(c.delivered, 100);
         let p50 = c.latency_percentile(50.0);
@@ -691,7 +922,7 @@ mod tests {
                 n.inject(comm(node, dst, 64, i)).unwrap();
             }
         }
-        assert!(n.run_until_drained(50_000));
+        assert!(n.run_until_drained(50_000).is_ok());
         assert_eq!(n.stuck_packets(), 0, "hotspot drain leaves no partial reassembly");
         assert_eq!(n.drain_ejected(dst).len(), 160);
     }
@@ -727,7 +958,7 @@ mod tests {
             let dst = n.mesh().node_at(3 - x, 3 - y);
             n.inject(comm(src, dst, 64, i as u64)).unwrap();
         }
-        assert!(n.run_until_drained(5_000));
+        assert!(n.run_until_drained(5_000).is_ok());
         assert!(n.cycle() < 10_000, "run stays under one sampling window");
         assert!(n.stats().crossbar_series(0).samples().is_empty(), "bug precondition");
         assert_eq!(n.stats().median_crossbar_utilization(), 0.0, "the silent zero");
@@ -754,6 +985,198 @@ mod tests {
         n.run(50);
         let (free_loaded, _) = n.useful_free_output_vcs(probe);
         assert!(free_loaded <= free0);
-        assert!(n.run_until_drained(100_000));
+        assert!(n.run_until_drained(100_000).is_ok());
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection
+    // ---------------------------------------------------------------
+
+    use crate::fault::{FaultPlan, FaultTargets, LinkFaultKind};
+
+    /// Targets communication traffic so the plain-payload tests above can
+    /// keep using the default class.
+    fn comm_targets() -> FaultTargets {
+        FaultTargets { data: true, instructions: true, communication: true }
+    }
+
+    #[test]
+    fn disabled_plan_changes_nothing() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut n = net(NocConfig::dapper());
+            if let Some(p) = plan {
+                n.set_fault_plan(p).unwrap();
+            }
+            let nodes: Vec<_> = n.mesh().nodes().collect();
+            for (i, &src) in nodes.iter().enumerate() {
+                for (j, &dst) in nodes.iter().enumerate() {
+                    n.inject(comm(src, dst, 64, (i * 16 + j) as u64)).unwrap();
+                }
+            }
+            n.run_until_drained(200_000).unwrap();
+            (n.cycle(), n.delivered_packets(), n.stats().crossbar_transfers)
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())), "FaultPlan::none is zero-cost");
+    }
+
+    #[test]
+    fn full_drop_window_loses_exactly_the_crossing_packets() {
+        let mut n = net(NocConfig::binochs());
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 0);
+        // Certain drop on the first east link, forever.
+        n.set_fault_plan(
+            FaultPlan::seeded(7)
+                .with_targets(comm_targets())
+                .with_link_fault(src, Dir::East, 0, u64::MAX, LinkFaultKind::Drop { rate: 1.0 }),
+        )
+        .unwrap();
+        for i in 0..10 {
+            n.inject(comm(src, dst, 64, i)).unwrap();
+        }
+        // Every packet must cross the dead link: all are lost, none hang.
+        n.run_until_drained(100_000).unwrap();
+        assert_eq!(n.lost_packets(), 10);
+        assert_eq!(n.delivered_packets(), 0);
+        assert_eq!(n.pending_packets(), 0, "lost packets do not count as pending");
+        assert_eq!(n.buffered_flits(), 0, "credits were synthesized; nothing wedged");
+        assert_eq!(n.stuck_packets(), 0);
+        let c = n.fault_counters();
+        assert_eq!(c.dropped_packets, 10);
+        assert_eq!(c.injected, 10);
+        assert!(c.dropped_flits >= 10);
+        // Traffic not crossing the faulty link is untouched.
+        let other = n.mesh().node_at(0, 2);
+        n.inject(comm(other, n.mesh().node_at(3, 2), 64, 99)).unwrap();
+        n.run_until_drained(10_000).unwrap();
+        assert_eq!(n.delivered_packets(), 1);
+    }
+
+    #[test]
+    fn down_window_delays_but_delivers() {
+        let mk = |down: bool| {
+            let mut n = net(NocConfig::binochs());
+            if down {
+                n.set_fault_plan(FaultPlan::seeded(1).with_link_fault(
+                    n.mesh().node_at(0, 0),
+                    Dir::East,
+                    0,
+                    500,
+                    LinkFaultKind::Down,
+                ))
+                .unwrap();
+            }
+            let src = n.mesh().node_at(0, 0);
+            let dst = n.mesh().node_at(3, 0);
+            n.inject(comm(src, dst, 32, 5)).unwrap();
+            n.run_until_drained(10_000).unwrap();
+            let p = n.drain_ejected(dst).remove(0);
+            assert_eq!(p.payload, 5);
+            assert!(!p.corrupted);
+            p.latency()
+        };
+        let clean = mk(false);
+        let faulted = mk(true);
+        assert!(
+            faulted >= 500 && faulted > clean,
+            "down window stalls the flit ({clean} vs {faulted})"
+        );
+    }
+
+    #[test]
+    fn corruption_delivers_with_the_mark() {
+        let mut n = net(NocConfig::dapper());
+        n.set_fault_plan(
+            FaultPlan::seeded(3).with_corrupt_rate(1.0).with_targets(comm_targets()),
+        )
+        .unwrap();
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 3);
+        n.inject(comm(src, dst, 64, 42)).unwrap();
+        n.run_until_drained(10_000).unwrap();
+        let p = n.drain_ejected(dst).remove(0);
+        assert!(p.corrupted, "corruption mark survives reassembly");
+        assert_eq!(p.payload, 42, "payload object itself is delivered");
+        assert_eq!(n.fault_counters().corrupted_packets, 1);
+        assert_eq!(n.lost_packets(), 0);
+    }
+
+    #[test]
+    fn protected_packets_are_exempt_from_random_faults() {
+        let mut n = net(NocConfig::binochs());
+        n.set_fault_plan(FaultPlan::seeded(9).with_drop_rate(1.0).with_targets(comm_targets()))
+            .unwrap();
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 3);
+        n.inject(comm(src, dst, 64, 1).with_protected()).unwrap();
+        n.inject(comm(src, dst, 64, 2)).unwrap();
+        n.run_until_drained(10_000).unwrap();
+        let pkts = n.drain_ejected(dst);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].payload, 1, "only the protected packet survives");
+        assert_eq!(n.lost_packets(), 1);
+    }
+
+    #[test]
+    fn stall_report_names_the_blockage() {
+        let mut n = net(NocConfig::binochs());
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 0);
+        // Permanently dead link on the only XY route: the packet wedges.
+        n.set_fault_plan(FaultPlan::seeded(1).with_link_fault(
+            src,
+            Dir::East,
+            0,
+            u64::MAX,
+            LinkFaultKind::Down,
+        ))
+        .unwrap();
+        n.inject(comm(src, dst, 32, 1)).unwrap();
+        let report = n.run_until_drained(2_000).unwrap_err();
+        assert_eq!(report.pending_packets, 1);
+        assert_eq!(report.blocked_routers, vec![src.index()]);
+        assert!(report.buffered_flits > 0);
+        assert!(report.oldest_packet_age > 1_000, "the flit aged the whole run");
+        let text = report.to_string();
+        assert!(text.contains("1 pending"), "display is informative: {text}");
+        // The exhaustive-deadline path and the report accessor agree.
+        assert_eq!(n.stall_report(), report);
+    }
+
+    #[test]
+    fn fault_runs_replay_bit_identically() {
+        let run = || {
+            let mut n = net(NocConfig::axnoc());
+            n.set_fault_plan(
+                FaultPlan::seeded(1234)
+                    .with_drop_rate(0.2)
+                    .with_corrupt_rate(0.1)
+                    .with_targets(comm_targets()),
+            )
+            .unwrap();
+            let nodes = n.mesh().node_count();
+            use snacknoc_prng::Rng;
+            let mut rng = Rng::new(5);
+            for i in 0..200 {
+                let src = NodeId::new(rng.range_usize(0..nodes));
+                let dst = NodeId::new(rng.range_usize(0..nodes));
+                n.inject(comm(src, dst, 64, i)).unwrap();
+                if i % 3 == 0 {
+                    n.step();
+                }
+            }
+            n.run_until_drained(100_000).unwrap();
+            let mut log = Vec::new();
+            for node in 0..nodes {
+                for p in n.drain_ejected(NodeId::new(node)) {
+                    log.push((p.payload, p.delivered_at, p.corrupted));
+                }
+            }
+            (n.cycle(), n.fault_counters(), log)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "hash-derived fault decisions replay exactly");
+        assert!(a.1.dropped_packets > 0 && a.1.corrupted_packets > 0, "faults actually fired");
     }
 }

@@ -22,10 +22,14 @@ pub struct PacketSpec<P> {
     pub size_bytes: u32,
     /// Opaque payload delivered with the packet.
     pub payload: P,
+    /// Whether the packet rides a protected (ECC/ack-covered) channel:
+    /// the fault layer exempts it from random drops and corruption when
+    /// [`crate::FaultPlan::respect_protection`] is set.
+    pub protected: bool,
 }
 
 impl<P> PacketSpec<P> {
-    /// Creates a packet spec.
+    /// Creates an (unprotected) packet spec.
     pub fn new(
         src: NodeId,
         dst: NodeId,
@@ -34,7 +38,14 @@ impl<P> PacketSpec<P> {
         size_bytes: u32,
         payload: P,
     ) -> Self {
-        PacketSpec { src, dst, vnet, class, size_bytes, payload }
+        PacketSpec { src, dst, vnet, class, size_bytes, payload, protected: false }
+    }
+
+    /// Marks the packet as riding a protected channel.
+    #[must_use]
+    pub fn with_protected(mut self) -> Self {
+        self.protected = true;
+        self
     }
 }
 
@@ -57,6 +68,12 @@ pub struct Packet<P> {
     pub delivered_at: u64,
     /// Router hops the head flit took.
     pub hops: u32,
+    /// Whether a fault corrupted this packet's payload in flight.
+    ///
+    /// The network delivers corrupted packets rather than hiding them;
+    /// consumers are expected to verify payload checksums and treat the
+    /// mark (or a checksum mismatch) as a loss.
+    pub corrupted: bool,
     /// The payload.
     pub payload: P,
 }

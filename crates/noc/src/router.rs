@@ -92,6 +92,9 @@ pub(crate) struct Router<P> {
 }
 
 impl<P> Router<P> {
+    /// The all-clear down-link mask: every output port usable.
+    pub(crate) const NO_DOWN_PORTS: [bool; Dir::COUNT] = [false; Dir::COUNT];
+
     pub(crate) fn new(cfg: &NocConfig, mesh: &Mesh, node: NodeId) -> Self {
         let vcs = cfg.vcs_per_port();
         let inputs = (0..Dir::COUNT)
@@ -122,6 +125,26 @@ impl<P> Router<P> {
     /// Number of flits buffered in this router's input units.
     pub(crate) fn buffered_flits(&self) -> usize {
         self.buffered
+    }
+
+    /// Earliest `queued_at` among buffered flits — the age witness for
+    /// stall reports. `None` when the router is empty.
+    pub(crate) fn oldest_buffered_queued_at(&self) -> Option<u64> {
+        self.inputs
+            .iter()
+            .flatten()
+            .flat_map(|vc| vc.buf.iter().map(|f| f.queued_at))
+            .min()
+    }
+
+    /// Input VCs holding a routed packet that has not yet been granted an
+    /// output VC — the "starved" population in a stall report.
+    pub(crate) fn routed_waiting_vcs(&self) -> usize {
+        self.inputs
+            .iter()
+            .flatten()
+            .filter(|vc| matches!(vc.state, VcState::Routed { .. }))
+            .count()
     }
 
     /// Writes an arriving flit into its input buffer.
@@ -245,14 +268,24 @@ impl<P> Router<P> {
 
     /// SA + ST: separable two-stage switch allocation, then crossbar
     /// traversal of the winners. Returns the departing flits.
-    pub(crate) fn switch_allocate(&mut self, cfg: &NocConfig, cycle: u64) -> Vec<Departure<P>> {
+    ///
+    /// `down` masks output ports whose link is inside a fault window:
+    /// flits headed there are simply not ready, exactly as if the
+    /// downstream receiver stopped returning credits. Pass
+    /// [`Router::NO_DOWN_PORTS`] when fault injection is off.
+    pub(crate) fn switch_allocate(
+        &mut self,
+        cfg: &NocConfig,
+        cycle: u64,
+        down: &[bool; Dir::COUNT],
+    ) -> Vec<Departure<P>> {
         // A flit spends `pipeline_stages - 1` cycles in the router before
         // link traversal, giving the per-hop latencies of paper §III-D2.
         let extra = cfg.pipeline_extra();
         // Stage 1: each input port nominates one ready VC.
         let mut nominees: [Option<usize>; Dir::COUNT] = [None; Dir::COUNT];
         for (port, nominee) in nominees.iter_mut().enumerate() {
-            *nominee = self.pick_input_vc(port, cycle, extra, cfg.priority_arbitration);
+            *nominee = self.pick_input_vc(port, cycle, extra, cfg.priority_arbitration, down);
         }
         // Stage 2: each output port grants one nominee.
         let mut departures = Vec::new();
@@ -276,6 +309,7 @@ impl<P> Router<P> {
         cycle: u64,
         extra: u64,
         priority: bool,
+        down: &[bool; Dir::COUNT],
     ) -> Option<usize> {
         let vcs = self.inputs[port].len();
         let ready = |vc: &InputVc<P>| -> Option<TrafficClass> {
@@ -284,10 +318,13 @@ impl<P> Router<P> {
             if cycle < flit.buffered_at + extra {
                 return None;
             }
-            if out_port != Dir::Local
-                && self.outputs[out_port.index()][out_vc as usize].credits == 0
-            {
-                return None;
+            if out_port != Dir::Local {
+                if down[out_port.index()] {
+                    return None;
+                }
+                if self.outputs[out_port.index()][out_vc as usize].credits == 0 {
+                    return None;
+                }
             }
             Some(flit.class)
         };
@@ -391,6 +428,8 @@ mod tests {
             hops: 0,
             vc,
             buffered_at: 0,
+            corrupted: false,
+            protected: false,
         }
     }
 
@@ -404,7 +443,7 @@ mod tests {
         assert_eq!(r.buffered_flits(), 1);
         r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg);
-        let deps = r.switch_allocate(&cfg, 10);
+        let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::East);
         assert_eq!(deps[0].in_port, Dir::West);
@@ -422,7 +461,7 @@ mod tests {
         r.accept_flit(Dir::North, flit(node, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
         r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg);
-        let deps = r.switch_allocate(&cfg, 10);
+        let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::Local);
         assert_eq!(deps[0].flit.hops, 0, "ejection is not a hop");
@@ -441,10 +480,10 @@ mod tests {
         );
         r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg);
-        assert!(r.switch_allocate(&cfg, 10).is_empty(), "too early at t");
-        assert!(r.switch_allocate(&cfg, 11).is_empty(), "too early at t+1");
-        assert!(r.switch_allocate(&cfg, 12).is_empty(), "too early at t+2");
-        assert_eq!(r.switch_allocate(&cfg, 13).len(), 1, "ready at t + (stages-1)");
+        assert!(r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t");
+        assert!(r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t+1");
+        assert!(r.switch_allocate(&cfg, 12, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t+2");
+        assert_eq!(r.switch_allocate(&cfg, 13, &Router::<u32>::NO_DOWN_PORTS).len(), 1, "ready at t + (stages-1)");
     }
 
     #[test]
@@ -459,9 +498,9 @@ mod tests {
         r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg);
         // First wins the only free VC/credit pair on vc0; second got vc1.
-        let d1 = r.switch_allocate(&cfg, 5);
+        let d1 = r.switch_allocate(&cfg, 5, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(d1.len(), 1, "both VCs have a credit, but one output port grant per cycle");
-        let d2 = r.switch_allocate(&cfg, 6);
+        let d2 = r.switch_allocate(&cfg, 6, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(d2.len(), 1);
         assert_ne!(d1[0].flit.vc, d2[0].flit.vc, "packets allocated distinct output VCs");
         // Credits now exhausted on both VCs.
@@ -469,14 +508,14 @@ mod tests {
         r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg);
         assert!(
-            r.switch_allocate(&cfg, 8).is_empty(),
+            r.switch_allocate(&cfg, 8, &Router::<u32>::NO_DOWN_PORTS).is_empty(),
             "no credits and no free VCs: nothing may traverse"
         );
         // Returning a credit + freeing the VC unblocks it.
         r.return_credit(Dir::East, 0, 1);
         r.free_output_vc(Dir::East, 0);
         r.vc_allocate(&cfg);
-        assert_eq!(r.switch_allocate(&cfg, 9).len(), 1);
+        assert_eq!(r.switch_allocate(&cfg, 9, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
     }
 
     #[test]
@@ -490,11 +529,34 @@ mod tests {
         r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
         r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg);
-        let deps = r.switch_allocate(&cfg, 10);
+        let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].flit.class, TrafficClass::Communication);
-        let deps = r.switch_allocate(&cfg, 11);
+        let deps = r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps[0].flit.class, TrafficClass::SnackInstruction);
+    }
+
+    #[test]
+    fn down_mask_stalls_the_port_without_losing_flits() {
+        let cfg = test_cfg();
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let f = flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0);
+        r.accept_flit(Dir::West, f, 0, 4);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg);
+        let mut down = Router::<u32>::NO_DOWN_PORTS;
+        down[Dir::East.index()] = true;
+        assert!(r.switch_allocate(&cfg, 10, &down).is_empty(), "east link is down");
+        assert_eq!(r.buffered_flits(), 1, "the flit waits in its buffer");
+        assert_eq!(r.routed_waiting_vcs(), 0, "it already holds an output VC");
+        assert_eq!(r.oldest_buffered_queued_at(), Some(0));
+        // The window closes: traversal resumes exactly where it stalled.
+        let deps = r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].out_port, Dir::East);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.oldest_buffered_queued_at(), None);
     }
 
     #[test]
@@ -523,7 +585,7 @@ mod tests {
         r.vc_allocate(&cfg);
         let mut out_vcs = Vec::new();
         for t in 5..8 {
-            let deps = r.switch_allocate(&cfg, t);
+            let deps = r.switch_allocate(&cfg, t, &Router::<u32>::NO_DOWN_PORTS);
             assert_eq!(deps.len(), 1);
             out_vcs.push(deps[0].flit.vc);
         }

@@ -199,6 +199,15 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Merges another histogram into this one, bucket-wise. Used to
+    /// aggregate per-CPM recovery-latency histograms into one report.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
     /// Approximate `p`-th percentile (0–100) latency in cycles.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.total == 0 {
@@ -220,6 +229,30 @@ impl LatencyHistogram {
             seen += count;
         }
         u64::MAX
+    }
+}
+
+/// Counts of wire-protocol violations observed at packet reassembly.
+///
+/// A healthy, fault-free network keeps all of these at zero; the
+/// tolerant ejection path counts-and-discards instead of panicking so a
+/// faulty run degrades into measurable loss rather than an abort.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProtocolErrors {
+    /// A tail flit ejected with no head on record; the packet is
+    /// discarded and counted as lost.
+    pub tail_without_head: u64,
+    /// A head flit arrived carrying no payload; the packet is discarded.
+    pub missing_payload: u64,
+    /// A second head flit ejected for a packet id already holding one;
+    /// the first head wins.
+    pub duplicate_head: u64,
+}
+
+impl ProtocolErrors {
+    /// Total protocol violations of any kind.
+    pub fn total(&self) -> u64 {
+        self.tail_without_head + self.missing_payload + self.duplicate_head
     }
 }
 
@@ -273,6 +306,9 @@ pub struct NetStats {
     pub injected_flits: u64,
     /// Total crossbar transfers (flits moved input→output).
     pub crossbar_transfers: u64,
+    /// Wire-protocol violations observed at reassembly (zero when the
+    /// network is healthy).
+    pub protocol_errors: ProtocolErrors,
 }
 
 impl NetStats {
@@ -288,6 +324,7 @@ impl NetStats {
             data: ClassStats::default(),
             injected_flits: 0,
             crossbar_transfers: 0,
+            protocol_errors: ProtocolErrors::default(),
         }
     }
 
@@ -535,6 +572,32 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.samples(), 2);
         assert!(h.percentile(99.0) > 0);
+    }
+
+    #[test]
+    fn latency_histogram_merge_adds_bucketwise() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for lat in 1..=100u64 {
+            a.record(lat);
+            b.record(lat * 8);
+        }
+        let a_p50 = a.percentile(50.0);
+        a.merge(&b);
+        assert_eq!(a.samples(), 200);
+        assert!(a.percentile(50.0) >= a_p50, "merging larger samples raises the median");
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.samples(), 200, "merging empty is a no-op");
+    }
+
+    #[test]
+    fn protocol_errors_total() {
+        let mut e = ProtocolErrors::default();
+        assert_eq!(e.total(), 0);
+        e.tail_without_head = 2;
+        e.missing_payload = 1;
+        e.duplicate_head = 4;
+        assert_eq!(e.total(), 7);
     }
 
     #[test]

@@ -187,6 +187,46 @@ impl Mesh {
         }
         path
     }
+
+    /// First hop of a shortest path from `from` to `to` that avoids links
+    /// reported down by `is_down(node, dir)` — the detour primitive the
+    /// SnackNoC ring uses to route tokens around faulted segments.
+    ///
+    /// Deterministic: breadth-first in [`Dir::ROUTER_DIRS`] order, so the
+    /// same down-set always yields the same detour. Returns `Some(to)`
+    /// when `from == to`, and `None` when every route is severed.
+    pub fn detour_next_hop(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        mut is_down: impl FnMut(NodeId, Dir) -> bool,
+    ) -> Option<NodeId> {
+        if from == to {
+            return Some(to);
+        }
+        let n = self.node_count();
+        // `first_hop[v]` = the neighbour of `from` that a shortest live
+        // path to `v` leaves through; doubles as the visited set.
+        let mut first_hop: Vec<Option<NodeId>> = vec![None; n];
+        first_hop[from.index()] = Some(from); // sentinel: visited, no hop
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for d in Dir::ROUTER_DIRS {
+                let Some(nb) = self.neighbor(cur, d) else { continue };
+                if first_hop[nb.index()].is_some() || is_down(cur, d) {
+                    continue;
+                }
+                let hop = if cur == from { nb } else { first_hop[cur.index()]? };
+                first_hop[nb.index()] = Some(hop);
+                if nb == to {
+                    return Some(hop);
+                }
+                queue.push_back(nb);
+            }
+        }
+        None
+    }
 }
 
 /// Error returned by [`Mesh::ring`] when no Hamiltonian cycle exists.
@@ -284,6 +324,60 @@ mod tests {
         assert!(Mesh::new(3, 3).ring().is_err());
         assert!(Mesh::new(5, 7).ring().is_err());
         assert!(Mesh::new(1, 4).ring().is_err());
+    }
+
+    #[test]
+    fn detour_next_hop_matches_direct_route_when_healthy() {
+        let m = Mesh::new(4, 4);
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                let hop = m.detour_next_hop(src, dst, |_, _| false);
+                if src == dst {
+                    assert_eq!(hop, Some(dst));
+                } else {
+                    let hop = hop.expect("healthy mesh always routes");
+                    let adjacent =
+                        Dir::ROUTER_DIRS.iter().any(|&d| m.neighbor(src, d) == Some(hop));
+                    assert!(adjacent, "first hop is a neighbour");
+                }
+            }
+        }
+        // Healthy BFS is minimal: adjacent nodes route directly.
+        assert_eq!(
+            m.detour_next_hop(m.node_at(0, 0), m.node_at(1, 0), |_, _| false),
+            Some(m.node_at(1, 0))
+        );
+    }
+
+    #[test]
+    fn detour_next_hop_steers_around_a_down_link() {
+        let m = Mesh::new(4, 4);
+        let a = m.node_at(0, 0);
+        let b = m.node_at(1, 0);
+        // The direct east link is dead; BFS must leave through south.
+        let hop = m
+            .detour_next_hop(a, b, |node, dir| node == a && dir == Dir::East)
+            .expect("a detour exists");
+        assert_eq!(hop, m.node_at(0, 1));
+        // Walking the detour converges: every step gets a valid next hop.
+        let mut cur = a;
+        let mut steps = 0;
+        while cur != b {
+            cur = m
+                .detour_next_hop(cur, b, |node, dir| node == a && dir == Dir::East)
+                .expect("path stays connected");
+            steps += 1;
+            assert!(steps <= m.node_count(), "detour walk must terminate");
+        }
+        assert_eq!(steps, 3, "shortest detour is 3 hops");
+    }
+
+    #[test]
+    fn detour_next_hop_reports_severed_nodes() {
+        let m = Mesh::new(2, 2);
+        let a = m.node_at(0, 0);
+        // Both of a's outgoing links are down: nothing is reachable.
+        assert_eq!(m.detour_next_hop(a, m.node_at(1, 1), |n, _| n == a), None);
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let mut platform = SnackPlatform::new(NocConfig::default())?;
         let compiled = built.context.compile(built.root, &MapperConfig::for_mesh(platform.mesh()))?;
-        let run = platform.run_kernel(&compiled, 10_000_000)?.expect("kernel finishes");
+        let run = platform.run_kernel(&compiled, 10_000_000)?;
         let reference = built.context.interpret(built.root)?;
         assert_eq!(run.outputs, reference, "{kernel}: bit-exact check");
 

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execute: the CPM streams instruction flits onto the NoC; intermediate
     // A x B elements circulate as transient data tokens on the static ring
     // until the scaling instructions consume them.
-    let run = platform.run_kernel(&kernel, 100_000)?.expect("kernel finishes");
+    let run = platform.run_kernel(&kernel, 100_000)?;
     println!("finished in {} cycles ({} ns at 1 GHz)", run.cycles, run.cycles);
 
     // Verify bit-exactly against the fixed-point reference interpreter.

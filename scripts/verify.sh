@@ -67,4 +67,13 @@ cargo test -q --offline --workspace
 echo "+ cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Fault-injection smoke: a fixed micro-grid with the token-loss watchdog
+# on; exits non-zero unless faults were injected AND every detected loss
+# recovered (recovered == detected, outputs bit-exact).
+echo "+ snack-faults --smoke"
+smoke_json=$(mktemp)
+trap 'rm -f "$smoke_json"' EXIT
+cargo run --release --offline -q -p snacknoc-bench --bin snack-faults -- \
+  --smoke --json "$smoke_json"
+
 echo "verify: all green"

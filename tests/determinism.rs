@@ -9,6 +9,7 @@ use snacknoc::core::SnackPlatform;
 use snacknoc::noc::{NocConfig, NocPreset, TrafficClass};
 use snacknoc::workloads::kernels::Kernel;
 use snacknoc::workloads::suite::{profile, Benchmark};
+use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
 use snacknoc_bench::sweep::{run_sweep, SweepSpec};
 
 /// A fingerprint of a multi-program run that any nondeterminism would
@@ -79,6 +80,36 @@ fn sweep_reports_are_thread_count_invariant() {
     );
 }
 
+/// The fault-injection sweep is deterministic under the same worker pool:
+/// fault plans are seeded per cell, so the injected drop/corrupt schedule —
+/// and every downstream detection/recovery counter — must be byte-identical
+/// whether one worker runs the grid or four workers race for it.
+#[test]
+fn fault_sweep_reports_are_thread_count_invariant() {
+    let spec = FaultSweepSpec::grid(
+        &[Kernel::Mac, Kernel::Reduction],
+        8,
+        &[
+            FaultScenario::Clean,
+            FaultScenario::Drop { rate: 0.05 },
+            FaultScenario::Corrupt { rate: 0.05 },
+        ],
+        &[1, 2],
+    );
+    let serial = run_fault_sweep(&spec.clone().with_threads(1));
+    let parallel = run_fault_sweep(&spec.with_threads(4));
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "threads=1 and threads=4 fault sweeps must merge to identical bytes"
+    );
+    assert!(serial.all_consistent(), "every cell verified, recovered == detected");
+    assert!(
+        serial.cells.iter().any(|c| c.detected > 0),
+        "the faulty scenarios actually exercised recovery"
+    );
+}
+
 #[test]
 fn kernel_results_do_not_depend_on_interference() {
     // QoS may change *when* a kernel finishes, never *what* it computes.
@@ -95,7 +126,7 @@ fn kernel_results_do_not_depend_on_interference() {
             p.attach_workload(&profile(Benchmark::Radix).scaled(0.0005), 3);
             p.run(1_000);
         }
-        let run = p.run_kernel(&kernel, 10_000_000).expect("idle").expect("finishes");
+        let run = p.run_kernel(&kernel, 10_000_000).expect("finishes");
         assert_eq!(run.outputs, reference, "arb={arb} attach={attach}");
     }
 }

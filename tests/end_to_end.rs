@@ -26,8 +26,7 @@ fn every_kernel_simulates_bit_exact_on_every_baseline_noc() {
             compiled.validate().expect("valid program");
             let run = p
                 .run_kernel(&compiled, 1_000_000)
-                .expect("cpm idle")
-                .unwrap_or_else(|| panic!("{kernel} on {preset} did not finish"));
+                .unwrap_or_else(|e| panic!("{kernel} on {preset} did not finish: {e}"));
             let reference = built.context.interpret(built.root).expect("interpretable");
             assert_eq!(run.outputs, reference, "{kernel} on {preset} must be bit-exact");
         }
@@ -43,7 +42,7 @@ fn kernels_scale_down_correctly_on_bigger_meshes() {
         let mut p = platform(cfg.clone());
         let compiled =
             built.context.compile(built.root, &MapperConfig::for_mesh(p.mesh())).expect("compiles");
-        let run = p.run_kernel(&compiled, 1_000_000).expect("cpm idle").expect("finishes");
+        let run = p.run_kernel(&compiled, 1_000_000).expect("finishes");
         let reference = built.context.interpret(built.root).expect("interpretable");
         assert_eq!(run.outputs, reference, "{kernel} on 8x4");
     }
@@ -62,7 +61,7 @@ fn paper_expression_runs_on_the_platform() {
     let d = cxt.add(sab, c).unwrap();
     let mut p = platform(NocConfig::default());
     let kernel = cxt.compile(d, &MapperConfig::for_mesh(p.mesh())).unwrap();
-    let run = p.run_kernel(&kernel, 100_000).unwrap().expect("finishes");
+    let run = p.run_kernel(&kernel, 100_000).expect("finishes");
     assert_eq!(run.outputs, cxt.interpret(d).unwrap());
 }
 
@@ -125,7 +124,7 @@ fn snacknoc_outperforms_one_modelled_core_on_sgemm() {
     let mut p = platform(NocConfig::default());
     let compiled =
         built.context.compile(built.root, &MapperConfig::for_mesh(p.mesh())).unwrap();
-    let run = p.run_kernel(&compiled, 10_000_000).unwrap().expect("finishes");
+    let run = p.run_kernel(&compiled, 10_000_000).expect("finishes");
     let snack_seconds = run.cycles as f64 / 1e9;
     let cpu = CpuModel::haswell();
     let ops = snacknoc::compiler::op_count(kernel, size);

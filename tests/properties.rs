@@ -42,7 +42,7 @@ fn flit_conservation() {
                 net.step();
             }
         }
-        assert!(net.run_until_drained(2_000_000), "network must drain");
+        assert!(net.run_until_drained(2_000_000).is_ok(), "network must drain");
         assert_eq!(net.delivered_packets(), sent);
         let mut got = Vec::new();
         for node in 0..n {
@@ -124,7 +124,6 @@ fn random_expressions_simulate_exactly() {
         kernel.validate().unwrap();
         let run = platform
             .run_kernel(&kernel, 5_000_000)
-            .unwrap()
             .expect("kernel must finish");
         let reference = cxt.interpret(root).unwrap();
         assert_eq!(run.outputs, reference);
@@ -166,7 +165,7 @@ fn coherence_protocol_never_deadlocks() {
         assert!(eng.done(), "protocol must complete all accesses");
         assert_eq!(eng.completed(), 120 * 16);
         // Drain residual acks/writebacks.
-        assert!(net.run_until_drained(1_000_000));
+        assert!(net.run_until_drained(1_000_000).is_ok());
     });
 }
 
@@ -208,6 +207,98 @@ fn random_sweeps_are_thread_count_invariant() {
             parallel.deterministic_json(),
             "sweep merge must not depend on worker scheduling"
         );
+    });
+}
+
+/// Fault tolerance: any *single transient link fault* — one random link,
+/// one bounded window, any kind (down/drop/corrupt) — with recovery
+/// enabled completes every paper kernel with outputs bit-identical to the
+/// fault-free run, and the watchdog recovers everything it detects.
+#[test]
+fn single_transient_link_fault_recovers_bit_identically() {
+    use snacknoc::compiler::build;
+    use snacknoc::core::RecoveryConfig;
+    use snacknoc::noc::{Dir, FaultPlan, LinkFaultKind};
+    use snacknoc::workloads::kernels::Kernel;
+    prop_check!(cases = 12, seed = 0x51AC_0007, |rng| {
+        let kernel = Kernel::ALL[rng.range_usize(0..Kernel::ALL.len())];
+        let size = rng.range_usize(6..16);
+        let input_seed = rng.range(0..1000);
+        let built = build(kernel, size, input_seed);
+
+        let compile = |platform: &SnackPlatform| {
+            // MAC fusion off: intermediate values travel the transient
+            // ring, the fault target.
+            let mapper =
+                MapperConfig::for_mesh(platform.mesh()).with_mac_fusion(false);
+            built.context.compile(built.root, &mapper).unwrap()
+        };
+
+        // Fault-free reference run.
+        let mut clean = SnackPlatform::new(NocConfig::default()).unwrap();
+        let compiled = compile(&clean);
+        let clean_run = clean.run_kernel(&compiled, 10_000_000).expect("clean run finishes");
+
+        // One random transient fault on one random (valid) link.
+        let mut faulted = SnackPlatform::new(NocConfig::default()).unwrap();
+        let mesh = *faulted.mesh();
+        let (node, dir) = loop {
+            let node = NodeId::new(rng.range_usize(0..mesh.node_count()));
+            let dir = Dir::ROUTER_DIRS[rng.range_usize(0..4)];
+            if mesh.neighbor(node, dir).is_some() {
+                break (node, dir);
+            }
+        };
+        let start = rng.range(0..400);
+        let end = start + rng.range(100..1600);
+        let kind = match rng.range(0..3) {
+            0 => LinkFaultKind::Down,
+            1 => LinkFaultKind::Drop { rate: 1.0 },
+            _ => LinkFaultKind::Corrupt { rate: 1.0 },
+        };
+        let plan = FaultPlan::seeded(rng.range(0..1 << 30))
+            .with_link_fault(node, dir, start, end, kind);
+        faulted.set_fault_plan(plan).unwrap();
+        faulted.enable_recovery(RecoveryConfig::aggressive());
+        let run = faulted
+            .run_kernel(&compiled, 10_000_000)
+            .expect("faulted run completes under recovery");
+
+        assert_eq!(
+            run.outputs, clean_run.outputs,
+            "{kernel}-{size}: outputs must be bit-identical to fault-free \
+             ({kind:?} on {node:?}/{dir:?} cycles {start}..{end})"
+        );
+        let rs = faulted.recovery_stats();
+        assert_eq!(
+            rs.recovered, rs.detected,
+            "every detected loss recovers ({kind:?} on {node:?}/{dir:?})"
+        );
+    });
+}
+
+/// Random fault-sweep grids produce byte-identical JSON on 1 and 4
+/// workers, and every cell is internally consistent (finished cells are
+/// verified with `recovered == detected`).
+#[test]
+fn random_fault_sweeps_are_thread_count_invariant() {
+    use snacknoc::workloads::kernels::Kernel;
+    use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
+    prop_check!(cases = 4, seed = 0x51AC_0008, |rng| {
+        let kernel = Kernel::ALL[rng.range_usize(0..Kernel::ALL.len())];
+        let size = rng.range_usize(6..14);
+        let rate = 0.01 + rng.unit_f64() * 0.1;
+        let scenarios = [
+            FaultScenario::Clean,
+            FaultScenario::Drop { rate },
+            FaultScenario::Corrupt { rate },
+        ];
+        let seeds: Vec<u64> = (0..rng.range(1..3)).map(|_| rng.range(0..100)).collect();
+        let spec = FaultSweepSpec::grid(&[kernel], size, &scenarios, &seeds);
+        let serial = run_fault_sweep(&spec);
+        let parallel = run_fault_sweep(&spec.clone().with_threads(4));
+        assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+        assert!(serial.all_consistent(), "{}", serial.deterministic_json());
     });
 }
 
