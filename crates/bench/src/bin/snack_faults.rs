@@ -21,21 +21,13 @@
 //! size) and exits non-zero unless every cell is consistent — CI uses
 //! this via `scripts/verify.sh`.
 
-use snacknoc_bench::experiments::arg_u64;
+use snacknoc_bench::args::CliArgs;
 use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
 use snacknoc_workloads::kernels::Kernel;
 
-/// Parses `--<name> <value>` as a raw string.
-fn arg_str(name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| *a == flag).and_then(|i| args.get(i + 1)).cloned()
-}
-
-fn has_flag(name: &str) -> bool {
-    let flag = format!("--{name}");
-    std::env::args().any(|a| a == flag)
-}
+const USAGE: &str = "usage: snack-faults [--kernels all|sgemm,spmv,...] [--size N]
+                    [--rates R1,R2,...] [--mode drop|corrupt|both]
+                    [--seeds N] [--threads N] [--json PATH] [--smoke]";
 
 fn parse_kernels(spec: &str) -> Vec<Kernel> {
     if spec.eq_ignore_ascii_case("all") {
@@ -98,9 +90,14 @@ fn scenarios(rates: &[f64], mode: &str) -> Vec<FaultScenario> {
 }
 
 fn main() {
-    let smoke = has_flag("smoke");
-    let json_path = arg_str("json").unwrap_or_else(|| "BENCH_faults.json".into());
-    let threads = arg_u64(
+    let args = CliArgs::parse(
+        USAGE,
+        &["kernels", "size", "rates", "mode", "seeds", "threads", "json"],
+        &["smoke"],
+    );
+    let smoke = args.switch("smoke");
+    let json_path = args.str_or("json", "BENCH_faults.json");
+    let threads = args.u64_or(
         "threads",
         std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
     ) as usize;
@@ -118,11 +115,11 @@ fn main() {
         )
         .with_threads(threads)
     } else {
-        let kernels = parse_kernels(&arg_str("kernels").unwrap_or_else(|| "all".into()));
-        let size = arg_u64("size", 12) as usize;
-        let rates = parse_rates(&arg_str("rates").unwrap_or_else(|| "0.01,0.05".into()));
-        let mode = arg_str("mode").unwrap_or_else(|| "both".into());
-        let seeds: Vec<u64> = (1..=arg_u64("seeds", 1).max(1)).collect();
+        let kernels = parse_kernels(&args.str_or("kernels", "all"));
+        let size = args.u64_or("size", 12) as usize;
+        let rates = parse_rates(&args.str_or("rates", "0.01,0.05"));
+        let mode = args.str_or("mode", "both");
+        let seeds: Vec<u64> = (1..=args.u64_or("seeds", 1).max(1)).collect();
         FaultSweepSpec::grid(&kernels, size, &scenarios(&rates, &mode), &seeds)
             .with_threads(threads)
     };

@@ -25,18 +25,16 @@
 //! 1 seed, scale 0.002 (CI scale; 1.0 is paper scale), kernel size 16,
 //! threads = available parallelism, 1 sample, JSON to `BENCH_sweep.json`.
 
-use snacknoc_bench::experiments::{arg_f64, arg_u64};
+use snacknoc_bench::args::CliArgs;
 use snacknoc_bench::sweep::{run_sweep, SweepSpec};
 use snacknoc_noc::NocPreset;
 use snacknoc_workloads::kernels::Kernel;
 use snacknoc_workloads::suite::Benchmark;
 
-/// Parses `--<name> <value>` as a raw string.
-fn arg_str(name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| *a == flag).and_then(|i| args.get(i + 1)).cloned()
-}
+const USAGE: &str = "usage: snack-sweep [--benchmarks all|fmm,radix,...] [--kernels sgemm,spmv,...]
+                   [--configs all|dapper,axnoc,binochs] [--seeds N]
+                   [--scale F] [--kernel-size N] [--threads N] [--samples N]
+                   [--json PATH] [--csv PATH]";
 
 /// Splits a comma-separated list, trimming blanks.
 fn split_list(v: &str) -> Vec<&str> {
@@ -103,19 +101,35 @@ fn parse_presets(spec: &str) -> Vec<NocPreset> {
 }
 
 fn main() {
-    let benchmarks = parse_benchmarks(&arg_str("benchmarks").unwrap_or_else(|| "all".into()));
-    let kernels = arg_str("kernels").map(|s| parse_kernels(&s)).unwrap_or_default();
-    let presets = parse_presets(&arg_str("configs").unwrap_or_else(|| "all".into()));
-    let seeds: Vec<u64> = (1..=arg_u64("seeds", 1).max(1)).collect();
-    let scale = arg_f64("scale", 0.002);
-    let kernel_size = arg_u64("kernel-size", 16) as usize;
-    let threads = arg_u64(
+    let args = CliArgs::parse(
+        USAGE,
+        &[
+            "benchmarks",
+            "kernels",
+            "configs",
+            "seeds",
+            "scale",
+            "kernel-size",
+            "threads",
+            "samples",
+            "json",
+            "csv",
+        ],
+        &[],
+    );
+    let benchmarks = parse_benchmarks(&args.str_or("benchmarks", "all"));
+    let kernels = args.str_opt("kernels").map(parse_kernels).unwrap_or_default();
+    let presets = parse_presets(&args.str_or("configs", "all"));
+    let seeds: Vec<u64> = (1..=args.u64_or("seeds", 1).max(1)).collect();
+    let scale = args.f64_or("scale", 0.002);
+    let kernel_size = args.u64_or("kernel-size", 16) as usize;
+    let threads = args.u64_or(
         "threads",
         std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
     ) as usize;
-    let samples = u32::try_from(arg_u64("samples", 1).max(1)).unwrap_or(1);
-    let json_path = arg_str("json").unwrap_or_else(|| "BENCH_sweep.json".into());
-    let csv_path = arg_str("csv");
+    let samples = u32::try_from(args.u64_or("samples", 1).max(1)).unwrap_or(1);
+    let json_path = args.str_or("json", "BENCH_sweep.json");
+    let csv_path = args.str_opt("csv").map(str::to_string);
 
     let spec = SweepSpec::grid(&benchmarks, &presets, &seeds, scale)
         .with_kernels(&kernels, kernel_size, &presets, &seeds)

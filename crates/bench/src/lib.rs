@@ -12,12 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod csv;
 pub mod experiments;
 pub mod faults;
 pub mod harness;
 pub mod sweep;
 pub mod table;
+pub mod tracing;
 
 pub use experiments::{
     kernel_to_cpu, run_snack_kernel, FIG9_SEED, SNACK_FREQ_GHZ, SnackKernelRun,

@@ -14,6 +14,7 @@ use snacknoc_noc::{
     ConfigError, FaultCounters, FaultPlan, FaultPlanError, LinkFaultKind, Mesh, NetStats, Network,
     NocConfig, NodeId, PacketSpec, StallReport, TrafficClass,
 };
+use snacknoc_trace::{EventKind, TracerHandle};
 use snacknoc_workloads::coherence::{AccessPattern, CohMessage, CoherentEngine};
 use snacknoc_workloads::{BenchmarkProfile, CmpMessage, TrafficEngine};
 use std::fmt;
@@ -266,6 +267,30 @@ impl SnackPlatform {
         self.net.finalize_stats()
     }
 
+    /// Installs a tracer; all subsequent instrumentation events from the
+    /// NoC, the RCUs and the CPMs flow into it. Install
+    /// [`TracerHandle::Nop`] (the default) to disable tracing — a
+    /// `Nop`-traced run is bit-identical to an untraced one.
+    pub fn set_tracer(&mut self, tracer: TracerHandle) {
+        self.net.set_tracer(tracer);
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &TracerHandle {
+        self.net.tracer()
+    }
+
+    /// Mutable access to the installed tracer.
+    pub fn tracer_mut(&mut self) -> &mut TracerHandle {
+        self.net.tracer_mut()
+    }
+
+    /// Removes and returns the installed tracer, leaving
+    /// [`TracerHandle::Nop`] behind.
+    pub fn take_tracer(&mut self) -> TracerHandle {
+        self.net.take_tracer()
+    }
+
     /// The primary CPM (kernel controller).
     pub fn cpm(&self) -> &Cpm {
         &self.cpms[0]
@@ -372,7 +397,9 @@ impl SnackPlatform {
     /// Panics if `i >= cpm_count()`.
     pub fn submit_kernel_to(&mut self, i: usize, kernel: &CompiledKernel) -> Result<(), SubmitError> {
         self.cpms[i].submit(kernel, self.net.cycle())?;
-        self.submitted_at[i] = self.net.cycle();
+        let cycle = self.net.cycle();
+        self.submitted_at[i] = cycle;
+        self.net.tracer_mut().record_with(cycle, || EventKind::KernelSubmit { cpm: i as u32 });
         Ok(())
     }
 
@@ -392,6 +419,7 @@ impl SnackPlatform {
             return None;
         }
         let (name, outputs) = self.cpms[i].take_results()?;
+        self.net.tracer_mut().record_with(finished_at, || EventKind::KernelFinish { cpm: i as u32 });
         // The kernel is complete: drop the RCUs' retained token copies for
         // this CPM's namespace so retransmission state can't leak into the
         // next kernel.
@@ -479,9 +507,53 @@ impl SnackPlatform {
         for c in 0..self.cpms.len() {
             let node = self.cpms[c].node();
             let congestion = self.net.useful_free_output_vcs(node);
-            match self.cpms[c].tick(now, congestion) {
+            // CPM decision events (overflow mode flips, watchdog loss
+            // declarations) are diffed across the tick. The pre/post state
+            // reads are gated on an enabled tracer so the disabled path
+            // does no extra work.
+            let traced = self.net.tracer().is_enabled();
+            let (was_overflow, prev_detected) = if traced {
+                (self.cpms[c].in_overflow(), self.cpms[c].recovery_stats().detected)
+            } else {
+                (false, 0)
+            };
+            let emission = self.cpms[c].tick(now, congestion);
+            if traced {
+                let now_overflow = self.cpms[c].in_overflow();
+                if now_overflow != was_overflow {
+                    let (free, total) = congestion;
+                    self.net.tracer_mut().record_with(now, || {
+                        if now_overflow {
+                            EventKind::CpmOverflowEnter {
+                                cpm: c as u32,
+                                free: free as u32,
+                                total: total as u32,
+                            }
+                        } else {
+                            EventKind::CpmOverflowExit {
+                                cpm: c as u32,
+                                free: free as u32,
+                                total: total as u32,
+                            }
+                        }
+                    });
+                }
+                let detected = self.cpms[c].recovery_stats().detected;
+                if detected > prev_detected {
+                    self.net.tracer_mut().record_with(now, || EventKind::WatchdogDetect {
+                        cpm: c as u32,
+                        losses: detected - prev_detected,
+                    });
+                }
+            }
+            match emission {
                 Some(CpmEmission::Instructions(packet)) => {
                     let dst = packet[0].pe;
+                    self.net.tracer_mut().record_with(now, || EventKind::CpmIssue {
+                        cpm: c as u32,
+                        pe: dst.index() as u32,
+                        count: packet.len() as u32,
+                    });
                     let bytes = INSTRUCTION_BYTES * packet.len() as u32;
                     let spec = PacketSpec::new(
                         node,
@@ -495,9 +567,18 @@ impl SnackPlatform {
                     self.net.inject(spec).expect("valid instruction packet");
                 }
                 Some(CpmEmission::ReplayToken(token)) => {
+                    self.net.tracer_mut().record_with(now, || EventKind::CpmRefill {
+                        cpm: c as u32,
+                        dep: token.dep,
+                    });
                     self.launch_token(node, token);
                 }
                 Some(CpmEmission::RequestRetransmit { dep, producer, remaining }) => {
+                    self.net.tracer_mut().record_with(now, || EventKind::WatchdogRetransmit {
+                        cpm: c as u32,
+                        dep,
+                        producer: producer.index() as u32,
+                    });
                     // The watchdog asks the producing RCU to re-issue from
                     // its retained copy. We model the request as arriving
                     // instantly (a single control flit on the protected
@@ -524,7 +605,7 @@ impl SnackPlatform {
                     continue;
                 }
             }
-            for emission in self.rcus[i].tick(now) {
+            for emission in self.rcus[i].tick_traced(now, i as u32, self.net.tracer_mut()) {
                 let node = self.nodes[i];
                 match emission {
                     Emission::Token(token) => self.launch_token(node, token),
@@ -568,6 +649,11 @@ impl SnackPlatform {
                     SnackPayload::Instructions(instrs) => {
                         for ins in instrs {
                             debug_assert_eq!(ins.pe, node, "instruction routed to its PE");
+                            self.net.tracer_mut().record_with(now, || EventKind::RcuIssue {
+                                node: i as u32,
+                                sub_block: ins.sub_block,
+                                seq: ins.seq,
+                            });
                             self.rcus[i].accept_instruction(ins);
                         }
                     }
@@ -761,6 +847,12 @@ impl SnackPlatform {
                 }
             }
         }
+        self.net.tracer_mut().record_with(now, || EventKind::TokenLaunch {
+            dep: token.dep,
+            seq: token.seq,
+            from: node.index() as u32,
+            to: next.index() as u32,
+        });
         let spec = PacketSpec::new(
             node,
             next,
@@ -776,11 +868,18 @@ impl SnackPlatform {
     /// RCU inspection, then retirement or the next hop.
     fn ring_pass(&mut self, node: NodeId, token: DataToken) {
         let now = self.net.cycle();
+        let dep = token.dep;
         let cpm_here = self.cpms.iter().position(|c| c.node() == node);
         let mut token = if let Some(ci) = cpm_here {
             match self.cpms[ci].maybe_absorb(token, now) {
                 Some(t) => t,
-                None => return, // parked in the overflow buffer
+                None => {
+                    // Parked in the overflow buffer.
+                    self.net
+                        .tracer_mut()
+                        .record_with(now, || EventKind::CpmSpill { cpm: ci as u32, dep });
+                    return;
+                }
             }
         } else {
             token
@@ -790,6 +889,11 @@ impl SnackPlatform {
         let home = ((token.dep >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
         let captured = before - token.dependents;
         if captured > 0 {
+            self.net.tracer_mut().record_with(now, || EventKind::RcuCapture {
+                node: node.index() as u32,
+                dep,
+                captured,
+            });
             self.cpms[home].note_captures(token.dep, captured, now);
         }
         // A copy retires when its own countdown hits zero — or, with the
@@ -801,6 +905,10 @@ impl SnackPlatform {
         if token.dependents > 0 && !self.cpms[home].token_settled(token.dep) {
             self.launch_token(node, token);
         } else {
+            self.net.tracer_mut().record_with(now, || EventKind::TokenRetire {
+                dep,
+                node: node.index() as u32,
+            });
             self.cpms[home].note_retired(token.dep, now);
         }
     }
@@ -1251,5 +1359,82 @@ mod tests {
         assert_eq!(run_a.cycles, run_b.cycles);
         assert_eq!(run_a.outputs, run_b.outputs);
         assert_eq!(b.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn ring_tracer_records_full_kernel_lifecycle() {
+        use snacknoc_trace::{ComponentClass, TracerHandle};
+        let mut p = platform();
+        p.set_tracer(TracerHandle::ring(1 << 16));
+        let k = cross_pe_kernel(&p.mesh().clone());
+        let run = p.run_kernel(&k, 10_000).expect("kernel finishes");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+        let tracer = *p.take_tracer().take_ring().expect("ring tracer installed");
+        assert_eq!(tracer.dropped(ComponentClass::Cpm), 0);
+        let count = |name: &str| {
+            tracer.merged_events().iter().filter(|e| e.kind.name() == name).count()
+        };
+        // Kernel bracket on the CPM lane.
+        assert_eq!(count("kernel_submit"), 1);
+        assert_eq!(count("kernel_finish"), 1);
+        // One instruction packet per PE, one issue event per instruction.
+        assert_eq!(count("cpm_issue"), 2);
+        assert_eq!(count("rcu_issue"), 2);
+        // Both instructions fired; the token launched, was captured by the
+        // consumer RCU, and retired.
+        assert_eq!(count("rcu_fire"), 2);
+        assert!(count("token_launch") >= 1);
+        assert_eq!(count("rcu_capture"), 1);
+        assert_eq!(count("token_retire"), 1);
+        // The NoC lane saw every snack packet.
+        assert!(count("packet_inject") >= 4, "2 instr + token hops + result");
+        assert_eq!(count("packet_inject"), count("packet_eject"));
+        // Submit/finish bracket matches the measured kernel latency.
+        let submit = tracer
+            .merged_events()
+            .iter()
+            .find(|e| e.kind.name() == "kernel_submit")
+            .map(|e| e.cycle)
+            .expect("submit recorded");
+        let finish = tracer
+            .merged_events()
+            .iter()
+            .find(|e| e.kind.name() == "kernel_finish")
+            .map(|e| e.cycle)
+            .expect("finish recorded");
+        assert_eq!(finish - submit, run.cycles);
+    }
+
+    #[test]
+    fn nop_tracer_kernel_run_is_bit_identical_to_untraced() {
+        use snacknoc_trace::TracerHandle;
+        let mut a = platform();
+        let mesh = *a.mesh();
+        let k = cross_pe_kernel(&mesh);
+        let run_a = a.run_kernel(&k, 100_000).expect("finishes");
+
+        let mut b = platform();
+        b.set_tracer(TracerHandle::Nop);
+        let run_b = b.run_kernel(&k, 100_000).expect("finishes");
+        assert_eq!(run_a.cycles, run_b.cycles);
+        assert_eq!(run_a.outputs, run_b.outputs);
+        assert_eq!(a.rcu_stats().executed, b.rcu_stats().executed);
+        assert_eq!(a.stats().injected_flits, b.stats().injected_flits);
+        assert_eq!(a.stats().crossbar_transfers, b.stats().crossbar_transfers);
+    }
+
+    #[test]
+    fn ring_tracer_does_not_perturb_kernel_timing() {
+        use snacknoc_trace::TracerHandle;
+        let mut a = platform();
+        let mesh = *a.mesh();
+        let k = cross_pe_kernel(&mesh);
+        let run_a = a.run_kernel(&k, 100_000).expect("finishes");
+
+        let mut b = platform();
+        b.set_tracer(TracerHandle::ring(4096));
+        let run_b = b.run_kernel(&k, 100_000).expect("finishes");
+        assert_eq!(run_a.cycles, run_b.cycles, "observation must not change timing");
+        assert_eq!(run_a.outputs, run_b.outputs);
     }
 }

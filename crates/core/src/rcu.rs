@@ -12,7 +12,19 @@
 
 use crate::fixed::Fixed;
 use crate::token::{DataToken, DepId, Instruction, Op, Operand, ResultDest, SubBlockId};
+use snacknoc_trace::{EventKind, FireDest, TracerHandle, NO_DEP};
 use std::collections::{BTreeMap, HashMap};
+
+/// Stable small-integer encoding of an [`Op`] for structured trace events.
+fn op_code(op: Op) -> u8 {
+    match op {
+        Op::Add => 0,
+        Op::Sub => 1,
+        Op::Mul => 2,
+        Op::Mac => 3,
+        Op::Acc => 4,
+    }
+}
 
 /// Something an RCU wants to put on the network after an execution.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -175,6 +187,17 @@ impl Rcu {
     /// Advances the RCU by one cycle. Returns the emissions completing
     /// this cycle (at most one per lane).
     pub fn tick(&mut self, cycle: u64) -> Vec<Emission> {
+        self.tick_traced(cycle, 0, &mut TracerHandle::Nop)
+    }
+
+    /// [`Rcu::tick`] with tracing: every fired instruction is recorded as a
+    /// [`EventKind::RcuFire`] span on `tracer`, attributed to router `node`.
+    pub fn tick_traced(
+        &mut self,
+        cycle: u64,
+        node: u32,
+        tracer: &mut TracerHandle,
+    ) -> Vec<Emission> {
         if cycle < self.busy_until {
             return Vec::new();
         }
@@ -191,6 +214,22 @@ impl Rcu {
                 self.pending.remove(&block);
             }
             group_latency = group_latency.max(ins.op.latency());
+            tracer.record_with(cycle, || EventKind::RcuFire {
+                node,
+                sub_block: ins.sub_block,
+                seq: ins.seq,
+                op: op_code(ins.op),
+                latency: ins.op.latency(),
+                deps: [
+                    ins.vl.dep().unwrap_or(NO_DEP),
+                    ins.vr.dep().unwrap_or(NO_DEP),
+                ],
+                dest: match ins.dest {
+                    ResultDest::Accumulate => FireDest::Acc,
+                    ResultDest::Token { dep, .. } => FireDest::Token { dep },
+                    ResultDest::Output { index } => FireDest::Output { index },
+                },
+            });
             self.execute(ins);
         }
         if group_latency > 0 {

@@ -51,6 +51,16 @@ impl TrafficClass {
     pub fn is_snack(self) -> bool {
         !matches!(self, TrafficClass::Communication)
     }
+
+    /// Stable small-integer encoding for structured trace events
+    /// (0 = communication, 1 = snack instruction, 2 = snack data).
+    pub fn code(self) -> u8 {
+        match self {
+            TrafficClass::Communication => 0,
+            TrafficClass::SnackInstruction => 1,
+            TrafficClass::SnackData => 2,
+        }
+    }
 }
 
 impl fmt::Display for TrafficClass {

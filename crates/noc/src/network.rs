@@ -9,6 +9,7 @@ use crate::router::Router;
 use crate::routing::Dir;
 use crate::stats::NetStats;
 use crate::topology::{Mesh, NodeId};
+use snacknoc_trace::{EventKind, TracerHandle};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -121,6 +122,9 @@ pub struct Network<P> {
     /// byte-identical to a fault-free build.
     fault: Option<FaultState>,
     stats: NetStats,
+    /// Structured event tracer; [`TracerHandle::Nop`] (the default) keeps
+    /// every hook a single discriminant branch with no event construction.
+    tracer: TracerHandle,
 }
 
 /// Error returned by [`Network::inject`] for malformed packet specs.
@@ -197,6 +201,7 @@ impl<P> Network<P> {
             lost_packets: 0,
             fault: None,
             stats,
+            tracer: TracerHandle::Nop,
         })
     }
 
@@ -271,6 +276,32 @@ impl<P> Network<P> {
         &self.stats
     }
 
+    /// Installs a tracer; pass [`TracerHandle::Nop`] to disable tracing.
+    ///
+    /// With the default `Nop` handle the simulation is bit-identical to a
+    /// build without tracing hooks: events are never constructed and no
+    /// heap traffic occurs. With a [`snacknoc_trace::RingTracer`] the
+    /// simulated behavior is unchanged — only observations are recorded.
+    pub fn set_tracer(&mut self, tracer: TracerHandle) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer handle.
+    pub fn tracer(&self) -> &TracerHandle {
+        &self.tracer
+    }
+
+    /// Mutable access for instrumentation layered above the network
+    /// (the SnackNoC platform records RCU/CPM events through this).
+    pub fn tracer_mut(&mut self) -> &mut TracerHandle {
+        &mut self.tracer
+    }
+
+    /// Takes the tracer out (leaving `Nop`), e.g. to export a trace.
+    pub fn take_tracer(&mut self) -> TracerHandle {
+        std::mem::take(&mut self.tracer)
+    }
+
     /// Number of packets with reassembly in flight at destination NIs
     /// (a head or body flit ejected, tail not yet seen).
     ///
@@ -303,6 +334,14 @@ impl<P> Network<P> {
         self.next_packet_id += 1;
         self.injected_packets += 1;
         let nf = self.cfg.flits_for(spec.size_bytes);
+        self.tracer.record_with(self.cycle, || EventKind::PacketInject {
+            packet: id,
+            src: spec.src.index() as u32,
+            dst: spec.dst.index() as u32,
+            vnet: spec.vnet,
+            class: spec.class.code(),
+            flits: nf as u32,
+        });
         let mut payload = Some(spec.payload);
         let queue = &mut self.nis[spec.src.index()].queues[spec.vnet as usize];
         for i in 0..nf {
@@ -611,7 +650,7 @@ impl<P> Network<P> {
             let departures = {
                 let router = &mut self.routers[r];
                 router.route_compute(&self.mesh, &self.cfg);
-                router.vc_allocate(&self.cfg);
+                router.vc_allocate(&self.cfg, cycle, &mut self.tracer);
                 router.switch_allocate(&self.cfg, cycle, &down)
             };
             if !departures.is_empty() {
@@ -638,6 +677,13 @@ impl<P> Network<P> {
                     let lid = self.link_of[r][dep.out_port.index()]
                         .expect("departure through a connected port");
                     debug_assert!(self.links[lid].slot.is_none(), "link carries one flit per cycle");
+                    self.tracer.record_with(cycle, || EventKind::FlitHop {
+                        router: r as u32,
+                        out_port: dep.out_port.index() as u8,
+                        flit: dep.flit.id,
+                        packet: dep.flit.packet_id,
+                    });
+                    self.tracer.count_link(cycle, r as u32, dep.out_port.index() as u8);
                     self.links[lid].slot = Some(dep.flit);
                     self.stats.record_link_cycle(lid, true);
                 }
@@ -692,6 +738,14 @@ impl<P> Network<P> {
                 corrupted: partial.corrupted || head.corrupted,
                 payload,
             };
+            self.tracer.record_with(cycle, || EventKind::PacketEject {
+                packet: packet.id,
+                node: node as u32,
+                latency: packet.latency(),
+                hops: packet.hops,
+                flits: partial.flits,
+                class: packet.class.code(),
+            });
             self.stats.record_delivery(packet.class, partial.flits, packet.latency());
             self.delivered_packets += 1;
             self.ejected[node].push(packet);
@@ -986,6 +1040,75 @@ mod tests {
         let (free_loaded, _) = n.useful_free_output_vcs(probe);
         assert!(free_loaded <= free0);
         assert!(n.run_until_drained(100_000).is_ok());
+    }
+
+    #[test]
+    fn ring_tracer_records_packet_lifecycle() {
+        use snacknoc_trace::{ComponentClass, EventKind, TracerHandle};
+        let mut n = net(NocConfig::binochs());
+        n.set_tracer(TracerHandle::ring(4096));
+        let src = n.mesh().node_at(0, 0);
+        let dst = n.mesh().node_at(3, 2);
+        n.inject(comm(src, dst, 32, 7)).unwrap();
+        assert!(n.run_until_drained(1_000).is_ok());
+        let expected_hops = hop_count(n.mesh(), src, dst) as u64;
+        let tracer = n.take_tracer();
+        let ring = tracer.as_ring().expect("ring tracer installed");
+        let router_events = ring.events(ComponentClass::Router);
+        let injects = router_events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PacketInject { .. }))
+            .count();
+        let vc_allocs = router_events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::VcAlloc { .. }))
+            .count();
+        let flit_hops = router_events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FlitHop { .. }))
+            .count() as u64;
+        let ejects: Vec<(u64, u32)> = router_events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::PacketEject { latency, hops, .. } => Some((latency, hops)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(injects, 1);
+        assert_eq!(ejects.len(), 1);
+        assert_eq!(u64::from(ejects[0].1), expected_hops, "eject carries the hop count");
+        assert_eq!(flit_hops, expected_hops, "one flit_hop event per link traversal");
+        // VA fires once per router visit plus the ejection grant.
+        assert_eq!(vc_allocs as u64, expected_hops + 1);
+        // The exact link-counter heatmap agrees with the event stream.
+        let heat_total: u64 = ring.link_heatmap().iter().map(|(_, c)| *c).sum();
+        assert_eq!(heat_total, expected_hops);
+        assert_eq!(ring.dropped(ComponentClass::Router), 0);
+    }
+
+    #[test]
+    fn nop_tracer_run_matches_untraced_run() {
+        use snacknoc_trace::TracerHandle;
+        let run = |set_nop: bool| {
+            let mut n = net(NocConfig::axnoc());
+            if set_nop {
+                n.set_tracer(TracerHandle::Nop);
+            }
+            let nodes = n.mesh().node_count();
+            use snacknoc_prng::Rng;
+            let mut rng = Rng::new(11);
+            for i in 0..200 {
+                let src = NodeId::new(rng.range_usize(0..nodes));
+                let dst = NodeId::new(rng.range_usize(0..nodes));
+                n.inject(comm(src, dst, 64, i)).unwrap();
+                if i % 3 == 0 {
+                    n.step();
+                }
+            }
+            n.run_until_drained(100_000).unwrap();
+            (n.cycle(), n.delivered_packets(), n.stats().crossbar_transfers)
+        };
+        assert_eq!(run(false), run(true), "Nop tracer is observationally free");
     }
 
     // ---------------------------------------------------------------

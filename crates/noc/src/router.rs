@@ -19,6 +19,7 @@ use crate::config::NocConfig;
 use crate::flit::{Flit, TrafficClass};
 use crate::routing::Dir;
 use crate::topology::{Mesh, NodeId};
+use snacknoc_trace::{EventKind, TracerHandle};
 use std::collections::VecDeque;
 
 /// State of an input virtual channel's resident packet.
@@ -220,8 +221,9 @@ impl<P> Router<P> {
     }
 
     /// VA stage: grant free downstream VCs to routed packets, communication
-    /// class first when priority arbitration is on.
-    pub(crate) fn vc_allocate(&mut self, cfg: &NocConfig) {
+    /// class first when priority arbitration is on. Each grant is reported
+    /// to `tracer` (a no-op for [`TracerHandle::Nop`]).
+    pub(crate) fn vc_allocate(&mut self, cfg: &NocConfig, cycle: u64, tracer: &mut TracerHandle) {
         let vcs = cfg.vcs_per_port();
         let total = Dir::COUNT * vcs;
         let passes: &[Option<bool>] = if cfg.priority_arbitration {
@@ -256,6 +258,13 @@ impl<P> Router<P> {
                         .map(|off| (lo + off) as u8)
                 };
                 if let Some(out_vc) = out_vc {
+                    tracer.record_with(cycle, || EventKind::VcAlloc {
+                        router: self.node.index() as u32,
+                        in_port: port as u8,
+                        in_vc: vc_idx as u8,
+                        out_port: out_port.index() as u8,
+                        out_vc,
+                    });
                     if out_port != Dir::Local {
                         self.outputs[out_port.index()][out_vc as usize].free = false;
                     }
@@ -442,7 +451,7 @@ mod tests {
         r.accept_flit(Dir::West, f, 0, 4);
         assert_eq!(r.buffered_flits(), 1);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::East);
@@ -460,7 +469,7 @@ mod tests {
         let mut r: Router<u32> = Router::new(&cfg, &mesh, node);
         r.accept_flit(Dir::North, flit(node, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::Local);
@@ -479,7 +488,7 @@ mod tests {
             4,
         );
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         assert!(r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t");
         assert!(r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t+1");
         assert!(r.switch_allocate(&cfg, 12, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t+2");
@@ -496,7 +505,7 @@ mod tests {
         r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
         r.accept_flit(Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         // First wins the only free VC/credit pair on vc0; second got vc1.
         let d1 = r.switch_allocate(&cfg, 5, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(d1.len(), 1, "both VCs have a credit, but one output port grant per cycle");
@@ -506,7 +515,7 @@ mod tests {
         // Credits now exhausted on both VCs.
         r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 6, 1);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         assert!(
             r.switch_allocate(&cfg, 8, &Router::<u32>::NO_DOWN_PORTS).is_empty(),
             "no credits and no free VCs: nothing may traverse"
@@ -514,7 +523,7 @@ mod tests {
         // Returning a credit + freeing the VC unblocks it.
         r.return_credit(Dir::East, 0, 1);
         r.free_output_vc(Dir::East, 0);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         assert_eq!(r.switch_allocate(&cfg, 9, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
     }
 
@@ -528,7 +537,7 @@ mod tests {
         r.accept_flit(Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::SnackInstruction, 0), 0, 4);
         r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].flit.class, TrafficClass::Communication);
@@ -544,7 +553,7 @@ mod tests {
         let f = flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0);
         r.accept_flit(Dir::West, f, 0, 4);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let mut down = Router::<u32>::NO_DOWN_PORTS;
         down[Dir::East.index()] = true;
         assert!(r.switch_allocate(&cfg, 10, &down).is_empty(), "east link is down");
@@ -582,7 +591,7 @@ mod tests {
         r.accept_flit(Dir::Local, flit(dst, FlitKind::Body, TrafficClass::Communication, 0), 0, 4);
         r.accept_flit(Dir::Local, flit(dst, FlitKind::Tail, TrafficClass::Communication, 0), 0, 4);
         r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let mut out_vcs = Vec::new();
         for t in 5..8 {
             let deps = r.switch_allocate(&cfg, t, &Router::<u32>::NO_DOWN_PORTS);

@@ -591,6 +591,89 @@ mod tests {
     }
 
     #[test]
+    fn finalize_is_idempotent_for_all_derived_metrics() {
+        // Regression guard: a second (or N-th) finalize before any further
+        // cycle must not emit extra partial samples or move any medians.
+        let mut st = NetStats::new(3, 2, 1_000);
+        for c in 1..=137u64 {
+            st.record_router_cycle(0, c % 2 == 0);
+            st.record_router_cycle(1, c % 3 == 0);
+            st.record_router_cycle(2, true);
+            st.record_link_cycle(0, c % 4 == 0);
+            st.record_link_cycle(1, false);
+            st.end_cycle(c);
+        }
+        st.finalize(137);
+        let samples: Vec<usize> =
+            (0..3).map(|r| st.crossbar_series(r).samples().len()).collect();
+        let med_x = st.median_crossbar_utilization();
+        let med_l = st.median_link_utilization();
+        let peak = st.peak_crossbar_utilization();
+        for _ in 0..3 {
+            st.finalize(137);
+        }
+        let samples2: Vec<usize> =
+            (0..3).map(|r| st.crossbar_series(r).samples().len()).collect();
+        assert_eq!(samples, samples2, "repeat finalize must not add samples");
+        assert_eq!(st.median_crossbar_utilization(), med_x);
+        assert_eq!(st.median_link_utilization(), med_l);
+        assert_eq!(st.peak_crossbar_utilization(), peak);
+    }
+
+    #[test]
+    fn latency_histogram_empty_and_single_sample() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.samples(), 0);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(empty.percentile(p), 0, "empty histogram reads 0 at p{p}");
+        }
+        let mut one = LatencyHistogram::new();
+        one.record(37);
+        assert_eq!(one.samples(), 1);
+        let (lo, hi) = (32, 64); // 37's log2 bucket
+        for p in [1.0, 50.0, 100.0] {
+            let v = one.percentile(p);
+            assert!(
+                (lo..=hi).contains(&v),
+                "single sample always lands in its own bucket: p{p} -> {v}"
+            );
+        }
+        // Merging the single sample into empty equals the single histogram.
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&one);
+        assert_eq!(merged.samples(), 1);
+        assert_eq!(merged.percentile(50.0), one.percentile(50.0));
+    }
+
+    #[test]
+    fn merge_then_percentile_matches_concatenated_samples() {
+        // Two disjoint streams merged must answer percentile queries
+        // exactly like one histogram fed the concatenation.
+        let left: Vec<u64> = (1..=500).collect();
+        let right: Vec<u64> = (1..=400).map(|i| i * 13 + 7).collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut concat = LatencyHistogram::new();
+        for &v in &left {
+            a.record(v);
+            concat.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            concat.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.samples(), concat.samples());
+        for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(
+                a.percentile(p),
+                concat.percentile(p),
+                "merged and concatenated histograms disagree at p{p}"
+            );
+        }
+    }
+
+    #[test]
     fn protocol_errors_total() {
         let mut e = ProtocolErrors::default();
         assert_eq!(e.total(), 0);

@@ -1,0 +1,688 @@
+//! Timeline analysis: critical-path extraction, token-lifetime histograms
+//! and cycle histograms.
+//!
+//! The critical path is computed as a *backward walk* over the recorded
+//! event stream, starting at the kernel's `kernel_finish` and chasing, at
+//! each step, whichever gate most recently released the work that is
+//! currently blocking: a token capture (the operand arrived), an
+//! instruction issue (the instruction arrived), or the previous ALU fire
+//! at the same node (structural serialization). Every step pushes segments
+//! that exactly tile the interval it traverses, so the per-category cycle
+//! attribution sums to the total kernel latency *by construction* — a
+//! property the CI smoke gate asserts.
+
+use crate::event::{EventKind, FireDest, TraceEvent, NO_DEP};
+
+/// Traffic-class code for instruction packets (mirrors
+/// `TrafficClass::SnackInstruction.code()` without importing the noc crate).
+const CLASS_INSTR: u8 = 1;
+
+/// What a span of the critical path was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathCategory {
+    /// CPM-side dispatch plus zero-load instruction transit.
+    Fetch,
+    /// An ALU/MAC fire occupying its op latency.
+    Compute,
+    /// A data token circulating the ring between producer fire and capture.
+    RingWait,
+    /// Token parked in CPM overflow storage (ALO congestion spill).
+    Spill,
+    /// Instruction-packet transit beyond the zero-load estimate
+    /// (VC-allocation / switch contention in the mesh).
+    VcStall,
+    /// Instruction resident in the RCU waiting to fire (operand wait or
+    /// ALU serialization behind an earlier fire).
+    RcuQueue,
+    /// Final output settling between last fire completion and CPM finish.
+    Writeback,
+    /// Cycles the walk could not attribute (buffer drops, missing events).
+    Unattributed,
+}
+
+impl PathCategory {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathCategory::Fetch => "fetch",
+            PathCategory::Compute => "compute",
+            PathCategory::RingWait => "ring-wait",
+            PathCategory::Spill => "spill",
+            PathCategory::VcStall => "vc-stall",
+            PathCategory::RcuQueue => "rcu-queue",
+            PathCategory::Writeback => "writeback",
+            PathCategory::Unattributed => "unattributed",
+        }
+    }
+
+    /// All categories in report order.
+    pub const ALL: [PathCategory; 8] = [
+        PathCategory::Fetch,
+        PathCategory::Compute,
+        PathCategory::RingWait,
+        PathCategory::Spill,
+        PathCategory::VcStall,
+        PathCategory::RcuQueue,
+        PathCategory::Writeback,
+        PathCategory::Unattributed,
+    ];
+}
+
+/// One half-open `[start, end)` span of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSegment {
+    /// First cycle of the span.
+    pub start: u64,
+    /// One past the last cycle of the span.
+    pub end: u64,
+    /// What the span was spent on.
+    pub category: PathCategory,
+}
+
+impl PathSegment {
+    /// Span length in cycles.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A critical path: an exact tiling of `[submit, finish)` into segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Kernel submit cycle (path start).
+    pub submit: u64,
+    /// Kernel finish cycle (path end).
+    pub finish: u64,
+    /// Tiling segments, sorted by start cycle.
+    pub segments: Vec<PathSegment>,
+}
+
+impl CriticalPath {
+    /// Total kernel latency in cycles.
+    pub fn total(&self) -> u64 {
+        self.finish.saturating_sub(self.submit)
+    }
+
+    /// Sum of all segment lengths — equals [`CriticalPath::total`] by
+    /// construction of the backward walk.
+    pub fn attributed_total(&self) -> u64 {
+        self.segments.iter().map(PathSegment::len).sum()
+    }
+
+    /// Cycles per category, in [`PathCategory::ALL`] order.
+    pub fn by_category(&self) -> Vec<(PathCategory, u64)> {
+        PathCategory::ALL
+            .iter()
+            .map(|&cat| {
+                let cycles = self
+                    .segments
+                    .iter()
+                    .filter(|s| s.category == cat)
+                    .map(PathSegment::len)
+                    .sum();
+                (cat, cycles)
+            })
+            .collect()
+    }
+
+    /// Render a text report: per-category cycles, share of total, and the
+    /// segment list.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total().max(1);
+        let _ = writeln!(
+            out,
+            "critical path: submit @{} -> finish @{} ({} cycles)",
+            self.submit,
+            self.finish,
+            self.total()
+        );
+        for (cat, cycles) in self.by_category() {
+            if cycles == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<13} {:>8} cycles  ({:>3}%)",
+                cat.name(),
+                cycles,
+                cycles * 100 / total
+            );
+        }
+        let _ = writeln!(out, "  {:<13} {:>8} cycles  (sum)", "total", self.attributed_total());
+        out
+    }
+}
+
+/// Walk state: segments pushed backward, then sorted.
+struct Walk {
+    submit: u64,
+    segments: Vec<PathSegment>,
+}
+
+impl Walk {
+    /// Push `[start, end)` clamped to begin no earlier than `submit`.
+    /// Returns the clamped start (the new cursor).
+    fn push(&mut self, category: PathCategory, start: u64, end: u64) -> u64 {
+        let start = start.max(self.submit).min(end);
+        if start < end {
+            self.segments.push(PathSegment { start, end, category });
+        }
+        start
+    }
+}
+
+/// Extract the critical path from a merged event stream.
+///
+/// `pipeline_stages` is the router pipeline depth used for the zero-load
+/// transit estimate (`hops * stages + flits + 1`); instruction-packet
+/// transit beyond that estimate is attributed to [`PathCategory::VcStall`].
+///
+/// Returns `None` when the stream has no `kernel_submit`/`kernel_finish`
+/// pair to anchor the walk.
+pub fn critical_path(events: &[TraceEvent], pipeline_stages: u64) -> Option<CriticalPath> {
+    // Anchors: last submit, then last finish at-or-after it.
+    let submit = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::KernelSubmit { .. } => Some(e.cycle),
+            _ => None,
+        })
+        .max()?;
+    let finish = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::KernelFinish { .. } if e.cycle >= submit => Some(e.cycle),
+            _ => None,
+        })
+        .max()?;
+
+    let mut walk = Walk { submit, segments: Vec::new() };
+
+    // Terminal fire: the latest output-producing fire inside the window.
+    let last_output = events
+        .iter()
+        .filter(|e| (submit..=finish).contains(&e.cycle))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::RcuFire { dest: FireDest::Output { .. }, .. }
+            )
+        })
+        .max_by_key(|e| e.cycle);
+
+    let mut cursor = finish;
+    let mut current = match last_output {
+        Some(ev) => {
+            if let EventKind::RcuFire { latency, .. } = ev.kind {
+                let fire_end = (ev.cycle + latency).min(finish);
+                cursor = walk.push(PathCategory::Writeback, fire_end, cursor);
+                cursor = walk.push(PathCategory::Compute, ev.cycle, cursor);
+                Some(*ev)
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+
+    let cap = events.len() + 4;
+    let mut steps = 0usize;
+    while cursor > submit {
+        steps += 1;
+        if steps > cap {
+            break;
+        }
+        let Some(fire) = current else { break };
+        let EventKind::RcuFire { node, sub_block, seq, deps, .. } = fire.kind else { break };
+
+        // Gate 1: latest capture of one of this fire's operand deps.
+        let capture = events
+            .iter()
+            .filter(|e| e.cycle <= cursor)
+            .filter(|e| match e.kind {
+                EventKind::RcuCapture { node: n, dep, .. } => {
+                    n == node && dep != NO_DEP && (dep == deps[0] || dep == deps[1])
+                }
+                _ => false,
+            })
+            .max_by_key(|e| e.cycle);
+
+        // Gate 2: this instruction's issue into the RCU.
+        let issue = events
+            .iter()
+            .filter(|e| e.cycle <= cursor)
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RcuIssue { node: n, sub_block: sb, seq: sq }
+                        if n == node && sb == sub_block && sq == seq
+                )
+            })
+            .max_by_key(|e| e.cycle);
+
+        // Gate 3: previous fire at the same node (ALU serialization).
+        let prev_fire = events
+            .iter()
+            .filter(|e| e.cycle < fire.cycle)
+            .filter(|e| matches!(e.kind, EventKind::RcuFire { node: n, .. } if n == node))
+            .max_by_key(|e| e.cycle);
+
+        let gate_cycle = |o: &Option<&TraceEvent>| o.map(|e| e.cycle);
+        let c_cap = gate_cycle(&capture);
+        let c_iss = gate_cycle(&issue);
+        let c_prev = gate_cycle(&prev_fire);
+        let best = [c_cap, c_iss, c_prev].into_iter().flatten().max();
+
+        match best {
+            Some(g) if Some(g) == c_cap => {
+                let cap_ev = match capture {
+                    Some(e) => *e,
+                    None => break,
+                };
+                let EventKind::RcuCapture { dep, .. } = cap_ev.kind else { break };
+                // From capture to fire: operand was here, instr waited.
+                cursor = walk.push(PathCategory::RcuQueue, cap_ev.cycle, cursor);
+                // Producer of the captured token.
+                let producer = events
+                    .iter()
+                    .filter(|e| e.cycle <= cap_ev.cycle)
+                    .filter(|e| {
+                        matches!(
+                            e.kind,
+                            EventKind::RcuFire { dest: FireDest::Token { dep: d }, .. }
+                                if d == dep
+                        )
+                    })
+                    .max_by_key(|e| e.cycle);
+                match producer {
+                    Some(p) => {
+                        let EventKind::RcuFire { latency, .. } = p.kind else { break };
+                        let p_end = (p.cycle + latency).min(cursor);
+                        // Ring interval [p_end, cursor): tile spill windows
+                        // for this dep, remainder is ring-wait.
+                        tile_ring_interval(&mut walk, events, dep, p_end, cursor);
+                        cursor = p_end.max(walk.submit);
+                        cursor = walk.push(PathCategory::Compute, p.cycle, cursor);
+                        current = Some(*p);
+                    }
+                    None => {
+                        // Producer fire fell out of the ring buffer.
+                        cursor = walk.push(PathCategory::Unattributed, submit, cursor);
+                        break;
+                    }
+                }
+            }
+            Some(g) if Some(g) == c_iss => {
+                let iss_ev = match issue {
+                    Some(e) => *e,
+                    None => break,
+                };
+                // Issue -> fire: resident in RCU waiting for operands/ALU.
+                cursor = walk.push(PathCategory::RcuQueue, iss_ev.cycle, cursor);
+                // Instruction transit: the eject that delivered this issue.
+                let eject = events
+                    .iter()
+                    .filter(|e| e.cycle == iss_ev.cycle)
+                    .find(|e| {
+                        matches!(
+                            e.kind,
+                            EventKind::PacketEject { node: n, class, .. }
+                                if n == node && class == CLASS_INSTR
+                        )
+                    });
+                match eject {
+                    Some(e) => {
+                        let EventKind::PacketEject { latency, hops, flits, .. } = e.kind else {
+                            break;
+                        };
+                        let inject = e.cycle.saturating_sub(latency);
+                        let zero_load = hops as u64 * pipeline_stages + flits + 1;
+                        let excess = latency.saturating_sub(zero_load).min(latency);
+                        // [inject, eject): zero-load part is fetch, the
+                        // excess (contention) is vc-stall, stalls last.
+                        cursor = walk.push(PathCategory::VcStall, cursor.saturating_sub(excess), cursor);
+                        cursor = walk.push(PathCategory::Fetch, inject, cursor);
+                        cursor = walk.push(PathCategory::Fetch, submit, cursor);
+                    }
+                    None => {
+                        cursor = walk.push(PathCategory::Fetch, submit, cursor);
+                    }
+                }
+                break;
+            }
+            Some(g) if Some(g) == c_prev => {
+                let p = match prev_fire {
+                    Some(e) => *e,
+                    None => break,
+                };
+                let EventKind::RcuFire { latency, .. } = p.kind else { break };
+                let p_end = (p.cycle + latency).min(cursor);
+                cursor = walk.push(PathCategory::RcuQueue, p_end, cursor);
+                cursor = walk.push(PathCategory::Compute, p.cycle, cursor);
+                current = Some(p);
+            }
+            _ => {
+                cursor = walk.push(PathCategory::Fetch, submit, cursor);
+                break;
+            }
+        }
+    }
+
+    if cursor > submit {
+        walk.push(PathCategory::Unattributed, submit, cursor);
+    }
+
+    let mut segments = walk.segments;
+    segments.sort_by_key(|s| (s.start, s.end));
+    Some(CriticalPath { submit, finish, segments })
+}
+
+/// Tile `[lo, hi)` of a token's ring transit into spill windows (from
+/// `spill`/`refill` event pairs for `dep`) and ring-wait remainder.
+fn tile_ring_interval(walk: &mut Walk, events: &[TraceEvent], dep: u32, lo: u64, hi: u64) {
+    if hi <= lo.max(walk.submit) {
+        return;
+    }
+    // Collect spill windows for this dep: each spill pairs with the first
+    // refill at-or-after it (or stays open to `hi`).
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+    let spills: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CpmSpill { dep: d, .. } if d == dep))
+        .map(|e| e.cycle)
+        .collect();
+    for s in spills {
+        let refill = events
+            .iter()
+            .filter(|e| e.cycle >= s)
+            .filter(|e| matches!(e.kind, EventKind::CpmRefill { dep: d, .. } if d == dep))
+            .map(|e| e.cycle)
+            .min()
+            .unwrap_or(hi);
+        let (ws, we) = (s.max(lo), refill.min(hi));
+        if ws < we {
+            windows.push((ws, we));
+        }
+    }
+    windows.sort_unstable();
+    // Walk backward from hi, alternating ring-wait gaps and spill windows.
+    let mut cursor = hi;
+    for &(ws, we) in windows.iter().rev() {
+        if we < cursor {
+            cursor = walk.push(PathCategory::RingWait, we, cursor);
+        }
+        if ws < cursor {
+            cursor = walk.push(PathCategory::Spill, ws, cursor);
+        }
+    }
+    if lo.max(walk.submit) < cursor {
+        walk.push(PathCategory::RingWait, lo, cursor);
+    }
+}
+
+/// Per-token ring lifetime: `(dep, birth, death)` where birth is the first
+/// `token_launch` and death the last `token_retire` for the dep. Tokens
+/// without both endpoints in the buffer are skipped. Sorted by dep.
+pub fn token_lifetimes(events: &[TraceEvent]) -> Vec<(u32, u64, u64)> {
+    use std::collections::BTreeMap;
+    let mut births: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut deaths: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::TokenLaunch { dep, .. } => {
+                births.entry(dep).or_insert(e.cycle);
+            }
+            EventKind::TokenRetire { dep, .. } => {
+                let d = deaths.entry(dep).or_insert(e.cycle);
+                *d = (*d).max(e.cycle);
+            }
+            _ => {}
+        }
+    }
+    births
+        .into_iter()
+        .filter_map(|(dep, b)| deaths.get(&dep).map(|&d| (dep, b, d.max(b))))
+        .collect()
+}
+
+/// A log2-bucketed cycle histogram (32 buckets, same shape as the noc
+/// crate's latency histogram but dependency-free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleHistogram {
+    buckets: [u64; 32],
+    samples: u64,
+    max: u64,
+}
+
+impl CycleHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let b = (64 - value.leading_zeros()).min(31) as usize;
+        self.buckets[b] += 1;
+        self.samples += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (bucket upper bound), `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.samples as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Render non-empty buckets as `range: count` lines with a bar.
+    pub fn render(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({} samples, max {})", label, self.samples, self.max);
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (b, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+            let hi = if b == 0 { 0 } else { (1u64 << b) - 1 };
+            let bar = "#".repeat(((count * 40) / peak).max(1) as usize);
+            let _ = writeln!(out, "  [{:>8}..{:>8}] {:>8}  {}", lo, hi, count, bar);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind as K, FireDest, TraceEvent};
+
+    fn ev(cycle: u64, kind: K) -> TraceEvent {
+        TraceEvent { cycle, kind }
+    }
+
+    /// A synthetic two-instruction chain:
+    ///   submit@0 -> cpm_issue -> inject -> eject@8 (lat 6, 2 hops, 1 flit)
+    ///   -> issue@8 -> fire A @10 (lat 1, token dep 7) -> launch -> spill
+    ///   @13..15 -> capture@18 at node 3 -> fire B @20 (lat 2, output)
+    ///   -> finish@30
+    fn chain() -> Vec<TraceEvent> {
+        vec![
+            ev(0, K::KernelSubmit { cpm: 0 }),
+            ev(1, K::CpmIssue { cpm: 0, pe: 5, count: 1 }),
+            ev(
+                2,
+                K::PacketInject { packet: 1, src: 0, dst: 5, vnet: 2, class: 1, flits: 1 },
+            ),
+            ev(
+                8,
+                K::PacketEject { packet: 1, node: 5, latency: 6, hops: 2, flits: 1, class: 1 },
+            ),
+            ev(8, K::RcuIssue { node: 5, sub_block: 0, seq: 0 }),
+            ev(
+                10,
+                K::RcuFire {
+                    node: 5,
+                    sub_block: 0,
+                    seq: 0,
+                    op: 2,
+                    latency: 1,
+                    deps: [NO_DEP, NO_DEP],
+                    dest: FireDest::Token { dep: 7 },
+                },
+            ),
+            ev(11, K::TokenLaunch { dep: 7, seq: 0, from: 5, to: 6 }),
+            ev(13, K::CpmSpill { cpm: 0, dep: 7 }),
+            ev(15, K::CpmRefill { cpm: 0, dep: 7 }),
+            ev(18, K::RcuCapture { node: 3, dep: 7, captured: 1 }),
+            ev(18, K::TokenRetire { dep: 7, node: 3 }),
+            ev(8, K::RcuIssue { node: 3, sub_block: 0, seq: 1 }),
+            ev(
+                20,
+                K::RcuFire {
+                    node: 3,
+                    sub_block: 0,
+                    seq: 1,
+                    op: 0,
+                    latency: 2,
+                    deps: [7, NO_DEP],
+                    dest: FireDest::Output { index: 0 },
+                },
+            ),
+            ev(30, K::KernelFinish { cpm: 0 }),
+        ]
+    }
+
+    #[test]
+    fn critical_path_tiles_exactly() {
+        let path = critical_path(&chain(), 2).expect("anchored path");
+        assert_eq!(path.submit, 0);
+        assert_eq!(path.finish, 30);
+        assert_eq!(path.total(), 30);
+        assert_eq!(
+            path.attributed_total(),
+            path.total(),
+            "segments must tile [submit, finish): {:?}",
+            path.segments
+        );
+        // Segments are sorted and contiguous.
+        let mut prev_end = path.submit;
+        for s in &path.segments {
+            assert_eq!(s.start, prev_end, "gap before {:?}", s);
+            prev_end = s.end;
+        }
+        assert_eq!(prev_end, path.finish);
+    }
+
+    #[test]
+    fn critical_path_finds_expected_categories() {
+        let path = critical_path(&chain(), 2).expect("anchored path");
+        let by: std::collections::BTreeMap<_, _> = path.by_category().into_iter().collect();
+        // Writeback: fire B ends at 22, finish 30 -> 8 cycles.
+        assert_eq!(by[&PathCategory::Writeback], 8);
+        // Compute: fire B [20,22) + fire A [10,11) -> 3 cycles.
+        assert_eq!(by[&PathCategory::Compute], 3);
+        // Spill window [13,15) -> 2 cycles.
+        assert_eq!(by[&PathCategory::Spill], 2);
+        // Ring: [11,13) + [15,18) -> 5 cycles.
+        assert_eq!(by[&PathCategory::RingWait], 5);
+        // VC stall: latency 6 vs zero-load 2*2+1+1=6 -> 0 excess.
+        assert_eq!(by[&PathCategory::VcStall], 0);
+        assert_eq!(by[&PathCategory::Unattributed], 0);
+    }
+
+    #[test]
+    fn vc_stall_is_transit_excess_over_zero_load() {
+        let mut events = chain();
+        // Inflate the instruction packet latency: eject@8 with latency 6
+        // becomes eject@8 latency 6 but zero-load shrinks via stages=1:
+        // zl = 2*1+1+1 = 4 -> excess 2.
+        let path = critical_path(&events, 1).expect("anchored path");
+        let by: std::collections::BTreeMap<_, _> = path.by_category().into_iter().collect();
+        assert_eq!(by[&PathCategory::VcStall], 2);
+        assert_eq!(path.attributed_total(), path.total());
+        // And with generous stages the stall vanishes.
+        events.truncate(events.len()); // no-op, keep mutability meaningful
+        let path = critical_path(&events, 3).expect("anchored path");
+        let by: std::collections::BTreeMap<_, _> = path.by_category().into_iter().collect();
+        assert_eq!(by[&PathCategory::VcStall], 0);
+    }
+
+    #[test]
+    fn missing_anchors_yield_none() {
+        assert!(critical_path(&[], 2).is_none());
+        let only_submit = vec![ev(0, K::KernelSubmit { cpm: 0 })];
+        assert!(critical_path(&only_submit, 2).is_none());
+    }
+
+    #[test]
+    fn no_output_fire_attributes_everything_unattributed() {
+        let events = vec![
+            ev(5, K::KernelSubmit { cpm: 0 }),
+            ev(25, K::KernelFinish { cpm: 0 }),
+        ];
+        let path = critical_path(&events, 2).expect("anchored path");
+        assert_eq!(path.attributed_total(), 20);
+        assert!(path
+            .segments
+            .iter()
+            .all(|s| s.category == PathCategory::Unattributed));
+    }
+
+    #[test]
+    fn token_lifetimes_pair_first_launch_with_last_retire() {
+        let events = vec![
+            ev(3, K::TokenLaunch { dep: 7, seq: 0, from: 1, to: 2 }),
+            ev(9, K::TokenLaunch { dep: 7, seq: 1, from: 1, to: 2 }),
+            ev(14, K::TokenRetire { dep: 7, node: 4 }),
+            ev(5, K::TokenLaunch { dep: 9, seq: 0, from: 2, to: 3 }),
+            // dep 9 never retires -> skipped
+        ];
+        assert_eq!(token_lifetimes(&events), vec![(7, 3, 14)]);
+    }
+
+    #[test]
+    fn cycle_histogram_percentiles() {
+        let mut h = CycleHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        h.record(10);
+        assert_eq!(h.samples(), 1);
+        assert_eq!(h.percentile(50.0), 10); // clamped to max
+        for v in [1u64, 2, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.max(), 1000);
+        assert!(h.percentile(100.0) >= 100);
+        let rendered = h.render("t");
+        assert!(rendered.contains("6 samples"));
+    }
+}

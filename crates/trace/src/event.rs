@@ -1,0 +1,343 @@
+//! Structured trace events.
+//!
+//! Events are deliberately primitive-typed (`u32`/`u64`/`u8`) so this crate
+//! stays a zero-dependency leaf that both `snacknoc-noc` and `snacknoc-core`
+//! can depend on without a cycle. Producers translate their own id types
+//! (`NodeId`, `DepId`, `Direction`, …) into plain integers at the hook site.
+
+/// Sentinel for "no dependency" in an operand slot of [`EventKind::RcuFire`].
+pub const NO_DEP: u32 = u32::MAX;
+
+/// The three instrumented component classes. Each maps to one Chrome
+/// trace-event process lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentClass {
+    /// NoC routers: packet/flit lifecycle and VC allocation.
+    Router,
+    /// RCU datapaths: instruction issue, operand match, ALU/MAC fire.
+    Rcu,
+    /// CPM control: kernel lifecycle, ALO congestion, overflow, watchdog.
+    Cpm,
+}
+
+impl ComponentClass {
+    /// Chrome trace-event process id for this lane.
+    pub fn pid(self) -> u32 {
+        match self {
+            ComponentClass::Router => 1,
+            ComponentClass::Rcu => 2,
+            ComponentClass::Cpm => 3,
+        }
+    }
+
+    /// Human-readable lane name (used in metadata events and reports).
+    pub fn lane_name(self) -> &'static str {
+        match self {
+            ComponentClass::Router => "router",
+            ComponentClass::Rcu => "rcu",
+            ComponentClass::Cpm => "cpm",
+        }
+    }
+
+    /// Stable index 0..3 for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ComponentClass::Router => 0,
+            ComponentClass::Rcu => 1,
+            ComponentClass::Cpm => 2,
+        }
+    }
+
+    /// All classes, in lane order.
+    pub const ALL: [ComponentClass; 3] =
+        [ComponentClass::Router, ComponentClass::Rcu, ComponentClass::Cpm];
+}
+
+/// Where an RCU fire's result went — mirrors `ResultDest` without importing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireDest {
+    /// Accumulated into the local MAC register.
+    Acc,
+    /// Produced a circulating data token for `dep`.
+    Token {
+        /// Dependency id the produced token carries.
+        dep: u32,
+    },
+    /// Wrote a final kernel output slot.
+    Output {
+        /// Output vector index.
+        index: u32,
+    },
+}
+
+/// One structured event. `cycle` is the simulator cycle at which the event
+/// was recorded; span-like events (fires, ejections) additionally carry a
+/// latency so exporters can reconstruct their start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulator cycle the event was recorded at.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Event taxonomy. See DESIGN.md §10 for the full narrative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented per-variant below
+pub enum EventKind {
+    /// A packet entered the network at `src` bound for `dst`.
+    PacketInject { packet: u64, src: u32, dst: u32, vnet: u8, class: u8, flits: u32 },
+    /// A router granted an output VC to an input VC (VA stage success).
+    VcAlloc { router: u32, in_port: u8, in_vc: u8, out_port: u8, out_vc: u8 },
+    /// A flit left a router on a non-local port (one link traversal).
+    FlitHop { router: u32, out_port: u8, flit: u64, packet: u64 },
+    /// A whole packet finished ejecting at `node`; `latency` is
+    /// inject→eject in cycles, so the span started at `cycle - latency`.
+    PacketEject { packet: u64, node: u32, latency: u64, hops: u32, flits: u64, class: u8 },
+
+    /// An RCU accepted one instruction into sub-block `sub_block` slot `seq`.
+    RcuIssue { node: u32, sub_block: u32, seq: u32 },
+    /// An RCU instruction's operands matched and its ALU fired. `deps`
+    /// holds the operand dep ids (or [`NO_DEP`]); `latency` is the op
+    /// latency in cycles (the fire occupies `[cycle, cycle+latency)`).
+    RcuFire { node: u32, sub_block: u32, seq: u32, op: u8, latency: u64, deps: [u32; 2], dest: FireDest },
+    /// A circulating token for `dep` was captured by `captured` waiting
+    /// operands at `node`.
+    RcuCapture { node: u32, dep: u32, captured: u32 },
+
+    /// A CPM issued `count` instructions toward PE `pe`.
+    CpmIssue { cpm: u32, pe: u32, count: u32 },
+    /// ALO congestion heuristic tripped: CPM entered overflow mode.
+    CpmOverflowEnter { cpm: u32, free: u32, total: u32 },
+    /// CPM left overflow mode (hysteresis satisfied).
+    CpmOverflowExit { cpm: u32, free: u32, total: u32 },
+    /// CPM absorbed (spilled) a circulating token for `dep` into overflow.
+    CpmSpill { cpm: u32, dep: u32 },
+    /// CPM replayed a spilled token for `dep` back onto the ring.
+    CpmRefill { cpm: u32, dep: u32 },
+    /// Token-loss watchdog declared `losses` token(s) lost this cycle.
+    WatchdogDetect { cpm: u32, losses: u64 },
+    /// Watchdog asked `producer` to retransmit the token for `dep`.
+    WatchdogRetransmit { cpm: u32, dep: u32, producer: u32 },
+    /// A data token for `dep` (retransmission `seq`) was launched from
+    /// `from` toward ring successor `to`.
+    TokenLaunch { dep: u32, seq: u32, from: u32, to: u32 },
+    /// A data token for `dep` drained its dependents and was retired at `node`.
+    TokenRetire { dep: u32, node: u32 },
+    /// A kernel was submitted to `cpm`.
+    KernelSubmit { cpm: u32 },
+    /// `cpm` finished its kernel (results ready).
+    KernelFinish { cpm: u32 },
+}
+
+impl EventKind {
+    /// Which component-class lane this event belongs to.
+    pub fn class(&self) -> ComponentClass {
+        match self {
+            EventKind::PacketInject { .. }
+            | EventKind::VcAlloc { .. }
+            | EventKind::FlitHop { .. }
+            | EventKind::PacketEject { .. } => ComponentClass::Router,
+            EventKind::RcuIssue { .. }
+            | EventKind::RcuFire { .. }
+            | EventKind::RcuCapture { .. } => ComponentClass::Rcu,
+            _ => ComponentClass::Cpm,
+        }
+    }
+
+    /// Stable event name for export and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PacketInject { .. } => "packet_inject",
+            EventKind::VcAlloc { .. } => "vc_alloc",
+            EventKind::FlitHop { .. } => "flit_hop",
+            EventKind::PacketEject { .. } => "packet_eject",
+            EventKind::RcuIssue { .. } => "rcu_issue",
+            EventKind::RcuFire { .. } => "rcu_fire",
+            EventKind::RcuCapture { .. } => "rcu_capture",
+            EventKind::CpmIssue { .. } => "cpm_issue",
+            EventKind::CpmOverflowEnter { .. } => "overflow_enter",
+            EventKind::CpmOverflowExit { .. } => "overflow_exit",
+            EventKind::CpmSpill { .. } => "spill",
+            EventKind::CpmRefill { .. } => "refill",
+            EventKind::WatchdogDetect { .. } => "watchdog_detect",
+            EventKind::WatchdogRetransmit { .. } => "watchdog_retransmit",
+            EventKind::TokenLaunch { .. } => "token_launch",
+            EventKind::TokenRetire { .. } => "token_retire",
+            EventKind::KernelSubmit { .. } => "kernel_submit",
+            EventKind::KernelFinish { .. } => "kernel_finish",
+        }
+    }
+
+    /// Chrome trace-event thread id within the lane: the component instance
+    /// (router index, RCU node index, CPM index) the event happened at.
+    pub fn tid(&self) -> u32 {
+        match *self {
+            EventKind::PacketInject { src, .. } => src,
+            EventKind::VcAlloc { router, .. } => router,
+            EventKind::FlitHop { router, .. } => router,
+            EventKind::PacketEject { node, .. } => node,
+            EventKind::RcuIssue { node, .. } => node,
+            EventKind::RcuFire { node, .. } => node,
+            EventKind::RcuCapture { node, .. } => node,
+            EventKind::CpmIssue { cpm, .. } => cpm,
+            EventKind::CpmOverflowEnter { cpm, .. } => cpm,
+            EventKind::CpmOverflowExit { cpm, .. } => cpm,
+            EventKind::CpmSpill { cpm, .. } => cpm,
+            EventKind::CpmRefill { cpm, .. } => cpm,
+            EventKind::WatchdogDetect { cpm, .. } => cpm,
+            EventKind::WatchdogRetransmit { cpm, .. } => cpm,
+            EventKind::TokenLaunch { from, .. } => from,
+            EventKind::TokenRetire { node, .. } => node,
+            EventKind::KernelSubmit { cpm } => cpm,
+            EventKind::KernelFinish { cpm } => cpm,
+        }
+    }
+
+    /// Key/value argument pairs for export (`args` object in Chrome
+    /// trace-event JSON). Deterministic: fixed order per variant.
+    pub fn args(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::PacketInject { packet, src, dst, vnet, class, flits } => vec![
+                ("packet", packet),
+                ("src", src as u64),
+                ("dst", dst as u64),
+                ("vnet", vnet as u64),
+                ("class", class as u64),
+                ("flits", flits as u64),
+            ],
+            EventKind::VcAlloc { router, in_port, in_vc, out_port, out_vc } => vec![
+                ("router", router as u64),
+                ("in_port", in_port as u64),
+                ("in_vc", in_vc as u64),
+                ("out_port", out_port as u64),
+                ("out_vc", out_vc as u64),
+            ],
+            EventKind::FlitHop { router, out_port, flit, packet } => vec![
+                ("router", router as u64),
+                ("out_port", out_port as u64),
+                ("flit", flit),
+                ("packet", packet),
+            ],
+            EventKind::PacketEject { packet, node, latency, hops, flits, class } => vec![
+                ("packet", packet),
+                ("node", node as u64),
+                ("latency", latency),
+                ("hops", hops as u64),
+                ("flits", flits),
+                ("class", class as u64),
+            ],
+            EventKind::RcuIssue { node, sub_block, seq } => vec![
+                ("node", node as u64),
+                ("sub_block", sub_block as u64),
+                ("seq", seq as u64),
+            ],
+            EventKind::RcuFire { node, sub_block, seq, op, latency, deps, dest } => {
+                let mut a = vec![
+                    ("node", node as u64),
+                    ("sub_block", sub_block as u64),
+                    ("seq", seq as u64),
+                    ("op", op as u64),
+                    ("latency", latency),
+                ];
+                if deps[0] != NO_DEP {
+                    a.push(("dep_l", deps[0] as u64));
+                }
+                if deps[1] != NO_DEP {
+                    a.push(("dep_r", deps[1] as u64));
+                }
+                match dest {
+                    FireDest::Acc => a.push(("acc", 1)),
+                    FireDest::Token { dep } => a.push(("out_dep", dep as u64)),
+                    FireDest::Output { index } => a.push(("out_index", index as u64)),
+                }
+                a
+            }
+            EventKind::RcuCapture { node, dep, captured } => vec![
+                ("node", node as u64),
+                ("dep", dep as u64),
+                ("captured", captured as u64),
+            ],
+            EventKind::CpmIssue { cpm, pe, count } => vec![
+                ("cpm", cpm as u64),
+                ("pe", pe as u64),
+                ("count", count as u64),
+            ],
+            EventKind::CpmOverflowEnter { cpm, free, total }
+            | EventKind::CpmOverflowExit { cpm, free, total } => vec![
+                ("cpm", cpm as u64),
+                ("free_vcs", free as u64),
+                ("total_vcs", total as u64),
+            ],
+            EventKind::CpmSpill { cpm, dep } | EventKind::CpmRefill { cpm, dep } => {
+                vec![("cpm", cpm as u64), ("dep", dep as u64)]
+            }
+            EventKind::WatchdogDetect { cpm, losses } => {
+                vec![("cpm", cpm as u64), ("losses", losses)]
+            }
+            EventKind::WatchdogRetransmit { cpm, dep, producer } => vec![
+                ("cpm", cpm as u64),
+                ("dep", dep as u64),
+                ("producer", producer as u64),
+            ],
+            EventKind::TokenLaunch { dep, seq, from, to } => vec![
+                ("dep", dep as u64),
+                ("seq", seq as u64),
+                ("from", from as u64),
+                ("to", to as u64),
+            ],
+            EventKind::TokenRetire { dep, node } => {
+                vec![("dep", dep as u64), ("node", node as u64)]
+            }
+            EventKind::KernelSubmit { cpm } | EventKind::KernelFinish { cpm } => {
+                vec![("cpm", cpm as u64)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_the_taxonomy() {
+        let ev = EventKind::PacketInject { packet: 1, src: 0, dst: 3, vnet: 2, class: 1, flits: 1 };
+        assert_eq!(ev.class(), ComponentClass::Router);
+        let ev = EventKind::RcuFire {
+            node: 5,
+            sub_block: 0,
+            seq: 1,
+            op: 3,
+            latency: 2,
+            deps: [7, NO_DEP],
+            dest: FireDest::Acc,
+        };
+        assert_eq!(ev.class(), ComponentClass::Rcu);
+        let ev = EventKind::WatchdogDetect { cpm: 0, losses: 1 };
+        assert_eq!(ev.class(), ComponentClass::Cpm);
+    }
+
+    #[test]
+    fn args_are_fixed_order_and_skip_no_dep() {
+        let ev = EventKind::RcuFire {
+            node: 1,
+            sub_block: 2,
+            seq: 3,
+            op: 0,
+            latency: 1,
+            deps: [NO_DEP, 9],
+            dest: FireDest::Output { index: 4 },
+        };
+        let args = ev.args();
+        let keys: Vec<&str> = args.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["node", "sub_block", "seq", "op", "latency", "dep_r", "out_index"]);
+    }
+
+    #[test]
+    fn pids_are_stable() {
+        assert_eq!(ComponentClass::Router.pid(), 1);
+        assert_eq!(ComponentClass::Rcu.pid(), 2);
+        assert_eq!(ComponentClass::Cpm.pid(), 3);
+    }
+}

@@ -72,8 +72,30 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # recovered (recovered == detected, outputs bit-exact).
 echo "+ snack-faults --smoke"
 smoke_json=$(mktemp)
-trap 'rm -f "$smoke_json"' EXIT
+trace_json=$(mktemp)
+trap 'rm -f "$smoke_json" "$trace_json"' EXIT
 cargo run --release --offline -q -p snacknoc-bench --bin snack-faults -- \
   --smoke --json "$smoke_json"
+
+# Tracing smoke: run a kernel under the RingTracer and demand (a) the
+# emitted Chrome trace JSON parses, (b) at least one event per component
+# class (router / rcu / cpm), and (c) the critical-path attribution sums
+# exactly to the kernel latency. All three checks live inside the binary
+# and --smoke makes them fatal; the greps below re-assert (a)+(b) from
+# the shell so a silently-broken self-check cannot pass CI.
+echo "+ snack-trace --smoke"
+trace_out=$(cargo run --release --offline -q -p snacknoc-bench --bin snack-trace -- \
+  --smoke --json "$trace_json")
+echo "$trace_out"
+echo "$trace_out" | grep -q "^validated: " || {
+  echo "ERROR: snack-trace --smoke did not validate its own trace" >&2
+  exit 1
+}
+for lane in router rcu cpm; do
+  grep -q "\"name\":\"$lane\"" "$trace_json" || {
+    echo "ERROR: trace JSON is missing the $lane lane" >&2
+    exit 1
+  }
+done
 
 echo "verify: all green"

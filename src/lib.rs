@@ -13,6 +13,8 @@
 //! * [`prng`] — in-repo deterministic randomness (stream RNG, common
 //!   random numbers, property-test harness); the repo vendors no
 //!   third-party crates.
+//! * [`trace`] — cycle-level structured event tracing: bounded ring
+//!   tracers, Chrome trace-event export and critical-path analysis.
 //!
 //! See the repository README for a tour and `examples/` for runnable demos.
 
@@ -24,4 +26,5 @@ pub use snacknoc_cost as cost;
 pub use snacknoc_cpu as cpu;
 pub use snacknoc_noc as noc;
 pub use snacknoc_prng as prng;
+pub use snacknoc_trace as trace;
 pub use snacknoc_workloads as workloads;

@@ -130,3 +130,89 @@ fn kernel_results_do_not_depend_on_interference() {
         assert_eq!(run.outputs, reference, "arb={arb} attach={attach}");
     }
 }
+
+/// Tracing determinism, part 1: the default `NopTracer` is exactly free.
+/// A run with an explicitly installed `Nop` handle must be bit-identical
+/// to the untraced fingerprint above — same cycles, same stats, same
+/// medians.
+#[test]
+fn nop_traced_multiprogram_is_bit_identical_to_untraced() {
+    use snacknoc::trace::TracerHandle;
+    let untraced = fingerprint(41);
+    let traced = {
+        let mut p = SnackPlatform::new(
+            NocConfig::dapper().with_priority_arbitration(true).with_sample_window(500),
+        )
+        .expect("valid platform");
+        p.set_tracer(TracerHandle::Nop);
+        let built = build(Kernel::Spmv, 48, 41);
+        let kernel = built
+            .context
+            .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
+            .expect("compiles");
+        p.attach_workload(&profile(Benchmark::Graph500).scaled(0.0008), 41);
+        let run = p.run_multiprogram(Some(&kernel), u64::MAX / 2);
+        assert!(run.app_finished);
+        let comm = run.stats.class(TrafficClass::Communication);
+        (
+            run.app_runtime,
+            run.kernels_completed,
+            run.stats.median_crossbar_utilization(),
+            comm.latency_sum,
+            p.rcu_stats().executed,
+        )
+    };
+    assert_eq!(untraced, traced, "a Nop tracer must not perturb a single cycle");
+}
+
+/// Tracing determinism, part 2: a `RingTracer` observes without
+/// perturbing, and the exported event stream is byte-identical across
+/// reruns of the same seed and across 1-vs-4 worker pools running the
+/// same traced jobs.
+#[test]
+fn ring_trace_exports_are_byte_identical_across_reruns_and_workers() {
+    use snacknoc_bench::sweep::parallel_map;
+    use snacknoc_bench::tracing::run_traced_kernel;
+
+    let traced_json = |kernel: Kernel, seed: u64| {
+        let run = run_traced_kernel(kernel, 10, NocConfig::default(), seed, 1 << 16);
+        assert!(run.verified, "{kernel} traced run verifies");
+        run.chrome_json()
+    };
+
+    // Rerun of the same seed: identical bytes.
+    assert_eq!(
+        traced_json(Kernel::Spmv, 5),
+        traced_json(Kernel::Spmv, 5),
+        "same seed, same event stream"
+    );
+
+    // 1-vs-4 workers over a small traced-job grid: the merged artifact
+    // list is byte-identical (each job owns its tracer, so worker count
+    // is a pure wall-clock knob).
+    let grid: Vec<(Kernel, u64)> = Kernel::ALL
+        .into_iter()
+        .flat_map(|k| [(k, 3u64), (k, 4u64)])
+        .collect();
+    let serial = parallel_map(grid.len(), 1, |i| traced_json(grid[i].0, grid[i].1));
+    let parallel = parallel_map(grid.len(), 4, |i| traced_json(grid[i].0, grid[i].1));
+    assert_eq!(serial, parallel, "1-vs-4 workers must produce identical traces");
+}
+
+/// Tracing determinism, part 3: observing a kernel with a `RingTracer`
+/// leaves its timing and outputs identical to the untraced run (the
+/// tracer is a pure observer, not a participant).
+#[test]
+fn ring_traced_kernel_matches_untraced_kernel() {
+    use snacknoc_bench::experiments::run_snack_kernel;
+    use snacknoc_bench::tracing::run_traced_kernel;
+    for kernel in Kernel::ALL {
+        let plain = run_snack_kernel(kernel, 10, NocConfig::default(), 7);
+        let traced = run_traced_kernel(kernel, 10, NocConfig::default(), 7, 1 << 16);
+        assert_eq!(plain.cycles, traced.cycles, "{kernel}: timing unchanged");
+        assert_eq!(plain.verified, traced.verified);
+        let cp = traced.critical_path.expect("bracket captured");
+        assert_eq!(cp.attributed_total(), cp.total(), "{kernel}: tiling exact");
+        assert_eq!(cp.total(), traced.cycles, "{kernel}: bracket spans latency");
+    }
+}

@@ -325,3 +325,33 @@ fn mapping_is_deterministic() {
         assert_eq!(k1.instructions, k2.instructions);
     });
 }
+
+/// `Trace -> CSV -> Trace` is the identity for arbitrary (valid) traces:
+/// the CSV encoding loses nothing, and `Trace::new`'s cycle ordering makes
+/// the round trip canonical.
+#[test]
+fn workload_trace_csv_round_trip_is_identity() {
+    use snacknoc::workloads::trace::{Trace, TraceEvent};
+    prop_check!(cases = 48, seed = 0x51AC_0008, |rng| {
+        let n = rng.range_usize(0..64);
+        let events: Vec<TraceEvent> = (0..n)
+            .map(|_| TraceEvent {
+                cycle: rng.range(0..1_000_000),
+                src: rng.range(0..256) as u32,
+                dst: rng.range(0..256) as u32,
+                vnet: rng.range(0..4) as u8,
+                size_bytes: rng.range(1..4096) as u32,
+            })
+            .collect();
+        let trace = Trace::new(events);
+        let mut csv = Vec::new();
+        trace.to_csv(&mut csv).expect("in-memory write");
+        let parsed = Trace::from_csv(csv.as_slice()).expect("own CSV parses");
+        assert_eq!(parsed, trace, "round trip must be the identity");
+        // And the round trip is a fixed point: re-serialising gives the
+        // same bytes.
+        let mut csv2 = Vec::new();
+        parsed.to_csv(&mut csv2).expect("in-memory write");
+        assert_eq!(csv, csv2, "serialisation is byte-stable");
+    });
+}
