@@ -8,13 +8,62 @@
 use snacknoc_bench::harness::Harness;
 use snacknoc_bench::sweep::TimedJob;
 use snacknoc_compiler::{build, MapperConfig};
-use snacknoc_core::SnackPlatform;
-use snacknoc_noc::NocConfig;
+use snacknoc_core::{Fixed, Instruction, Op, Operand, Rcu, ResultDest, SnackPlatform};
+use snacknoc_noc::{NocConfig, NodeId};
 use snacknoc_workloads::kernels::Kernel;
+
+/// A MAC-fusion inner product as one long single-block MAC chain on a
+/// bare RCU — every cycle asks "can the active block advance?", the
+/// exact question the RCU's active-block cursor cache answers without
+/// re-walking the `progress`/`pending` maps. `n` is the vector length.
+fn mac_fusion_rcu(n: u32) -> Rcu {
+    let mut rcu = Rcu::new();
+    for seq in 0..n {
+        rcu.accept_instruction(Instruction {
+            op: Op::Mac,
+            pe: NodeId::new(0),
+            vl: Operand::Imm(Fixed::from_f64(f64::from(seq % 7) + 1.0)),
+            vr: Operand::Imm(Fixed::from_f64(f64::from(seq % 5) + 1.0)),
+            dest: if seq + 1 == n {
+                ResultDest::Output { index: 0 }
+            } else {
+                ResultDest::Accumulate
+            },
+            sub_block: 0,
+            seq,
+            ends_block: seq + 1 == n,
+        });
+    }
+    rcu
+}
 
 fn main() {
     let mut h = Harness::from_env("kernel_latency");
     let mut jobs = Vec::new();
+    // The RCU-only inner product (no network): measures the instruction
+    // scheduler itself, where the cursor cache removes the per-cycle
+    // HashMap + double-BTreeMap walk of `next_fireable`.
+    for n in [256u32, 4096] {
+        jobs.push(TimedJob::batched(
+            &format!("kernel_sim/mac_fusion_rcu/{n}"),
+            move || mac_fusion_rcu(n),
+            |mut rcu| {
+                let mut out = Vec::new();
+                let mut cycle = 0u64;
+                while out.is_empty() {
+                    cycle += 1;
+                    rcu.tick_into(
+                        cycle,
+                        0,
+                        &mut snacknoc_trace::TracerHandle::Nop,
+                        &mut out,
+                    );
+                }
+                assert!(rcu.is_idle(), "chain fully retired");
+                (cycle, out.len())
+            },
+        ));
+    }
     for kernel in Kernel::ALL {
         let size = match kernel {
             Kernel::Sgemm => 8,

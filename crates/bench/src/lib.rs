@@ -17,6 +17,7 @@ pub mod csv;
 pub mod experiments;
 pub mod faults;
 pub mod harness;
+pub mod perf;
 pub mod sweep;
 pub mod table;
 pub mod tracing;

@@ -167,6 +167,25 @@ pub struct SnackPlatform {
     ring_next: Vec<NodeId>,
     submitted_at: Vec<u64>,
     nodes: Vec<NodeId>,
+    /// Active-RCU worklist: indices `i` with `!rcus[i].is_idle()`.
+    /// Invariant: `rcu_flag[i]` ⟺ `i ∈ rcu_active` (no duplicates), and
+    /// every RCU with queued or staged work is on the list. An RCU off
+    /// the list is provably quiescent — ticking it is a pure no-op — so
+    /// the per-cycle RCU loop touches only this set. Wake edge:
+    /// instruction delivery ([`Rcu::accept_instruction`]).
+    rcu_active: Vec<usize>,
+    /// Drain scratch for `rcu_active` (ping-pong, keeps capacity).
+    rcu_scratch: Vec<usize>,
+    /// Membership flags mirroring `rcu_active`.
+    rcu_flag: Vec<bool>,
+    /// Reused scratch buffer for [`Rcu::tick_into`] emissions — one
+    /// allocation for the whole platform instead of one `Vec` per RCU
+    /// per cycle.
+    emit_scratch: Vec<Emission>,
+    /// Debug mode: tick every RCU densely each cycle (and forward dense
+    /// stepping to the network). Must be bit-identical to active-set
+    /// scheduling; `tests/determinism.rs` holds that proof.
+    dense: bool,
     /// The virtual network carrying SnackNoC tokens: the last vnet, so the
     /// CMP workload owns the lower ones (2 for the phase model's
     /// request/response pair, 3 for the MESI protocol classes).
@@ -232,14 +251,20 @@ impl SnackPlatform {
         }
         let cpm_node = mesh.corner_nodes()[0];
         let snack_vnet = net.config().vnets - 1;
+        let n = mesh.node_count();
         Ok(SnackPlatform {
-            rcus: (0..mesh.node_count()).map(|_| Rcu::new()).collect(),
+            rcus: (0..n).map(|_| Rcu::new()).collect(),
             cpms: vec![Cpm::new(cpm_node, cpm_cfg, dram)],
             engine: None,
             ring_next,
             submitted_at: vec![0],
             nodes: mesh.nodes().collect(),
             snack_vnet,
+            rcu_active: Vec::with_capacity(n),
+            rcu_scratch: Vec::with_capacity(n),
+            rcu_flag: vec![false; n],
+            emit_scratch: Vec::new(),
+            dense: false,
             net,
         })
     }
@@ -319,6 +344,35 @@ impl SnackPlatform {
     /// Panics if `lanes == 0`.
     pub fn set_rcu_lanes(&mut self, lanes: usize) {
         self.rcus = (0..self.rcus.len()).map(|_| Rcu::with_lanes(lanes)).collect();
+        // Fresh RCUs are idle: reset the worklist to match.
+        self.rcu_active.clear();
+        self.rcu_flag.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Switches between activity-driven scheduling (the default) and the
+    /// dense reference loop that visits every component every cycle, in
+    /// both the platform's RCU phase and the underlying network (see
+    /// [`snacknoc_noc::Network::set_dense_stepping`]). The two modes are
+    /// bit-identical by construction; dense mode exists as the oracle for
+    /// that proof and for perf baselines.
+    pub fn set_dense_stepping(&mut self, dense: bool) {
+        self.dense = dense;
+        self.net.set_dense_stepping(dense);
+    }
+
+    /// Whether the dense reference loop is in force.
+    pub fn dense_stepping(&self) -> bool {
+        self.dense
+    }
+
+    /// Total packets injected into the underlying network.
+    pub fn net_injected_packets(&self) -> u64 {
+        self.net.injected_packets()
+    }
+
+    /// Total packets fully delivered by the underlying network.
+    pub fn net_delivered_packets(&self) -> u64 {
+        self.net.delivered_packets()
     }
 
     /// Aggregated RCU statistics across all routers.
@@ -590,42 +644,54 @@ impl SnackPlatform {
                 None => {}
             }
         }
-        // RCU execution (skipping fault-stalled RCUs for this cycle).
+        // RCU execution. Fault-stall plans charge `stalled_cycles` to
+        // *every* stalled RCU, idle or not, so they force the dense
+        // reference loop; otherwise only the active set is ticked — an
+        // RCU off the worklist has empty `pending` and `staged`, for
+        // which `tick` is a pure no-op (no stats, no state).
         let has_stalls =
             self.net.fault_plan().is_some_and(|p| !p.rcu_stalls.is_empty());
-        for i in 0..self.rcus.len() {
-            if has_stalls {
-                let node = self.nodes[i];
-                let stalled = self
-                    .net
-                    .fault_plan()
-                    .is_some_and(|p| p.rcu_stalled(node, now));
-                if stalled {
-                    self.rcus[i].stats.stalled_cycles += 1;
-                    continue;
-                }
-            }
-            for emission in self.rcus[i].tick_traced(now, i as u32, self.net.tracer_mut()) {
-                let node = self.nodes[i];
-                match emission {
-                    Emission::Token(token) => self.launch_token(node, token),
-                    Emission::Output { index, value } => {
-                        // The namespace in the index's high bits routes the
-                        // result home to the CPM that issued the kernel.
-                        let home = (index >> NAMESPACE_SHIFT) as usize;
-                        let spec = PacketSpec::new(
-                            node,
-                            self.cpms[home.min(self.cpms.len() - 1)].node(),
-                            self.snack_vnet,
-                            TrafficClass::SnackData,
-                            DATA_TOKEN_BYTES,
-                            SnackPayload::Result { index, value },
-                        )
-                        .with_protected();
-                        self.net.inject(spec).expect("valid result packet");
+        if has_stalls || self.dense {
+            for i in 0..self.rcus.len() {
+                if has_stalls {
+                    let node = self.nodes[i];
+                    let stalled = self
+                        .net
+                        .fault_plan()
+                        .is_some_and(|p| p.rcu_stalled(node, now));
+                    if stalled {
+                        self.rcus[i].stats.stalled_cycles += 1;
+                        continue;
                     }
                 }
+                self.tick_rcu(i, now);
             }
+            // Rebuild the worklist so a later switch back to active-set
+            // scheduling resumes from a consistent set.
+            self.rcu_active.clear();
+            for i in 0..self.rcus.len() {
+                let live = !self.rcus[i].is_idle();
+                self.rcu_flag[i] = live;
+                if live {
+                    self.rcu_active.push(i);
+                }
+            }
+        } else {
+            // Drain the worklist in index order (matching the dense
+            // loop); survivors re-enlist, quiescent RCUs drop off.
+            std::mem::swap(&mut self.rcu_active, &mut self.rcu_scratch);
+            self.rcu_scratch.sort_unstable();
+            for k in 0..self.rcu_scratch.len() {
+                let i = self.rcu_scratch[k];
+                debug_assert!(self.rcu_flag[i], "worklist entry lost its flag");
+                self.tick_rcu(i, now);
+                if self.rcus[i].is_idle() {
+                    self.rcu_flag[i] = false;
+                } else {
+                    self.rcu_active.push(i);
+                }
+            }
+            self.rcu_scratch.clear();
         }
         // The network cycle.
         self.net.step();
@@ -655,6 +721,12 @@ impl SnackPlatform {
                                 seq: ins.seq,
                             });
                             self.rcus[i].accept_instruction(ins);
+                            // Wake edge: the RCU now has queued work, so
+                            // it must be on next cycle's worklist.
+                            if !self.rcu_flag[i] {
+                                self.rcu_flag[i] = true;
+                                self.rcu_active.push(i);
+                            }
                         }
                     }
                     SnackPayload::Data(token) => {
@@ -680,6 +752,38 @@ impl SnackPlatform {
                 }
             }
         }
+    }
+
+    /// Ticks RCU `i` through the reused emission scratch buffer and
+    /// dispatches its completions (ring tokens, result packets). Shared
+    /// by the dense and active-set RCU loops so both produce identical
+    /// emission order with zero steady-state allocation.
+    fn tick_rcu(&mut self, i: usize, now: u64) {
+        let mut emissions = std::mem::take(&mut self.emit_scratch);
+        debug_assert!(emissions.is_empty());
+        self.rcus[i].tick_into(now, i as u32, self.net.tracer_mut(), &mut emissions);
+        let node = self.nodes[i];
+        for emission in emissions.drain(..) {
+            match emission {
+                Emission::Token(token) => self.launch_token(node, token),
+                Emission::Output { index, value } => {
+                    // The namespace in the index's high bits routes the
+                    // result home to the CPM that issued the kernel.
+                    let home = (index >> NAMESPACE_SHIFT) as usize;
+                    let spec = PacketSpec::new(
+                        node,
+                        self.cpms[home.min(self.cpms.len() - 1)].node(),
+                        self.snack_vnet,
+                        TrafficClass::SnackData,
+                        DATA_TOKEN_BYTES,
+                        SnackPayload::Result { index, value },
+                    )
+                    .with_protected();
+                    self.net.inject(spec).expect("valid result packet");
+                }
+            }
+        }
+        self.emit_scratch = emissions;
     }
 
     /// Runs `cycles` steps.

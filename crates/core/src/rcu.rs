@@ -67,6 +67,17 @@ pub struct Rcu {
     acc: Fixed,
     /// The sub-block currently owning the accumulator.
     active_block: Option<SubBlockId>,
+    /// Cursor cache for the active block: the sequence number it wants
+    /// next (mirror of `progress[active_block]`) and a copy of that
+    /// instruction if it has already arrived. Lets [`Rcu::next_fireable`]
+    /// answer the common every-cycle question — "can the active block
+    /// advance?" — without re-walking `progress` (HashMap) and `pending`
+    /// (two BTreeMap levels) per lane per cycle. Meaningful only while
+    /// `active_block.is_some()`.
+    active_seq: u32,
+    /// Copy of `pending[active_block][active_seq]`, `None` if that
+    /// instruction has not arrived yet (or no block is active).
+    cursor: Option<Instruction>,
     /// ALU busy until this cycle.
     busy_until: u64,
     /// Emissions produced by the in-flight instruction group, released
@@ -112,6 +123,8 @@ impl Rcu {
             wanted: HashMap::new(),
             acc: Fixed::ZERO,
             active_block: None,
+            active_seq: 0,
+            cursor: None,
             busy_until: 0,
             staged: Vec::new(),
             produced: HashMap::new(),
@@ -140,6 +153,11 @@ impl Rcu {
         }
         self.pending.entry(ins.sub_block).or_default().insert(ins.seq, ins);
         self.progress.entry(ins.sub_block).or_insert(0);
+        // Wake edge for the cursor cache: the active block may have been
+        // waiting exactly for this instruction.
+        if self.active_block == Some(ins.sub_block) && ins.seq == self.active_seq {
+            self.cursor = Some(ins);
+        }
     }
 
     /// Lets the RCU inspect a transient data token passing its router.
@@ -198,10 +216,27 @@ impl Rcu {
         node: u32,
         tracer: &mut TracerHandle,
     ) -> Vec<Emission> {
+        let mut out = Vec::new();
+        self.tick_into(cycle, node, tracer, &mut out);
+        out
+    }
+
+    /// [`Rcu::tick_traced`] writing completions into a caller-owned
+    /// scratch buffer — the allocation-free hot-loop entry point
+    /// ([`Platform::step`](crate::platform::Platform::step) reuses one
+    /// buffer across all RCUs and cycles). `out` is appended to; emission
+    /// order is identical to the `Vec`-returning forms.
+    pub fn tick_into(
+        &mut self,
+        cycle: u64,
+        node: u32,
+        tracer: &mut TracerHandle,
+        out: &mut Vec<Emission>,
+    ) {
         if cycle < self.busy_until {
-            return Vec::new();
+            return;
         }
-        let out = std::mem::take(&mut self.staged);
+        out.append(&mut self.staged);
         let mut group_latency = 0;
         for _ in 0..self.lanes {
             let Some((block, seq)) = self.next_fireable() else { break };
@@ -237,17 +272,27 @@ impl Rcu {
         } else if !self.pending.is_empty() {
             self.stats.stalled_cycles += 1;
         }
-        out
     }
 
     /// Finds the next instruction the firing rule allows.
     fn next_fireable(&self) -> Option<(SubBlockId, u32)> {
         if let Some(b) = self.active_block {
             // The active sub-block owns the accumulator: only its next
-            // instruction may fire.
-            let seq = *self.progress.get(&b).expect("active block tracked");
-            let ins = self.pending.get(&b)?.get(&seq)?;
-            return self.operands_ready(ins).then_some((b, seq));
+            // instruction may fire. The cursor cache answers this without
+            // touching `progress`/`pending` — the debug assertions below
+            // pin it to the maps it mirrors.
+            debug_assert_eq!(
+                self.active_seq,
+                *self.progress.get(&b).expect("active block tracked"),
+                "cursor seq diverged from progress map"
+            );
+            debug_assert_eq!(
+                self.cursor,
+                self.pending.get(&b).and_then(|blk| blk.get(&self.active_seq)).copied(),
+                "cursor instruction diverged from pending buffer"
+            );
+            let ins = self.cursor.as_ref()?;
+            return self.operands_ready(ins).then_some((b, self.active_seq));
         }
         // Otherwise any sub-block may start; take the lowest-numbered ready
         // one for determinism.
@@ -307,9 +352,18 @@ impl Rcu {
         };
         if ins.ends_block {
             self.active_block = None;
+            self.cursor = None;
             self.progress.remove(&ins.sub_block);
         } else {
             *self.progress.get_mut(&ins.sub_block).expect("tracked") += 1;
+            // Refresh the cursor cache: the block now wants `seq + 1`,
+            // which may already be waiting in the ordered buffer.
+            self.active_seq = ins.seq + 1;
+            self.cursor = self
+                .pending
+                .get(&ins.sub_block)
+                .and_then(|blk| blk.get(&self.active_seq))
+                .copied();
         }
         match ins.dest {
             ResultDest::Accumulate => {}

@@ -5,7 +5,7 @@ use crate::config::{ConfigError, NocConfig};
 use crate::fault::{FaultAction, FaultCounters, FaultPlan, FaultPlanError, FaultState};
 use crate::flit::{Flit, FlitKind};
 use crate::packet::{Packet, PacketId, PacketSpec};
-use crate::router::Router;
+use crate::router::{Departure, Router};
 use crate::routing::Dir;
 use crate::stats::NetStats;
 use crate::topology::{Mesh, NodeId};
@@ -109,7 +109,41 @@ pub struct Network<P> {
     pending_credits: Vec<CreditMsg>,
     reassembly: HashMap<PacketId, Partial<P>>,
     ejected: Vec<Vec<Packet<P>>>,
+    /// Dedup flags for the router worklist: `work[r]` ⟺ `r ∈ active`.
     work: Vec<bool>,
+    /// The router worklist. Between cycles it holds exactly the routers
+    /// that can make progress next cycle (buffered flits survived Phase 4,
+    /// plus wakeups from credit return, link delivery and NI injection).
+    active: Vec<usize>,
+    /// Scratch the worklist is drained through each Phase 4 (kept around
+    /// so steady-state stepping never allocates).
+    active_scratch: Vec<usize>,
+    /// Links whose slot is occupied — exactly one entry per filled slot,
+    /// pushed when Phase 4 fills the slot, drained by the next Phase 2.
+    occupied_links: Vec<usize>,
+    links_scratch: Vec<usize>,
+    /// NI worklist: nodes with a nonzero injection backlog.
+    ni_active: Vec<usize>,
+    ni_scratch: Vec<usize>,
+    /// Dedup flags for `ni_active`.
+    ni_flag: Vec<bool>,
+    /// Per-node incremental NI backlog (flits queued, all vnets).
+    ni_backlogs: Vec<u64>,
+    /// Network-wide incremental NI backlog.
+    ni_backlog_total: u64,
+    /// Phase-1 scratch: last cycle's credits are processed out of this
+    /// buffer while Phases 2/4 push next cycle's into `pending_credits`
+    /// (the two vectors ping-pong, so neither ever reallocates in steady
+    /// state).
+    credits_scratch: Vec<CreditMsg>,
+    /// Phase-4 scratch for router departures.
+    departures_scratch: Vec<Departure<P>>,
+    /// Dense (reference) stepping: every phase walks every component, as
+    /// the pre-activity-driven simulator did. Bit-identical to the
+    /// active-set schedule — `tests/determinism.rs` proves it — and kept
+    /// as the debug baseline the `snack-perf` speedups are measured
+    /// against.
+    dense: bool,
     cycle: u64,
     next_packet_id: PacketId,
     next_flit_id: u64,
@@ -191,6 +225,18 @@ impl<P> Network<P> {
             reassembly: HashMap::new(),
             ejected: (0..n).map(|_| Vec::new()).collect(),
             work: vec![false; n],
+            active: Vec::with_capacity(n),
+            active_scratch: Vec::with_capacity(n),
+            occupied_links: Vec::with_capacity(stats.link_count()),
+            links_scratch: Vec::with_capacity(stats.link_count()),
+            ni_active: Vec::with_capacity(n),
+            ni_scratch: Vec::with_capacity(n),
+            ni_flag: vec![false; n],
+            ni_backlogs: vec![0; n],
+            ni_backlog_total: 0,
+            credits_scratch: Vec::new(),
+            departures_scratch: Vec::new(),
+            dense: false,
             cycle: 0,
             next_packet_id: 0,
             next_flit_id: 0,
@@ -342,8 +388,17 @@ impl<P> Network<P> {
             class: spec.class.code(),
             flits: nf as u32,
         });
+        let src = spec.src.index();
+        if nf > 0 {
+            self.ni_backlogs[src] += nf as u64;
+            self.ni_backlog_total += nf as u64;
+            if !self.ni_flag[src] {
+                self.ni_flag[src] = true;
+                self.ni_active.push(src);
+            }
+        }
         let mut payload = Some(spec.payload);
-        let queue = &mut self.nis[spec.src.index()].queues[spec.vnet as usize];
+        let queue = &mut self.nis[src].queues[spec.vnet as usize];
         for i in 0..nf {
             let kind = match (i, nf) {
                 (0, 1) => FlitKind::HeadTail,
@@ -377,6 +432,13 @@ impl<P> Network<P> {
         std::mem::take(&mut self.ejected[node.index()])
     }
 
+    /// Moves all packets delivered to `node` into `out`, preserving the
+    /// internal buffer's capacity — the allocation-free counterpart of
+    /// [`Network::drain_ejected`] for steady-state delivery loops.
+    pub fn drain_ejected_into(&mut self, node: NodeId, out: &mut Vec<Packet<P>>) {
+        out.append(&mut self.ejected[node.index()]);
+    }
+
     /// Whether any node currently has undrained delivered packets.
     pub fn has_ejected(&self) -> bool {
         self.ejected.iter().any(|q| !q.is_empty())
@@ -401,8 +463,41 @@ impl<P> Network<P> {
     }
 
     /// Flits waiting in the injection queue of `node` (all vnets).
+    /// O(1): maintained incrementally at inject/transfer time.
     pub fn ni_backlog(&self, node: NodeId) -> usize {
-        self.nis[node.index()].queues.iter().map(|q| q.len()).sum()
+        debug_assert_eq!(
+            self.ni_backlogs[node.index()],
+            self.nis[node.index()].queues.iter().map(|q| q.len() as u64).sum::<u64>(),
+            "incremental NI backlog counter out of sync"
+        );
+        self.ni_backlogs[node.index()] as usize
+    }
+
+    /// Network-wide NI injection backlog in flits, all nodes and vnets.
+    /// O(1): maintained incrementally.
+    pub fn total_ni_backlog(&self) -> u64 {
+        debug_assert_eq!(
+            self.ni_backlog_total,
+            self.ni_backlogs.iter().sum::<u64>(),
+            "incremental NI backlog total out of sync"
+        );
+        self.ni_backlog_total
+    }
+
+    /// Switches between the activity-driven scheduler (the default) and
+    /// the dense reference loop that walks every router, link and NI each
+    /// cycle. Both modes are bit-identical — dense stepping exists as the
+    /// verification baseline (`tests/determinism.rs`,
+    /// `tests/properties.rs`) and as the denominator for the `snack-perf`
+    /// speedup report. Safe to flip between cycles: both modes keep the
+    /// worklists consistent.
+    pub fn set_dense_stepping(&mut self, dense: bool) {
+        self.dense = dense;
+    }
+
+    /// Whether the dense reference loop is active.
+    pub fn dense_stepping(&self) -> bool {
+        self.dense
     }
 
     /// Flits currently resident in router input buffers, network-wide.
@@ -417,57 +512,178 @@ impl<P> Network<P> {
         self.routers[node.index()].useful_free_output_vcs()
     }
 
+    /// Marks router `r` as having work next Phase 4 (idempotent).
+    #[inline]
+    fn mark_router(&mut self, r: usize) {
+        if !self.work[r] {
+            self.work[r] = true;
+            self.active.push(r);
+        }
+    }
+
+    /// Debug invariant: `occupied_links` lists exactly the filled slots.
+    fn links_list_consistent(&self) -> bool {
+        let filled = self.links.iter().filter(|l| l.slot.is_some()).count();
+        filled == self.occupied_links.len()
+            && self.occupied_links.iter().all(|&lid| self.links[lid].slot.is_some())
+    }
+
     /// Advances the network by one cycle.
+    ///
+    /// The loop is **activity-driven**: each phase visits only the
+    /// components that can make progress (worklists maintained by the
+    /// previous phases), and **allocation-free in steady state** (every
+    /// transient buffer is a reusable scratch). The dense reference loop
+    /// ([`Network::set_dense_stepping`]) walks every component instead;
+    /// the two are bit-identical because a skipped component is provably
+    /// quiescent — see DESIGN.md §11 for the invariants and the wakeup
+    /// edges.
     pub fn step(&mut self) {
         self.cycle += 1;
         let cycle = self.cycle;
 
-        // Phase 1: apply credit / VC-free signals sent last cycle.
-        let credits = std::mem::take(&mut self.pending_credits);
-        for msg in credits {
+        // Phase 1: apply credit / VC-free signals sent last cycle. The
+        // pending list ping-pongs with a scratch buffer: this cycle's
+        // batch is processed out of `credits_scratch` while Phases 2/4
+        // push next cycle's messages into the (empty, capacity-warm)
+        // `pending_credits`.
+        debug_assert!(self.credits_scratch.is_empty());
+        std::mem::swap(&mut self.pending_credits, &mut self.credits_scratch);
+        for i in 0..self.credits_scratch.len() {
+            let msg = self.credits_scratch[i];
             let r = &mut self.routers[msg.router];
             r.return_credit(msg.port, msg.vc, self.cfg.buffers_per_vc);
             if msg.frees_vc {
                 r.free_output_vc(msg.port, msg.vc);
             }
-            self.work[msg.router] = true;
+            // Wakeup edge: credit return can unblock a waiting flit.
+            self.mark_router(msg.router);
+        }
+        self.credits_scratch.clear();
+
+        // Phase 2: link traversal — deliver flits sent last cycle. Only
+        // occupied links can deliver; ascending id order replays the
+        // dense loop's iteration order exactly (fault decisions are
+        // hash-derived per (link, packet), so they are order-independent
+        // anyway).
+        let cap = self.cfg.buffers_per_vc as usize;
+        debug_assert!(self.links_list_consistent());
+        if self.dense {
+            for lid in 0..self.links.len() {
+                if self.links[lid].slot.is_some() {
+                    self.deliver_link(lid, cycle, cap);
+                }
+            }
+            self.occupied_links.clear();
+        } else {
+            debug_assert!(self.links_scratch.is_empty());
+            std::mem::swap(&mut self.occupied_links, &mut self.links_scratch);
+            self.links_scratch.sort_unstable();
+            for i in 0..self.links_scratch.len() {
+                let lid = self.links_scratch[i];
+                self.deliver_link(lid, cycle, cap);
+            }
+            self.links_scratch.clear();
         }
 
-        // Phase 2: link traversal — deliver flits sent last cycle.
-        let cap = self.cfg.buffers_per_vc as usize;
-        if self.fault.is_none() {
-            for link in &mut self.links {
-                if let Some(flit) = link.slot.take() {
-                    self.routers[link.to_router].accept_flit(link.in_port, flit, cycle, cap);
-                    self.work[link.to_router] = true;
-                    self.buffered_total += 1;
+        // Phase 3: NI injection — only nodes with a queued flit can
+        // inject. A node with an empty queue is a provable no-op in the
+        // dense loop (no state, not even the vnet round-robin pointer,
+        // changes), so skipping it is exact.
+        if self.dense {
+            self.ni_active.clear();
+            for node in 0..self.nis.len() {
+                let backlog = self.inject_from_ni(node, cycle);
+                self.ni_flag[node] = backlog;
+                if backlog {
+                    self.ni_active.push(node);
                 }
             }
         } else {
-            self.traverse_links_with_faults(cycle, cap);
+            debug_assert!(self.ni_scratch.is_empty());
+            std::mem::swap(&mut self.ni_active, &mut self.ni_scratch);
+            self.ni_scratch.sort_unstable();
+            for i in 0..self.ni_scratch.len() {
+                let node = self.ni_scratch[i];
+                let backlog = self.inject_from_ni(node, cycle);
+                self.ni_flag[node] = backlog;
+                if backlog {
+                    self.ni_active.push(node);
+                }
+            }
+            self.ni_scratch.clear();
         }
 
-        // Phase 3: NI injection.
-        self.inject_from_nis(cycle);
+        // Phase 4: router pipelines (RC, VA, SA/ST) + ejection, for the
+        // worklist only. Both modes visit exactly the routers with
+        // `work[r]` set, in ascending order, and leave `active` holding
+        // the survivors (routers still buffering flits) in ascending
+        // order for Phase 5. No same-phase wakeups exist: credits are
+        // deferred to next Phase 1 and link fills to next Phase 2.
+        let use_down = self.fault.as_ref().is_some_and(|f| f.has_down_windows());
+        if self.dense {
+            self.active.clear();
+            for r in 0..self.routers.len() {
+                if !self.work[r] {
+                    continue;
+                }
+                let still = self.run_router(r, cycle, use_down);
+                self.work[r] = still;
+                if still {
+                    self.active.push(r);
+                }
+            }
+        } else {
+            debug_assert!(self.active_scratch.is_empty());
+            std::mem::swap(&mut self.active, &mut self.active_scratch);
+            self.active_scratch.sort_unstable();
+            for i in 0..self.active_scratch.len() {
+                let r = self.active_scratch[i];
+                debug_assert!(self.work[r], "worklist entry without its flag");
+                let still = self.run_router(r, cycle, use_down);
+                self.work[r] = still;
+                if still {
+                    self.active.push(r);
+                }
+            }
+            self.active_scratch.clear();
+        }
 
-        // Phase 4: router pipelines (RC, VA, SA/ST) + ejection.
-        self.run_routers(cycle);
-
-        // Phase 5: per-router input-buffer occupancy samples + window roll.
-        // The paper's Fig. 3 measures buffer utilization per router-cycle:
-        // localized contention shows up even when the network as a whole is
-        // nearly empty.
+        // Phase 5: per-router input-buffer occupancy samples + window
+        // roll. The paper's Fig. 3 measures buffer utilization per
+        // router-cycle: localized contention shows up even when the
+        // network as a whole is nearly empty. After Phase 4 the worklist
+        // holds exactly the routers with buffered flits (ascending), so
+        // the incremental path records the same nonzero samples in the
+        // same order as the dense scan, then credits the zeros in one
+        // batched call — identical `OccupancyCdf` updates.
         let per_router_capacity = self.buffer_capacity as f64 / self.routers.len() as f64;
-        let mut zeros = 0u64;
-        for r in &self.routers {
-            let buffered = r.buffered_flits();
-            if buffered == 0 {
-                zeros += 1;
-            } else {
+        if self.dense {
+            let mut zeros = 0u64;
+            for r in &self.routers {
+                let buffered = r.buffered_flits();
+                if buffered == 0 {
+                    zeros += 1;
+                } else {
+                    self.stats.occupancy.record(buffered as f64 / per_router_capacity);
+                }
+            }
+            self.stats.occupancy.record_zeros(zeros);
+        } else {
+            let zeros = (self.routers.len() - self.active.len()) as u64;
+            debug_assert_eq!(
+                zeros,
+                self.routers.iter().filter(|r| r.buffered_flits() == 0).count() as u64,
+                "post-Phase-4 worklist must equal the set of occupied routers"
+            );
+            for i in 0..self.active.len() {
+                let r = self.active[i];
+                let buffered = self.routers[r].buffered_flits();
+                debug_assert!(buffered > 0);
                 self.stats.occupancy.record(buffered as f64 / per_router_capacity);
             }
+            self.stats.occupancy.record_zeros(zeros);
         }
-        self.stats.occupancy.record_zeros(zeros);
         self.stats.end_cycle(cycle);
     }
 
@@ -514,10 +730,14 @@ impl<P> Network<P> {
                 oldest = Some(oldest.map_or(q, |o| o.min(q)));
             }
         }
-        let mut ni_backlog = 0u64;
+        let ni_backlog = self.ni_backlog_total;
+        debug_assert_eq!(
+            ni_backlog,
+            self.nis.iter().map(|ni| ni.queues.iter().map(std::collections::VecDeque::len).sum::<usize>() as u64).sum::<u64>(),
+            "incremental NI backlog counter diverged from the queues"
+        );
         for ni in &self.nis {
             for q in &ni.queues {
-                ni_backlog += q.len() as u64;
                 if let Some(f) = q.front() {
                     oldest = Some(oldest.map_or(f.queued_at, |o| o.min(f.queued_at)));
                 }
@@ -535,161 +755,172 @@ impl<P> Network<P> {
         }
     }
 
-    /// Phase-2 link traversal with the fault layer consulted per flit.
-    /// Dropped flits synthesize their upstream credit so flow control
-    /// stays live; corrupted head flits carry the mark to delivery.
-    fn traverse_links_with_faults(&mut self, cycle: u64, cap: usize) {
-        for lid in 0..self.links.len() {
-            let Some(mut flit) = self.links[lid].slot.take() else { continue };
-            let action = match self.fault.as_mut() {
-                Some(f) => f.on_link_flit(lid, cycle, &flit),
-                None => FaultAction::Deliver,
-            };
-            let to = self.links[lid].to_router;
-            let in_port = self.links[lid].in_port;
-            match action {
-                FaultAction::Drop => {
-                    // The downstream buffer slot reserved for this flit is
-                    // never filled: return the credit (and the VC on a
-                    // tail) so the upstream router does not wedge.
-                    let upstream = self
-                        .mesh
-                        .neighbor(NodeId::new(to), in_port)
-                        .expect("every link has an upstream router");
-                    self.pending_credits.push(CreditMsg {
-                        router: upstream.index(),
-                        port: in_port.opposite(),
-                        vc: flit.vc,
-                        frees_vc: flit.kind.is_tail(),
-                    });
-                    if flit.kind.is_tail() {
-                        self.lost_packets += 1;
-                        // A partially-delivered wormhole (flits that crossed
-                        // earlier links before the drop) may sit in the
-                        // reassembly map; it can never complete, so retire
-                        // it here rather than leak it.
-                        self.reassembly.remove(&flit.packet_id);
-                    }
+    /// Phase-2 link traversal for a single link, with the fault layer
+    /// consulted per flit. Dropped flits synthesize their upstream credit
+    /// so flow control stays live; corrupted head flits carry the mark to
+    /// delivery. No-op if the link slot is empty, so calling it for every
+    /// link (dense mode) or only occupied links (active mode) is identical.
+    fn deliver_link(&mut self, lid: usize, cycle: u64, cap: usize) {
+        let Some(mut flit) = self.links[lid].slot.take() else { return };
+        let action = match self.fault.as_mut() {
+            Some(f) => f.on_link_flit(lid, cycle, &flit),
+            None => FaultAction::Deliver,
+        };
+        let to = self.links[lid].to_router;
+        let in_port = self.links[lid].in_port;
+        match action {
+            FaultAction::Drop => {
+                // The downstream buffer slot reserved for this flit is
+                // never filled: return the credit (and the VC on a
+                // tail) so the upstream router does not wedge.
+                let upstream = self
+                    .mesh
+                    .neighbor(NodeId::new(to), in_port)
+                    .expect("every link has an upstream router");
+                self.pending_credits.push(CreditMsg {
+                    router: upstream.index(),
+                    port: in_port.opposite(),
+                    vc: flit.vc,
+                    frees_vc: flit.kind.is_tail(),
+                });
+                if flit.kind.is_tail() {
+                    self.lost_packets += 1;
+                    // A partially-delivered wormhole (flits that crossed
+                    // earlier links before the drop) may sit in the
+                    // reassembly map; it can never complete, so retire
+                    // it here rather than leak it.
+                    self.reassembly.remove(&flit.packet_id);
                 }
-                FaultAction::DeliverCorrupted | FaultAction::Deliver => {
-                    if action == FaultAction::DeliverCorrupted {
-                        flit.corrupted = true;
-                    }
-                    self.routers[to].accept_flit(in_port, flit, cycle, cap);
-                    self.work[to] = true;
-                    self.buffered_total += 1;
+            }
+            FaultAction::DeliverCorrupted | FaultAction::Deliver => {
+                if action == FaultAction::DeliverCorrupted {
+                    flit.corrupted = true;
                 }
+                self.routers[to].accept_flit(in_port, flit, cycle, cap);
+                self.mark_router(to);
+                self.buffered_total += 1;
             }
         }
     }
 
-    fn inject_from_nis(&mut self, cycle: u64) {
+    /// Phase-3 NI injection for a single node: drains up to
+    /// `ni_flits_per_cycle` flits into the local router, maintaining the
+    /// incremental backlog counters and waking the router. Returns whether
+    /// the node still has backlogged flits (i.e. should stay on the NI
+    /// worklist). A node with empty queues is a pure no-op in the dense
+    /// loop — no state (including the round-robin pointer) changes — so
+    /// skipping it in active mode is exact.
+    fn inject_from_ni(&mut self, node: usize, cycle: u64) -> bool {
         let vnets = self.cfg.vnets as usize;
         let k = self.cfg.vcs_per_vnet as usize;
         let cap = self.cfg.buffers_per_vc as usize;
-        for node in 0..self.nis.len() {
-            for _ in 0..self.cfg.ni_flits_per_cycle {
-                let mut pushed = false;
-                for step in 0..vnets {
-                    let v = (self.nis[node].rr + step) % vnets;
-                    let ni = &mut self.nis[node];
-                    let Some(front) = ni.queues[v].front() else { continue };
-                    let router = &self.routers[node];
-                    let vc = match ni.streaming[v] {
-                        Some(vc) => {
-                            debug_assert!(!front.kind.is_head());
-                            if router.local_vc_accepts(vc as usize, false, cap) {
-                                Some(vc)
-                            } else {
-                                None
-                            }
+        for _ in 0..self.cfg.ni_flits_per_cycle {
+            let mut pushed = false;
+            for step in 0..vnets {
+                let v = (self.nis[node].rr + step) % vnets;
+                let ni = &mut self.nis[node];
+                let Some(front) = ni.queues[v].front() else { continue };
+                let router = &self.routers[node];
+                let vc = match ni.streaming[v] {
+                    Some(vc) => {
+                        debug_assert!(!front.kind.is_head());
+                        if router.local_vc_accepts(vc as usize, false, cap) {
+                            Some(vc)
+                        } else {
+                            None
                         }
-                        None => {
-                            debug_assert!(front.kind.is_head());
-                            (v * k..(v + 1) * k)
-                                .find(|&vc| router.local_vc_accepts(vc, true, cap))
-                                .map(|vc| vc as u8)
-                        }
-                    };
-                    let Some(vc) = vc else { continue };
-                    let ni = &mut self.nis[node];
-                    let mut flit = ni.queues[v].pop_front().expect("front checked above");
-                    flit.vc = vc;
-                    ni.streaming[v] = if flit.kind.is_tail() { None } else { Some(vc) };
-                    self.routers[node].accept_flit(Dir::Local, flit, cycle, cap);
-                    self.buffered_total += 1;
-                    self.stats.injected_flits += 1;
-                    self.work[node] = true;
-                    self.nis[node].rr = (v + 1) % vnets;
-                    pushed = true;
-                    break;
-                }
-                if !pushed {
-                    break;
-                }
+                    }
+                    None => {
+                        debug_assert!(front.kind.is_head());
+                        (v * k..(v + 1) * k)
+                            .find(|&vc| router.local_vc_accepts(vc, true, cap))
+                            .map(|vc| vc as u8)
+                    }
+                };
+                let Some(vc) = vc else { continue };
+                let ni = &mut self.nis[node];
+                let mut flit = ni.queues[v].pop_front().expect("front checked above");
+                flit.vc = vc;
+                ni.streaming[v] = if flit.kind.is_tail() { None } else { Some(vc) };
+                self.routers[node].accept_flit(Dir::Local, flit, cycle, cap);
+                self.buffered_total += 1;
+                self.ni_backlogs[node] -= 1;
+                self.ni_backlog_total -= 1;
+                self.stats.injected_flits += 1;
+                self.mark_router(node);
+                self.nis[node].rr = (v + 1) % vnets;
+                pushed = true;
+                break;
+            }
+            if !pushed {
+                break;
             }
         }
+        self.ni_backlogs[node] > 0
     }
 
-    fn run_routers(&mut self, cycle: u64) {
-        let use_down = self.fault.as_ref().is_some_and(|f| f.has_down_windows());
-        for r in 0..self.routers.len() {
-            if !self.work[r] {
-                continue;
-            }
-            let mut down = Router::<P>::NO_DOWN_PORTS;
-            if use_down {
-                if let Some(f) = &self.fault {
-                    for d in Dir::ROUTER_DIRS {
-                        if let Some(lid) = self.link_of[r][d.index()] {
-                            down[d.index()] = f.link_down(lid, cycle);
-                        }
+    /// Phase-4 router pipeline for a single router: RC → VA → SA/ST,
+    /// then departures are committed to links / ejection with credits
+    /// returned upstream. Uses the per-network departure scratch buffer so
+    /// steady-state cycles allocate nothing. Returns whether the router
+    /// still buffers flits (i.e. must stay on the worklist).
+    fn run_router(&mut self, r: usize, cycle: u64, use_down: bool) -> bool {
+        let mut down = Router::<P>::NO_DOWN_PORTS;
+        if use_down {
+            if let Some(f) = &self.fault {
+                for d in Dir::ROUTER_DIRS {
+                    if let Some(lid) = self.link_of[r][d.index()] {
+                        down[d.index()] = f.link_down(lid, cycle);
                     }
                 }
             }
-            let departures = {
-                let router = &mut self.routers[r];
-                router.route_compute(&self.mesh, &self.cfg);
-                router.vc_allocate(&self.cfg, cycle, &mut self.tracer);
-                router.switch_allocate(&self.cfg, cycle, &down)
-            };
-            if !departures.is_empty() {
-                self.stats.record_router_cycle(r, true);
-                self.stats.crossbar_transfers += departures.len() as u64;
-            }
-            for dep in departures {
-                self.buffered_total -= 1;
-                if dep.in_port != Dir::Local {
-                    let upstream = self
-                        .mesh
-                        .neighbor(NodeId::new(r), dep.in_port)
-                        .expect("flit arrived from a connected port");
-                    self.pending_credits.push(CreditMsg {
-                        router: upstream.index(),
-                        port: dep.in_port.opposite(),
-                        vc: dep.in_vc,
-                        frees_vc: dep.was_tail,
-                    });
-                }
-                if dep.out_port == Dir::Local {
-                    self.eject(r, dep.flit, cycle);
-                } else {
-                    let lid = self.link_of[r][dep.out_port.index()]
-                        .expect("departure through a connected port");
-                    debug_assert!(self.links[lid].slot.is_none(), "link carries one flit per cycle");
-                    self.tracer.record_with(cycle, || EventKind::FlitHop {
-                        router: r as u32,
-                        out_port: dep.out_port.index() as u8,
-                        flit: dep.flit.id,
-                        packet: dep.flit.packet_id,
-                    });
-                    self.tracer.count_link(cycle, r as u32, dep.out_port.index() as u8);
-                    self.links[lid].slot = Some(dep.flit);
-                    self.stats.record_link_cycle(lid, true);
-                }
-            }
-            self.work[r] = self.routers[r].buffered_flits() > 0;
         }
+        let mut departures = std::mem::take(&mut self.departures_scratch);
+        debug_assert!(departures.is_empty());
+        {
+            let router = &mut self.routers[r];
+            router.route_compute(&self.mesh, &self.cfg);
+            router.vc_allocate(&self.cfg, cycle, &mut self.tracer);
+            router.switch_allocate_into(&self.cfg, cycle, &down, &mut departures);
+        }
+        if !departures.is_empty() {
+            self.stats.record_router_cycle(r, true);
+            self.stats.crossbar_transfers += departures.len() as u64;
+        }
+        for dep in departures.drain(..) {
+            self.buffered_total -= 1;
+            if dep.in_port != Dir::Local {
+                let upstream = self
+                    .mesh
+                    .neighbor(NodeId::new(r), dep.in_port)
+                    .expect("flit arrived from a connected port");
+                self.pending_credits.push(CreditMsg {
+                    router: upstream.index(),
+                    port: dep.in_port.opposite(),
+                    vc: dep.in_vc,
+                    frees_vc: dep.was_tail,
+                });
+            }
+            if dep.out_port == Dir::Local {
+                self.eject(r, dep.flit, cycle);
+            } else {
+                let lid = self.link_of[r][dep.out_port.index()]
+                    .expect("departure through a connected port");
+                debug_assert!(self.links[lid].slot.is_none(), "link carries one flit per cycle");
+                self.tracer.record_with(cycle, || EventKind::FlitHop {
+                    router: r as u32,
+                    out_port: dep.out_port.index() as u8,
+                    flit: dep.flit.id,
+                    packet: dep.flit.packet_id,
+                });
+                self.tracer.count_link(cycle, r as u32, dep.out_port.index() as u8);
+                self.links[lid].slot = Some(dep.flit);
+                self.occupied_links.push(lid);
+                self.stats.record_link_cycle(lid, true);
+            }
+        }
+        self.departures_scratch = departures;
+        self.routers[r].buffered_flits() > 0
     }
 
     fn eject(&mut self, node: usize, flit: Flit<P>, cycle: u64) {

@@ -90,6 +90,14 @@ pub(crate) struct Router<P> {
     sa_out_rr: [usize; Dir::COUNT],
     /// Flits currently buffered across all input VCs.
     buffered: usize,
+    /// Incrementally maintained count of *useful* free output VCs (free
+    /// and holding at least one credit) across router-to-router ports.
+    /// Kept exact by the three transitions that can change it:
+    /// credit return, VC free, and VC allocation (a credit spend on an
+    /// allocated VC never changes usefulness of a *free* VC).
+    useful_free: usize,
+    /// Total router-to-router output VCs (constant after construction).
+    useful_total: usize,
 }
 
 impl<P> Router<P> {
@@ -111,6 +119,10 @@ impl<P> Router<P> {
                     vec![OutputVc { free: true, credits: cfg.buffers_per_vc }; vcs];
             }
         }
+        // Every connected output VC starts free with a full credit stock,
+        // so it is useful by construction.
+        let useful_total: usize =
+            Dir::ROUTER_DIRS.iter().map(|d| outputs[d.index()].len()).sum();
         Router {
             node,
             inputs,
@@ -120,6 +132,8 @@ impl<P> Router<P> {
             sa_in_rr: [0; Dir::COUNT],
             sa_out_rr: [0; Dir::COUNT],
             buffered: 0,
+            useful_free: useful_total,
+            useful_total,
         }
     }
 
@@ -175,20 +189,41 @@ impl<P> Router<P> {
     /// slot drained.
     pub(crate) fn return_credit(&mut self, out_port: Dir, vc: u8, max: u8) {
         let o = &mut self.outputs[out_port.index()][vc as usize];
+        if o.free && o.credits == 0 {
+            // A free-but-starved VC just became useful again.
+            self.useful_free += 1;
+        }
         o.credits += 1;
         debug_assert!(o.credits <= max, "credit overflow");
     }
 
     /// Marks `(out_port, vc)` free after the downstream VC drained a tail.
     pub(crate) fn free_output_vc(&mut self, out_port: Dir, vc: u8) {
-        self.outputs[out_port.index()][vc as usize].free = true;
+        let o = &mut self.outputs[out_port.index()][vc as usize];
+        if !o.free && o.credits > 0 {
+            self.useful_free += 1;
+        }
+        o.free = true;
     }
 
     /// Counts `(free, total)` *useful* free output VCs — free and holding at
     /// least one credit — across the router-to-router output ports. This is
     /// the ALO-style congestion signal the SnackNoC CPM monitors
-    /// (paper §III-C2, after Baydal et al.).
+    /// (paper §III-C2, after Baydal et al.). O(1): the counter is
+    /// maintained incrementally at every credit/allocation transition
+    /// instead of rescanned per probe.
     pub(crate) fn useful_free_output_vcs(&self) -> (usize, usize) {
+        debug_assert_eq!(
+            (self.useful_free, self.useful_total),
+            self.recount_useful_free_output_vcs(),
+            "incremental useful-free counter out of sync"
+        );
+        (self.useful_free, self.useful_total)
+    }
+
+    /// Reference recount of the congestion probe (debug verification of
+    /// the incremental counter).
+    fn recount_useful_free_output_vcs(&self) -> (usize, usize) {
         let mut free = 0;
         let mut total = 0;
         for d in Dir::ROUTER_DIRS {
@@ -266,7 +301,14 @@ impl<P> Router<P> {
                         out_vc,
                     });
                     if out_port != Dir::Local {
-                        self.outputs[out_port.index()][out_vc as usize].free = false;
+                        let o = &mut self.outputs[out_port.index()][out_vc as usize];
+                        if o.credits > 0 {
+                            // The grant removes a (free, credited) VC from
+                            // the useful pool. (`o.free` holds: the grant
+                            // searched free VCs only.)
+                            self.useful_free -= 1;
+                        }
+                        o.free = false;
                     }
                     self.inputs[port][vc_idx].state = VcState::Active { out_port, out_vc };
                 }
@@ -282,12 +324,33 @@ impl<P> Router<P> {
     /// flits headed there are simply not ready, exactly as if the
     /// downstream receiver stopped returning credits. Pass
     /// [`Router::NO_DOWN_PORTS`] when fault injection is off.
+    ///
+    /// Convenience wrapper over [`Router::switch_allocate_into`]; the
+    /// network hot loop uses the `_into` form with a reused scratch
+    /// buffer, so this allocating form survives only for unit tests.
+    #[cfg(test)]
     pub(crate) fn switch_allocate(
         &mut self,
         cfg: &NocConfig,
         cycle: u64,
         down: &[bool; Dir::COUNT],
     ) -> Vec<Departure<P>> {
+        let mut departures = Vec::new();
+        self.switch_allocate_into(cfg, cycle, down, &mut departures);
+        departures
+    }
+
+    /// [`Router::switch_allocate`] writing into a caller-owned scratch
+    /// buffer — the allocation-free hot-loop entry point. `out` is
+    /// appended to (the network's per-cycle loop hands in a cleared,
+    /// capacity-warm scratch vector).
+    pub(crate) fn switch_allocate_into(
+        &mut self,
+        cfg: &NocConfig,
+        cycle: u64,
+        down: &[bool; Dir::COUNT],
+        out: &mut Vec<Departure<P>>,
+    ) {
         // A flit spends `pipeline_stages - 1` cycles in the router before
         // link traversal, giving the per-hop latencies of paper §III-D2.
         let extra = cfg.pipeline_extra();
@@ -297,18 +360,17 @@ impl<P> Router<P> {
             *nominee = self.pick_input_vc(port, cycle, extra, cfg.priority_arbitration, down);
         }
         // Stage 2: each output port grants one nominee.
-        let mut departures = Vec::new();
-        for out in 0..Dir::COUNT {
-            if !self.connected[out] {
+        for out_port in 0..Dir::COUNT {
+            if !self.connected[out_port] {
                 continue;
             }
-            let winner = self.pick_output_winner(out, &nominees, cfg.priority_arbitration);
+            let winner = self.pick_output_winner(out_port, &nominees, cfg.priority_arbitration);
             let Some(in_port) = winner else { continue };
             let vc_idx = nominees[in_port.index()].expect("winner must have a nominee");
             nominees[in_port.index()] = None; // an input port sends one flit per cycle
-            departures.push(self.traverse(in_port, vc_idx));
+            let dep = self.traverse(in_port, vc_idx);
+            out.push(dep);
         }
-        departures
     }
 
     /// Picks the input VC that port `port` nominates for the switch.
@@ -579,6 +641,43 @@ mod tests {
         let corner: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
         let (_, corner_total) = corner.useful_free_output_vcs();
         assert_eq!(corner_total, 2 * cfg.vcs_per_port());
+    }
+
+    #[test]
+    fn useful_free_counter_tracks_alloc_credit_and_free_transitions() {
+        // Drive a VC through allocate -> credit exhaustion -> credit
+        // return -> free and check the incremental counter against the
+        // recount at every step (the accessor debug_asserts the match).
+        let cfg = test_cfg().with_buffers_per_vc(1);
+        let mesh = Mesh::new(4, 4);
+        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let dst = mesh.node_at(3, 1);
+        let (free0, total) = r.useful_free_output_vcs();
+        assert_eq!(free0, total);
+        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
+        let (after_alloc, _) = r.useful_free_output_vcs();
+        assert_eq!(after_alloc, free0 - 1, "the granted VC leaves the useful pool");
+        // Traversal spends the VC's only credit; it stays allocated, so the
+        // counter is unchanged.
+        assert_eq!(r.switch_allocate(&cfg, 5, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
+        assert_eq!(r.useful_free_output_vcs().0, after_alloc);
+        // Credit returns while still allocated: not yet useful.
+        r.return_credit(Dir::East, 0, 1);
+        assert_eq!(r.useful_free_output_vcs().0, after_alloc);
+        // The tail drains downstream: the VC is free + credited again.
+        r.free_output_vc(Dir::East, 0);
+        assert_eq!(r.useful_free_output_vcs().0, free0);
+        // Freeing a starved VC first, then crediting it, also re-arms it.
+        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 6, 1);
+        r.route_compute(&mesh, &cfg);
+        r.vc_allocate(&cfg, 6, &mut TracerHandle::Nop);
+        assert_eq!(r.switch_allocate(&cfg, 12, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
+        r.free_output_vc(Dir::East, 0); // freed while credits == 0
+        assert_eq!(r.useful_free_output_vcs().0, free0 - 1);
+        r.return_credit(Dir::East, 0, 1); // credit arrives after the free
+        assert_eq!(r.useful_free_output_vcs().0, free0);
     }
 
     #[test]

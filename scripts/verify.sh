@@ -73,7 +73,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "+ snack-faults --smoke"
 smoke_json=$(mktemp)
 trace_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$trace_json"' EXIT
+perf_json=$(mktemp)
+trap 'rm -f "$smoke_json" "$trace_json" "$perf_json"' EXIT
 cargo run --release --offline -q -p snacknoc-bench --bin snack-faults -- \
   --smoke --json "$smoke_json"
 
@@ -97,5 +98,27 @@ for lane in router rcu cpm; do
     exit 1
   }
 done
+
+# Activity-driven hot-loop smoke: time Network::step + a kernel in both
+# the active-set (default) and dense reference modes, and demand the
+# stats fingerprints are bit-identical (the binary exits non-zero on any
+# mismatch; the greps re-assert the identity line and the JSON schema
+# from the shell so a silently-broken self-check cannot pass CI).
+echo "+ snack-perf --smoke"
+perf_out=$(cargo run --release --offline -q -p snacknoc-bench --bin snack-perf -- \
+  --smoke --json "$perf_json")
+echo "$perf_out"
+echo "$perf_out" | grep -q "^stats-identical: yes" || {
+  echo "ERROR: snack-perf --smoke did not prove active == dense stats" >&2
+  exit 1
+}
+grep -q '"schema": "snacknoc-perf-v1"' "$perf_json" || {
+  echo "ERROR: snack-perf JSON is missing the snacknoc-perf-v1 schema tag" >&2
+  exit 1
+}
+grep -q '"stats_identical": true' "$perf_json" || {
+  echo "ERROR: snack-perf JSON reports a stats mismatch" >&2
+  exit 1
+}
 
 echo "verify: all green"

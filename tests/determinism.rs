@@ -13,12 +13,15 @@ use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
 use snacknoc_bench::sweep::{run_sweep, SweepSpec};
 
 /// A fingerprint of a multi-program run that any nondeterminism would
-/// perturb.
-fn fingerprint(seed: u64) -> (u64, u64, f64, u64, u64) {
+/// perturb. `dense` selects the stepping mode: `false` is the default
+/// activity-driven scheduler, `true` forces the reference dense loop that
+/// visits every router/NI/RCU each cycle (DESIGN.md §11).
+fn fingerprint_mode(seed: u64, dense: bool) -> (u64, u64, f64, u64, u64) {
     let mut p = SnackPlatform::new(
         NocConfig::dapper().with_priority_arbitration(true).with_sample_window(500),
     )
     .expect("valid platform");
+    p.set_dense_stepping(dense);
     let built = build(Kernel::Spmv, 48, seed);
     let kernel = built
         .context
@@ -35,6 +38,11 @@ fn fingerprint(seed: u64) -> (u64, u64, f64, u64, u64) {
         comm.latency_sum,
         p.rcu_stats().executed,
     )
+}
+
+/// Default-mode fingerprint (activity-driven stepping).
+fn fingerprint(seed: u64) -> (u64, u64, f64, u64, u64) {
+    fingerprint_mode(seed, false)
 }
 
 #[test]
@@ -214,5 +222,102 @@ fn ring_traced_kernel_matches_untraced_kernel() {
         let cp = traced.critical_path.expect("bracket captured");
         assert_eq!(cp.attributed_total(), cp.total(), "{kernel}: tiling exact");
         assert_eq!(cp.total(), traced.cycles, "{kernel}: bracket spans latency");
+    }
+}
+
+/// Active-set scheduling, part 1: the activity-driven hot loop (the
+/// default) is a pure wall-clock optimization. A full multi-program run —
+/// kernel + background workload + priority arbitration — produces a
+/// bit-identical fingerprint under `dense_stepping`, which visits every
+/// router, NI and RCU each cycle (DESIGN.md §11).
+#[test]
+fn active_set_multiprogram_is_bit_identical_to_dense() {
+    for seed in [41, 42, 1009] {
+        let active = fingerprint_mode(seed, false);
+        let dense = fingerprint_mode(seed, true);
+        assert_eq!(
+            active, dense,
+            "seed {seed}: active-set stepping must match dense stepping bit-for-bit"
+        );
+    }
+}
+
+/// Active-set scheduling, part 2: bit-identity holds *under a fault plan*
+/// — link faults perturb the wakeup edges (drops synthesize credits,
+/// downed links park flits) and RCU stall windows force the platform's
+/// dense-RCU fallback, so this pins exactly the hairiest scheduling
+/// corners. Outputs, cycle count, RCU counters, recovery counters and the
+/// full network-stats fingerprint must all match.
+#[test]
+fn active_set_matches_dense_under_fault_plan() {
+    use snacknoc::core::RecoveryConfig;
+    use snacknoc::noc::{Dir, FaultPlan, LinkFaultKind, NodeId};
+    use snacknoc_bench::perf::stats_fingerprint;
+
+    let built = build(Kernel::Reduction, 48, 9);
+    let run_mode = |dense: bool| {
+        let mut p = SnackPlatform::new(NocConfig::default()).expect("valid platform");
+        p.set_dense_stepping(dense);
+        // MAC fusion off: intermediate values travel the transient ring,
+        // which the fault plan targets.
+        let mapper = MapperConfig::for_mesh(p.mesh()).with_mac_fusion(false);
+        let kernel =
+            built.context.compile(built.root, &mapper).expect("compiles");
+        let plan = FaultPlan::seeded(0xFA57_0001)
+            .with_link_fault(NodeId::new(5), Dir::East, 50, 700, LinkFaultKind::Down)
+            .with_link_fault(
+                NodeId::new(9),
+                Dir::North,
+                200,
+                900,
+                LinkFaultKind::Drop { rate: 1.0 },
+            )
+            .with_rcu_stall(NodeId::new(3), 100, 400);
+        p.set_fault_plan(plan).expect("valid fault plan");
+        p.enable_recovery(RecoveryConfig::aggressive());
+        let run = p.run_kernel(&kernel, 10_000_000).expect("finishes under recovery");
+        let rcu = p.rcu_stats();
+        let rec = p.recovery_stats();
+        let injected = p.net_injected_packets();
+        let delivered = p.net_delivered_packets();
+        format!(
+            "cycles={} outputs={:?} rcu={}/{}/{} recovery={}/{} {}",
+            run.cycles,
+            run.outputs,
+            rcu.executed,
+            rcu.captures,
+            rcu.stalled_cycles,
+            rec.detected,
+            rec.recovered,
+            stats_fingerprint(injected, delivered, 0, p.finalize_stats()),
+        )
+    };
+    let active = run_mode(false);
+    let dense = run_mode(true);
+    assert_eq!(
+        active, dense,
+        "faulted kernel run must be bit-identical across stepping modes"
+    );
+    assert!(active.contains("rcu="), "fingerprint is non-trivial");
+}
+
+/// Active-set scheduling, part 3: mode choice composes with the worker
+/// pool. A grid of {active, dense} x seeds fingerprinted on 1 worker and
+/// on 4 workers merges to the same bytes, and within the merged vector
+/// each active cell equals its dense twin.
+#[test]
+fn active_vs_dense_fingerprints_are_worker_count_invariant() {
+    use snacknoc_bench::sweep::parallel_map;
+    let grid: Vec<(u64, bool)> =
+        [7u64, 8, 9].iter().flat_map(|&s| [(s, false), (s, true)]).collect();
+    let job = |i: usize| {
+        let (seed, dense) = grid[i];
+        format!("{:?}", fingerprint_mode(seed, dense))
+    };
+    let serial = parallel_map(grid.len(), 1, job);
+    let parallel = parallel_map(grid.len(), 4, job);
+    assert_eq!(serial, parallel, "1-vs-4 workers must merge identically");
+    for pair in serial.chunks(2) {
+        assert_eq!(pair[0], pair[1], "active and dense twins agree per seed");
     }
 }

@@ -355,3 +355,115 @@ fn workload_trace_csv_round_trip_is_identity() {
         assert_eq!(csv, csv2, "serialisation is byte-stable");
     });
 }
+
+/// Activity-driven stepping is bit-identical to dense stepping on *random*
+/// workloads: any mesh shape, any vnet mix, any packet sizes, any injection
+/// schedule, and an optional random transient link fault. The full
+/// network-stats fingerprint (occupancy series, utilizations, latency
+/// percentiles, per-class counters) must match — the active-set scheduler
+/// may only change *when routers are visited*, never what they compute
+/// (DESIGN.md §11).
+#[test]
+fn random_workloads_step_identically_active_and_dense() {
+    use snacknoc::noc::{Dir, FaultPlan, LinkFaultKind};
+    use snacknoc_bench::perf::stats_fingerprint;
+    prop_check!(cases = 16, seed = 0x51AC_0009, |rng| {
+        let (cols, rows) = mesh_dims(rng);
+        let cfg = NocConfig::default()
+            .with_mesh(cols, rows)
+            .with_sample_window(rng.range(50..400));
+        let mesh = Mesh::new(cols, rows);
+        let n = mesh.node_count();
+        let cycles = rng.range(400..1500);
+
+        // Pre-generate the injection schedule so both modes replay the
+        // exact same traffic.
+        let mut schedule: Vec<(u64, usize, usize, u8, u32)> = (0..rng
+            .range_usize(5..80))
+            .map(|_| {
+                (
+                    rng.range(0..cycles / 2),
+                    rng.range_usize(0..n),
+                    rng.range_usize(0..n),
+                    rng.range(0..3) as u8,
+                    rng.range(1..120) as u32,
+                )
+            })
+            .collect();
+        schedule.sort_unstable();
+
+        // Optionally overlay one random transient link fault: fault
+        // windows are wakeup edges for the active-set scheduler, so this
+        // probes the scheduling corner dense mode trivially gets right.
+        let fault = if rng.flip() {
+            let (node, dir) = loop {
+                let node = NodeId::new(rng.range_usize(0..n));
+                let dir = Dir::ROUTER_DIRS[rng.range_usize(0..4)];
+                if mesh.neighbor(node, dir).is_some() {
+                    break (node, dir);
+                }
+            };
+            let start = rng.range(0..cycles / 2);
+            let end = start + rng.range(20..400);
+            let kind = match rng.range(0..2) {
+                0 => LinkFaultKind::Down,
+                _ => LinkFaultKind::Drop { rate: 0.5 },
+            };
+            Some((node, dir, start, end, kind, rng.range(0..1 << 30)))
+        } else {
+            None
+        };
+
+        let run_mode = |dense: bool| {
+            let mut net: Network<usize> = Network::new(cfg.clone()).unwrap();
+            net.set_dense_stepping(dense);
+            if let Some((node, dir, start, end, kind, fseed)) = fault {
+                net.set_fault_plan(
+                    FaultPlan::seeded(fseed).with_link_fault(node, dir, start, end, kind),
+                )
+                .unwrap();
+            }
+            let mut cursor = 0usize;
+            let mut drained = Vec::new();
+            let mut ejected_log = Vec::new();
+            for cycle in 0..cycles {
+                while cursor < schedule.len() && schedule[cursor].0 == cycle {
+                    let (_, src, dst, vnet, bytes) = schedule[cursor];
+                    net.inject(PacketSpec::new(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        vnet,
+                        TrafficClass::Communication,
+                        bytes,
+                        cursor,
+                    ))
+                    .unwrap();
+                    cursor += 1;
+                }
+                net.step();
+                for node in 0..n {
+                    net.drain_ejected_into(NodeId::new(node), &mut drained);
+                    for p in drained.drain(..) {
+                        ejected_log.push((cycle, node, p.payload));
+                    }
+                }
+            }
+            let injected = net.injected_packets();
+            let delivered = net.delivered_packets();
+            let pending = net.pending_packets();
+            format!(
+                "ejections={ejected_log:?} backlog={} {}",
+                net.total_ni_backlog(),
+                stats_fingerprint(injected, delivered, pending, net.finalize_stats()),
+            )
+        };
+        let active = run_mode(false);
+        let dense = run_mode(true);
+        assert_eq!(
+            active, dense,
+            "{cols}x{rows} mesh, {} packets, fault={fault:?}: \
+             active-set and dense stepping must be bit-identical",
+            schedule.len()
+        );
+    });
+}
