@@ -1,18 +1,20 @@
 //! `snack-perf` — the canonical hot-loop performance benchmark.
 //!
-//! Times `Network::step` at idle / low / saturation injection and full
-//! `Platform::run_kernel` for three compiler kernels, each under both the
-//! activity-driven scheduler (default) and the dense reference loop, and
-//! writes `BENCH_perf.json` (`snacknoc-perf-v1`) — the perf trajectory's
-//! committed baseline. The dense numbers in the same file *are* the
-//! baseline future PRs compare against.
+//! Times `Network::step` at idle / low / saturation injection, a
+//! think-heavy closed-loop platform scenario, and full
+//! `Platform::run_kernel` for three compiler kernels, each under the
+//! dense reference loop, the activity-driven scheduler (default) and the
+//! event-driven time-wheel, and writes `BENCH_perf.json`
+//! (`snacknoc-perf-v1`) — the perf trajectory's committed baseline. The
+//! dense numbers in the same file *are* the baseline future PRs compare
+//! against.
 //!
 //! ```text
 //! snack-perf [--samples N] [--kernel-size N] [--seed N] [--json PATH] [--smoke]
 //! ```
 //!
 //! Wall-clock numbers are machine-dependent; the `stats_identical`
-//! fields assert that both stepping modes produced byte-identical
+//! fields assert that all stepping modes produced byte-identical
 //! simulation statistics, and the binary exits non-zero if any scenario
 //! diverged. `--smoke` shrinks the grid to a CI-sized run (used by
 //! `scripts/verify.sh`) — it checks bit-identity and the JSON schema,
@@ -22,7 +24,8 @@
 
 use snacknoc_bench::args::CliArgs;
 use snacknoc_bench::perf::{
-    default_step_scenarios, smoke_step_scenarios, time_kernel, time_step_scenario, PerfReport,
+    default_step_scenarios, smoke_step_scenarios, time_closed_loop, time_kernel,
+    time_step_scenario, PerfReport,
 };
 use snacknoc_workloads::kernels::Kernel;
 
@@ -50,7 +53,8 @@ fn main() {
         kernels.len(),
         if smoke { " [smoke]" } else { "" },
     );
-    let step = scenarios.iter().map(|s| time_step_scenario(s, samples)).collect();
+    let mut step: Vec<_> = scenarios.iter().map(|s| time_step_scenario(s, samples)).collect();
+    step.push(time_closed_loop(if smoke { 20_000 } else { 200_000 }, samples));
     let kernel_results =
         kernels.iter().map(|&k| time_kernel(k, kernel_size, seed, samples)).collect();
     let report = PerfReport { step, kernels: kernel_results };
@@ -63,12 +67,15 @@ fn main() {
     if let Some(speedup) = report.idle_speedup() {
         println!("idle-speedup: {speedup:.2}x (active-set over dense baseline)");
     }
+    if let Some(speedup) = report.idle_event_speedup() {
+        println!("idle-event-speedup: {speedup:.2}x (event-driven over dense baseline)");
+    }
     if !report.all_identical() {
         eprintln!(
-            "error: active-set and dense stepping disagreed on simulation \
-             statistics (or a kernel failed verification)"
+            "error: a stepping mode disagreed with the dense oracle on \
+             simulation statistics (or a kernel failed verification)"
         );
         std::process::exit(1);
     }
-    println!("stats-identical: yes (all scenarios, both modes)");
+    println!("stats-identical: yes (all scenarios, all modes)");
 }

@@ -1,18 +1,22 @@
-//! Hot-loop performance measurements: activity-driven vs dense stepping
-//! (`BENCH_perf.json`, the first point of the repo's perf trajectory).
+//! Hot-loop performance measurements: dense vs activity-driven vs
+//! event-driven stepping (`BENCH_perf.json`, the repo's perf trajectory).
 //!
-//! Two families of measurements:
+//! Three families of measurements:
 //!
 //! * **`Network::step` scenarios** — a bare network driven by a
 //!   pre-generated uniform-random injection schedule at idle / low /
-//!   saturation rates, timed under both the activity-driven scheduler
-//!   (the default) and the dense reference loop
-//!   ([`Network::set_dense_stepping`]). The schedule is generated once
-//!   per scenario, so both modes replay byte-identical injections and
-//!   must report byte-identical simulation statistics
+//!   saturation rates, timed under the dense reference loop
+//!   ([`Network::set_dense_stepping`]), the activity-driven scheduler
+//!   (the default) and the event-driven time-wheel
+//!   ([`Network::set_event_stepping`], DESIGN.md §12). The schedule is
+//!   generated once per scenario, so all modes replay byte-identical
+//!   injections and must report byte-identical simulation statistics
 //!   ([`StepTiming::stats_identical`]).
+//! * **Closed-loop platform scenario** — a think-heavy closed-loop CMP
+//!   workload on the full `SnackPlatform` run loop, the regime where
+//!   event-driven jumps compress real dead time between request bursts.
 //! * **`Platform::run_kernel` timings** — full compiler kernels run to
-//!   completion under both modes, with outputs and statistics compared.
+//!   completion under every mode, with outputs and statistics compared.
 //!
 //! Wall-clock numbers (median/p90 ns) are machine-dependent and are *not*
 //! covered by any determinism guarantee; the simulation fingerprints are.
@@ -165,35 +169,82 @@ pub fn stats_fingerprint(injected: u64, delivered: u64, pending: u64, stats: &Ne
     out
 }
 
+/// Stepping mode selector: `0` = dense reference loop, `1` = activity-
+/// driven (the default), `2` = event-driven time-wheel.
+fn apply_net_mode(net: &mut Network<u64>, mode: u8) {
+    match mode {
+        0 => net.set_dense_stepping(true),
+        1 => {}
+        2 => net.set_event_stepping(true),
+        _ => unreachable!("modes are 0..=2"),
+    }
+}
+
 /// Runs `s` once in the given mode, replaying `schedule`. Returns the
 /// wall time of the stepping loop (ns) and the simulation fingerprint.
-fn run_step_once(s: &StepScenario, cfg: &NocConfig, schedule: &[Injection], dense: bool) -> (u64, String) {
+///
+/// Dense and active modes drive the canonical per-cycle loop (inject,
+/// step, drain — the PR-5 baseline driver). Event mode drives the same
+/// schedule through [`Network::step_until`] segments between injection
+/// cycles, which is where the time-wheel earns its jumps; the drain
+/// cadence differs but draining is stats-neutral, so the fingerprints
+/// must still match byte-for-byte.
+fn run_step_once(s: &StepScenario, cfg: &NocConfig, schedule: &[Injection], mode: u8) -> (u64, String) {
     let mut net: Network<u64> = Network::new(cfg.clone()).expect("valid perf config");
-    net.set_dense_stepping(dense);
+    apply_net_mode(&mut net, mode);
     let mut cursor = 0usize;
     let mut drained: Vec<_> = Vec::new();
     let nodes: Vec<NodeId> = net.mesh().nodes().collect();
     let t0 = Instant::now();
-    for cycle in 0..s.cycles {
-        while cursor < schedule.len() && schedule[cursor].0 == cycle {
-            let (_, src, dst, vnet) = schedule[cursor];
-            let spec = PacketSpec::new(
-                NodeId::new(src),
-                NodeId::new(dst),
-                vnet,
-                TrafficClass::Communication,
-                16,
-                cycle,
-            );
-            net.inject(spec).expect("schedule produces valid packets");
-            cursor += 1;
+    if mode == 2 {
+        while cursor < schedule.len() {
+            let at = schedule[cursor].0;
+            net.step_until(at);
+            for &node in &nodes {
+                net.drain_ejected_into(node, &mut drained);
+            }
+            drained.clear();
+            while cursor < schedule.len() && schedule[cursor].0 == at {
+                let (_, src, dst, vnet) = schedule[cursor];
+                let spec = PacketSpec::new(
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    vnet,
+                    TrafficClass::Communication,
+                    16,
+                    at,
+                );
+                net.inject(spec).expect("schedule produces valid packets");
+                cursor += 1;
+            }
         }
-        net.step();
-        // Closed-loop delivery drain, as a platform would do.
+        net.step_until(s.cycles);
         for &node in &nodes {
             net.drain_ejected_into(node, &mut drained);
         }
         drained.clear();
+    } else {
+        for cycle in 0..s.cycles {
+            while cursor < schedule.len() && schedule[cursor].0 == cycle {
+                let (_, src, dst, vnet) = schedule[cursor];
+                let spec = PacketSpec::new(
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    vnet,
+                    TrafficClass::Communication,
+                    16,
+                    cycle,
+                );
+                net.inject(spec).expect("schedule produces valid packets");
+                cursor += 1;
+            }
+            net.step();
+            // Closed-loop delivery drain, as a platform would do.
+            for &node in &nodes {
+                net.drain_ejected_into(node, &mut drained);
+            }
+            drained.clear();
+        }
     }
     let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let injected = net.injected_packets();
@@ -216,7 +267,9 @@ pub struct StepTiming {
     pub active: BenchStats,
     /// Dense reference-loop timings (the baseline).
     pub dense: BenchStats,
-    /// Whether both modes reported byte-identical simulation statistics.
+    /// Event-driven time-wheel timings.
+    pub event: BenchStats,
+    /// Whether all modes reported byte-identical simulation statistics.
     pub stats_identical: bool,
 }
 
@@ -233,10 +286,22 @@ impl StepTiming {
         self.sim_cycles as f64 * 1e9 / self.dense.median_ns.max(1) as f64
     }
 
+    /// Simulated cycles per wall-clock second, event-driven.
+    #[must_use]
+    pub fn event_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 * 1e9 / self.event.median_ns.max(1) as f64
+    }
+
     /// Active-set speedup over the dense baseline (median-based).
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.dense.median_ns as f64 / self.active.median_ns.max(1) as f64
+    }
+
+    /// Event-driven speedup over the dense baseline (median-based).
+    #[must_use]
+    pub fn event_speedup(&self) -> f64 {
+        self.dense.median_ns as f64 / self.event.median_ns.max(1) as f64
     }
 }
 
@@ -251,18 +316,22 @@ impl StepTiming {
 pub fn time_step_scenario(s: &StepScenario, samples: u32) -> StepTiming {
     let cfg = NocConfig::default().with_mesh(s.cols as u16, s.rows as u16);
     let schedule = build_schedule(s, &cfg);
-    // One untimed warmup per mode.
-    let (_, fp_active) = run_step_once(s, &cfg, &schedule, false);
-    let (_, fp_dense) = run_step_once(s, &cfg, &schedule, true);
-    let mut identical = fp_active == fp_dense;
-    let mut active_ns = Vec::with_capacity(samples as usize);
+    // One untimed warmup per mode; dense is the reference fingerprint.
+    let (_, fp_dense) = run_step_once(s, &cfg, &schedule, 0);
+    let (_, fp_active) = run_step_once(s, &cfg, &schedule, 1);
+    let (_, fp_event) = run_step_once(s, &cfg, &schedule, 2);
+    let mut identical = fp_active == fp_dense && fp_event == fp_dense;
     let mut dense_ns = Vec::with_capacity(samples as usize);
+    let mut active_ns = Vec::with_capacity(samples as usize);
+    let mut event_ns = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
-        let (a, fa) = run_step_once(s, &cfg, &schedule, false);
-        let (d, fd) = run_step_once(s, &cfg, &schedule, true);
-        identical &= fa == fp_active && fd == fp_active;
-        active_ns.push(a);
+        let (d, fd) = run_step_once(s, &cfg, &schedule, 0);
+        let (a, fa) = run_step_once(s, &cfg, &schedule, 1);
+        let (e, fe) = run_step_once(s, &cfg, &schedule, 2);
+        identical &= fd == fp_dense && fa == fp_dense && fe == fp_dense;
         dense_ns.push(d);
+        active_ns.push(a);
+        event_ns.push(e);
     }
     let label = s.label();
     StepTiming {
@@ -270,6 +339,7 @@ pub fn time_step_scenario(s: &StepScenario, samples: u32) -> StepTiming {
         injected_packets: schedule.len() as u64,
         active: summarize(&format!("step/{label}/active"), &active_ns),
         dense: summarize(&format!("step/{label}/dense"), &dense_ns),
+        event: summarize(&format!("step/{label}/event"), &event_ns),
         stats_identical: identical,
         name: label,
     }
@@ -289,7 +359,9 @@ pub struct KernelTiming {
     pub active: BenchStats,
     /// Dense reference-loop timings (the baseline).
     pub dense: BenchStats,
-    /// Whether both modes agreed on cycles, outputs and statistics.
+    /// Event-driven time-wheel timings.
+    pub event: BenchStats,
+    /// Whether all modes agreed on cycles, outputs and statistics.
     pub stats_identical: bool,
 }
 
@@ -299,10 +371,16 @@ impl KernelTiming {
     pub fn speedup(&self) -> f64 {
         self.dense.median_ns as f64 / self.active.median_ns.max(1) as f64
     }
+
+    /// Event-driven speedup over the dense baseline (median-based).
+    #[must_use]
+    pub fn event_speedup(&self) -> f64 {
+        self.dense.median_ns as f64 / self.event.median_ns.max(1) as f64
+    }
 }
 
 /// Compiles `kernel` at `size` once, then times `Platform::run_kernel`
-/// to completion under both modes.
+/// to completion under all three stepping modes.
 ///
 /// # Panics
 ///
@@ -323,9 +401,14 @@ pub fn time_kernel(
     compiled.validate().expect("compiled kernel is well-formed");
     let cap = 200 * compiled.len() as u64 + 1_000_000;
     let reference = built.context.interpret(built.root).expect("interpretable");
-    let run_once = |dense: bool| -> (u64, u64, bool, String) {
+    let run_once = |mode: u8| -> (u64, u64, bool, String) {
         let mut platform = SnackPlatform::new(cfg.clone()).expect("valid platform config");
-        platform.set_dense_stepping(dense);
+        match mode {
+            0 => platform.set_dense_stepping(true),
+            1 => {}
+            2 => platform.set_event_stepping(true),
+            _ => unreachable!("modes are 0..=2"),
+        }
         let t0 = Instant::now();
         let run = platform
             .run_kernel(&compiled, cap)
@@ -345,18 +428,22 @@ pub fn time_kernel(
         );
         (ns, run.cycles, run.outputs == reference, fp)
     };
-    // Warmup + reference fingerprints.
-    let (_, cycles, verified, fp_active) = run_once(false);
-    let (_, _, _, fp_dense) = run_once(true);
-    let mut identical = fp_active == fp_dense;
-    let mut active_ns = Vec::with_capacity(samples as usize);
+    // Warmup + reference fingerprints (dense is the oracle).
+    let (_, cycles, verified, fp_dense) = run_once(0);
+    let (_, _, _, fp_active) = run_once(1);
+    let (_, _, _, fp_event) = run_once(2);
+    let mut identical = fp_active == fp_dense && fp_event == fp_dense;
     let mut dense_ns = Vec::with_capacity(samples as usize);
+    let mut active_ns = Vec::with_capacity(samples as usize);
+    let mut event_ns = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
-        let (a, _, _, fa) = run_once(false);
-        let (d, _, _, fd) = run_once(true);
-        identical &= fa == fp_active && fd == fp_active;
-        active_ns.push(a);
+        let (d, _, _, fd) = run_once(0);
+        let (a, _, _, fa) = run_once(1);
+        let (e, _, _, fe) = run_once(2);
+        identical &= fd == fp_dense && fa == fp_dense && fe == fp_dense;
         dense_ns.push(d);
+        active_ns.push(a);
+        event_ns.push(e);
     }
     let name = format!("{kernel}/{size}");
     KernelTiming {
@@ -364,8 +451,80 @@ pub fn time_kernel(
         verified,
         active: summarize(&format!("kernel/{name}/active"), &active_ns),
         dense: summarize(&format!("kernel/{name}/dense"), &dense_ns),
+        event: summarize(&format!("kernel/{name}/event"), &event_ns),
         stats_identical: identical,
         name,
+    }
+}
+
+/// Times a think-heavy closed-loop CMP workload on the full
+/// [`SnackPlatform`] run loop under all three stepping modes.
+///
+/// Each core issues a handful of requests separated by long exponential
+/// think gaps (mean `think_time` cycles), so most of the simulated window
+/// is genuinely dead time between bursts — the regime the event-driven
+/// time-wheel (DESIGN.md §12) is built for. Reported as an extra
+/// [`StepTiming`] row named `closed-loop/COLSxROWS`.
+///
+/// # Panics
+///
+/// Panics if the platform config is invalid — a bench bug, not an
+/// experimental condition.
+#[must_use]
+pub fn time_closed_loop(cycles: u64, samples: u32) -> StepTiming {
+    use snacknoc_workloads::{BenchmarkProfile, Phase};
+    let cfg = NocConfig::default().with_mesh(8, 8);
+    let profile = BenchmarkProfile {
+        name: "closed-loop",
+        phases: vec![Phase::smooth(4, 6_000.0)],
+        outstanding: 1,
+    };
+    let run_once = |mode: u8| -> (u64, u64, String) {
+        let mut p = SnackPlatform::new(cfg.clone()).expect("valid platform config");
+        match mode {
+            0 => p.set_dense_stepping(true),
+            1 => {}
+            2 => p.set_event_stepping(true),
+            _ => unreachable!("modes are 0..=2"),
+        }
+        p.attach_workload(&profile, 29);
+        let t0 = Instant::now();
+        p.run(cycles);
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let injected = p.net_injected_packets();
+        let delivered = p.net_delivered_packets();
+        let fp = format!(
+            "done={} runtime={:?} {}",
+            p.workload_done(),
+            p.workload_runtime(),
+            stats_fingerprint(injected, delivered, 0, p.finalize_stats()),
+        );
+        (ns, injected, fp)
+    };
+    let (_, injected, fp_dense) = run_once(0);
+    let (_, _, fp_active) = run_once(1);
+    let (_, _, fp_event) = run_once(2);
+    let mut identical = fp_active == fp_dense && fp_event == fp_dense;
+    let mut dense_ns = Vec::with_capacity(samples as usize);
+    let mut active_ns = Vec::with_capacity(samples as usize);
+    let mut event_ns = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let (d, _, fd) = run_once(0);
+        let (a, _, fa) = run_once(1);
+        let (e, _, fe) = run_once(2);
+        identical &= fd == fp_dense && fa == fp_dense && fe == fp_dense;
+        dense_ns.push(d);
+        active_ns.push(a);
+        event_ns.push(e);
+    }
+    StepTiming {
+        name: "closed-loop/8x8".to_string(),
+        sim_cycles: cycles,
+        injected_packets: injected,
+        active: summarize("step/closed-loop/8x8/active", &active_ns),
+        dense: summarize("step/closed-loop/8x8/dense", &dense_ns),
+        event: summarize("step/closed-loop/8x8/event", &event_ns),
+        stats_identical: identical,
     }
 }
 
@@ -380,7 +539,7 @@ pub struct PerfReport {
 
 impl PerfReport {
     /// Every scenario and kernel reported byte-identical simulation
-    /// statistics under both stepping modes.
+    /// statistics under all three stepping modes.
     #[must_use]
     pub fn all_identical(&self) -> bool {
         self.step.iter().all(|s| s.stats_identical)
@@ -391,6 +550,12 @@ impl PerfReport {
     #[must_use]
     pub fn idle_speedup(&self) -> Option<f64> {
         self.step.iter().find(|s| s.name.starts_with("idle")).map(StepTiming::speedup)
+    }
+
+    /// The idle-mesh speedup (event vs dense), if an `idle` scenario ran.
+    #[must_use]
+    pub fn idle_event_speedup(&self) -> Option<f64> {
+        self.step.iter().find(|s| s.name.starts_with("idle")).map(StepTiming::event_speedup)
     }
 
     /// Writes the `snacknoc-perf-v1` JSON document. Wall-clock fields are
@@ -411,8 +576,11 @@ impl PerfReport {
                 "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"injected_packets\": {}, \
                  \"active_median_ns\": {}, \"active_p90_ns\": {}, \
                  \"dense_median_ns\": {}, \"dense_p90_ns\": {}, \
+                 \"event_median_ns\": {}, \"event_p90_ns\": {}, \
                  \"active_cycles_per_sec\": {:.1}, \"dense_cycles_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}, \"stats_identical\": {}}}{comma}",
+                 \"event_cycles_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"event_speedup\": {:.3}, \
+                 \"stats_identical\": {}}}{comma}",
                 crate::sweep::json_escape(&s.name),
                 s.sim_cycles,
                 s.injected_packets,
@@ -420,9 +588,13 @@ impl PerfReport {
                 s.active.p90_ns,
                 s.dense.median_ns,
                 s.dense.p90_ns,
+                s.event.median_ns,
+                s.event.p90_ns,
                 s.active_cycles_per_sec(),
                 s.dense_cycles_per_sec(),
+                s.event_cycles_per_sec(),
                 s.speedup(),
+                s.event_speedup(),
                 s.stats_identical,
             )?;
         }
@@ -435,7 +607,9 @@ impl PerfReport {
                 "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"verified\": {}, \
                  \"active_median_ns\": {}, \"active_p90_ns\": {}, \
                  \"dense_median_ns\": {}, \"dense_p90_ns\": {}, \
-                 \"speedup\": {:.3}, \"stats_identical\": {}}}{comma}",
+                 \"event_median_ns\": {}, \"event_p90_ns\": {}, \
+                 \"speedup\": {:.3}, \"event_speedup\": {:.3}, \
+                 \"stats_identical\": {}}}{comma}",
                 crate::sweep::json_escape(&k.name),
                 k.sim_cycles,
                 k.verified,
@@ -443,7 +617,10 @@ impl PerfReport {
                 k.active.p90_ns,
                 k.dense.median_ns,
                 k.dense.p90_ns,
+                k.event.median_ns,
+                k.event.p90_ns,
                 k.speedup(),
+                k.event_speedup(),
                 k.stats_identical,
             )?;
         }
@@ -460,15 +637,26 @@ impl PerfReport {
                 vec![
                     s.name.clone(),
                     s.sim_cycles.to_string(),
-                    format!("{:.2e}", s.active_cycles_per_sec()),
                     format!("{:.2e}", s.dense_cycles_per_sec()),
+                    format!("{:.2e}", s.active_cycles_per_sec()),
+                    format!("{:.2e}", s.event_cycles_per_sec()),
                     format!("{:.2}x", s.speedup()),
+                    format!("{:.2}x", s.event_speedup()),
                     if s.stats_identical { "yes".into() } else { "NO".into() },
                 ]
             })
             .collect();
         print_table(
-            &["step scenario", "cycles", "active cyc/s", "dense cyc/s", "speedup", "bit-identical"],
+            &[
+                "step scenario",
+                "cycles",
+                "dense cyc/s",
+                "active cyc/s",
+                "event cyc/s",
+                "active speedup",
+                "event speedup",
+                "bit-identical",
+            ],
             &step_rows,
         );
         let kernel_rows: Vec<Vec<String>> = self
@@ -478,15 +666,26 @@ impl PerfReport {
                 vec![
                     k.name.clone(),
                     k.sim_cycles.to_string(),
-                    crate::harness::fmt_ns(k.active.median_ns),
                     crate::harness::fmt_ns(k.dense.median_ns),
+                    crate::harness::fmt_ns(k.active.median_ns),
+                    crate::harness::fmt_ns(k.event.median_ns),
                     format!("{:.2}x", k.speedup()),
+                    format!("{:.2}x", k.event_speedup()),
                     if k.stats_identical && k.verified { "yes".into() } else { "NO".into() },
                 ]
             })
             .collect();
         print_table(
-            &["kernel", "sim cycles", "active median", "dense median", "speedup", "bit-identical"],
+            &[
+                "kernel",
+                "sim cycles",
+                "dense median",
+                "active median",
+                "event median",
+                "active speedup",
+                "event speedup",
+                "bit-identical",
+            ],
             &kernel_rows,
         );
     }
@@ -519,11 +718,18 @@ mod tests {
         for s in smoke_step_scenarios() {
             let small = StepScenario { cols: 4, rows: 4, cycles: 300, ..s };
             let t = time_step_scenario(&small, 1);
-            assert!(t.stats_identical, "{}: active vs dense diverged", t.name);
+            assert!(t.stats_identical, "{}: a stepping mode diverged from dense", t.name);
             if small.injection > 0.0 {
                 assert!(t.injected_packets > 0, "{}: schedule injected nothing", t.name);
             }
         }
+    }
+
+    #[test]
+    fn closed_loop_scenario_is_bit_identical_across_modes() {
+        let t = time_closed_loop(30_000, 1);
+        assert!(t.stats_identical, "closed-loop: a stepping mode diverged from dense");
+        assert!(t.injected_packets > 0, "closed-loop workload injected nothing");
     }
 
     #[test]
@@ -546,13 +752,18 @@ mod tests {
             "\"schema\": \"snacknoc-perf-v1\"",
             "\"active_cycles_per_sec\"",
             "\"dense_cycles_per_sec\"",
+            "\"event_cycles_per_sec\"",
             "\"dense_median_ns\"",
+            "\"event_median_ns\"",
+            "\"event_p90_ns\"",
             "\"speedup\"",
+            "\"event_speedup\"",
             "\"stats_identical\": true",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
         assert!(report.all_identical());
         assert!(report.idle_speedup().is_some());
+        assert!(report.idle_event_speedup().is_some());
     }
 }

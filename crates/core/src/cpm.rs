@@ -794,6 +794,61 @@ impl Cpm {
         Some(CpmEmission::Instructions(packet))
     }
 
+    /// The next cycle at which [`Cpm::tick`] is *not* a provable no-op,
+    /// assuming `congestion` stays fixed until then — `None` if ticking can
+    /// be skipped indefinitely (event-driven stepping; any submission or
+    /// token delivery re-wakes the CPM).
+    ///
+    /// Mirrors `tick` branch by branch: a pending hysteresis flip, overflow
+    /// residency (it accrues `overflow_cycles`), a completable or startable
+    /// command-buffer fetch, queued replay/issue work, a stale `replay_turn`
+    /// flag (tick resets it — a real state change), and the recovery
+    /// watchdog's next sweep all demand a wake.
+    pub fn next_wake(&self, now: u64, congestion: (usize, usize)) -> Option<u64> {
+        let (free, total) = congestion;
+        if total > 0 {
+            let frac = free as f64 / total as f64;
+            let flips = (!self.in_overflow && frac < self.cfg.overflow_enter_below)
+                || (self.in_overflow && frac > self.cfg.overflow_exit_above);
+            if flips {
+                return Some(now);
+            }
+        }
+        if self.in_overflow {
+            return Some(now);
+        }
+        let mut wake: Option<u64> = None;
+        let mut merge = |cycle: u64| {
+            let at = cycle.max(now);
+            wake = Some(wake.map_or(at, |w| w.min(at)));
+        };
+        match self.fetch_inflight {
+            Some((ready, _)) => merge(ready),
+            None => {
+                if self.fetch_ptr < self.program.len()
+                    && self.instr_buffer.len() < self.cfg.instr_buffer_capacity / 2
+                {
+                    merge(now);
+                }
+            }
+        }
+        if self.state == CpmState::Running {
+            if !self.overflow.is_empty() || !self.instr_buffer.is_empty() || self.replay_turn {
+                merge(now);
+            }
+            if self.recovery.enabled && !self.watch.is_empty() {
+                merge(self.next_sweep);
+            }
+            // The final-writeback deadline: the platform's completion poll
+            // (`take_kernel_results`) unblocks at `finished_at`, so the
+            // clock must not jump past it.
+            if let Some(f) = self.finished_at {
+                merge(f);
+            }
+        }
+        wake
+    }
+
     /// The namespace tag of this CPM.
     pub fn namespace(&self) -> u32 {
         self.namespace

@@ -12,7 +12,7 @@ use crate::token::{CompiledKernel, DataToken, Instruction, DATA_TOKEN_BYTES, INS
 use crate::rcu::{Emission, Rcu, RcuStats};
 use snacknoc_noc::{
     ConfigError, FaultCounters, FaultPlan, FaultPlanError, LinkFaultKind, Mesh, NetStats, Network,
-    NocConfig, NodeId, PacketSpec, StallReport, TrafficClass,
+    NocConfig, NodeId, PacketSpec, StallReport, TimeWheel, TrafficClass,
 };
 use snacknoc_trace::{EventKind, TracerHandle};
 use snacknoc_workloads::coherence::{AccessPattern, CohMessage, CoherentEngine};
@@ -126,6 +126,26 @@ pub struct KernelRun {
     pub outputs: Vec<Fixed>,
 }
 
+/// Why the event-driven scheduler wants the platform awake at a given
+/// cycle. The calendar queue keys on the cycle; the source tags exist for
+/// debugging (which component bounded a jump) and to keep intra-cycle
+/// entries distinguishable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WakeSource {
+    /// The CMP workload engine has a due response or an expired think timer.
+    Engine,
+    /// CPM `i` has a fetch completion, queued issue work, or a watchdog
+    /// sweep deadline.
+    Cpm(usize),
+    /// RCU `i` leaves its execution-latency horizon.
+    Rcu(usize),
+    /// A fault-plan RCU-stall window opens (stalled RCUs accrue
+    /// `stalled_cycles` every cycle, so the window start is a state edge).
+    StallWindow,
+    /// The network's own calendar (fault-plan link-window edges).
+    Net,
+}
+
 /// The CMP workload sharing the platform's NoC.
 #[derive(Debug)]
 enum Workload {
@@ -186,6 +206,15 @@ pub struct SnackPlatform {
     /// stepping to the network). Must be bit-identical to active-set
     /// scheduling; `tests/determinism.rs` holds that proof.
     dense: bool,
+    /// Event-driven time-wheel mode: when the whole platform is provably
+    /// quiescent, jump the clock to the earliest scheduled wake instead of
+    /// stepping cycle by cycle. Bit-identical to both other modes;
+    /// mutually exclusive with `dense`.
+    event: bool,
+    /// The calendar queue of component wakes, rebuilt at each jump
+    /// attempt (components are polled, not persistently subscribed — a
+    /// poll is cheap and immune to stale-entry bugs).
+    wheel: TimeWheel<WakeSource>,
     /// The virtual network carrying SnackNoC tokens: the last vnet, so the
     /// CMP workload owns the lower ones (2 for the phase model's
     /// request/response pair, 3 for the MESI protocol classes).
@@ -265,6 +294,8 @@ impl SnackPlatform {
             rcu_flag: vec![false; n],
             emit_scratch: Vec::new(),
             dense: false,
+            event: false,
+            wheel: TimeWheel::new(),
             net,
         })
     }
@@ -357,12 +388,34 @@ impl SnackPlatform {
     /// that proof and for perf baselines.
     pub fn set_dense_stepping(&mut self, dense: bool) {
         self.dense = dense;
+        self.event = false;
+        self.net.set_event_stepping(false);
         self.net.set_dense_stepping(dense);
     }
 
     /// Whether the dense reference loop is in force.
     pub fn dense_stepping(&self) -> bool {
         self.dense
+    }
+
+    /// Switches event-driven time-wheel stepping on or off (and forwards
+    /// the mode to the underlying network). In event mode the run loops
+    /// skip provably-dead cycles by jumping the clock to the earliest
+    /// component wake; per-cycle behaviour is otherwise the active-set
+    /// scheduler's. Bit-identical to dense and active stepping —
+    /// `tests/determinism.rs` and `tests/properties.rs` hold that proof.
+    /// Turning event mode on turns dense mode off and vice versa.
+    pub fn set_event_stepping(&mut self, on: bool) {
+        self.event = on;
+        if on {
+            self.dense = false;
+        }
+        self.net.set_event_stepping(on);
+    }
+
+    /// Whether event-driven time-wheel stepping is in force.
+    pub fn event_stepping(&self) -> bool {
+        self.event
     }
 
     /// Total packets injected into the underlying network.
@@ -786,11 +839,101 @@ impl SnackPlatform {
         self.emit_scratch = emissions;
     }
 
-    /// Runs `cycles` steps.
-    pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+    /// Attempts an event-driven clock jump: if the platform is provably
+    /// quiescent at the current cycle, every component schedules its next
+    /// wake into the calendar queue and the clock jumps to the earliest
+    /// one (capped at `cap`). Returns whether a jump happened; `false`
+    /// means the caller must take a real [`SnackPlatform::step`].
+    ///
+    /// Soundness: a jump from `now` to `to` is taken only when every
+    /// skipped [`SnackPlatform::step`] in `now..to` would have been a
+    /// no-op — network quiescent (nothing buffered, in flight, or queued
+    /// at an NI), the workload engine's next response/think-expiry at or
+    /// past `to`, every CPM's next effectful tick at or past `to` (the
+    /// ALO congestion signal is frozen while the network is quiescent, so
+    /// polling it once is sound), every RCU idle or busy until at least
+    /// `to`, no RCU-stall fault window open or opening before `to`, and
+    /// no fault-plan link-window edge before `to`. The skipped cycles'
+    /// only observable effect — idle statistics accounting — is replayed
+    /// in bulk by [`snacknoc_noc::Network::advance_idle_to`].
+    fn maybe_jump(&mut self, cap: u64) -> bool {
+        if !self.event {
+            return false;
         }
+        let now = self.net.cycle();
+        if cap <= now || !self.net.is_quiescent() {
+            return false;
+        }
+        debug_assert!(self.wheel.is_empty(), "wake wheel must be drained between jumps");
+        // Poll every component for its next wake. Any wake at (or before)
+        // `now` means the next step is not a no-op: abort the jump.
+        let engine_wake = match &self.engine {
+            None => None,
+            Some(Workload::Phase(e)) => e.next_event_cycle(),
+            Some(Workload::Coherent(e)) => e.next_event_cycle(),
+        };
+        if let Some(w) = engine_wake {
+            if w <= now {
+                return false;
+            }
+            self.wheel.schedule(w, WakeSource::Engine);
+        }
+        for c in 0..self.cpms.len() {
+            let congestion = self.net.useful_free_output_vcs(self.cpms[c].node());
+            match self.cpms[c].next_wake(now, congestion) {
+                Some(w) if w <= now => {
+                    self.wheel.clear();
+                    return false;
+                }
+                Some(w) => self.wheel.schedule(w, WakeSource::Cpm(c)),
+                None => {}
+            }
+        }
+        if let Some(plan) = self.net.fault_plan() {
+            if !plan.rcu_stalls.is_empty() {
+                if plan.any_rcu_stalled(now) {
+                    // Stalled RCUs are charged `stalled_cycles` every
+                    // cycle of the window: stepping is mandatory.
+                    self.wheel.clear();
+                    return false;
+                }
+                if let Some(s) = plan.next_rcu_stall_start_after(now) {
+                    self.wheel.schedule(s, WakeSource::StallWindow);
+                }
+            }
+        }
+        for (i, r) in self.rcus.iter().enumerate() {
+            match r.next_wake(now) {
+                Some(w) if w <= now => {
+                    self.wheel.clear();
+                    return false;
+                }
+                Some(w) => self.wheel.schedule(w, WakeSource::Rcu(i)),
+                None => {}
+            }
+        }
+        if let Some(w) = self.net.next_wake() {
+            self.wheel.schedule(w, WakeSource::Net);
+        }
+        let to = self.wheel.next_cycle().map_or(cap, |w| w.min(cap));
+        self.wheel.clear();
+        self.net.advance_idle_to(to);
+        true
+    }
+
+    /// Steps (or, in event mode, jumps) until the clock reaches `target`.
+    pub fn step_until(&mut self, target: u64) {
+        while self.net.cycle() < target {
+            if !self.maybe_jump(target) {
+                self.step();
+            }
+        }
+    }
+
+    /// Runs `cycles` steps (event mode: jumps across provably-dead
+    /// stretches, landing on exactly the same cycle and statistics).
+    pub fn run(&mut self, cycles: u64) {
+        self.step_until(self.net.cycle() + cycles);
     }
 
     /// Submits `kernel` and steps until its results are written back.
@@ -815,6 +958,24 @@ impl SnackPlatform {
         let mut last_sig = self.progress_signature();
         let mut last_change = started;
         while self.net.cycle() < deadline {
+            // Event mode: jump across dead time, but never past the
+            // no-progress deadline — the watchdog must observe the exact
+            // cycle it would have fired at under dense stepping. A jump
+            // cannot change the progress signature (no component ticked),
+            // so landing on the deadline is the timeout; the post-step
+            // check below can never see it first.
+            if self.net.cycle() - last_change >= Self::NO_PROGRESS_WINDOW {
+                break;
+            }
+            if self.maybe_jump(deadline.min(last_change + Self::NO_PROGRESS_WINDOW)) {
+                // A jump can land exactly on the final-writeback deadline:
+                // poll completion so the run ends at the same cycle dense
+                // stepping ends at.
+                if let Some(run) = self.take_kernel_results() {
+                    return Ok(run);
+                }
+                continue;
+            }
             self.step();
             if let Some(run) = self.take_kernel_results() {
                 return Ok(run);
@@ -887,7 +1048,12 @@ impl SnackPlatform {
                     self.submit_kernel(k).expect("cpm idle");
                 }
             }
-            self.step();
+            // Event mode: jump across workload think-time gaps (a fresh
+            // submission parks a wake at `now` via the CPM's fetch path,
+            // so a jump never skips kernel work).
+            if !self.maybe_jump(deadline) {
+                self.step();
+            }
             if let Some(run) = self.take_kernel_results() {
                 kernels_completed += 1;
                 kernel_cycles_sum += run.cycles;
@@ -1541,4 +1707,143 @@ mod tests {
         assert_eq!(run_a.cycles, run_b.cycles, "observation must not change timing");
         assert_eq!(run_a.outputs, run_b.outputs);
     }
+
+    /// Applies stepping mode 0 (dense), 1 (active, the default) or
+    /// 2 (event) to a fresh platform.
+    fn set_mode(p: &mut SnackPlatform, mode: u8) {
+        match mode {
+            0 => p.set_dense_stepping(true),
+            1 => {}
+            _ => p.set_event_stepping(true),
+        }
+    }
+
+    /// A comparable snapshot of everything a stepping mode could perturb.
+    fn mode_fingerprint(p: &mut SnackPlatform) -> (u64, u64, u64, u64, u64, u64, u64, usize) {
+        let rcu = p.rcu_stats();
+        let rec = p.recovery_stats();
+        let cycle = p.cycle();
+        let (inj, del) = (p.net_injected_packets(), p.net_delivered_packets());
+        let stats = p.finalize_stats();
+        (
+            cycle,
+            inj,
+            del,
+            stats.injected_flits,
+            stats.crossbar_transfers,
+            rcu.executed + rcu.captures + rcu.stalled_cycles,
+            rec.detected + rec.recovered + rec.retries,
+            (0..stats.router_count())
+                .map(|r| stats.crossbar_series(r).samples().len())
+                .sum::<usize>(),
+        )
+    }
+
+    /// Satellite 1: an event-mode jump that lands exactly on the
+    /// no-progress deadline must time out at the *same cycle* as the
+    /// dense reference, with identical statistics — the watchdog fires
+    /// neither early (spuriously, mid-jump) nor late (jumped over).
+    #[test]
+    fn event_mode_watchdog_fires_at_the_exact_dense_timeout_cycle() {
+        let run = |mode: u8| {
+            let mut p = platform();
+            set_mode(&mut p, mode);
+            let k = cross_pe_kernel(&p.mesh().clone());
+            // Drop *everything*, protected classes included: the kernel
+            // can never progress and the platform goes fully quiescent,
+            // so event mode's only path to the timeout is an idle jump
+            // that lands exactly on `last_change + NO_PROGRESS_WINDOW`.
+            let plan = FaultPlan::seeded(3)
+                .with_drop_rate(1.0)
+                .with_respect_protection(false)
+                .with_targets(snacknoc_noc::FaultTargets {
+                    data: true,
+                    instructions: true,
+                    communication: true,
+                });
+            p.set_fault_plan(plan).unwrap();
+            match p.run_kernel(&k, 10_000_000) {
+                Err(PlatformError::KernelTimeout { cycles, .. }) => (cycles, mode_fingerprint(&mut p)),
+                other => panic!("expected KernelTimeout, got {other:?}"),
+            }
+        };
+        let dense = run(0);
+        let active = run(1);
+        let event = run(2);
+        assert_eq!(dense, active, "active mode diverged from dense");
+        assert_eq!(dense, event, "event mode diverged from dense");
+        assert!(
+            dense.0 >= SnackPlatform::NO_PROGRESS_WINDOW
+                && dense.0 < SnackPlatform::NO_PROGRESS_WINDOW + 1_000,
+            "timeout = brief issue burst + one full dead window, got {}",
+            dense.0
+        );
+    }
+
+    /// Satellite 1: recovery-watchdog sweep deadlines are wheel events —
+    /// jumping across the post-blackout quiet period must reach each
+    /// sweep at exactly the dense cycle, declaring exactly the same
+    /// losses and replaying exactly the same tokens.
+    #[test]
+    fn event_mode_recovery_matches_dense_across_watchdog_deadlines() {
+        let run = |mode: u8| {
+            let mut p = platform();
+            set_mode(&mut p, mode);
+            let mesh = *p.mesh();
+            let k = cross_pe_kernel(&mesh);
+            p.set_fault_plan(blackout_plan(&mesh, 0, 2_000)).unwrap();
+            p.enable_recovery(RecoveryConfig::aggressive());
+            let run = p.run_kernel(&k, 100_000).expect("kernel survives the outage");
+            (run.cycles, run.outputs.clone(), mode_fingerprint(&mut p))
+        };
+        let dense = run(0);
+        assert_eq!(dense, run(1), "active mode diverged from dense");
+        assert_eq!(dense, run(2), "event mode diverged from dense");
+    }
+
+    /// Satellite 1: a fault-free event-mode run with recovery armed must
+    /// never declare a loss — idle jumps crossing sweep deadlines are
+    /// observationally identical to stepping through them.
+    #[test]
+    fn idle_jumps_do_not_trip_the_recovery_watchdog_spuriously() {
+        let mut p = platform();
+        p.set_event_stepping(true);
+        p.enable_recovery(RecoveryConfig::aggressive());
+        let k = cross_pe_kernel(&p.mesh().clone());
+        let run = p.run_kernel(&k, 100_000).expect("finishes");
+        assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+        assert_eq!(p.recovery_stats().detected, 0, "no spurious loss declarations");
+        // A long idle run afterwards is one jump: the clock lands exactly
+        // on target and the watchdog still holds its fire.
+        let before = p.cycle();
+        p.run(1_000_000);
+        assert_eq!(p.cycle(), before + 1_000_000);
+        assert_eq!(p.recovery_stats().detected, 0);
+    }
+
+    /// Event mode must produce the identical multiprogram result —
+    /// think-time gaps between workload bursts are where the jumps land.
+    #[test]
+    fn event_mode_multiprogram_is_bit_identical() {
+        let run = |mode: u8| {
+            let mut p = platform();
+            set_mode(&mut p, mode);
+            let profile = snacknoc_workloads::suite::profile(snacknoc_workloads::Benchmark::Radix)
+                .scaled(0.002);
+            p.attach_workload(&profile, 23);
+            let k = cross_pe_kernel(&p.mesh().clone());
+            let out = p.run_multiprogram(Some(&k), 2_000_000);
+            (
+                out.app_runtime,
+                out.app_finished,
+                out.kernels_completed,
+                out.mean_kernel_cycles.to_bits(),
+                mode_fingerprint(&mut p),
+            )
+        };
+        let dense = run(0);
+        assert_eq!(dense, run(1), "active mode diverged from dense");
+        assert_eq!(dense, run(2), "event mode diverged from dense");
+    }
+
 }

@@ -143,6 +143,24 @@ impl Rcu {
         self.pending.is_empty() && self.staged.is_empty()
     }
 
+    /// The next cycle at which ticking this RCU is *not* a provable no-op,
+    /// given the current cycle — `None` for an idle RCU (event-driven
+    /// stepping may sleep indefinitely; delivery of work re-wakes it).
+    ///
+    /// A busy RCU wakes at its execution-latency horizon (`tick` returns
+    /// untouched before then); a non-idle RCU past that horizon must run
+    /// every cycle — either it fires instructions or it accrues
+    /// `stalled_cycles`, and both change state.
+    pub fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.is_idle() {
+            None
+        } else if self.busy_until > now {
+            Some(self.busy_until)
+        } else {
+            Some(now)
+        }
+    }
+
     /// Enqueues an arriving instruction token into the ordered buffer and
     /// registers its dependency wants.
     pub fn accept_instruction(&mut self, ins: Instruction) {

@@ -245,6 +245,20 @@ impl FaultPlan {
         self.rcu_stalls.iter().any(|w| w.node == node && (w.start..w.end).contains(&cycle))
     }
 
+    /// Whether *any* RCU stall window covers `cycle`. A covered cycle
+    /// charges `stalled_cycles` to the stalled RCUs, so event-driven
+    /// stepping must run it on the real clock.
+    pub fn any_rcu_stalled(&self, cycle: u64) -> bool {
+        self.rcu_stalls.iter().any(|w| (w.start..w.end).contains(&cycle))
+    }
+
+    /// The earliest RCU stall-window start strictly after `cycle`, if any —
+    /// a wake event for event-driven stepping (a jump must never overshoot
+    /// into or across a stall window).
+    pub fn next_rcu_stall_start_after(&self, cycle: u64) -> Option<u64> {
+        self.rcu_stalls.iter().map(|w| w.start).filter(|&s| s > cycle).min()
+    }
+
     /// Validates rates and windows.
     ///
     /// # Errors
@@ -362,6 +376,11 @@ pub struct FaultState {
     drops: Vec<(usize, u64, u64, f64)>,
     /// Resolved `Corrupt` windows: `(link id, start, end, rate)`.
     corrupts: Vec<(usize, u64, u64, f64)>,
+    /// Every distinct window start/end cycle across all down/drop/corrupt
+    /// windows, sorted ascending. Event-driven stepping treats each edge
+    /// as a wake cycle so a clock jump can never silently cross (and thus
+    /// skip) a fault window contained inside the jumped interval.
+    edges: Vec<u64>,
     /// Packets whose head was dropped on a link: the rest of the wormhole
     /// follows it into the void. Membership-only — never iterated, so the
     /// hash order cannot leak into simulation results.
@@ -389,14 +408,31 @@ impl FaultState {
                 LinkFaultKind::Corrupt { rate } => corrupts.push((lid, f.start, f.end, rate)),
             }
         }
+        let mut edges: Vec<u64> = down
+            .iter()
+            .map(|&(_, s, e)| (s, e))
+            .chain(drops.iter().map(|&(_, s, e, _)| (s, e)))
+            .chain(corrupts.iter().map(|&(_, s, e, _)| (s, e)))
+            .flat_map(|(s, e)| [s, e])
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
         Ok(FaultState {
             plan,
             down,
             drops,
             corrupts,
+            edges,
             dropping: HashSet::new(),
             counters: FaultCounters::default(),
         })
+    }
+
+    /// Every distinct down/drop/corrupt window edge (starts and exclusive
+    /// ends), ascending. These are the cycles event-driven stepping must
+    /// treat as wake events.
+    pub(crate) fn window_edges(&self) -> &[u64] {
+        &self.edges
     }
 
     /// The plan this state was compiled from.

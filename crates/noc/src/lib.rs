@@ -62,6 +62,7 @@ pub mod packet;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod timewheel;
 pub mod topology;
 
 pub use config::{ConfigError, NocConfig, NocPreset};
@@ -73,4 +74,5 @@ pub use network::{Network, StallReport};
 pub use packet::{Packet, PacketId, PacketSpec};
 pub use routing::{Dir, RoutingAlgorithm};
 pub use stats::{LatencyHistogram, NetStats, OccupancyCdf, ProtocolErrors, SeriesSample};
+pub use timewheel::TimeWheel;
 pub use topology::{Mesh, NodeId};

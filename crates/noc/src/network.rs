@@ -8,6 +8,7 @@ use crate::packet::{Packet, PacketId, PacketSpec};
 use crate::router::{Departure, Router};
 use crate::routing::Dir;
 use crate::stats::NetStats;
+use crate::timewheel::TimeWheel;
 use crate::topology::{Mesh, NodeId};
 use snacknoc_trace::{EventKind, TracerHandle};
 use std::collections::{HashMap, VecDeque};
@@ -144,6 +145,16 @@ pub struct Network<P> {
     /// as the debug baseline the `snack-perf` speedups are measured
     /// against.
     dense: bool,
+    /// Event-driven stepping: when every worklist is empty,
+    /// [`Network::step_until`] jumps the clock straight to the next
+    /// scheduled wake event (or the target) instead of iterating dead
+    /// cycles. Bit-identical to both other modes; see DESIGN.md §12.
+    event: bool,
+    /// Calendar queue of future wake cycles. Worklist-driven components
+    /// wake "now" by construction; the wheel holds only timed events —
+    /// currently the fault-plan window edges, scheduled once at
+    /// [`Network::set_fault_plan`].
+    wheel: TimeWheel<NetWake>,
     cycle: u64,
     next_packet_id: PacketId,
     next_flit_id: u64,
@@ -159,6 +170,17 @@ pub struct Network<P> {
     /// Structured event tracer; [`TracerHandle::Nop`] (the default) keeps
     /// every hook a single discriminant branch with no event construction.
     tracer: TracerHandle,
+}
+
+/// A timed wake event in the network's calendar queue.
+///
+/// Today the only timed events a *quiescent* network can experience are
+/// fault-plan window edges; the enum leaves room for future sources
+/// without changing the wheel's type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetWake {
+    /// A fault-plan down/drop/corrupt window starts or ends.
+    FaultEdge,
 }
 
 /// Error returned by [`Network::inject`] for malformed packet specs.
@@ -237,6 +259,8 @@ impl<P> Network<P> {
             credits_scratch: Vec::new(),
             departures_scratch: Vec::new(),
             dense: false,
+            event: false,
+            wheel: TimeWheel::new(),
             cycle: 0,
             next_packet_id: 0,
             next_flit_id: 0,
@@ -265,11 +289,21 @@ impl<P> Network<P> {
         if !plan.enabled() {
             plan.validate()?;
             self.fault = None;
+            self.wheel.clear();
             return Ok(());
         }
         let link_of = &self.link_of;
         let state =
             FaultState::compile(plan, |node, dir| link_of[node.index()][dir.index()])?;
+        // Every window edge becomes a wake event: an event-mode jump stops
+        // at each edge instead of silently crossing a window that opens
+        // and closes inside the jumped interval.
+        self.wheel.clear();
+        for &edge in state.window_edges() {
+            if edge > self.cycle {
+                self.wheel.schedule(edge, NetWake::FaultEdge);
+            }
+        }
         self.fault = Some(state);
         Ok(())
     }
@@ -493,11 +527,92 @@ impl<P> Network<P> {
     /// worklists consistent.
     pub fn set_dense_stepping(&mut self, dense: bool) {
         self.dense = dense;
+        if dense {
+            self.event = false;
+        }
     }
 
     /// Whether the dense reference loop is active.
     pub fn dense_stepping(&self) -> bool {
         self.dense
+    }
+
+    /// Enables or disables event-driven stepping (DESIGN.md §12): per-cycle
+    /// stepping stays the active-set schedule, but whenever the network is
+    /// provably quiescent, [`Network::step_until`] and [`Network::run`]
+    /// jump the clock directly to the next wake event instead of iterating
+    /// dead cycles. Bit-identical to the active and dense modes; enabling
+    /// it turns dense stepping off.
+    pub fn set_event_stepping(&mut self, on: bool) {
+        self.event = on;
+        if on {
+            self.dense = false;
+        }
+    }
+
+    /// Whether event-driven stepping is enabled.
+    pub fn event_stepping(&self) -> bool {
+        self.event
+    }
+
+    /// Whether a [`Network::step`] right now would be a provable no-op
+    /// apart from stats bookkeeping: no credits in flight (Phase 1), no
+    /// occupied links (Phase 2), no NI injection backlog (Phase 3) and no
+    /// router with buffered flits (Phase 4). While this holds, nothing in
+    /// the network can change until either an external injection or a
+    /// scheduled wake event.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_credits.is_empty()
+            && self.occupied_links.is_empty()
+            && self.ni_active.is_empty()
+            && self.active.is_empty()
+    }
+
+    /// The earliest scheduled wake cycle strictly after the current cycle
+    /// (fault-plan window edges today), if any. Only meaningful while the
+    /// network [is quiescent](Network::is_quiescent) — an active network
+    /// wakes every cycle by definition.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.wheel.next_after(self.cycle)
+    }
+
+    /// Jumps the clock directly to `cycle`, accounting for the skipped
+    /// cycles as dead: bulk zero-occupancy samples, with sampling-window
+    /// boundaries inside the jump split into their own series samples
+    /// (see `NetStats::advance_idle`). The caller asserts that nothing
+    /// can happen in between — the network must be quiescent and no wake
+    /// event may be scheduled inside the open interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not quiescent or `cycle` is not ahead of
+    /// the current cycle.
+    pub fn advance_idle_to(&mut self, cycle: u64) {
+        assert!(self.is_quiescent(), "clock jump while the network has work");
+        assert!(cycle > self.cycle, "clock jump must move forward");
+        debug_assert_eq!(self.buffered_total, 0, "quiescent network holds no flits");
+        debug_assert_eq!(self.ni_backlog_total, 0, "quiescent network has no NI backlog");
+        let delta = cycle - self.cycle;
+        self.stats.advance_idle(self.cycle, delta, self.routers.len() as u64);
+        self.cycle = cycle;
+        self.wheel.discard_due(cycle);
+    }
+
+    /// Advances the clock to exactly `target`, stepping active cycles one
+    /// at a time and — in event mode — jumping over provably-dead
+    /// stretches (landing on every scheduled wake event in between). In
+    /// active/dense mode this is plain per-cycle stepping to `target`.
+    pub fn step_until(&mut self, target: u64) {
+        while self.cycle < target {
+            if self.event && self.is_quiescent() {
+                let to = self.next_wake().map_or(target, |w| w.min(target));
+                if to > self.cycle {
+                    self.advance_idle_to(to);
+                    continue;
+                }
+            }
+            self.step();
+        }
     }
 
     /// Flits currently resident in router input buffers, network-wide.
@@ -687,11 +802,9 @@ impl<P> Network<P> {
         self.stats.end_cycle(cycle);
     }
 
-    /// Runs `cycles` steps.
+    /// Runs `cycles` steps (jumping dead stretches in event mode).
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
-        }
+        self.step_until(self.cycle + cycles);
     }
 
     /// Steps until every non-lost injected packet is delivered, up to

@@ -349,6 +349,41 @@ impl NetStats {
         }
     }
 
+    /// Accounts for `cycles` consecutive *dead* cycles in one call — the
+    /// stats half of an event-driven clock jump starting at `from_cycle`
+    /// (the last cycle actually simulated).
+    ///
+    /// Bit-identical to calling `record_zeros(zeros_per_cycle)` +
+    /// `end_cycle(c)` once per dead cycle `c` in
+    /// `from_cycle+1 ..= from_cycle+cycles`: the zero-occupancy samples are
+    /// bulk-credited, and a jump spanning several sampling windows is
+    /// **split across the window boundaries it crosses** — one
+    /// [`WindowSeries`] sample per boundary, stamped with the boundary's
+    /// own end cycle, with the in-progress partial window's busy counts
+    /// rolled into the first of them — rather than attributing every dead
+    /// cycle to the window that happens to be current.
+    pub(crate) fn advance_idle(&mut self, from_cycle: u64, cycles: u64, zeros_per_cycle: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.occupancy.record_zeros(cycles.saturating_mul(zeros_per_cycle));
+        let total = self.cycles_in_window + cycles;
+        let rolls = total / self.window;
+        if rolls > 0 {
+            let mut boundary = from_cycle + (self.window - self.cycles_in_window);
+            for _ in 0..rolls {
+                for s in &mut self.crossbar {
+                    s.roll(boundary);
+                }
+                for s in &mut self.links {
+                    s.roll(boundary);
+                }
+                boundary += self.window;
+            }
+        }
+        self.cycles_in_window = total % self.window;
+    }
+
     /// Flushes the trailing partial sampling window, if any.
     ///
     /// [`NetStats::end_cycle`] only emits a sample every `sample_window`
@@ -681,6 +716,119 @@ mod tests {
         e.missing_payload = 1;
         e.duplicate_head = 4;
         assert_eq!(e.total(), 7);
+    }
+
+    #[test]
+    fn advance_idle_is_bit_identical_to_per_cycle_dead_stepping() {
+        // The event-driven jump path must fold an arbitrary run of dead
+        // cycles into exactly the samples the per-cycle loop would emit.
+        for (start, dead) in [(0u64, 7u64), (3, 10), (9, 1), (4, 26), (10, 30)] {
+            let mut stepped = NetStats::new(2, 1, 10);
+            let mut jumped = NetStats::new(2, 1, 10);
+            for c in 1..=start {
+                let busy = c % 3 == 0;
+                stepped.record_router_cycle(0, busy);
+                stepped.record_link_cycle(0, !busy);
+                stepped.end_cycle(c);
+                jumped.record_router_cycle(0, busy);
+                jumped.record_link_cycle(0, !busy);
+                jumped.end_cycle(c);
+            }
+            for c in start + 1..=start + dead {
+                stepped.occupancy.record_zeros(2);
+                stepped.end_cycle(c);
+            }
+            jumped.advance_idle(start, dead, 2);
+            stepped.finalize(start + dead);
+            jumped.finalize(start + dead);
+            for r in 0..2 {
+                assert_eq!(
+                    stepped.crossbar_series(r).samples(),
+                    jumped.crossbar_series(r).samples(),
+                    "router {r} series diverged for start={start} dead={dead}"
+                );
+            }
+            assert_eq!(stepped.link_series(0).samples(), jumped.link_series(0).samples());
+            assert_eq!(stepped.occupancy.total_cycles(), jumped.occupancy.total_cycles());
+            assert_eq!(stepped.occupancy.zero_fraction(), jumped.occupancy.zero_fraction());
+        }
+    }
+
+    #[test]
+    fn advance_idle_splits_a_jump_spanning_three_windows() {
+        // Regression (event-mode jump accounting): a single jump crossing
+        // several sampling-window boundaries must emit one sample per
+        // boundary — the in-progress busy counts roll into the first, the
+        // later windows read zero — instead of attributing every dead
+        // cycle to the window that happened to be current at jump time.
+        let mut st = NetStats::new(1, 1, 100);
+        // 40 cycles into the first window, 10 of them busy.
+        for c in 1..=40u64 {
+            st.record_router_cycle(0, c <= 10);
+            st.record_link_cycle(0, c <= 10);
+            st.occupancy.record(if c <= 10 { 0.5 } else { 0.0 });
+            st.end_cycle(c);
+        }
+        // One jump over 340 dead cycles: crosses boundaries at 100, 200,
+        // 300, and leaves 80 cycles of a fresh partial window.
+        st.advance_idle(40, 340, 1);
+        let xb = st.crossbar_series(0).samples();
+        assert_eq!(xb.len(), 3, "three boundaries crossed, three samples");
+        assert_eq!(xb[0].end_cycle, 100);
+        assert!((xb[0].utilization - 0.10).abs() < 1e-12, "partial busy rolls into window 1");
+        assert_eq!(xb[1].end_cycle, 200);
+        assert_eq!(xb[1].utilization, 0.0);
+        assert_eq!(xb[2].end_cycle, 300);
+        assert_eq!(xb[2].utilization, 0.0);
+        assert_eq!(st.occupancy.total_cycles(), 380);
+        // Finalize flushes the 80-cycle tail as a partial, all idle.
+        st.finalize(380);
+        let xb = st.crossbar_series(0).samples();
+        assert_eq!(xb.len(), 4);
+        assert_eq!(xb[3].end_cycle, 380);
+        assert_eq!(xb[3].utilization, 0.0);
+        assert_eq!(st.link_series(0).samples().len(), 4);
+    }
+
+    #[test]
+    fn percentile_extreme_ranks() {
+        let v = [5.0, 1.0, 3.0];
+        // p = 0 is the minimum, p = 100 the maximum — no interpolation
+        // off the ends of the sorted sample.
+        assert_eq!(percentile(v.iter().copied(), 0.0), 1.0);
+        assert_eq!(percentile(v.iter().copied(), 100.0), 5.0);
+        // p = 1.0 (one percent) interpolates just above the minimum.
+        let p1 = percentile(v.iter().copied(), 1.0);
+        assert!((p1 - 1.04).abs() < 1e-12, "p1 {p1}");
+        // Extremes on the empty iterator fall back to 0.0, not a panic.
+        assert_eq!(percentile(std::iter::empty(), 0.0), 0.0);
+        assert_eq!(percentile(std::iter::empty(), 100.0), 0.0);
+        // A single sample answers every rank with itself.
+        for p in [0.0, 1.0, 50.0, 100.0] {
+            assert_eq!(percentile([7.0].iter().copied(), p), 7.0);
+        }
+    }
+
+    #[test]
+    fn latency_histogram_bucket_formula_at_zero_and_max() {
+        // latency 0 is clamped to 1 before the log2, landing in bucket 0
+        // ([1, 2)): the percentile interpolates inside [1, 2].
+        let mut zero = LatencyHistogram::new();
+        zero.record(0);
+        assert_eq!(zero.samples(), 1);
+        assert_eq!(zero.percentile(100.0), 2, "bucket 0 upper edge");
+        assert!(zero.percentile(0.0) >= 1, "bucket 0 lower edge");
+        // u64::MAX has zero leading zeros; the raw bucket index 63 clamps
+        // to 31, so the sample lands in the top bucket instead of
+        // indexing out of bounds.
+        let mut max = LatencyHistogram::new();
+        max.record(u64::MAX);
+        assert_eq!(max.samples(), 1);
+        assert_eq!(max.percentile(100.0), (1u64 << 31) + (1u64 << 31), "top-bucket clamp");
+        // Clamped extremes merge like any other samples.
+        zero.merge(&max);
+        assert_eq!(zero.samples(), 2);
+        assert!(zero.percentile(100.0) > zero.percentile(0.0));
     }
 
     #[test]

@@ -260,6 +260,28 @@ impl CoherentEngine {
         out
     }
 
+    /// The earliest cycle at which [`CoherentEngine::tick`] can do work, or
+    /// `None` if the engine is drained (outbox empty, every core either
+    /// finished or blocked on an in-flight miss — only a delivery re-wakes
+    /// it). A queued outbox reports cycle 0 (i.e. "immediately"); a core's
+    /// post-completion gap reports its `next_at`. Before the returned
+    /// cycle, `tick` is a pure no-op.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut merge = |cycle: u64| {
+            next = Some(next.map_or(cycle, |n: u64| n.min(cycle)));
+        };
+        if !self.outbox.is_empty() {
+            merge(0);
+        }
+        for core in &self.cores {
+            if core.waiting.is_none() && core.issued < self.pattern.accesses_per_core {
+                merge(core.next_at);
+            }
+        }
+        next
+    }
+
     /// Attempts one access on core `c`; returns a request on a miss.
     fn try_access(&mut self, c: usize, cycle: u64) -> Option<(NodeId, CohMessage)> {
         let core = &self.cores[c];

@@ -175,6 +175,34 @@ impl TrafficEngine {
         out
     }
 
+    /// The earliest cycle at which [`TrafficEngine::tick`] can produce a
+    /// packet, or `None` if the engine is drained (every request issued and
+    /// nothing in the service heap — only a delivery re-wakes it).
+    ///
+    /// Between now and the returned cycle, `tick` is a pure no-op: no
+    /// response is due and no slot's think timer has expired, and neither
+    /// changes without the passage of time or a delivery.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut merge = |cycle: u64| {
+            next = Some(next.map_or(cycle, |n: u64| n.min(cycle)));
+        };
+        if let Some(Reverse(r)) = self.responses.peek() {
+            merge(r.due);
+        }
+        for core in &self.cores {
+            if core.phase >= self.profile.phases.len() {
+                continue;
+            }
+            for &ready in &core.slots {
+                if ready != IN_FLIGHT {
+                    merge(ready);
+                }
+            }
+        }
+        next
+    }
+
     /// Hands the engine a delivered communication message.
     ///
     /// Requests arriving at a service node schedule a response; responses

@@ -99,17 +99,22 @@ for lane in router rcu cpm; do
   }
 done
 
-# Activity-driven hot-loop smoke: time Network::step + a kernel in both
-# the active-set (default) and dense reference modes, and demand the
-# stats fingerprints are bit-identical (the binary exits non-zero on any
-# mismatch; the greps re-assert the identity line and the JSON schema
-# from the shell so a silently-broken self-check cannot pass CI).
+# Stepping-mode hot-loop smoke: time Network::step + a closed-loop
+# platform scenario + a kernel under the dense reference loop, the
+# active-set scheduler and the event-driven time-wheel, and demand the
+# stats fingerprints are bit-identical across all three (the binary exits
+# non-zero on any mismatch; the greps re-assert the identity line and the
+# JSON schema from the shell so a silently-broken self-check cannot pass
+# CI). The event rows must exist, and on the idle mesh the event-driven
+# mode must beat the dense baseline — that ordering is structural (the
+# wheel jumps dead cycles the dense loop must walk), so even a loaded CI
+# machine keeps it true.
 echo "+ snack-perf --smoke"
 perf_out=$(cargo run --release --offline -q -p snacknoc-bench --bin snack-perf -- \
   --smoke --json "$perf_json")
 echo "$perf_out"
 echo "$perf_out" | grep -q "^stats-identical: yes" || {
-  echo "ERROR: snack-perf --smoke did not prove active == dense stats" >&2
+  echo "ERROR: snack-perf --smoke did not prove event == active == dense stats" >&2
   exit 1
 }
 grep -q '"schema": "snacknoc-perf-v1"' "$perf_json" || {
@@ -120,5 +125,20 @@ grep -q '"stats_identical": true' "$perf_json" || {
   echo "ERROR: snack-perf JSON reports a stats mismatch" >&2
   exit 1
 }
+grep -q '"event_median_ns"' "$perf_json" || {
+  echo "ERROR: snack-perf JSON is missing the event-driven timing rows" >&2
+  exit 1
+}
+awk -v RS='}' '/"name": "idle/ {
+  match($0, /"event_speedup": [0-9.]+/)
+  split(substr($0, RSTART, RLENGTH), kv, ": ")
+  if (kv[2] + 0 <= 1.0) {
+    print "ERROR: idle event_speedup " kv[2] " is not above the dense baseline" > "/dev/stderr"
+    exit 1
+  }
+  found = 1
+}
+END { if (!found) { print "ERROR: no idle row in snack-perf JSON" > "/dev/stderr"; exit 1 } }' \
+  "$perf_json"
 
 echo "verify: all green"

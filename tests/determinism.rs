@@ -12,16 +12,27 @@ use snacknoc::workloads::suite::{profile, Benchmark};
 use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
 use snacknoc_bench::sweep::{run_sweep, SweepSpec};
 
+/// Applies stepping mode `0` (dense reference loop, DESIGN.md §11),
+/// `1` (activity-driven scheduling, the default) or `2` (event-driven
+/// time-wheel jumps, DESIGN.md §12) to a platform.
+fn apply_mode(p: &mut SnackPlatform, mode: u8) {
+    match mode {
+        0 => p.set_dense_stepping(true),
+        1 => {}
+        2 => p.set_event_stepping(true),
+        _ => unreachable!("modes are 0..=2"),
+    }
+}
+
 /// A fingerprint of a multi-program run that any nondeterminism would
-/// perturb. `dense` selects the stepping mode: `false` is the default
-/// activity-driven scheduler, `true` forces the reference dense loop that
-/// visits every router/NI/RCU each cycle (DESIGN.md §11).
-fn fingerprint_mode(seed: u64, dense: bool) -> (u64, u64, f64, u64, u64) {
+/// perturb. `mode` selects the stepping mode (see [`apply_mode`]); all
+/// three must be bit-identical.
+fn fingerprint_stepping(seed: u64, mode: u8) -> (u64, u64, f64, u64, u64) {
     let mut p = SnackPlatform::new(
         NocConfig::dapper().with_priority_arbitration(true).with_sample_window(500),
     )
     .expect("valid platform");
-    p.set_dense_stepping(dense);
+    apply_mode(&mut p, mode);
     let built = build(Kernel::Spmv, 48, seed);
     let kernel = built
         .context
@@ -42,7 +53,7 @@ fn fingerprint_mode(seed: u64, dense: bool) -> (u64, u64, f64, u64, u64) {
 
 /// Default-mode fingerprint (activity-driven stepping).
 fn fingerprint(seed: u64) -> (u64, u64, f64, u64, u64) {
-    fingerprint_mode(seed, false)
+    fingerprint_stepping(seed, 1)
 }
 
 #[test]
@@ -233,11 +244,16 @@ fn ring_traced_kernel_matches_untraced_kernel() {
 #[test]
 fn active_set_multiprogram_is_bit_identical_to_dense() {
     for seed in [41, 42, 1009] {
-        let active = fingerprint_mode(seed, false);
-        let dense = fingerprint_mode(seed, true);
+        let dense = fingerprint_stepping(seed, 0);
+        let active = fingerprint_stepping(seed, 1);
+        let event = fingerprint_stepping(seed, 2);
         assert_eq!(
             active, dense,
             "seed {seed}: active-set stepping must match dense stepping bit-for-bit"
+        );
+        assert_eq!(
+            event, dense,
+            "seed {seed}: event-driven stepping must match dense stepping bit-for-bit"
         );
     }
 }
@@ -255,9 +271,9 @@ fn active_set_matches_dense_under_fault_plan() {
     use snacknoc_bench::perf::stats_fingerprint;
 
     let built = build(Kernel::Reduction, 48, 9);
-    let run_mode = |dense: bool| {
+    let run_mode = |mode: u8| {
         let mut p = SnackPlatform::new(NocConfig::default()).expect("valid platform");
-        p.set_dense_stepping(dense);
+        apply_mode(&mut p, mode);
         // MAC fusion off: intermediate values travel the transient ring,
         // which the fault plan targets.
         let mapper = MapperConfig::for_mesh(p.mesh()).with_mac_fusion(false);
@@ -292,32 +308,38 @@ fn active_set_matches_dense_under_fault_plan() {
             stats_fingerprint(injected, delivered, 0, p.finalize_stats()),
         )
     };
-    let active = run_mode(false);
-    let dense = run_mode(true);
+    let dense = run_mode(0);
+    let active = run_mode(1);
+    let event = run_mode(2);
     assert_eq!(
         active, dense,
         "faulted kernel run must be bit-identical across stepping modes"
+    );
+    assert_eq!(
+        event, dense,
+        "event-driven faulted kernel run must be bit-identical to dense"
     );
     assert!(active.contains("rcu="), "fingerprint is non-trivial");
 }
 
 /// Active-set scheduling, part 3: mode choice composes with the worker
-/// pool. A grid of {active, dense} x seeds fingerprinted on 1 worker and
-/// on 4 workers merges to the same bytes, and within the merged vector
-/// each active cell equals its dense twin.
+/// pool. A grid of {dense, active, event} x seeds fingerprinted on 1
+/// worker and on 4 workers merges to the same bytes, and within the
+/// merged vector every mode triplet agrees per seed.
 #[test]
 fn active_vs_dense_fingerprints_are_worker_count_invariant() {
     use snacknoc_bench::sweep::parallel_map;
-    let grid: Vec<(u64, bool)> =
-        [7u64, 8, 9].iter().flat_map(|&s| [(s, false), (s, true)]).collect();
+    let grid: Vec<(u64, u8)> =
+        [7u64, 8, 9].iter().flat_map(|&s| [(s, 0u8), (s, 1), (s, 2)]).collect();
     let job = |i: usize| {
-        let (seed, dense) = grid[i];
-        format!("{:?}", fingerprint_mode(seed, dense))
+        let (seed, mode) = grid[i];
+        format!("{:?}", fingerprint_stepping(seed, mode))
     };
     let serial = parallel_map(grid.len(), 1, job);
     let parallel = parallel_map(grid.len(), 4, job);
     assert_eq!(serial, parallel, "1-vs-4 workers must merge identically");
-    for pair in serial.chunks(2) {
-        assert_eq!(pair[0], pair[1], "active and dense twins agree per seed");
+    for triple in serial.chunks(3) {
+        assert_eq!(triple[0], triple[1], "dense and active twins agree per seed");
+        assert_eq!(triple[0], triple[2], "dense and event twins agree per seed");
     }
 }

@@ -467,3 +467,118 @@ fn random_workloads_step_identically_active_and_dense() {
         );
     });
 }
+
+/// Event-driven time-wheel stepping is bit-identical to dense stepping on
+/// random traffic bursts separated by long dead gaps, under random
+/// *short-window* fault plans (DESIGN.md §12). The idle gaps are where
+/// event mode jumps, and every fault-window edge is a calendar event a
+/// jump must land on — a single missed edge shifts the hash-derived
+/// drop/corrupt schedule and breaks the fingerprint.
+#[test]
+fn random_short_window_fault_plans_step_identically_event_and_dense() {
+    use snacknoc::noc::{Dir, FaultPlan, LinkFaultKind};
+    use snacknoc_bench::perf::stats_fingerprint;
+    prop_check!(cases = 12, seed = 0x51AC_000A, |rng| {
+        let (cols, rows) = mesh_dims(rng);
+        let cfg = NocConfig::default()
+            .with_mesh(cols, rows)
+            .with_sample_window(rng.range(50..400));
+        let mesh = Mesh::new(cols, rows);
+        let n = mesh.node_count();
+
+        // A few injection bursts separated by dead gaps of up to 8k cycles,
+        // then a long idle tail. Each burst: (cycle, [(src, dst, vnet, bytes)]).
+        type Burst = (u64, Vec<(usize, usize, u8, u32)>);
+        let n_bursts = rng.range_usize(1..4);
+        let mut bursts: Vec<Burst> = Vec::new();
+        let mut at = 0u64;
+        for _ in 0..n_bursts {
+            at += rng.range(0..8_000);
+            let packets = (0..rng.range_usize(1..20))
+                .map(|_| {
+                    (
+                        rng.range_usize(0..n),
+                        rng.range_usize(0..n),
+                        rng.range(0..3) as u8,
+                        rng.range(1..120) as u32,
+                    )
+                })
+                .collect();
+            bursts.push((at, packets));
+            at += 1;
+        }
+        let horizon = at + rng.range(5_000..30_000);
+
+        // Several brief link faults; their window edges land anywhere,
+        // including deep inside the idle stretches.
+        let mut plan = FaultPlan::seeded(rng.range(0..1 << 30));
+        for _ in 0..rng.range_usize(1..5) {
+            let (node, dir) = loop {
+                let node = NodeId::new(rng.range_usize(0..n));
+                let dir = Dir::ROUTER_DIRS[rng.range_usize(0..4)];
+                if mesh.neighbor(node, dir).is_some() {
+                    break (node, dir);
+                }
+            };
+            let start = rng.range(0..horizon);
+            let end = start + rng.range(1..200);
+            let kind = match rng.range(0..3) {
+                0 => LinkFaultKind::Down,
+                1 => LinkFaultKind::Drop { rate: rng.unit_f64() },
+                _ => LinkFaultKind::Corrupt { rate: rng.unit_f64() },
+            };
+            plan = plan.with_link_fault(node, dir, start, end, kind);
+        }
+
+        let run_mode = |mode: u8| {
+            let mut net: Network<usize> = Network::new(cfg.clone()).unwrap();
+            match mode {
+                0 => net.set_dense_stepping(true),
+                1 => {}
+                _ => net.set_event_stepping(true),
+            }
+            net.set_fault_plan(plan.clone()).unwrap();
+            let mut tag = 0usize;
+            for (cycle, packets) in &bursts {
+                net.step_until(*cycle);
+                for &(src, dst, vnet, bytes) in packets {
+                    net.inject(PacketSpec::new(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        vnet,
+                        TrafficClass::Communication,
+                        bytes,
+                        tag,
+                    ))
+                    .unwrap();
+                    tag += 1;
+                }
+            }
+            net.step_until(horizon);
+            let mut drained = 0usize;
+            for node in 0..n {
+                drained += net.drain_ejected(NodeId::new(node)).len();
+            }
+            format!(
+                "drained={drained} {}",
+                stats_fingerprint(
+                    net.injected_packets(),
+                    net.delivered_packets(),
+                    net.pending_packets(),
+                    net.finalize_stats(),
+                ),
+            )
+        };
+        let dense = run_mode(0);
+        let active = run_mode(1);
+        let event = run_mode(2);
+        assert_eq!(
+            active, dense,
+            "{cols}x{rows} mesh, horizon {horizon}: active diverged from dense"
+        );
+        assert_eq!(
+            event, dense,
+            "{cols}x{rows} mesh, horizon {horizon}: event diverged from dense"
+        );
+    });
+}
