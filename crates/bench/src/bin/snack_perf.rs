@@ -24,7 +24,8 @@
 
 use snacknoc_bench::args::CliArgs;
 use snacknoc_bench::perf::{
-    default_step_scenarios, smoke_step_scenarios, time_closed_loop, time_kernel,
+    default_shard_scenarios, default_step_scenarios, host_threads, smoke_shard_scenarios,
+    smoke_step_scenarios, time_closed_loop, time_kernel, time_shard_scenario,
     time_step_scenario, PerfReport,
 };
 use snacknoc_workloads::kernels::Kernel;
@@ -41,6 +42,7 @@ fn main() {
     let kernel_size = args.u64_or("kernel-size", if smoke { 10 } else { 24 }) as usize;
 
     let scenarios = if smoke { smoke_step_scenarios() } else { default_step_scenarios() };
+    let shard_scenarios = if smoke { smoke_shard_scenarios() } else { default_shard_scenarios() };
     let kernels = if smoke {
         vec![Kernel::Mac]
     } else {
@@ -48,16 +50,21 @@ fn main() {
     };
 
     println!(
-        "perf: {} step scenario(s) + {} kernel(s), {samples} sample(s) per mode{}",
+        "perf: {} step + {} shard scenario(s) + {} kernel(s), {samples} sample(s) per mode{} \
+         (host threads: {})",
         scenarios.len(),
+        shard_scenarios.len(),
         kernels.len(),
         if smoke { " [smoke]" } else { "" },
+        host_threads(),
     );
     let mut step: Vec<_> = scenarios.iter().map(|s| time_step_scenario(s, samples)).collect();
     step.push(time_closed_loop(if smoke { 20_000 } else { 200_000 }, samples));
+    let shard: Vec<_> =
+        shard_scenarios.iter().flat_map(|s| time_shard_scenario(s, samples)).collect();
     let kernel_results =
         kernels.iter().map(|&k| time_kernel(k, kernel_size, seed, samples)).collect();
-    let report = PerfReport { step, kernels: kernel_results };
+    let report = PerfReport { step, shard, kernels: kernel_results };
     report.print_tables();
 
     let file = std::fs::File::create(&json_path).expect("create JSON report");
@@ -69,6 +76,13 @@ fn main() {
     }
     if let Some(speedup) = report.idle_event_speedup() {
         println!("idle-event-speedup: {speedup:.2}x (event-driven over dense baseline)");
+    }
+    if let Some((name, workers, speedup)) = report.best_shard_speedup() {
+        println!(
+            "shard-speedup: {speedup:.2}x ({name} at {workers} worker(s) over serial active, \
+             {} host thread(s))",
+            host_threads(),
+        );
     }
     if !report.all_identical() {
         eprintln!(

@@ -418,6 +418,28 @@ impl SnackPlatform {
         self.event
     }
 
+    /// Partitions the underlying mesh into `shards` horizontal bands
+    /// stepped by worker threads with deterministic boundary-flit
+    /// exchange (forwards to [`snacknoc_noc::Network::set_sharding`];
+    /// `0` restores serial stepping). Sharding composes with active and
+    /// event stepping — the platform only jumps the clock when *all*
+    /// shards report quiescent — and is bit-identical to both, which
+    /// `tests/determinism.rs` holds as part of the four-mode matrix.
+    /// Turning dense mode on folds the shards back into the serial path.
+    pub fn set_sharding(&mut self, shards: usize) -> Result<(), snacknoc_noc::ShardError> {
+        if shards > 0 {
+            self.dense = false;
+            self.net.set_dense_stepping(false);
+        }
+        self.net.set_sharding(shards)
+    }
+
+    /// Worker-shard count in force on the underlying network (`0` when
+    /// stepping serially).
+    pub fn sharding(&self) -> usize {
+        self.net.sharding()
+    }
+
     /// Total packets injected into the underlying network.
     pub fn net_injected_packets(&self) -> u64 {
         self.net.injected_packets()
@@ -1708,13 +1730,19 @@ mod tests {
         assert_eq!(run_a.outputs, run_b.outputs);
     }
 
-    /// Applies stepping mode 0 (dense), 1 (active, the default) or
-    /// 2 (event) to a fresh platform.
+    /// Applies stepping mode 0 (dense), 1 (active, the default),
+    /// 2 (event), 3 (sharded ×2) or 4 (event + sharded ×2) to a fresh
+    /// platform.
     fn set_mode(p: &mut SnackPlatform, mode: u8) {
         match mode {
             0 => p.set_dense_stepping(true),
             1 => {}
-            _ => p.set_event_stepping(true),
+            2 => p.set_event_stepping(true),
+            3 => p.set_sharding(2).expect("two shards fit the test mesh"),
+            _ => {
+                p.set_event_stepping(true);
+                p.set_sharding(2).expect("two shards fit the test mesh");
+            }
         }
     }
 
@@ -1772,6 +1800,8 @@ mod tests {
         let event = run(2);
         assert_eq!(dense, active, "active mode diverged from dense");
         assert_eq!(dense, event, "event mode diverged from dense");
+        assert_eq!(dense, run(3), "sharded mode diverged from dense");
+        assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
         assert!(
             dense.0 >= SnackPlatform::NO_PROGRESS_WINDOW
                 && dense.0 < SnackPlatform::NO_PROGRESS_WINDOW + 1_000,
@@ -1799,6 +1829,8 @@ mod tests {
         let dense = run(0);
         assert_eq!(dense, run(1), "active mode diverged from dense");
         assert_eq!(dense, run(2), "event mode diverged from dense");
+        assert_eq!(dense, run(3), "sharded mode diverged from dense");
+        assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
     }
 
     /// Satellite 1: a fault-free event-mode run with recovery armed must
@@ -1844,6 +1876,8 @@ mod tests {
         let dense = run(0);
         assert_eq!(dense, run(1), "active mode diverged from dense");
         assert_eq!(dense, run(2), "event mode diverged from dense");
+        assert_eq!(dense, run(3), "sharded mode diverged from dense");
+        assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
     }
 
 }

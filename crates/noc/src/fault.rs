@@ -451,19 +451,11 @@ impl FaultState {
         !self.down.is_empty()
     }
 
-    fn drop_rate_at(&self, lid: usize, cycle: u64) -> f64 {
-        let mut rate = self.plan.drop_rate;
-        for &(l, s, e, r) in &self.drops {
-            if l == lid && (s..e).contains(&cycle) {
-                rate = rate.max(r);
-            }
-        }
-        rate
-    }
-
-    fn corrupt_rate_at(&self, lid: usize, cycle: u64) -> f64 {
-        let mut rate = self.plan.corrupt_rate;
-        for &(l, s, e, r) in &self.corrupts {
+    /// The effective rate for `lid` at `cycle`: the plan-wide baseline,
+    /// raised by any covering scheduled window.
+    fn rate_at(base: f64, windows: &[(usize, u64, u64, f64)], lid: usize, cycle: u64) -> f64 {
+        let mut rate = base;
+        for &(l, s, e, r) in windows {
             if l == lid && (s..e).contains(&cycle) {
                 rate = rate.max(r);
             }
@@ -482,49 +474,101 @@ impl FaultState {
         cycle: u64,
         flit: &crate::flit::Flit<P>,
     ) -> FaultAction {
+        // Disjoint field borrows: the decision reads the compiled plan
+        // while mutating the memo and counters.
+        let Self { plan, drops, corrupts, dropping, counters, .. } = self;
+        Self::decide(plan, drops, corrupts, lid, cycle, flit, dropping, counters)
+    }
+
+    /// [`FaultState::on_link_flit`] with the mutable halves — the
+    /// mid-packet drop memo and the event counters — supplied by the
+    /// caller. The sharded stepper gives every shard its own memo and
+    /// counter delta: each link id is consumed by exactly one shard, so a
+    /// `(link, packet)` memo entry lives and dies inside a single shard,
+    /// and the counters are pure sums merged in shard-index order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_link_flit_sharded<P>(
+        &self,
+        lid: usize,
+        cycle: u64,
+        flit: &crate::flit::Flit<P>,
+        dropping: &mut HashSet<(usize, PacketId)>,
+        counters: &mut FaultCounters,
+    ) -> FaultAction {
+        Self::decide(&self.plan, &self.drops, &self.corrupts, lid, cycle, flit, dropping, counters)
+    }
+
+    /// The shared decision core. Drop/corrupt rolls hash `(seed, link,
+    /// packet)` — common random numbers — so the verdict is independent
+    /// of evaluation order and of which thread asks.
+    #[allow(clippy::too_many_arguments)]
+    fn decide<P>(
+        plan: &FaultPlan,
+        drops: &[(usize, u64, u64, f64)],
+        corrupts: &[(usize, u64, u64, f64)],
+        lid: usize,
+        cycle: u64,
+        flit: &crate::flit::Flit<P>,
+        dropping: &mut HashSet<(usize, PacketId)>,
+        counters: &mut FaultCounters,
+    ) -> FaultAction {
         let (kind, class, protected, already_corrupted, packet_id) =
             (flit.kind, flit.class, flit.protected, flit.corrupted, flit.packet_id);
         if !kind.is_head() {
-            if self.dropping.contains(&(lid, packet_id)) {
+            if dropping.contains(&(lid, packet_id)) {
                 if kind.is_tail() {
-                    self.dropping.remove(&(lid, packet_id));
-                    self.counters.dropped_packets += 1;
-                    self.counters.injected += 1;
+                    dropping.remove(&(lid, packet_id));
+                    counters.dropped_packets += 1;
+                    counters.injected += 1;
                 }
-                self.counters.dropped_flits += 1;
+                counters.dropped_flits += 1;
                 return FaultAction::Drop;
             }
             return FaultAction::Deliver;
         }
-        if !self.plan.targets.targets(class) || (protected && self.plan.respect_protection) {
+        if !plan.targets.targets(class) || (protected && plan.respect_protection) {
             return FaultAction::Deliver;
         }
-        let drop = self.drop_rate_at(lid, cycle);
+        let drop = Self::rate_at(plan.drop_rate, drops, lid, cycle);
         if drop > 0.0
-            && snacknoc_prng::hashrand::unit(self.plan.seed, lid as u64, packet_id, SALT_DROP)
-                < drop
+            && snacknoc_prng::hashrand::unit(plan.seed, lid as u64, packet_id, SALT_DROP) < drop
         {
-            self.counters.dropped_flits += 1;
+            counters.dropped_flits += 1;
             if kind.is_tail() {
                 // Single-flit packet: dropped whole right here.
-                self.counters.dropped_packets += 1;
-                self.counters.injected += 1;
+                counters.dropped_packets += 1;
+                counters.injected += 1;
             } else {
-                self.dropping.insert((lid, packet_id));
+                dropping.insert((lid, packet_id));
             }
             return FaultAction::Drop;
         }
-        let corrupt = self.corrupt_rate_at(lid, cycle);
+        let corrupt = Self::rate_at(plan.corrupt_rate, corrupts, lid, cycle);
         if !already_corrupted
             && corrupt > 0.0
-            && snacknoc_prng::hashrand::unit(self.plan.seed, lid as u64, packet_id, SALT_CORRUPT)
+            && snacknoc_prng::hashrand::unit(plan.seed, lid as u64, packet_id, SALT_CORRUPT)
                 < corrupt
         {
-            self.counters.corrupted_packets += 1;
-            self.counters.injected += 1;
+            counters.corrupted_packets += 1;
+            counters.injected += 1;
             return FaultAction::DeliverCorrupted;
         }
         FaultAction::Deliver
+    }
+
+    /// Mutable access to the mid-packet drop memo, for the sharded
+    /// stepper's mode transitions (entries migrate to the shard that owns
+    /// the link's destination router, and back on exit).
+    pub(crate) fn dropping_mut(&mut self) -> &mut HashSet<(usize, PacketId)> {
+        &mut self.dropping
+    }
+
+    /// Folds a shard's fault-counter delta into the global counters.
+    pub(crate) fn merge_counters(&mut self, delta: &FaultCounters) {
+        self.counters.injected += delta.injected;
+        self.counters.dropped_flits += delta.dropped_flits;
+        self.counters.dropped_packets += delta.dropped_packets;
+        self.counters.corrupted_packets += delta.corrupted_packets;
     }
 }
 

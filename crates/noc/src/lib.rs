@@ -70,7 +70,7 @@ pub use fault::{
     FaultCounters, FaultPlan, FaultPlanError, FaultTargets, LinkFault, LinkFaultKind, StallWindow,
 };
 pub use flit::{Flit, FlitKind, TrafficClass};
-pub use network::{Network, StallReport};
+pub use network::{Network, ShardError, StallReport};
 pub use packet::{Packet, PacketId, PacketSpec};
 pub use routing::{Dir, RoutingAlgorithm};
 pub use stats::{LatencyHistogram, NetStats, OccupancyCdf, ProtocolErrors, SeriesSample};

@@ -14,6 +14,9 @@ use snacknoc_trace::{EventKind, TracerHandle};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+mod sharded;
+use sharded::Sharding;
+
 /// A one-cycle-latency directed link between two routers.
 #[derive(Clone, Debug)]
 struct Link<P> {
@@ -48,6 +51,9 @@ struct Partial<P> {
     head: Option<Flit<P>>,
     flits: u64,
     corrupted: bool,
+    /// Destination node index — lets sharded stepping keep each partial
+    /// in the lane of the shard that owns its ejecting router.
+    dst: usize,
 }
 
 /// A structured snapshot of why a network failed to drain: which routers
@@ -170,6 +176,11 @@ pub struct Network<P> {
     /// Structured event tracer; [`TracerHandle::Nop`] (the default) keeps
     /// every hook a single discriminant branch with no event construction.
     tracer: TracerHandle,
+    /// Sharded stepping state (DESIGN.md §13): the mesh split into
+    /// horizontal row bands stepped by one worker thread each, with
+    /// per-cycle barrier sync and boundary mailboxes. `None` (the
+    /// default) keeps the serial paths untouched.
+    sharding: Option<Sharding<P>>,
 }
 
 /// A timed wake event in the network's calendar queue.
@@ -203,6 +214,31 @@ impl std::fmt::Display for InjectError {
 }
 
 impl std::error::Error for InjectError {}
+
+/// Error returned by [`Network::set_sharding`] for impossible tilings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ShardError {
+    /// More tiles than mesh rows: a row band needs at least one row.
+    TooManyShards {
+        /// Requested shard count.
+        shards: usize,
+        /// Mesh rows available to tile.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::TooManyShards { shards, rows } => {
+                write!(f, "{shards} shards requested but the mesh has only {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 impl<P> Network<P> {
     /// Builds a network from a validated configuration.
@@ -272,6 +308,7 @@ impl<P> Network<P> {
             fault: None,
             stats,
             tracer: TracerHandle::Nop,
+            sharding: None,
         })
     }
 
@@ -305,6 +342,11 @@ impl<P> Network<P> {
             }
         }
         self.fault = Some(state);
+        // A fresh plan starts with an empty mid-packet drop memo; stale
+        // per-lane memos from a previous plan must not outlive it.
+        if let Some(sh) = self.sharding.as_mut() {
+            sh.clear_fault_memos();
+        }
         Ok(())
     }
 
@@ -391,6 +433,7 @@ impl<P> Network<P> {
     /// which would otherwise grow silently.
     pub fn stuck_packets(&self) -> usize {
         self.reassembly.len()
+            + self.sharding.as_ref().map_or(0, Sharding::stuck_packets)
     }
 
     /// Queues a packet for injection at its source NI.
@@ -428,7 +471,12 @@ impl<P> Network<P> {
             self.ni_backlog_total += nf as u64;
             if !self.ni_flag[src] {
                 self.ni_flag[src] = true;
-                self.ni_active.push(src);
+                // Under sharded stepping the NI worklist lives in the
+                // owning shard's lane; the wakeup edge is the same.
+                match self.sharding.as_mut() {
+                    Some(sh) => sh.push_ni_active(src),
+                    None => self.ni_active.push(src),
+                }
             }
         }
         let mut payload = Some(spec.payload);
@@ -529,6 +577,9 @@ impl<P> Network<P> {
         self.dense = dense;
         if dense {
             self.event = false;
+            // Dense stepping walks the serial worklists; fold any sharded
+            // state back into them first.
+            sharded::unshard(self);
         }
     }
 
@@ -566,6 +617,7 @@ impl<P> Network<P> {
             && self.occupied_links.is_empty()
             && self.ni_active.is_empty()
             && self.active.is_empty()
+            && self.sharding.as_ref().is_none_or(Sharding::is_quiescent)
     }
 
     /// The earliest scheduled wake cycle strictly after the current cycle
@@ -611,6 +663,15 @@ impl<P> Network<P> {
                     continue;
                 }
             }
+            if let Some(sh) = &self.sharding {
+                // Amortize the thread-scope setup over the whole stretch.
+                // In event mode the batch returns early once every shard
+                // is provably quiescent, handing control back to the
+                // clock-jump branch above.
+                let batch = sh.batch;
+                batch(self, target - self.cycle);
+                continue;
+            }
             self.step();
         }
     }
@@ -654,6 +715,13 @@ impl<P> Network<P> {
     /// quiescent — see DESIGN.md §11 for the invariants and the wakeup
     /// edges.
     pub fn step(&mut self) {
+        if let Some(sh) = &self.sharding {
+            // The batch fn pointer was captured under a `P: Send` bound
+            // at `set_sharding` time, so the dispatch itself needs none.
+            let batch = sh.batch;
+            batch(self, 1);
+            return;
+        }
         self.cycle += 1;
         let cycle = self.cycle;
 
@@ -1042,7 +1110,7 @@ impl<P> Network<P> {
         let entry = self
             .reassembly
             .entry(pid)
-            .or_insert(Partial { head: None, flits: 0, corrupted: false });
+            .or_insert(Partial { head: None, flits: 0, corrupted: false, dst: node });
         entry.flits += 1;
         entry.corrupted |= flit.corrupted;
         if flit.kind.is_head() {
@@ -1094,6 +1162,47 @@ impl<P> Network<P> {
             self.delivered_packets += 1;
             self.ejected[node].push(packet);
         }
+    }
+}
+
+impl<P: Send> Network<P> {
+    /// Switches between serial stepping (`shards == 0`, the default) and
+    /// sharded stepping (DESIGN.md §13): the mesh is split into `shards`
+    /// horizontal row bands, each stepped by its own worker thread, with
+    /// per-cycle barrier synchronization and deterministic boundary-flit
+    /// mailboxes. Bit-identical to every serial mode for any shard count —
+    /// `tests/determinism.rs` and `tests/properties.rs` prove it against
+    /// the dense oracle.
+    ///
+    /// Sharding composes with event stepping (the clock still jumps dead
+    /// stretches, once *all* shards are quiescent) and turns dense
+    /// stepping off; enabling dense stepping folds the shards back.
+    /// Sharded stepping records no tracer events (install
+    /// [`TracerHandle::Nop`] semantics apply regardless of the handle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if `shards` exceeds the mesh row count.
+    pub fn set_sharding(&mut self, shards: usize) -> Result<(), ShardError> {
+        if shards == self.sharding() {
+            return Ok(());
+        }
+        if shards > self.mesh.rows() {
+            return Err(ShardError::TooManyShards { shards, rows: self.mesh.rows() });
+        }
+        sharded::unshard(self);
+        if shards > 0 {
+            sharded::enshard(self, shards);
+            self.dense = false;
+        }
+        Ok(())
+    }
+}
+
+impl<P> Network<P> {
+    /// The active shard (worker-thread) count; 0 when stepping serially.
+    pub fn sharding(&self) -> usize {
+        self.sharding.as_ref().map_or(0, |sh| sh.tiles)
     }
 }
 
@@ -1645,5 +1754,182 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "hash-derived fault decisions replay exactly");
         assert!(a.1.dropped_packets > 0 && a.1.corrupted_packets > 0, "faults actually fired");
+    }
+
+    // ---------------------------------------------------------------
+    // Sharded stepping (DESIGN.md §13)
+    // ---------------------------------------------------------------
+
+    /// Everything observable about a finished run, for byte-identity
+    /// comparisons across stepping modes.
+    type RunFingerprint = (u64, u64, u64, u64, u64, u64, String, Vec<(u64, u64, bool)>);
+
+    fn run_fingerprint(n: &mut Network<u64>) -> RunFingerprint {
+        let nodes = n.mesh().node_count();
+        let mut log = Vec::new();
+        for node in 0..nodes {
+            for p in n.drain_ejected(NodeId::new(node)) {
+                log.push((p.payload, p.delivered_at, p.corrupted));
+            }
+        }
+        let occupancy = format!(
+            "{}/{}/{:.12}",
+            n.stats().occupancy.total_cycles(),
+            n.stats().occupancy.dropped_samples(),
+            n.stats().occupancy.zero_fraction(),
+        );
+        (
+            n.cycle(),
+            n.delivered_packets(),
+            n.lost_packets(),
+            n.stats().crossbar_transfers,
+            n.stats().injected_flits,
+            n.fault_counters().dropped_flits,
+            occupancy,
+            log,
+        )
+    }
+
+    /// Drains in batch-friendly chunks so sharded runs amortize the
+    /// per-batch thread-scope setup.
+    fn drain_in_chunks(n: &mut Network<u64>) {
+        for _ in 0..2_000 {
+            if n.pending_packets() == 0 {
+                return;
+            }
+            let target = n.cycle() + 64;
+            n.step_until(target);
+        }
+        panic!("network failed to drain: {}", n.stall_report());
+    }
+
+    fn faulted_random_run(shards: usize) -> RunFingerprint {
+        let mut n = net(NocConfig::axnoc());
+        if shards == 0 {
+            n.set_dense_stepping(true);
+        } else {
+            n.set_sharding(shards).unwrap();
+        }
+        n.set_fault_plan(
+            FaultPlan::seeded(1234)
+                .with_drop_rate(0.2)
+                .with_corrupt_rate(0.1)
+                .with_targets(comm_targets()),
+        )
+        .unwrap();
+        let nodes = n.mesh().node_count();
+        use snacknoc_prng::Rng;
+        let mut rng = Rng::new(5);
+        for i in 0..200 {
+            let src = NodeId::new(rng.range_usize(0..nodes));
+            let dst = NodeId::new(rng.range_usize(0..nodes));
+            n.inject(comm(src, dst, 64, i)).unwrap();
+            if i % 3 == 0 {
+                n.step();
+            }
+        }
+        drain_in_chunks(&mut n);
+        run_fingerprint(&mut n)
+    }
+
+    #[test]
+    fn sharded_stepping_matches_the_dense_oracle() {
+        let dense = faulted_random_run(0);
+        for shards in [1, 2, 4] {
+            assert_eq!(
+                faulted_random_run(shards),
+                dense,
+                "{shards}-shard run must be byte-identical to dense"
+            );
+        }
+        assert!(dense.2 > 0, "faults actually fired");
+    }
+
+    #[test]
+    fn sharding_survives_mid_run_mode_flips() {
+        let run = |flip: bool| {
+            let mut n = net(NocConfig::binochs());
+            let nodes: Vec<_> = n.mesh().nodes().collect();
+            for (i, &src) in nodes.iter().enumerate() {
+                for (j, &dst) in nodes.iter().enumerate() {
+                    n.inject(comm(src, dst, 64, (i * 16 + j) as u64)).unwrap();
+                }
+            }
+            // Flip serial → 2 shards → 3 shards → serial mid-flight: the
+            // state migrations must be exact, not just the steady state.
+            n.run(20);
+            if flip {
+                n.set_sharding(2).unwrap();
+            }
+            n.run(50);
+            if flip {
+                n.set_sharding(3).unwrap();
+            }
+            n.run(50);
+            if flip {
+                n.set_sharding(0).unwrap();
+            }
+            drain_in_chunks(&mut n);
+            assert_eq!(n.sharding(), 0);
+            run_fingerprint(&mut n)
+        };
+        assert_eq!(run(true), run(false), "mode flips are observationally free");
+    }
+
+    #[test]
+    fn sharded_event_stepping_jumps_dead_cycles_identically() {
+        let run = |shards: usize| {
+            let mut n = net(NocConfig::binochs().with_sample_window(100));
+            n.set_event_stepping(true);
+            if shards > 0 {
+                n.set_sharding(shards).unwrap();
+                assert!(n.event_stepping(), "sharding composes with event mode");
+            }
+            let src = n.mesh().node_at(0, 0);
+            let dst = n.mesh().node_at(3, 3);
+            for i in 0..10 {
+                n.inject(comm(src, dst, 64, i)).unwrap();
+            }
+            // Drain, then cross a long dead stretch: the sharded batch
+            // must hand control back to the clock jump immediately.
+            n.step_until(50_000);
+            assert!(n.is_quiescent());
+            run_fingerprint(&mut n)
+        };
+        let serial = run(0);
+        assert_eq!(serial.0, 50_000, "event mode lands exactly on the target");
+        for shards in [1, 2, 4] {
+            assert_eq!(run(shards), serial, "{shards}-shard event run identical");
+        }
+    }
+
+    #[test]
+    fn set_sharding_rejects_impossible_tilings() {
+        let mut n = net(NocConfig::binochs()); // 4 rows
+        assert_eq!(
+            n.set_sharding(5),
+            Err(ShardError::TooManyShards { shards: 5, rows: 4 })
+        );
+        assert_eq!(n.sharding(), 0, "failed request leaves serial stepping");
+        n.set_sharding(4).unwrap();
+        assert_eq!(n.sharding(), 4);
+        n.set_sharding(4).unwrap(); // idempotent
+        assert_eq!(n.sharding(), 4);
+        n.set_dense_stepping(true);
+        assert_eq!(n.sharding(), 0, "dense stepping folds the shards back");
+    }
+
+    #[test]
+    fn injection_wakes_sharded_nis() {
+        let mut n = net(NocConfig::binochs());
+        n.set_sharding(2).unwrap();
+        let src = n.mesh().node_at(1, 3); // bottom band
+        let dst = n.mesh().node_at(2, 0); // top band
+        n.inject(comm(src, dst, 32, 77)).unwrap();
+        drain_in_chunks(&mut n);
+        let pkts = n.drain_ejected(dst);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].payload, 77);
+        assert_eq!(n.stuck_packets(), 0);
     }
 }

@@ -31,13 +31,13 @@ impl WindowSeries {
         WindowSeries { window, busy_in_window: 0, samples: Vec::new() }
     }
 
-    fn record(&mut self, busy: bool) {
+    pub(crate) fn record(&mut self, busy: bool) {
         if busy {
             self.busy_in_window += 1;
         }
     }
 
-    fn roll(&mut self, end_cycle: u64) {
+    pub(crate) fn roll(&mut self, end_cycle: u64) {
         let utilization = self.busy_in_window as f64 / self.window as f64;
         self.samples.push(SeriesSample { end_cycle, utilization });
         self.busy_in_window = 0;
@@ -81,6 +81,10 @@ impl WindowSeries {
 
 /// Computes the `p`-th percentile (0–100) of a sequence; 0.0 when empty.
 ///
+/// `p` is clamped into `0.0..=100.0`: an out-of-range request answers the
+/// nearest extreme (minimum or maximum) instead of indexing outside the
+/// sorted sample and panicking. A NaN `p` reads as the minimum.
+///
 /// # NaN handling
 ///
 /// Inputs are ordered with [`f64::total_cmp`], so the function never
@@ -95,7 +99,7 @@ pub fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
         return 0.0;
     }
     v.sort_by(f64::total_cmp);
-    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
@@ -114,11 +118,20 @@ pub struct OccupancyCdf {
     /// bucket 100 counts exactly-full cycles.
     buckets: [u64; 101],
     total: u64,
+    /// NaN samples rejected by [`OccupancyCdf::record`]. A NaN fraction
+    /// used to land silently in bucket 0 (`NaN.clamp` stays NaN, `as
+    /// usize` saturates to 0), skewing the Fig. 3 CDF low; now the sample
+    /// is skipped and counted here so the stats report can surface it.
+    dropped: u64,
+    /// Bulk zero-sample batches whose count overflowed u64 and were
+    /// saturated instead of recorded exactly (see
+    /// `NetStats::advance_idle`).
+    saturated: u64,
 }
 
 impl Default for OccupancyCdf {
     fn default() -> Self {
-        OccupancyCdf { buckets: [0; 101], total: 0 }
+        OccupancyCdf { buckets: [0; 101], total: 0, dropped: 0, saturated: 0 }
     }
 }
 
@@ -129,17 +142,60 @@ impl OccupancyCdf {
     }
 
     /// Records one sample at the given occupancy fraction (`0.0..=1.0`).
+    ///
+    /// A NaN fraction is not a measurement: it is skipped and counted in
+    /// [`OccupancyCdf::dropped_samples`] instead of being misfiled as a
+    /// zero-occupancy cycle.
     pub fn record(&mut self, fraction: f64) {
+        if fraction.is_nan() {
+            self.dropped += 1;
+            return;
+        }
         let pct = (fraction.clamp(0.0, 1.0) * 100.0).round() as usize;
         self.buckets[pct.min(100)] += 1;
         self.total += 1;
     }
 
     /// Records `n` zero-occupancy samples at once (bulk path for idle
-    /// routers).
+    /// routers). Saturates rather than wraps if the running totals would
+    /// overflow u64, counting the event in
+    /// [`OccupancyCdf::saturated_batches`].
     pub fn record_zeros(&mut self, n: u64) {
-        self.buckets[0] += n;
-        self.total += n;
+        let bucket = self.buckets[0].checked_add(n);
+        let total = self.total.checked_add(n);
+        match (bucket, total) {
+            (Some(b), Some(t)) => {
+                self.buckets[0] = b;
+                self.total = t;
+            }
+            _ => {
+                self.buckets[0] = self.buckets[0].saturating_add(n);
+                self.total = self.total.saturating_add(n);
+                self.saturated += 1;
+            }
+        }
+    }
+
+    /// NaN samples skipped by [`OccupancyCdf::record`].
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bulk zero batches saturated on u64 overflow (0 in any sane run).
+    pub fn saturated_batches(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Merges another CDF into this one, bucket-wise. Used to fold
+    /// per-shard occupancy deltas into the network-wide CDF; bucket
+    /// addition commutes, so the merge order cannot change the result.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.dropped += other.dropped;
+        self.saturated += other.saturated;
     }
 
     /// Cumulative probability that occupancy is `<= pct` percent.
@@ -254,6 +310,13 @@ impl ProtocolErrors {
     pub fn total(&self) -> u64 {
         self.tail_without_head + self.missing_payload + self.duplicate_head
     }
+
+    /// Adds another counter set into this one (per-shard delta merge).
+    pub fn merge(&mut self, other: &Self) {
+        self.tail_without_head += other.tail_without_head;
+        self.missing_payload += other.missing_payload;
+        self.duplicate_head += other.duplicate_head;
+    }
 }
 
 /// Latency and delivery accounting for one traffic class.
@@ -284,6 +347,17 @@ impl ClassStats {
     /// Approximate `p`-th percentile latency (see [`LatencyHistogram`]).
     pub fn latency_percentile(&self, p: f64) -> u64 {
         self.latency_hist.percentile(p)
+    }
+
+    /// Merges another class accumulator into this one. All fields are
+    /// sums, maxima or bucket counts, so the merge commutes — per-shard
+    /// delivery deltas fold into the network totals in any order.
+    pub fn merge(&mut self, other: &Self) {
+        self.delivered += other.delivered;
+        self.flits += other.flits;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.latency_hist.merge(&other.latency_hist);
     }
 }
 
@@ -366,7 +440,23 @@ impl NetStats {
         if cycles == 0 {
             return;
         }
-        self.occupancy.record_zeros(cycles.saturating_mul(zeros_per_cycle));
+        // An overflowing jump would silently corrupt the occupancy CDF —
+        // break the bit-identity contract *visibly*: panic in debug
+        // builds, saturate-and-count in release so the run degrades into
+        // a measurable artifact instead of a wrong-but-plausible CDF.
+        let zeros = match cycles.checked_mul(zeros_per_cycle) {
+            Some(z) => z,
+            None => {
+                debug_assert!(
+                    false,
+                    "idle jump of {cycles} cycles x {zeros_per_cycle} routers \
+                     overflows the occupancy sample count"
+                );
+                self.occupancy.saturated += 1;
+                u64::MAX
+            }
+        };
+        self.occupancy.record_zeros(zeros);
         let total = self.cycles_in_window + cycles;
         let rolls = total / self.window;
         if rolls > 0 {
@@ -417,7 +507,7 @@ impl NetStats {
         c.latency_hist.record(latency);
     }
 
-    fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
+    pub(crate) fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
         match class {
             TrafficClass::Communication => &mut self.comm,
             TrafficClass::SnackInstruction => &mut self.instr,
@@ -478,6 +568,32 @@ impl NetStats {
     /// Peak link utilization across all links and windows.
     pub fn peak_link_utilization(&self) -> f64 {
         self.links.iter().map(|s| s.peak()).fold(0.0, f64::max)
+    }
+
+    /// Mutable access to the full per-router crossbar and per-link series
+    /// tables, for the sharded stepping path: each worker takes a disjoint
+    /// `split_at_mut` slice of both (routers and link ids are contiguous
+    /// per tile) and records busy events / rolls windows exactly as
+    /// `record_router_cycle` / `record_link_cycle` / `end_cycle` would.
+    pub(crate) fn series_mut(&mut self) -> (&mut [WindowSeries], &mut [WindowSeries]) {
+        (&mut self.crossbar, &mut self.links)
+    }
+
+    /// Cycles accumulated in the current (incomplete) sampling window.
+    pub(crate) fn cycles_in_window(&self) -> u64 {
+        self.cycles_in_window
+    }
+
+    /// Overwrites the in-window cycle counter (sharded batch epilogue:
+    /// every shard advanced the same number of cycles, so the per-worker
+    /// copies all agree).
+    pub(crate) fn set_cycles_in_window(&mut self, cycles: u64) {
+        self.cycles_in_window = cycles;
+    }
+
+    /// The sampling-window length in cycles.
+    pub(crate) fn sample_window(&self) -> u64 {
+        self.window
     }
 }
 
@@ -829,6 +945,109 @@ mod tests {
         zero.merge(&max);
         assert_eq!(zero.samples(), 2);
         assert!(zero.percentile(100.0) > zero.percentile(0.0));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_ranks() {
+        // Regression: p > 100 used to compute a rank past `len - 1` and
+        // index out of bounds; p < 0 underflowed towards the front.
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(v.iter().copied(), 150.0), 4.0, "p=150 answers the maximum");
+        assert_eq!(percentile(v.iter().copied(), -5.0), 1.0, "p=-5 answers the minimum");
+        assert_eq!(percentile([7.0].iter().copied(), 150.0), 7.0);
+        assert_eq!(percentile(std::iter::empty(), 150.0), 0.0);
+        assert_eq!(percentile(std::iter::empty(), -5.0), 0.0);
+        // In-range queries are untouched by the clamp.
+        assert!((percentile(v.iter().copied(), 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_cdf_skips_and_counts_nan() {
+        // Regression: NaN.clamp stays NaN and `as usize` saturates to 0,
+        // so NaN fractions were silently filed as zero-occupancy cycles.
+        let mut cdf = OccupancyCdf::new();
+        cdf.record(0.5);
+        cdf.record(f64::NAN);
+        cdf.record(0.5);
+        assert_eq!(cdf.total_cycles(), 2, "NaN is not a sample");
+        assert_eq!(cdf.dropped_samples(), 1);
+        assert_eq!(cdf.zero_fraction(), 0.0, "no phantom bucket-0 entry");
+        cdf.record(f64::NAN);
+        assert_eq!(cdf.dropped_samples(), 2);
+    }
+
+    #[test]
+    fn occupancy_cdf_merge_adds_bucketwise() {
+        let mut a = OccupancyCdf::new();
+        let mut b = OccupancyCdf::new();
+        a.record(0.25);
+        a.record_zeros(3);
+        b.record(0.25);
+        b.record(0.80);
+        b.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.total_cycles(), 6);
+        assert_eq!(a.dropped_samples(), 1);
+        assert!((a.zero_fraction() - 0.5).abs() < 1e-12);
+        assert!((a.cumulative_at(25) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((a.cumulative_at(80) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_zeros_saturates_with_counter_instead_of_wrapping() {
+        let mut cdf = OccupancyCdf::new();
+        cdf.record_zeros(10);
+        cdf.record_zeros(u64::MAX);
+        assert_eq!(cdf.total_cycles(), u64::MAX, "saturated, not wrapped");
+        assert_eq!(cdf.saturated_batches(), 1);
+        cdf.record_zeros(u64::MAX);
+        assert_eq!(cdf.saturated_batches(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflows the occupancy sample count")]
+    fn advance_idle_panics_loudly_on_overflowing_jump_in_debug() {
+        // Regression: `saturating_mul` silently corrupted the CDF on a
+        // u64::MAX-scale jump; the overflow must now fail visibly.
+        let mut st = NetStats::new(4096, 0, 10_000);
+        st.advance_idle(0, u64::MAX, 4096);
+    }
+
+    #[test]
+    fn class_stats_merge_matches_concatenated_deliveries() {
+        let mut a = ClassStats::default();
+        let mut concat = ClassStats::default();
+        let mut b = ClassStats::default();
+        for lat in [3u64, 9, 120] {
+            a.latency_sum += lat;
+            a.delivered += 1;
+            a.flits += 2;
+            a.latency_max = a.latency_max.max(lat);
+            a.latency_hist.record(lat);
+        }
+        for lat in [1u64, 400] {
+            b.latency_sum += lat;
+            b.delivered += 1;
+            b.flits += 4;
+            b.latency_max = b.latency_max.max(lat);
+            b.latency_hist.record(lat);
+        }
+        for lat in [3u64, 9, 120, 1, 400] {
+            concat.latency_sum += lat;
+            concat.delivered += 1;
+            concat.latency_max = concat.latency_max.max(lat);
+            concat.latency_hist.record(lat);
+        }
+        concat.flits = 14;
+        a.merge(&b);
+        assert_eq!(a.delivered, concat.delivered);
+        assert_eq!(a.flits, concat.flits);
+        assert_eq!(a.latency_sum, concat.latency_sum);
+        assert_eq!(a.latency_max, concat.latency_max);
+        for p in [1.0, 50.0, 99.0] {
+            assert_eq!(a.latency_percentile(p), concat.latency_percentile(p));
+        }
     }
 
     #[test]

@@ -141,4 +141,53 @@ awk -v RS='}' '/"name": "idle/ {
 END { if (!found) { print "ERROR: no idle row in snack-perf JSON" > "/dev/stderr"; exit 1 } }' \
   "$perf_json"
 
+# Sharded-stepping rows (DESIGN.md §13): the smoke JSON must carry shard
+# rows with the full schema, and every row's fingerprint check must have
+# passed (byte-identical to the serial baseline at every worker count) —
+# that identity is machine-independent, so it is gated unconditionally.
+for field in '"shard": \[' '"workers":' '"serial_median_ns":' '"shard_speedup":'; do
+  grep -q "$field" "$perf_json" || {
+    echo "ERROR: snack-perf JSON is missing the shard field $field" >&2
+    exit 1
+  }
+done
+awk -v RS='}' '/"workers":/ {
+  rows++
+  if ($0 !~ /"stats_identical": true/) {
+    print "ERROR: a shard row is not bit-identical to serial stepping" > "/dev/stderr"
+    exit 1
+  }
+}
+END { if (!rows) { print "ERROR: no shard rows in snack-perf JSON" > "/dev/stderr"; exit 1 } }' \
+  "$perf_json"
+
+# The committed full capture must show the sharded stepper winning on the
+# saturated 64x64 mesh — but parallel speedup is a property of the
+# capture host, not of the code, so the gate only binds when that capture
+# was taken with spare hardware threads (host_threads >= 2). A
+# single-core CI box can regenerate BENCH_perf.json without tripping it.
+if [ -f BENCH_perf.json ] && grep -q '"shard":' BENCH_perf.json; then
+  awk -v RS='}' '
+    /"host_threads":/ {
+      match($0, /"host_threads": [0-9]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ": ")
+      threads = kv[2] + 0
+    }
+    /"name": "shard\/64x64"/ {
+      match($0, /"shard_speedup": [0-9.]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ": ")
+      if (kv[2] + 0 > best) best = kv[2] + 0
+      found = 1
+    }
+    END {
+      if (!found) { print "ERROR: no 64x64 shard row in BENCH_perf.json" > "/dev/stderr"; exit 1 }
+      if (threads >= 2 && best <= 1.0) {
+        print "ERROR: 64x64 shard speedup " best " did not beat serial stepping on a " \
+              threads "-thread capture host" > "/dev/stderr"
+        exit 1
+      }
+      printf "shard gate: 64x64 best speedup %.3fx (capture host: %d thread(s))\n", best, threads
+    }' BENCH_perf.json
+fi
+
 echo "verify: all green"

@@ -13,26 +13,31 @@ use snacknoc_bench::faults::{run_fault_sweep, FaultScenario, FaultSweepSpec};
 use snacknoc_bench::sweep::{run_sweep, SweepSpec};
 
 /// Applies stepping mode `0` (dense reference loop, DESIGN.md §11),
-/// `1` (activity-driven scheduling, the default) or `2` (event-driven
-/// time-wheel jumps, DESIGN.md §12) to a platform.
+/// `1` (activity-driven scheduling, the default), `2` (event-driven
+/// time-wheel jumps, DESIGN.md §12), `3` (sharded worker threads,
+/// DESIGN.md §13, two shards) or `4` (event + sharded) to a platform.
 fn apply_mode(p: &mut SnackPlatform, mode: u8) {
     match mode {
         0 => p.set_dense_stepping(true),
         1 => {}
         2 => p.set_event_stepping(true),
-        _ => unreachable!("modes are 0..=2"),
+        3 => p.set_sharding(2).expect("two shards fit the mesh"),
+        4 => {
+            p.set_event_stepping(true);
+            p.set_sharding(2).expect("two shards fit the mesh");
+        }
+        _ => unreachable!("modes are 0..=4"),
     }
 }
 
-/// A fingerprint of a multi-program run that any nondeterminism would
-/// perturb. `mode` selects the stepping mode (see [`apply_mode`]); all
-/// three must be bit-identical.
-fn fingerprint_stepping(seed: u64, mode: u8) -> (u64, u64, f64, u64, u64) {
+/// A fingerprint of a multi-program run produced under an arbitrary
+/// platform setup. All stepping modes must be bit-identical.
+fn fingerprint_with(seed: u64, setup: impl FnOnce(&mut SnackPlatform)) -> (u64, u64, f64, u64, u64) {
     let mut p = SnackPlatform::new(
         NocConfig::dapper().with_priority_arbitration(true).with_sample_window(500),
     )
     .expect("valid platform");
-    apply_mode(&mut p, mode);
+    setup(&mut p);
     let built = build(Kernel::Spmv, 48, seed);
     let kernel = built
         .context
@@ -49,6 +54,13 @@ fn fingerprint_stepping(seed: u64, mode: u8) -> (u64, u64, f64, u64, u64) {
         comm.latency_sum,
         p.rcu_stats().executed,
     )
+}
+
+/// A fingerprint of a multi-program run that any nondeterminism would
+/// perturb. `mode` selects the stepping mode (see [`apply_mode`]); all
+/// modes must be bit-identical.
+fn fingerprint_stepping(seed: u64, mode: u8) -> (u64, u64, f64, u64, u64) {
+    fingerprint_with(seed, |p| apply_mode(p, mode))
 }
 
 /// Default-mode fingerprint (activity-driven stepping).
@@ -255,6 +267,33 @@ fn active_set_multiprogram_is_bit_identical_to_dense() {
             event, dense,
             "seed {seed}: event-driven stepping must match dense stepping bit-for-bit"
         );
+        assert_eq!(
+            fingerprint_stepping(seed, 3),
+            dense,
+            "seed {seed}: sharded stepping must match dense stepping bit-for-bit"
+        );
+        assert_eq!(
+            fingerprint_stepping(seed, 4),
+            dense,
+            "seed {seed}: event+sharded stepping must match dense stepping bit-for-bit"
+        );
+    }
+}
+
+/// Active-set scheduling, part 1b: the sharded worker-thread stepper
+/// (DESIGN.md §13) is bit-identical to dense at *every* legal shard
+/// count, not just the two-shard split the matrix above uses — worker
+/// count is a pure wall-clock knob, exactly like the sweep pool's.
+#[test]
+fn sharded_multiprogram_is_shard_count_invariant() {
+    let dense = fingerprint_stepping(41, 0);
+    for shards in [1, 2, 4] {
+        let sharded =
+            fingerprint_with(41, |p| p.set_sharding(shards).expect("shards fit the mesh"));
+        assert_eq!(
+            sharded, dense,
+            "{shards}-shard multiprogram run must match dense bit-for-bit"
+        );
     }
 }
 
@@ -319,18 +358,30 @@ fn active_set_matches_dense_under_fault_plan() {
         event, dense,
         "event-driven faulted kernel run must be bit-identical to dense"
     );
+    assert_eq!(
+        run_mode(3),
+        dense,
+        "sharded faulted kernel run must be bit-identical to dense"
+    );
+    assert_eq!(
+        run_mode(4),
+        dense,
+        "event+sharded faulted kernel run must be bit-identical to dense"
+    );
     assert!(active.contains("rcu="), "fingerprint is non-trivial");
 }
 
 /// Active-set scheduling, part 3: mode choice composes with the worker
-/// pool. A grid of {dense, active, event} x seeds fingerprinted on 1
-/// worker and on 4 workers merges to the same bytes, and within the
-/// merged vector every mode triplet agrees per seed.
+/// pool. A grid of {dense, active, event, sharded, event+sharded} x
+/// seeds fingerprinted on 1 worker and on 4 workers merges to the same
+/// bytes, and within the merged vector every mode quintet agrees per
+/// seed. The sharded rows nest the shard worker threads *inside* the
+/// sweep pool's workers — the two thread layers must not interact.
 #[test]
 fn active_vs_dense_fingerprints_are_worker_count_invariant() {
     use snacknoc_bench::sweep::parallel_map;
     let grid: Vec<(u64, u8)> =
-        [7u64, 8, 9].iter().flat_map(|&s| [(s, 0u8), (s, 1), (s, 2)]).collect();
+        [7u64, 8, 9].iter().flat_map(|&s| [(s, 0u8), (s, 1), (s, 2), (s, 3), (s, 4)]).collect();
     let job = |i: usize| {
         let (seed, mode) = grid[i];
         format!("{:?}", fingerprint_stepping(seed, mode))
@@ -338,8 +389,10 @@ fn active_vs_dense_fingerprints_are_worker_count_invariant() {
     let serial = parallel_map(grid.len(), 1, job);
     let parallel = parallel_map(grid.len(), 4, job);
     assert_eq!(serial, parallel, "1-vs-4 workers must merge identically");
-    for triple in serial.chunks(3) {
-        assert_eq!(triple[0], triple[1], "dense and active twins agree per seed");
-        assert_eq!(triple[0], triple[2], "dense and event twins agree per seed");
+    for quintet in serial.chunks(5) {
+        assert_eq!(quintet[0], quintet[1], "dense and active twins agree per seed");
+        assert_eq!(quintet[0], quintet[2], "dense and event twins agree per seed");
+        assert_eq!(quintet[0], quintet[3], "dense and sharded twins agree per seed");
+        assert_eq!(quintet[0], quintet[4], "dense and event+sharded twins agree per seed");
     }
 }

@@ -468,12 +468,15 @@ fn random_workloads_step_identically_active_and_dense() {
     });
 }
 
-/// Event-driven time-wheel stepping is bit-identical to dense stepping on
-/// random traffic bursts separated by long dead gaps, under random
-/// *short-window* fault plans (DESIGN.md §12). The idle gaps are where
-/// event mode jumps, and every fault-window edge is a calendar event a
-/// jump must land on — a single missed edge shifts the hash-derived
-/// drop/corrupt schedule and breaks the fingerprint.
+/// Event-driven time-wheel stepping (DESIGN.md §12) *and* sharded
+/// worker-thread stepping (DESIGN.md §13, at a random legal shard count,
+/// alone and composed with event jumps) are bit-identical to dense
+/// stepping on random meshes with random traffic bursts separated by
+/// long dead gaps, under random *short-window* fault plans. The idle
+/// gaps are where event mode jumps, every fault-window edge is a
+/// calendar event a jump must land on, and the fault verdicts are
+/// hash-derived per flit — a single missed edge or misordered boundary
+/// exchange shifts the drop/corrupt schedule and breaks the fingerprint.
 #[test]
 fn random_short_window_fault_plans_step_identically_event_and_dense() {
     use snacknoc::noc::{Dir, FaultPlan, LinkFaultKind};
@@ -530,12 +533,21 @@ fn random_short_window_fault_plans_step_identically_event_and_dense() {
             plan = plan.with_link_fault(node, dir, start, end, kind);
         }
 
+        // A random legal shard count for the sharded modes (bands must
+        // each span at least one mesh row).
+        let shards = 1 + rng.range_usize(0..rows as usize);
+
         let run_mode = |mode: u8| {
             let mut net: Network<usize> = Network::new(cfg.clone()).unwrap();
             match mode {
                 0 => net.set_dense_stepping(true),
                 1 => {}
-                _ => net.set_event_stepping(true),
+                2 => net.set_event_stepping(true),
+                3 => net.set_sharding(shards).unwrap(),
+                _ => {
+                    net.set_event_stepping(true);
+                    net.set_sharding(shards).unwrap();
+                }
             }
             net.set_fault_plan(plan.clone()).unwrap();
             let mut tag = 0usize;
@@ -579,6 +591,17 @@ fn random_short_window_fault_plans_step_identically_event_and_dense() {
         assert_eq!(
             event, dense,
             "{cols}x{rows} mesh, horizon {horizon}: event diverged from dense"
+        );
+        assert_eq!(
+            run_mode(3),
+            dense,
+            "{cols}x{rows} mesh, {shards} shards, horizon {horizon}: sharded diverged from dense"
+        );
+        assert_eq!(
+            run_mode(4),
+            dense,
+            "{cols}x{rows} mesh, {shards} shards, horizon {horizon}: \
+             event+sharded diverged from dense"
         );
     });
 }
