@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod chaos;
 pub mod csv;
 pub mod experiments;
 pub mod faults;

@@ -37,6 +37,8 @@ pub enum ContextError {
     EmptyArray,
     /// A handle from a different context was used.
     ForeignHandle,
+    /// The mapper rejected the RCU configuration (empty or all-dead set).
+    Map(crate::mapping::MapError),
 }
 
 impl fmt::Display for ContextError {
@@ -53,11 +55,18 @@ impl fmt::Display for ContextError {
             }
             ContextError::EmptyArray => write!(f, "arrays must be non-empty"),
             ContextError::ForeignHandle => write!(f, "handle belongs to a different context"),
+            ContextError::Map(e) => write!(f, "mapping failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for ContextError {}
+
+impl From<crate::mapping::MapError> for ContextError {
+    fn from(e: crate::mapping::MapError) -> Self {
+        ContextError::Map(e)
+    }
+}
 
 /// An execution context: one or more dataflow graphs under construction
 /// (paper §IV-A2). Compile a root handle to get a [`CompiledKernel`] for
@@ -273,7 +282,7 @@ impl Context {
     /// [`ContextError::ForeignHandle`] for unknown handles.
     pub fn compile(&self, root: Res, cfg: &MapperConfig) -> Result<CompiledKernel, ContextError> {
         self.check(root)?;
-        Ok(mapping::compile(self, root, cfg))
+        Ok(mapping::compile(self, root, cfg)?)
     }
 }
 

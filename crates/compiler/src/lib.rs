@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod context;
 pub mod graph;
@@ -49,4 +50,4 @@ pub mod mapping;
 pub use context::{Context, ContextError};
 pub use graph::{Res, Shape};
 pub use kernels::{build, op_count, paper_size, sim_size, BuiltKernel};
-pub use mapping::MapperConfig;
+pub use mapping::{MapError, MapperConfig};

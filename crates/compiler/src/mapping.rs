@@ -26,6 +26,36 @@ use snacknoc_core::token::{
 };
 use snacknoc_noc::{Mesh, NodeId};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when a kernel cannot be mapped onto the configured RCU
+/// set. Mapping onto a degraded (restricted) set must *never* panic — a
+/// platform remapping a kernel off dead RCUs turns this into
+/// `Unrecoverable` instead of crashing the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The RCU set is empty: there is nowhere to schedule instructions.
+    NoRcus,
+    /// Every RCU in the candidate set is excluded (dead).
+    AllRcusDead {
+        /// Size of the candidate set before exclusion.
+        total: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoRcus => write!(f, "mapper has no RCUs to schedule onto"),
+            MapError::AllRcusDead { total } => {
+                write!(f, "all {total} candidate RCUs are dead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
 
 /// Configuration of the mapper: which RCUs exist and which mapping
 /// strategies are enabled.
@@ -48,6 +78,17 @@ impl MapperConfig {
         MapperConfig { rcus: mesh.nodes().collect(), mac_fusion: true, interleave: 2 }
     }
 
+    /// One RCU per router of `mesh` *excluding* the nodes in `dead`, MAC
+    /// fusion on — the degraded-platform entry point: map a kernel onto
+    /// whatever compute survives.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::AllRcusDead`] when the exclusion empties the set.
+    pub fn for_live_rcus(mesh: &Mesh, dead: &[NodeId]) -> Result<Self, MapError> {
+        Self::for_mesh(mesh).without_rcus(dead)
+    }
+
     /// Enables/disables MAC fusion.
     pub fn with_mac_fusion(mut self, on: bool) -> Self {
         self.mac_fusion = on;
@@ -55,10 +96,31 @@ impl MapperConfig {
     }
 
     /// Restricts scheduling to the given RCUs.
-    pub fn with_rcus(mut self, rcus: Vec<NodeId>) -> Self {
-        assert!(!rcus.is_empty(), "need at least one RCU");
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NoRcus`] when `rcus` is empty.
+    pub fn with_rcus(mut self, rcus: Vec<NodeId>) -> Result<Self, MapError> {
+        if rcus.is_empty() {
+            return Err(MapError::NoRcus);
+        }
         self.rcus = rcus;
-        self
+        Ok(self)
+    }
+
+    /// Removes the nodes in `dead` from the schedulable set, preserving
+    /// round-robin order of the survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::AllRcusDead`] when nothing survives.
+    pub fn without_rcus(mut self, dead: &[NodeId]) -> Result<Self, MapError> {
+        let total = self.rcus.len();
+        self.rcus.retain(|r| !dead.contains(r));
+        if self.rcus.is_empty() {
+            return Err(MapError::AllRcusDead { total });
+        }
+        Ok(self)
     }
 }
 
@@ -86,7 +148,19 @@ struct Mapper<'c> {
 }
 
 /// Compiles the graph rooted at `root`.
-pub(crate) fn compile(ctx: &Context, root: Res, cfg: &MapperConfig) -> CompiledKernel {
+///
+/// # Errors
+///
+/// [`MapError::NoRcus`] when the config has nowhere to schedule — the
+/// only input-driven failure; everything past the guard is total.
+pub(crate) fn compile(
+    ctx: &Context,
+    root: Res,
+    cfg: &MapperConfig,
+) -> Result<CompiledKernel, MapError> {
+    if cfg.rcus.is_empty() {
+        return Err(MapError::NoRcus);
+    }
     let mut m = Mapper {
         ctx,
         cfg,
@@ -137,12 +211,12 @@ pub(crate) fn compile(ctx: &Context, root: Res, cfg: &MapperConfig) -> CompiledK
         .nodes
         .iter()
         .any(|n| matches!(n.kind, NodeKind::Spmv(..)));
-    CompiledKernel {
+    Ok(CompiledKernel {
         name: ctx.name().to_owned(),
         num_outputs: srcs.len(),
         instructions: m.instructions,
         irregular_fetch,
-    }
+    })
 }
 
 impl Mapper<'_> {
@@ -367,29 +441,27 @@ impl Mapper<'_> {
             partials.push(result);
             deps.push(dep);
         }
-        // Interleave the chains in issue order, `interleave` at a time.
+        // Interleave the chains in issue order, `interleave` at a time,
+        // recording each chain tail's final position as it lands (the
+        // tail instruction produces the partial's token, so its producer
+        // entry must point at the interleaved — not per-chain — index).
         let group = self.cfg.interleave.max(1);
         let mut cursors = vec![0usize; chains.len()];
         let mut remaining: usize = chains.iter().map(|c| c.len()).sum();
         while remaining > 0 {
-            for (chain, cursor) in chains.iter_mut().zip(cursors.iter_mut()) {
+            for (ci, (chain, cursor)) in
+                chains.iter_mut().zip(cursors.iter_mut()).enumerate()
+            {
                 let take = group.min(chain.len() - *cursor);
                 for _ in 0..take {
                     self.instructions.push(chain[*cursor]);
                     *cursor += 1;
                     remaining -= 1;
+                    if *cursor == chain.len() {
+                        self.producer.insert(deps[ci], self.instructions.len() - 1);
+                    }
                 }
             }
-        }
-        // Record producers now that final positions are known.
-        for (dep, chain) in deps.iter().zip(&chains) {
-            let last = chain.last().expect("non-empty chain");
-            let at = self
-                .instructions
-                .iter()
-                .rposition(|i| i.sub_block == last.sub_block && i.seq == last.seq)
-                .expect("interleaved instruction present");
-            self.producer.insert(*dep, at);
         }
         if partials.len() == 1 {
             partials[0]
@@ -569,6 +641,58 @@ mod tests {
         let k1 = build();
         let k2 = build();
         assert_eq!(k1.instructions, k2.instructions);
+    }
+
+    #[test]
+    fn restricted_rcu_sets_are_typed_not_panicking() {
+        let m = mesh();
+        // Empty set and all-dead set are typed errors.
+        assert_eq!(
+            MapperConfig::for_mesh(&m).with_rcus(Vec::new()).unwrap_err(),
+            MapError::NoRcus
+        );
+        let everyone: Vec<NodeId> = m.nodes().collect();
+        assert_eq!(
+            MapperConfig::for_live_rcus(&m, &everyone).unwrap_err(),
+            MapError::AllRcusDead { total: 16 }
+        );
+        // Excluding some nodes keeps round-robin order of survivors.
+        let dead = [NodeId::new(0), NodeId::new(5)];
+        let cfg = MapperConfig::for_live_rcus(&m, &dead).unwrap();
+        assert_eq!(cfg.rcus.len(), 14);
+        assert!(!cfg.rcus.contains(&NodeId::new(0)));
+        assert!(!cfg.rcus.contains(&NodeId::new(5)));
+        // A kernel mapped onto the restricted set never schedules on the
+        // dead nodes, still validates and is deterministic.
+        let build = |cfg: &MapperConfig| {
+            let mut cxt = Context::new("restricted");
+            let a = cxt.input(&vec![1.0; 64], 8, 8).unwrap();
+            let b = cxt.input(&vec![2.0; 64], 8, 8).unwrap();
+            let ab = cxt.mul(a, b).unwrap();
+            cxt.compile(ab, cfg).unwrap()
+        };
+        let k = build(&cfg);
+        k.validate().unwrap();
+        assert!(k.instructions.iter().all(|i| !dead.contains(&i.pe)));
+        assert_eq!(k.instructions, build(&cfg).instructions);
+    }
+
+    #[test]
+    fn chunked_interleave_records_exact_producer_positions() {
+        // The long-dot-product path exercises the inline producer
+        // recording that replaced the rposition search: validate()'s
+        // dependent/producer cross-check fails if any position is wrong.
+        let mut cxt = Context::new("chunk-pos");
+        let n = 300;
+        let a = cxt.input(&vec![1.5; n], 1, n).unwrap();
+        let b = cxt.input(&vec![0.5; n], n, 1).unwrap();
+        let d = cxt.mul(a, b).unwrap();
+        for interleave in [1, 2, 3, 7] {
+            let mut cfg = MapperConfig::for_mesh(&mesh());
+            cfg.interleave = interleave;
+            let k = cxt.compile(d, &cfg).unwrap();
+            k.validate().unwrap();
+        }
     }
 
     #[test]

@@ -718,6 +718,67 @@ impl Cpm {
         self.overflow.len()
     }
 
+    /// Watchdog records whose retry budget is exhausted while dependents
+    /// are still outstanding — the signal that transient-loss recovery
+    /// alone can no longer finish the resident kernel (a permanently dead
+    /// producer or link). The platform's no-progress window surfaces this
+    /// as a kernel-level remap-and-retry escalation.
+    pub fn exhausted_retries(&self) -> u64 {
+        self.watch
+            .values()
+            .filter(|r| r.detected && r.outstanding > 0 && r.retries >= self.recovery.max_retries)
+            .count() as u64
+    }
+
+    /// Abandons the resident kernel and returns to `Idle` — the
+    /// platform's escalation path when an attempt stalls against a
+    /// permanent fault. Clears the program, instruction buffer, result
+    /// FIFO, watchdog registry, and any overflow tokens belonging to this
+    /// CPM's own namespace; parked tokens from *other* namespaces
+    /// (concurrent kernels passing through this corner) are kept.
+    /// Cumulative statistics are retained across the abort.
+    pub fn abort(&mut self) {
+        self.state = CpmState::Idle;
+        self.program.clear();
+        self.fetch_ptr = 0;
+        self.fetch_inflight = None;
+        self.instr_buffer.clear();
+        self.results.clear();
+        self.results_remaining = 0;
+        self.kernel_name.clear();
+        self.finished_at = None;
+        self.replay_turn = false;
+        self.irregular_fetch = false;
+        self.row_open = false;
+        self.watch.clear();
+        let ns = self.namespace;
+        self.overflow.retain(|t| t.dep >> NAMESPACE_SHIFT != ns);
+    }
+
+    /// Drops parked overflow tokens belonging to `namespace` — the
+    /// platform sweeps every CPM with this when it quarantines an aborted
+    /// attempt's epoch, since a token can be absorbed at any corner it
+    /// passes, not just its home.
+    pub fn purge_overflow_namespace(&mut self, namespace: u32) {
+        self.overflow.retain(|t| t.dep >> NAMESPACE_SHIFT != namespace);
+    }
+
+    /// Re-tags this CPM's namespace (graceful degradation bumps the
+    /// namespace *epoch* on every resubmission so stragglers from an
+    /// aborted attempt can never be confused with the retry's tokens, and
+    /// failover re-homes a kernel onto a standby corner CPM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace` does not fit above [`NAMESPACE_SHIFT`], or if
+    /// a kernel is resident (re-tagging a running kernel would orphan
+    /// every token it has in flight).
+    pub fn set_namespace(&mut self, namespace: u32) {
+        assert!(namespace < (1 << (32 - NAMESPACE_SHIFT)), "namespace too large");
+        assert!(self.state == CpmState::Idle, "cannot re-tag a running cpm");
+        self.namespace = namespace;
+    }
+
     /// Advances the CPM one cycle.
     ///
     /// `congestion` is the ALO signal from the local router:

@@ -65,7 +65,10 @@ pub use cpm::{
 };
 pub use dram::DramModel;
 pub use fixed::Fixed;
-pub use platform::{KernelRun, MultiProgramRun, PlatformError, SnackPayload, SnackPlatform};
+pub use platform::{
+    DegradationReport, DegradedResource, KernelRun, MultiProgramRun, PlatformConfig,
+    PlatformConfigError, PlatformError, SnackPayload, SnackPlatform,
+};
 pub use rcu::{Emission, Rcu};
 pub use token::{
     CompiledKernel, DataToken, DepId, Instruction, Op, Operand, ProgramError, ResultDest,

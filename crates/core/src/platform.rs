@@ -17,6 +17,7 @@ use snacknoc_noc::{
 use snacknoc_trace::{EventKind, TracerHandle};
 use snacknoc_workloads::coherence::{AccessPattern, CohMessage, CoherentEngine};
 use snacknoc_workloads::{BenchmarkProfile, CmpMessage, TrafficEngine};
+use std::collections::HashMap;
 use std::fmt;
 
 /// The payload carried by every packet on a SnackNoC platform network.
@@ -73,6 +74,47 @@ pub enum PlatformError {
         /// In-flight network state at abort time.
         stall: Box<StallReport>,
     },
+    /// Permanent faults exhausted every graceful-degradation avenue:
+    /// the named resource ran out before any remapped/failed-over attempt
+    /// could complete. Unlike [`PlatformError::KernelTimeout`] this is a
+    /// *verdict* — retrying on the same platform cannot succeed.
+    Unrecoverable {
+        /// The resource that ran out.
+        resource: DegradedResource,
+        /// Kernel-level submission attempts completed before giving up.
+        attempts: u32,
+        /// Cycles elapsed since the original submission.
+        cycles: u64,
+        /// In-flight network state when the platform gave up.
+        stall: Box<StallReport>,
+    },
+}
+
+/// Which resource ran out when graceful degradation failed (the payload of
+/// [`PlatformError::Unrecoverable`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum DegradedResource {
+    /// Every candidate RCU node is permanently dead: there is nothing
+    /// left to remap kernel blocks onto.
+    Rcus,
+    /// The home CPM's node died and no live, idle standby corner CPM
+    /// remains to fail over to.
+    StandbyCpms,
+    /// The kernel-attempt budget ([`PlatformConfig::max_kernel_attempts`])
+    /// was spent without a completed run.
+    RetryBudget,
+}
+
+impl fmt::Display for DegradedResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DegradedResource::Rcus => "live RCUs",
+            DegradedResource::StandbyCpms => "standby CPMs",
+            DegradedResource::RetryBudget => "kernel retry budget",
+        };
+        f.write_str(s)
+    }
 }
 
 impl fmt::Display for PlatformError {
@@ -91,6 +133,11 @@ impl fmt::Display for PlatformError {
             PlatformError::KernelTimeout { cycles, stall } => {
                 write!(f, "kernel timeout after {cycles} cycles: {stall}")
             }
+            PlatformError::Unrecoverable { resource, attempts, cycles, stall } => write!(
+                f,
+                "unrecoverable after {attempts} attempt(s) / {cycles} cycles: \
+                 out of {resource}: {stall}"
+            ),
         }
     }
 }
@@ -120,10 +167,173 @@ impl From<CpmConfigError> for PlatformError {
 pub struct KernelRun {
     /// Kernel name.
     pub name: String,
-    /// Cycles from submission to the final result writeback.
+    /// Cycles from submission to the final result writeback (the *final*
+    /// attempt only; abandoned graceful-degradation attempts are accounted
+    /// in [`DegradationReport::penalty_cycles`]).
     pub cycles: u64,
     /// The kernel outputs, in slot order.
     pub outputs: Vec<Fixed>,
+    /// How the run coped with permanent faults — `None` for a clean run
+    /// on an undegraded platform.
+    pub degradation: Option<DegradationReport>,
+}
+
+/// How a kernel run completed *despite* permanent faults: the resources
+/// lost, the recovery work taken, and the latency penalty relative to a
+/// fault-free run. Attached to [`KernelRun::degradation`] whenever the
+/// platform was degraded or graceful degradation had to act.
+///
+/// Invariant: [`DegradationReport::total_cycles`] (`final_attempt_cycles +
+/// penalty_cycles`) equals the wall-clock cycles from the original
+/// submission to the final writeback.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DegradationReport {
+    /// Permanently dead RCU nodes the final mapping avoided.
+    pub dead_rcus: usize,
+    /// Permanently dead links in the active fault plan.
+    pub dead_links: usize,
+    /// Attempts whose submitted kernel was remapped off dead RCUs
+    /// (including a proactive remap on the first attempt when deaths were
+    /// already visible at submission time).
+    pub remaps: u32,
+    /// Home-CPM failovers to a standby corner.
+    pub failovers: u32,
+    /// Watchdog re-issue attempts across all attempts (transient-loss
+    /// recovery work, *retries taken*).
+    pub watchdog_retries: u64,
+    /// Cycles burned by abandoned attempts — the latency penalty versus a
+    /// fault-free run that completes on its first attempt.
+    pub penalty_cycles: u64,
+    /// Cycles of the successful final attempt (equals
+    /// [`KernelRun::cycles`]).
+    pub final_attempt_cycles: u64,
+}
+
+impl DegradationReport {
+    /// Whether anything in the report is non-trivial (a clean run on an
+    /// undegraded platform reports nothing at all).
+    pub fn is_degraded(&self) -> bool {
+        self.dead_rcus > 0
+            || self.dead_links > 0
+            || self.remaps > 0
+            || self.failovers > 0
+            || self.penalty_cycles > 0
+    }
+
+    /// Submission-to-writeback wall clock: the final attempt plus every
+    /// abandoned attempt's penalty.
+    pub fn total_cycles(&self) -> u64 {
+        self.final_attempt_cycles + self.penalty_cycles
+    }
+}
+
+/// Platform-level runtime knobs: the hang detector's window and the
+/// graceful-degradation retry budget. Installed with
+/// [`SnackPlatform::set_platform_config`]; invalid values are rejected
+/// with a typed [`PlatformConfigError`] instead of silently misbehaving.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlatformConfig {
+    /// Cycles of zero forward progress [`SnackPlatform::run_kernel`]
+    /// tolerates before aborting the attempt. Defaults to
+    /// [`SnackPlatform::NO_PROGRESS_WINDOW`]; chaos tests shrink it so
+    /// remap/failover escalation fires quickly, think-heavy closed-loop
+    /// runs may grow it. Must be at least
+    /// [`SnackPlatform::MIN_NO_PROGRESS_WINDOW`].
+    pub no_progress_window: u64,
+    /// Kernel-level submission attempts (the initial run plus
+    /// remap/failover retries) before `run_kernel` gives up with
+    /// [`PlatformError::Unrecoverable`]. At least 1, at most
+    /// [`PlatformConfig::MAX_KERNEL_ATTEMPTS`].
+    pub max_kernel_attempts: u32,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            no_progress_window: SnackPlatform::NO_PROGRESS_WINDOW,
+            max_kernel_attempts: 4,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Upper bound on [`PlatformConfig::max_kernel_attempts`]: the
+    /// namespace epoch tag (`home + cpm_count * epoch`) must fit the
+    /// 8-bit CPM namespace alongside up to 4 corner CPMs.
+    pub const MAX_KERNEL_ATTEMPTS: u32 = 32;
+
+    /// Checks the knobs: a window no smaller than
+    /// [`SnackPlatform::MIN_NO_PROGRESS_WINDOW`] (zero or tiny windows
+    /// would abort runs the watchdog was still legitimately recovering)
+    /// and an attempt budget in `1..=MAX_KERNEL_ATTEMPTS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), PlatformConfigError> {
+        if self.no_progress_window < SnackPlatform::MIN_NO_PROGRESS_WINDOW {
+            return Err(PlatformConfigError::WindowTooSmall {
+                window: self.no_progress_window,
+                min: SnackPlatform::MIN_NO_PROGRESS_WINDOW,
+            });
+        }
+        if self.max_kernel_attempts == 0 || self.max_kernel_attempts > Self::MAX_KERNEL_ATTEMPTS {
+            return Err(PlatformConfigError::BadAttemptBudget {
+                attempts: self.max_kernel_attempts,
+                max: Self::MAX_KERNEL_ATTEMPTS,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`PlatformConfig`], rejected before installation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum PlatformConfigError {
+    /// The no-progress window is zero or smaller than the deepest
+    /// recovery backoff the watchdog may legitimately take.
+    WindowTooSmall {
+        /// The rejected window.
+        window: u64,
+        /// The smallest accepted window.
+        min: u64,
+    },
+    /// The kernel-attempt budget is zero or exceeds the namespace-epoch
+    /// bit budget.
+    BadAttemptBudget {
+        /// The rejected budget.
+        attempts: u32,
+        /// The largest accepted budget.
+        max: u32,
+    },
+}
+
+impl fmt::Display for PlatformConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformConfigError::WindowTooSmall { window, min } => {
+                write!(f, "no-progress window {window} is below the minimum {min}")
+            }
+            PlatformConfigError::BadAttemptBudget { attempts, max } => {
+                write!(f, "kernel attempt budget {attempts} is outside 1..={max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformConfigError {}
+
+/// How one graceful-degradation attempt of
+/// [`SnackPlatform::run_kernel`] ended.
+enum AttemptEnd {
+    /// Results written back.
+    Finished(KernelRun),
+    /// A full no-progress window elapsed with a frozen progress
+    /// signature.
+    Stalled,
+    /// The caller's overall `max_cycles` deadline was reached.
+    Deadline,
 }
 
 /// Why the event-driven scheduler wants the platform awake at a given
@@ -219,6 +429,9 @@ pub struct SnackPlatform {
     /// CMP workload owns the lower ones (2 for the phase model's
     /// request/response pair, 3 for the MESI protocol classes).
     snack_vnet: u8,
+    /// Validated platform-level knobs (hang detector window, graceful-
+    /// degradation attempt budget).
+    pcfg: PlatformConfig,
 }
 
 impl SnackPlatform {
@@ -296,8 +509,26 @@ impl SnackPlatform {
             dense: false,
             event: false,
             wheel: TimeWheel::new(),
+            pcfg: PlatformConfig::default(),
             net,
         })
+    }
+
+    /// Installs validated platform-level knobs (see [`PlatformConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero/too-small no-progress windows and out-of-range
+    /// attempt budgets with a typed [`PlatformConfigError`].
+    pub fn set_platform_config(&mut self, cfg: PlatformConfig) -> Result<(), PlatformConfigError> {
+        cfg.validate()?;
+        self.pcfg = cfg;
+        Ok(())
+    }
+
+    /// The platform-level knobs in force.
+    pub fn platform_config(&self) -> PlatformConfig {
+        self.pcfg
     }
 
     /// The mesh topology.
@@ -556,7 +787,26 @@ impl SnackPlatform {
         for r in &mut self.rcus {
             r.clear_retained_namespace(ns);
         }
-        Some(KernelRun { name, cycles: finished_at - self.submitted_at[i], outputs })
+        Some(KernelRun {
+            name,
+            cycles: finished_at - self.submitted_at[i],
+            outputs,
+            degradation: None,
+        })
+    }
+
+    /// Whether compute at `node` (the RCU and any co-located CPM) is
+    /// permanently dead at `cycle` under the active fault plan. Node
+    /// death is a compute-layer failure: the *router* at a dead node
+    /// keeps forwarding — the paper's slack disappears, the NoC does not.
+    fn node_dead(&self, node: NodeId, cycle: u64) -> bool {
+        self.net.fault_plan().is_some_and(|p| p.rcu_dead(node, cycle))
+    }
+
+    /// Whether the active fault plan declares any permanent RCU/node
+    /// deaths (a cheap gate so fault-free stepping pays nothing).
+    fn any_dead_nodes(&self) -> bool {
+        self.net.fault_plan().is_some_and(|p| !p.dead_rcus.is_empty())
     }
 
     /// Installs (or replaces) the network's deterministic fault plan.
@@ -633,8 +883,15 @@ impl SnackPlatform {
             }
         }
         // CPM issue (1 flit/cycle each).
+        let dead_active = self.any_dead_nodes();
         for c in 0..self.cpms.len() {
             let node = self.cpms[c].node();
+            if dead_active && self.node_dead(node, now) {
+                // A dead corner node's CPM is frozen: no fetch, no issue,
+                // no watchdog sweeps. The router underneath keeps
+                // forwarding. All stepping modes skip it identically.
+                continue;
+            }
             let congestion = self.net.useful_free_output_vcs(node);
             // CPM decision events (overflow mode flips, watchdog loss
             // declarations) are diffed across the tick. The pre/post state
@@ -712,7 +969,15 @@ impl SnackPlatform {
                     // its retained copy. We model the request as arriving
                     // instantly (a single control flit on the protected
                     // class); the re-issued token pays full ring transit.
-                    if let Some(token) = self.rcus[producer.index()].retransmit(dep, remaining) {
+                    // A dead producer's retained state is gone with it: the
+                    // request goes unanswered, the watchdog burns its
+                    // bounded retries, and the platform's no-progress
+                    // window escalates to a kernel-level remap.
+                    if dead_active && self.node_dead(producer, now) {
+                        // Unanswered by design.
+                    } else if let Some(token) =
+                        self.rcus[producer.index()].retransmit(dep, remaining)
+                    {
                         self.launch_token(producer, token);
                     }
                 }
@@ -728,6 +993,12 @@ impl SnackPlatform {
             self.net.fault_plan().is_some_and(|p| !p.rcu_stalls.is_empty());
         if has_stalls || self.dense {
             for i in 0..self.rcus.len() {
+                if dead_active && self.node_dead(self.nodes[i], now) {
+                    // A dead RCU never ticks (and never accrues stall
+                    // statistics): its pending work freezes in place until
+                    // the platform's escalation path purges it.
+                    continue;
+                }
                 if has_stalls {
                     let node = self.nodes[i];
                     let stalled = self
@@ -759,7 +1030,12 @@ impl SnackPlatform {
             for k in 0..self.rcu_scratch.len() {
                 let i = self.rcu_scratch[k];
                 debug_assert!(self.rcu_flag[i], "worklist entry lost its flag");
-                self.tick_rcu(i, now);
+                // Dead RCUs are skipped (identically to the dense loop);
+                // their frozen pending work keeps them on the worklist
+                // until escalation purges it.
+                if !(dead_active && self.node_dead(self.nodes[i], now)) {
+                    self.tick_rcu(i, now);
+                }
                 if self.rcus[i].is_idle() {
                     self.rcu_flag[i] = false;
                 } else {
@@ -788,6 +1064,19 @@ impl SnackPlatform {
                         }
                     }
                     SnackPayload::Instructions(instrs) => {
+                        // Stale instruction packets from an aborted
+                        // attempt's epoch are quarantined, and packets
+                        // that arrive at a node that has since died are
+                        // dropped (the kernel stalls, then escalates to
+                        // remap-and-retry). On a healthy platform every
+                        // namespace matches its issuing CPM, so neither
+                        // branch ever fires.
+                        let ns = instrs[0].sub_block >> NAMESPACE_SHIFT;
+                        let stale =
+                            self.cpms[ns as usize % self.cpms.len()].namespace() != ns;
+                        if stale || (dead_active && self.node_dead(node, now)) {
+                            continue;
+                        }
                         for ins in instrs {
                             debug_assert_eq!(ins.pe, node, "instruction routed to its PE");
                             self.net.tracer_mut().record_with(now, || EventKind::RcuIssue {
@@ -805,6 +1094,19 @@ impl SnackPlatform {
                         }
                     }
                     SnackPayload::Data(token) => {
+                        // Quarantine first: tokens from an aborted
+                        // attempt's stale epoch, or homed to a CPM whose
+                        // node has died, are dropped — their kernel is
+                        // gone (or about to be resubmitted under a fresh
+                        // namespace) and a late straggler must never be
+                        // confused with the retry's tokens.
+                        let ns = token.dep >> NAMESPACE_SHIFT;
+                        let home = ns as usize % self.cpms.len();
+                        if self.cpms[home].namespace() != ns
+                            || (dead_active && self.node_dead(self.cpms[home].node(), now))
+                        {
+                            continue;
+                        }
                         // A corrupted ring hop damages the token's value; the
                         // checksum (sealed over dep/seq/value, not the
                         // in-flight dependent count) is the single detection
@@ -815,13 +1117,20 @@ impl SnackPlatform {
                         if token.checksum_ok() {
                             self.ring_pass(node, token);
                         } else {
-                            let home = ((token.dep >> NAMESPACE_SHIFT) as usize)
-                                .min(self.cpms.len() - 1);
                             self.cpms[home].note_corrupt(token.dep, now);
                         }
                     }
                     SnackPayload::Result { index, value } => {
-                        let home = ((index >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
+                        let ns = index >> NAMESPACE_SHIFT;
+                        let home = ns as usize % self.cpms.len();
+                        // Same quarantine as data tokens: stale-epoch
+                        // results and results homed to a dead CPM are
+                        // dropped, never written into a live kernel's FIFO.
+                        if self.cpms[home].namespace() != ns
+                            || (dead_active && self.node_dead(self.cpms[home].node(), now))
+                        {
+                            continue;
+                        }
                         self.cpms[home].accept_result(index & NAMESPACE_MASK, value, now);
                     }
                 }
@@ -843,11 +1152,13 @@ impl SnackPlatform {
                 Emission::Token(token) => self.launch_token(node, token),
                 Emission::Output { index, value } => {
                     // The namespace in the index's high bits routes the
-                    // result home to the CPM that issued the kernel.
-                    let home = (index >> NAMESPACE_SHIFT) as usize;
+                    // result home to the CPM that issued the kernel
+                    // (modulo the CPM count: epoch-bumped namespaces from
+                    // graceful degradation still resolve to their home).
+                    let home = (index >> NAMESPACE_SHIFT) as usize % self.cpms.len();
                     let spec = PacketSpec::new(
                         node,
-                        self.cpms[home.min(self.cpms.len() - 1)].node(),
+                        self.cpms[home].node(),
                         self.snack_vnet,
                         TrafficClass::SnackData,
                         DATA_TOKEN_BYTES,
@@ -900,7 +1211,13 @@ impl SnackPlatform {
             }
             self.wheel.schedule(w, WakeSource::Engine);
         }
+        let dead_active = self.any_dead_nodes();
         for c in 0..self.cpms.len() {
+            // Dead CPMs never tick (see `step`), so they never bound a
+            // jump either.
+            if dead_active && self.node_dead(self.cpms[c].node(), now) {
+                continue;
+            }
             let congestion = self.net.useful_free_output_vcs(self.cpms[c].node());
             match self.cpms[c].next_wake(now, congestion) {
                 Some(w) if w <= now => {
@@ -925,6 +1242,14 @@ impl SnackPlatform {
             }
         }
         for (i, r) in self.rcus.iter().enumerate() {
+            // Dead RCUs never tick, so their frozen pending work must not
+            // pin the clock (it would otherwise report a wake at `now`
+            // forever and forbid every jump).
+            if dead_active
+                && self.net.fault_plan().is_some_and(|p| p.rcu_dead(self.nodes[i], now))
+            {
+                continue;
+            }
             match r.next_wake(now) {
                 Some(w) if w <= now => {
                     self.wheel.clear();
@@ -958,69 +1283,258 @@ impl SnackPlatform {
         self.step_until(self.net.cycle() + cycles);
     }
 
-    /// Submits `kernel` and steps until its results are written back.
+    /// Submits `kernel` and steps until its results are written back,
+    /// gracefully degrading around permanent faults.
+    ///
+    /// With no permanent faults this is a single attempt. With a fault
+    /// plan declaring dead RCUs, dead links, or dead CPM nodes, the run
+    /// becomes an *attempt loop* (bounded by
+    /// [`PlatformConfig::max_kernel_attempts`]):
+    ///
+    /// * a dead home-CPM node triggers failover to the first live, idle
+    ///   standby corner CPM (the standby inherits the recovery policy);
+    /// * kernel blocks mapped to dead RCUs are remapped round-robin onto
+    ///   live nodes before submission;
+    /// * an attempt that stalls for a full no-progress window against a
+    ///   permanent fault is aborted and quarantined (its namespace epoch
+    ///   is retired so in-flight stragglers can never pollute the retry)
+    ///   and the kernel is resubmitted remapped.
+    ///
+    /// A run that needed any of this (or merely ran on a degraded
+    /// platform) carries a [`DegradationReport`] in
+    /// [`KernelRun::degradation`].
     ///
     /// # Errors
     ///
     /// Propagates CPM submission errors as [`PlatformError::Submit`].
-    /// If the kernel does not finish within `max_cycles`, or makes no
-    /// forward progress for [`Self::NO_PROGRESS_WINDOW`] consecutive
-    /// cycles (tokens permanently lost beyond the recovery retry budget,
-    /// saturation, an invalid mapping), returns
-    /// [`PlatformError::KernelTimeout`] with a [`StallReport`] snapshot
-    /// instead of looping silently.
+    /// If the kernel does not finish within `max_cycles`, or stalls with
+    /// no permanent fault to route around, returns
+    /// [`PlatformError::KernelTimeout`] with a [`StallReport`] snapshot.
+    /// If permanent faults exhaust a degradation resource — no live RCU
+    /// to remap onto, no live standby CPM, or the attempt budget — returns
+    /// [`PlatformError::Unrecoverable`] naming the exhausted resource.
+    /// Never hangs: every attempt is bounded by the validated no-progress
+    /// window.
     pub fn run_kernel(
         &mut self,
         kernel: &CompiledKernel,
         max_cycles: u64,
     ) -> Result<KernelRun, PlatformError> {
-        let started = self.net.cycle();
-        self.submit_kernel(kernel).map_err(PlatformError::Submit)?;
-        let deadline = started + max_cycles;
-        let mut last_sig = self.progress_signature();
-        let mut last_change = started;
-        while self.net.cycle() < deadline {
-            // Event mode: jump across dead time, but never past the
-            // no-progress deadline — the watchdog must observe the exact
-            // cycle it would have fired at under dense stepping. A jump
-            // cannot change the progress signature (no component ticked),
-            // so landing on the deadline is the timeout; the post-step
-            // check below can never see it first.
-            if self.net.cycle() - last_change >= Self::NO_PROGRESS_WINDOW {
-                break;
+        let overall_start = self.net.cycle();
+        let deadline = overall_start + max_cycles;
+        let base_retries = self.recovery_stats().retries;
+        let mut report = DegradationReport::default();
+        let mut home = 0usize;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let now = self.net.cycle();
+            // Home-CPM failover: a dead home node can neither fetch,
+            // issue, nor collect results — move the kernel to the first
+            // live, idle standby corner before (re)submitting.
+            if self.node_dead(self.cpms[home].node(), now) {
+                let standby = (0..self.cpms.len()).find(|&i| {
+                    !self.node_dead(self.cpms[i].node(), now)
+                        && self.cpms[i].state() == CpmState::Idle
+                });
+                let Some(standby) = standby else {
+                    return Err(PlatformError::Unrecoverable {
+                        resource: DegradedResource::StandbyCpms,
+                        attempts: attempt - 1,
+                        cycles: now - overall_start,
+                        stall: Box::new(self.net.stall_report()),
+                    });
+                };
+                self.net.tracer_mut().record_with(now, || EventKind::CpmFailover {
+                    from: home as u32,
+                    to: standby as u32,
+                });
+                // Retained-state handoff: the standby inherits the dead
+                // home's recovery policy so watchdog behaviour survives
+                // the move.
+                let policy = self.cpms[home].recovery_config();
+                self.cpms[standby].enable_recovery(policy);
+                home = standby;
+                report.failovers += 1;
             }
-            if self.maybe_jump(deadline.min(last_change + Self::NO_PROGRESS_WINDOW)) {
+            // Remap off permanently dead RCUs: nodes already dead at
+            // submission time are guaranteed stalls, and nodes that died
+            // mid-attempt get their blocks moved on the retry. The
+            // translation is always derived from the *original* kernel,
+            // so repeated remaps never chain.
+            let dead =
+                self.net.fault_plan().map_or_else(Vec::new, |p| p.dead_rcu_nodes_at(now));
+            let prepared: CompiledKernel;
+            let to_run: &CompiledKernel = if dead.is_empty() {
+                kernel
+            } else {
+                let live: Vec<NodeId> =
+                    self.nodes.iter().copied().filter(|n| !dead.contains(n)).collect();
+                if live.is_empty() {
+                    return Err(PlatformError::Unrecoverable {
+                        resource: DegradedResource::Rcus,
+                        attempts: attempt - 1,
+                        cycles: now - overall_start,
+                        stall: Box::new(self.net.stall_report()),
+                    });
+                }
+                // Dead PEs rehome round-robin over the live set, in
+                // first-use order for determinism.
+                let mut translate: HashMap<NodeId, NodeId> = HashMap::new();
+                let mut rr = 0usize;
+                for ins in &kernel.instructions {
+                    if dead.contains(&ins.pe) && !translate.contains_key(&ins.pe) {
+                        translate.insert(ins.pe, live[rr % live.len()]);
+                        rr += 1;
+                    }
+                }
+                if translate.is_empty() {
+                    kernel
+                } else {
+                    let moved = kernel
+                        .instructions
+                        .iter()
+                        .filter(|i| translate.contains_key(&i.pe))
+                        .count();
+                    report.remaps += 1;
+                    self.net.tracer_mut().record_with(now, || EventKind::KernelRemap {
+                        cpm: home as u32,
+                        attempt,
+                        moved: moved as u32,
+                    });
+                    prepared = kernel.remapped(&translate);
+                    &prepared
+                }
+            };
+            // Epoch bump on every resubmission: stragglers from aborted
+            // attempts stay behind a retired namespace. Home resolution is
+            // namespace mod CPM count, so the bumped tag still routes here.
+            if attempt > 1 {
+                let epoch = attempt - 1;
+                let ns = home as u32 + self.cpms.len() as u32 * epoch;
+                self.cpms[home].set_namespace(ns);
+            }
+            self.submit_kernel_to(home, to_run).map_err(PlatformError::Submit)?;
+            let attempt_start = self.net.cycle();
+            match self.run_attempt(home, deadline) {
+                AttemptEnd::Finished(run) => {
+                    let now = self.net.cycle();
+                    report.final_attempt_cycles = run.cycles;
+                    report.watchdog_retries = self.recovery_stats().retries - base_retries;
+                    if let Some(p) = self.net.fault_plan() {
+                        report.dead_rcus = p.dead_rcu_nodes_at(now).len();
+                        report.dead_links = p
+                            .links
+                            .iter()
+                            .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
+                            .count();
+                    }
+                    let degradation = report.is_degraded().then_some(report);
+                    return Ok(KernelRun { degradation, ..run });
+                }
+                AttemptEnd::Deadline => {
+                    return Err(PlatformError::KernelTimeout {
+                        cycles: self.net.cycle() - overall_start,
+                        stall: Box::new(self.net.stall_report()),
+                    });
+                }
+                AttemptEnd::Stalled => {
+                    let now = self.net.cycle();
+                    let permanent =
+                        self.net.fault_plan().is_some_and(|p| p.has_permanent_faults());
+                    if !permanent {
+                        // Transient-only stall: nothing to remap around —
+                        // the pre-degradation timeout semantics hold.
+                        return Err(PlatformError::KernelTimeout {
+                            cycles: now - overall_start,
+                            stall: Box::new(self.net.stall_report()),
+                        });
+                    }
+                    report.penalty_cycles += now - attempt_start;
+                    // Quarantine the failed attempt: abort the home CPM,
+                    // purge its namespace from every RCU and every CPM's
+                    // overflow buffer, and rebuild the RCU worklist (purged
+                    // RCUs may have gone idle).
+                    let ns = self.cpms[home].namespace();
+                    self.cpms[home].abort();
+                    for c in &mut self.cpms {
+                        c.purge_overflow_namespace(ns);
+                    }
+                    for r in &mut self.rcus {
+                        r.abort_namespace(ns);
+                    }
+                    self.rcu_active.clear();
+                    for i in 0..self.rcus.len() {
+                        let live = !self.rcus[i].is_idle();
+                        self.rcu_flag[i] = live;
+                        if live {
+                            self.rcu_active.push(i);
+                        }
+                    }
+                    if attempt >= self.pcfg.max_kernel_attempts {
+                        return Err(PlatformError::Unrecoverable {
+                            resource: DegradedResource::RetryBudget,
+                            attempts: attempt,
+                            cycles: now - overall_start,
+                            stall: Box::new(self.net.stall_report()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Steps (or, in event mode, jumps) until the kernel resident on CPM
+    /// `home` finishes, stalls for a full no-progress window, or reaches
+    /// the overall `deadline`. The stall cycle is
+    /// `last_change + no_progress_window` exactly, in every stepping mode:
+    /// event-mode jumps are capped there, so the hang detector observes
+    /// the same cycle it would have fired at under dense stepping.
+    fn run_attempt(&mut self, home: usize, deadline: u64) -> AttemptEnd {
+        let window = self.pcfg.no_progress_window;
+        let mut last_sig = self.progress_signature();
+        let mut last_change = self.net.cycle();
+        while self.net.cycle() < deadline {
+            if self.net.cycle() - last_change >= window {
+                return AttemptEnd::Stalled;
+            }
+            if self.maybe_jump(deadline.min(last_change + window)) {
                 // A jump can land exactly on the final-writeback deadline:
                 // poll completion so the run ends at the same cycle dense
                 // stepping ends at.
-                if let Some(run) = self.take_kernel_results() {
-                    return Ok(run);
+                if let Some(run) = self.take_kernel_results_from(home) {
+                    return AttemptEnd::Finished(run);
                 }
                 continue;
             }
             self.step();
-            if let Some(run) = self.take_kernel_results() {
-                return Ok(run);
+            if let Some(run) = self.take_kernel_results_from(home) {
+                return AttemptEnd::Finished(run);
             }
             let sig = self.progress_signature();
             if sig != last_sig {
                 last_sig = sig;
                 last_change = self.net.cycle();
-            } else if self.net.cycle() - last_change >= Self::NO_PROGRESS_WINDOW {
-                break;
+            } else if self.net.cycle() - last_change >= window {
+                return AttemptEnd::Stalled;
             }
         }
-        Err(PlatformError::KernelTimeout {
-            cycles: self.net.cycle() - started,
-            stall: Box::new(self.net.stall_report()),
-        })
+        AttemptEnd::Deadline
     }
 
-    /// How long `run_kernel` tolerates zero forward progress before
-    /// aborting with [`PlatformError::KernelTimeout`]. Generous enough to
-    /// cover the deepest recovery backoff (`max_retries * backoff` plus a
-    /// full ring circulation) at default settings.
+    /// Default for [`PlatformConfig::no_progress_window`]: how long
+    /// `run_kernel` tolerates zero forward progress before aborting an
+    /// attempt. Generous enough to cover the deepest recovery backoff
+    /// (`max_retries * backoff` plus a full ring circulation) at default
+    /// settings.
     pub const NO_PROGRESS_WINDOW: u64 = 50_000;
+
+    /// Smallest accepted [`PlatformConfig::no_progress_window`]: it must
+    /// comfortably exceed the deepest default recovery backoff
+    /// (`max_retries * backoff = 1024` cycles) plus a full ring
+    /// circulation, or the hang detector would abort runs the watchdog
+    /// was still legitimately recovering.
+    pub const MIN_NO_PROGRESS_WINDOW: u64 = 2_048;
 
     /// A deterministic fingerprint of kernel-level forward progress:
     /// instruction issue, RCU execution and captures, overflow absorption
@@ -1102,11 +1616,21 @@ impl SnackPlatform {
     fn launch_token(&mut self, node: NodeId, token: DataToken) {
         debug_assert!(token.dependents > 0, "dead token launched");
         let now = self.net.cycle();
-        let home = ((token.dep >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
-        self.cpms[home].note_token(&token, node, now);
+        let ns = token.dep >> NAMESPACE_SHIFT;
+        let home = ns as usize % self.cpms.len();
+        // Registry bookkeeping only for the epoch actually resident on
+        // the home CPM — a straggler from an aborted attempt must not
+        // plant a watch record in the retry's registry.
+        if self.cpms[home].namespace() == ns {
+            self.cpms[home].note_token(&token, node, now);
+        }
         let mut next = self.ring_next[node.index()];
         if let Some(plan) = self.net.fault_plan() {
-            if plan.links.iter().any(|l| matches!(l.kind, LinkFaultKind::Down)) {
+            if plan
+                .links
+                .iter()
+                .any(|l| matches!(l.kind, LinkFaultKind::Down | LinkFaultKind::Dead))
+            {
                 // Graceful ring degradation: if the deterministic route to
                 // the ring successor crosses a severed link right now, skip
                 // ahead to the first successor whose route is fully live.
@@ -1161,7 +1685,11 @@ impl SnackPlatform {
     fn ring_pass(&mut self, node: NodeId, token: DataToken) {
         let now = self.net.cycle();
         let dep = token.dep;
-        let cpm_here = self.cpms.iter().position(|c| c.node() == node);
+        // A dead node's compute is gone but its router forwards: the token
+        // passes straight through — no CPM absorption, no RCU capture.
+        let dead_here = self.node_dead(node, now);
+        let cpm_here =
+            if dead_here { None } else { self.cpms.iter().position(|c| c.node() == node) };
         let mut token = if let Some(ci) = cpm_here {
             match self.cpms[ci].maybe_absorb(token, now) {
                 Some(t) => t,
@@ -1177,8 +1705,10 @@ impl SnackPlatform {
             token
         };
         let before = token.dependents;
-        self.rcus[node.index()].observe_token(&mut token);
-        let home = ((token.dep >> NAMESPACE_SHIFT) as usize).min(self.cpms.len() - 1);
+        if !dead_here {
+            self.rcus[node.index()].observe_token(&mut token);
+        }
+        let home = ((token.dep >> NAMESPACE_SHIFT) as usize) % self.cpms.len();
         let captured = before - token.dependents;
         if captured > 0 {
             self.net.tracer_mut().record_with(now, || EventKind::RcuCapture {
@@ -1878,6 +2408,215 @@ mod tests {
         assert_eq!(dense, run(2), "event mode diverged from dense");
         assert_eq!(dense, run(3), "sharded mode diverged from dense");
         assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
+    }
+
+    #[test]
+    fn dead_rcu_at_submission_is_remapped_proactively() {
+        // Node (1,1) hosts sub-block 0 and is dead before submission: the
+        // first attempt must already run on a remapped kernel — no wasted
+        // stall window, no penalty cycles.
+        let run = |mode: u8| {
+            let mut p = platform();
+            set_mode(&mut p, mode);
+            let mesh = *p.mesh();
+            let k = cross_pe_kernel(&mesh);
+            let plan = FaultPlan::seeded(9).with_dead_rcu(mesh.node_at(1, 1), 0);
+            p.set_fault_plan(plan).unwrap();
+            let run = p.run_kernel(&k, 200_000).expect("remap routes around the dead RCU");
+            assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+            let d = run.degradation.expect("degraded run carries a report");
+            assert_eq!(d.dead_rcus, 1);
+            assert_eq!(d.remaps, 1, "proactive remap on the first attempt");
+            assert_eq!(d.failovers, 0);
+            assert_eq!(d.penalty_cycles, 0, "no attempt was wasted");
+            assert_eq!(d.final_attempt_cycles, run.cycles);
+            assert_eq!(d.total_cycles(), run.cycles);
+            (run.cycles, run.outputs.clone(), d, mode_fingerprint(&mut p))
+        };
+        let dense = run(0);
+        assert_eq!(dense, run(1), "active mode diverged from dense");
+        assert_eq!(dense, run(2), "event mode diverged from dense");
+        assert_eq!(dense, run(3), "sharded mode diverged from dense");
+        assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
+    }
+
+    #[test]
+    fn mid_run_rcu_death_stalls_then_retries_with_a_remap() {
+        // The consumer RCU dies *after* submission but before its
+        // instruction packet can arrive: attempt 1 stalls out a full
+        // no-progress window, is quarantined, and attempt 2 resubmits the
+        // kernel remapped off the corpse under a fresh namespace epoch.
+        let run = |mode: u8| {
+            let mut p = platform();
+            set_mode(&mut p, mode);
+            let mesh = *p.mesh();
+            let k = cross_pe_kernel(&mesh);
+            let plan = FaultPlan::seeded(13).with_dead_rcu(mesh.node_at(2, 3), 1);
+            p.set_fault_plan(plan).unwrap();
+            p.set_platform_config(PlatformConfig {
+                no_progress_window: 3_000,
+                ..PlatformConfig::default()
+            })
+            .unwrap();
+            let run = p.run_kernel(&k, 200_000).expect("retry-with-remap recovers");
+            assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+            let d = run.degradation.expect("degraded run carries a report");
+            assert_eq!(d.dead_rcus, 1);
+            assert_eq!(d.remaps, 1, "the retry was remapped");
+            assert!(d.penalty_cycles >= 3_000, "attempt 1 burned a stall window");
+            assert_eq!(d.final_attempt_cycles, run.cycles);
+            (run.cycles, run.outputs.clone(), d, mode_fingerprint(&mut p))
+        };
+        let dense = run(0);
+        assert_eq!(dense, run(1), "active mode diverged from dense");
+        assert_eq!(dense, run(2), "event mode diverged from dense");
+        assert_eq!(dense, run(3), "sharded mode diverged from dense");
+        assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
+    }
+
+    #[test]
+    fn dead_home_cpm_node_fails_over_to_a_standby_corner() {
+        let run = |mode: u8| {
+            let mut p = SnackPlatform::with_cpm_count(
+                NocConfig::default().with_sample_window(1_000),
+                4,
+            )
+            .unwrap();
+            set_mode(&mut p, mode);
+            let mesh = *p.mesh();
+            let home_node = p.cpm_at(0).node();
+            let k = cross_pe_kernel(&mesh);
+            let plan = FaultPlan::seeded(17).with_dead_rcu(home_node, 0);
+            p.set_fault_plan(plan).unwrap();
+            let run = p.run_kernel(&k, 200_000).expect("failover keeps the kernel alive");
+            assert_eq!(run.outputs, vec![Fixed::from_f64(12.0)]);
+            let d = run.degradation.expect("degraded run carries a report");
+            assert_eq!(d.failovers, 1, "home CPM moved to a standby corner");
+            assert_eq!(d.dead_rcus, 1);
+            (run.cycles, run.outputs.clone(), d, mode_fingerprint(&mut p))
+        };
+        let dense = run(0);
+        assert_eq!(dense, run(1), "active mode diverged from dense");
+        assert_eq!(dense, run(2), "event mode diverged from dense");
+        assert_eq!(dense, run(3), "sharded mode diverged from dense");
+        assert_eq!(dense, run(4), "event+sharded mode diverged from dense");
+    }
+
+    #[test]
+    fn dead_home_cpm_with_no_standby_is_unrecoverable() {
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let home_node = p.cpm().node();
+        let k = cross_pe_kernel(&mesh);
+        p.set_fault_plan(FaultPlan::seeded(19).with_dead_rcu(home_node, 0)).unwrap();
+        match p.run_kernel(&k, 200_000) {
+            Err(PlatformError::Unrecoverable { resource, attempts, .. }) => {
+                assert_eq!(resource, DegradedResource::StandbyCpms);
+                assert_eq!(attempts, 0, "failed before any submission");
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unfixable_permanent_stall_exhausts_the_attempt_budget() {
+        // A permanent dead link plus a total forever-blackout: every
+        // attempt stalls, no remap can help (no RCU is dead), and the
+        // attempt budget runs out with a typed verdict — never a hang.
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let k = cross_pe_kernel(&mesh);
+        let node = mesh.node_at(1, 1);
+        let dir = snacknoc_noc::Dir::ROUTER_DIRS
+            .into_iter()
+            .find(|&d| mesh.neighbor(node, d).is_some())
+            .unwrap();
+        let plan = blackout_plan(&mesh, 0, u64::MAX).with_dead_link(node, dir, 0);
+        p.set_fault_plan(plan).unwrap();
+        p.set_platform_config(PlatformConfig {
+            no_progress_window: SnackPlatform::MIN_NO_PROGRESS_WINDOW,
+            max_kernel_attempts: 2,
+        })
+        .unwrap();
+        match p.run_kernel(&k, 10_000_000) {
+            Err(PlatformError::Unrecoverable { resource, attempts, cycles, .. }) => {
+                assert_eq!(resource, DegradedResource::RetryBudget);
+                assert_eq!(attempts, 2, "both budgeted attempts were spent");
+                assert!(cycles < 100_000, "bounded by windows, not the cycle cap: {cycles}");
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_only_stalls_keep_the_plain_timeout_contract() {
+        // No permanent fault to route around: the degradation loop must
+        // not retry at all — same KernelTimeout as before this feature.
+        let mut p = platform();
+        let mesh = *p.mesh();
+        let k = cross_pe_kernel(&mesh);
+        p.set_fault_plan(blackout_plan(&mesh, 0, u64::MAX)).unwrap();
+        match p.run_kernel(&k, 10_000_000) {
+            Err(PlatformError::KernelTimeout { .. }) => {}
+            other => panic!("expected KernelTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn platform_config_knobs_are_validated() {
+        let mut p = platform();
+        assert_eq!(
+            p.set_platform_config(PlatformConfig {
+                no_progress_window: 0,
+                ..PlatformConfig::default()
+            }),
+            Err(PlatformConfigError::WindowTooSmall {
+                window: 0,
+                min: SnackPlatform::MIN_NO_PROGRESS_WINDOW,
+            })
+        );
+        assert_eq!(
+            p.set_platform_config(PlatformConfig {
+                no_progress_window: SnackPlatform::MIN_NO_PROGRESS_WINDOW - 1,
+                ..PlatformConfig::default()
+            }),
+            Err(PlatformConfigError::WindowTooSmall {
+                window: SnackPlatform::MIN_NO_PROGRESS_WINDOW - 1,
+                min: SnackPlatform::MIN_NO_PROGRESS_WINDOW,
+            })
+        );
+        assert_eq!(
+            p.set_platform_config(PlatformConfig {
+                max_kernel_attempts: 0,
+                ..PlatformConfig::default()
+            }),
+            Err(PlatformConfigError::BadAttemptBudget {
+                attempts: 0,
+                max: PlatformConfig::MAX_KERNEL_ATTEMPTS,
+            })
+        );
+        assert_eq!(
+            p.set_platform_config(PlatformConfig {
+                max_kernel_attempts: PlatformConfig::MAX_KERNEL_ATTEMPTS + 1,
+                ..PlatformConfig::default()
+            }),
+            Err(PlatformConfigError::BadAttemptBudget {
+                attempts: PlatformConfig::MAX_KERNEL_ATTEMPTS + 1,
+                max: PlatformConfig::MAX_KERNEL_ATTEMPTS,
+            })
+        );
+        // A valid config installs and reads back.
+        let cfg = PlatformConfig { no_progress_window: 4_096, max_kernel_attempts: 8 };
+        p.set_platform_config(cfg).unwrap();
+        assert_eq!(p.platform_config(), cfg);
+    }
+
+    #[test]
+    fn clean_runs_report_no_degradation() {
+        let mut p = platform();
+        let k = cross_pe_kernel(&p.mesh().clone());
+        let run = p.run_kernel(&k, 100_000).expect("finishes");
+        assert_eq!(run.degradation, None, "fault-free runs carry no report");
     }
 
 }

@@ -220,6 +220,34 @@ impl Rcu {
         self.produced.len()
     }
 
+    /// Purges every piece of per-kernel state belonging to CPM namespace
+    /// `namespace`: pending instructions, operand wants, captured operand
+    /// values, staged emissions, and retained retransmission tokens. The
+    /// platform's graceful-degradation path calls this when it aborts a
+    /// stalled kernel attempt — the whole failed epoch is quarantined
+    /// before the kernel is resubmitted under a fresh namespace, so no
+    /// half-executed sub-block or stale capture can leak into the retry.
+    /// State belonging to other namespaces (concurrent kernels from other
+    /// CPMs) is untouched.
+    pub fn abort_namespace(&mut self, namespace: u32) {
+        let foreign = |id: u32| id >> crate::cpm::NAMESPACE_SHIFT != namespace;
+        self.pending.retain(|&sb, _| foreign(sb));
+        self.progress.retain(|&sb, _| foreign(sb));
+        self.wanted.retain(|&d, _| foreign(d));
+        self.dep_buffer.retain(|&d, _| foreign(d));
+        self.produced.retain(|&d, _| foreign(d));
+        if self.active_block.is_some_and(|b| !foreign(b)) {
+            // Releasing the accumulator is safe: the next block to claim
+            // it resets `acc` before executing (see `execute`).
+            self.active_block = None;
+            self.cursor = None;
+        }
+        self.staged.retain(|e| match e {
+            Emission::Token(t) => foreign(t.dep),
+            Emission::Output { index, .. } => foreign(*index),
+        });
+    }
+
     /// Advances the RCU by one cycle. Returns the emissions completing
     /// this cycle (at most one per lane).
     pub fn tick(&mut self, cycle: u64) -> Vec<Emission> {

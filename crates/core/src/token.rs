@@ -375,6 +375,25 @@ impl CompiledKernel {
         Ok(())
     }
 
+    /// Returns a copy of the kernel with every instruction assigned to a
+    /// node in `translate` moved to that node's replacement — the
+    /// platform's remap-and-retry path for permanently dead RCUs. The
+    /// translation is per-node, so sub-blocks move wholesale and the
+    /// single-PE sub-block invariant survives; dependency structure is
+    /// untouched, so a valid kernel stays valid as long as `translate`
+    /// never maps two live nodes onto each other's sub-block ids (the
+    /// platform only ever maps *dead* nodes onto live ones).
+    #[must_use]
+    pub fn remapped(&self, translate: &HashMap<NodeId, NodeId>) -> CompiledKernel {
+        let mut k = self.clone();
+        for ins in &mut k.instructions {
+            if let Some(&to) = translate.get(&ins.pe) {
+                ins.pe = to;
+            }
+        }
+        k
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instructions.len()
@@ -495,6 +514,22 @@ mod tests {
         let p = CompiledKernel::default();
         assert_eq!(p.validate(), Err(ProgramError::EmptyProgram));
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn remapping_moves_whole_sub_blocks_and_stays_valid() {
+        let p = two_pe_program();
+        let mut translate = HashMap::new();
+        translate.insert(pe(0), pe(3));
+        let r = p.remapped(&translate);
+        r.validate().unwrap();
+        assert_eq!(r.instructions[0].pe, pe(3), "dead PE moved");
+        assert_eq!(r.instructions[1].pe, pe(1), "live PE untouched");
+        // Dependency structure is untouched.
+        assert_eq!(r.instructions[0].dest, p.instructions[0].dest);
+        // An empty translation is the identity.
+        let id = p.remapped(&HashMap::new());
+        assert_eq!(id.instructions, p.instructions);
     }
 
     #[test]

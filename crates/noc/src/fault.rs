@@ -57,6 +57,14 @@ pub enum LinkFaultKind {
         /// Per-packet corruption probability in `[0, 1]`.
         rate: f64,
     },
+    /// The link is *permanently* dead from `start` onward — a hard
+    /// failure that never heals. Behaves like [`LinkFaultKind::Down`]
+    /// on the wire (flits stall in their input buffers), but higher
+    /// layers treat it as permanent: ring launches recompute a detour
+    /// cycle that excludes the link for the rest of the run instead of
+    /// waiting the window out. The window `end` must be `u64::MAX`
+    /// (use [`FaultPlan::with_dead_link`], which sets it).
+    Dead,
 }
 
 /// A cycle-scheduled fault on one directed mesh link.
@@ -92,6 +100,23 @@ pub struct StallWindow {
     pub start: u64,
     /// Last cycle (exclusive) of the stall.
     pub end: u64,
+}
+
+/// A permanent node death: the RCU (and any CPM co-located at the node)
+/// stops doing compute work from `from` onward, forever.
+///
+/// Death is a *compute*-layer failure: the node's router keeps forwarding
+/// traffic (the NoC failure mode is [`LinkFaultKind::Dead`]). The NoC
+/// itself does not model RCUs; the platform layer polls
+/// [`FaultPlan::rcu_dead`] before ticking each compute unit, excludes
+/// dead nodes from the transient-token ring, and escalates to
+/// remap/failover when a kernel depends on a dead node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeadRcu {
+    /// The dead node.
+    pub node: NodeId,
+    /// First cycle (inclusive) the node is dead; it never revives.
+    pub from: u64,
 }
 
 /// Which traffic classes the random drop/corrupt rates apply to.
@@ -141,6 +166,8 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// Scheduled RCU stall windows (consumed by the platform layer).
     pub rcu_stalls: Vec<StallWindow>,
+    /// Permanent node deaths (consumed by the platform layer).
+    pub dead_rcus: Vec<DeadRcu>,
     /// Which traffic classes random faults apply to.
     pub targets: FaultTargets,
     /// When `true` (the default), packets flagged as protected
@@ -164,6 +191,7 @@ impl FaultPlan {
             corrupt_rate: 0.0,
             links: Vec::new(),
             rcu_stalls: Vec::new(),
+            dead_rcus: Vec::new(),
             targets: FaultTargets::default(),
             respect_protection: true,
         }
@@ -210,6 +238,30 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the directed link `from → dir` permanently from cycle
+    /// `from_cycle` onward ([`LinkFaultKind::Dead`], never heals).
+    #[must_use]
+    pub fn with_dead_link(mut self, from: NodeId, dir: Dir, from_cycle: u64) -> Self {
+        self.links.push(LinkFault {
+            from,
+            dir,
+            start: from_cycle,
+            end: u64::MAX,
+            kind: LinkFaultKind::Dead,
+        });
+        self
+    }
+
+    /// Kills the node `node` permanently from cycle `from_cycle` onward:
+    /// its RCU (and any co-located CPM) stops computing forever. The
+    /// node's router keeps forwarding — use [`Self::with_dead_link`] for
+    /// wire failures.
+    #[must_use]
+    pub fn with_dead_rcu(mut self, node: NodeId, from_cycle: u64) -> Self {
+        self.dead_rcus.push(DeadRcu { node, from: from_cycle });
+        self
+    }
+
     /// Replaces the traffic-class target mask.
     #[must_use]
     pub fn with_targets(mut self, targets: FaultTargets) -> Self {
@@ -230,14 +282,50 @@ impl FaultPlan {
             || self.corrupt_rate > 0.0
             || !self.links.is_empty()
             || !self.rcu_stalls.is_empty()
+            || !self.dead_rcus.is_empty()
+    }
+
+    /// Whether this plan contains any *permanent* fault (a dead link or a
+    /// dead node). Permanent faults make a run eligible for the platform's
+    /// remap/failover escalation path.
+    pub fn has_permanent_faults(&self) -> bool {
+        !self.dead_rcus.is_empty()
+            || self.links.iter().any(|f| f.kind == LinkFaultKind::Dead)
     }
 
     /// Whether the directed link `from → dir` is inside a `Down` window
-    /// at `cycle`. Used by higher layers to steer around dead links.
+    /// (or permanently dead) at `cycle`. Used by higher layers to steer
+    /// around unusable links.
     pub fn link_is_down(&self, from: NodeId, dir: Dir, cycle: u64) -> bool {
         self.links.iter().any(|f| {
-            f.kind == LinkFaultKind::Down && f.from == from && f.dir == dir && f.active(cycle)
+            matches!(f.kind, LinkFaultKind::Down | LinkFaultKind::Dead)
+                && f.from == from
+                && f.dir == dir
+                && f.active(cycle)
         })
+    }
+
+    /// Whether the directed link `from → dir` is permanently dead at
+    /// `cycle` (a [`LinkFaultKind::Dead`] fault whose start has passed).
+    pub fn link_is_dead(&self, from: NodeId, dir: Dir, cycle: u64) -> bool {
+        self.links.iter().any(|f| {
+            f.kind == LinkFaultKind::Dead && f.from == from && f.dir == dir && f.start <= cycle
+        })
+    }
+
+    /// Whether the node `node` is permanently dead at `cycle`.
+    pub fn rcu_dead(&self, node: NodeId, cycle: u64) -> bool {
+        self.dead_rcus.iter().any(|d| d.node == node && d.from <= cycle)
+    }
+
+    /// The nodes permanently dead at `cycle`, ascending by node index —
+    /// the exclusion set for remapping a kernel off dead RCUs.
+    pub fn dead_rcu_nodes_at(&self, cycle: u64) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> =
+            self.dead_rcus.iter().filter(|d| d.from <= cycle).map(|d| d.node).collect();
+        nodes.sort_unstable_by_key(|n| n.index());
+        nodes.dedup();
+        nodes
     }
 
     /// Whether the RCU at `node` is inside a stall window at `cycle`.
@@ -280,6 +368,13 @@ impl FaultPlan {
                 LinkFaultKind::Drop { rate } => frac("link drop rate", rate)?,
                 LinkFaultKind::Corrupt { rate } => frac("link corrupt rate", rate)?,
                 LinkFaultKind::Down => {}
+                LinkFaultKind::Dead => {
+                    // Permanence is the contract: a bounded "dead" window
+                    // is a Down window and must be spelled as one.
+                    if f.end != u64::MAX {
+                        return Err(FaultPlanError::BoundedDeath { end: f.end });
+                    }
+                }
             }
             if f.start >= f.end {
                 return Err(FaultPlanError::EmptyWindow { start: f.start, end: f.end });
@@ -322,6 +417,17 @@ pub enum FaultPlanError {
         /// The direction with no neighbour.
         dir: Dir,
     },
+    /// A [`LinkFaultKind::Dead`] fault has a finite window end — death
+    /// is permanent by contract (`end` must be `u64::MAX`).
+    BoundedDeath {
+        /// The offending (finite) window end.
+        end: u64,
+    },
+    /// A [`DeadRcu`] references a node outside the mesh.
+    BadNode {
+        /// The nonexistent node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -335,6 +441,12 @@ impl fmt::Display for FaultPlanError {
             }
             FaultPlanError::BadLink { node, dir } => {
                 write!(f, "no link leaves {node} toward {dir}")
+            }
+            FaultPlanError::BoundedDeath { end } => {
+                write!(f, "Dead link fault has finite end {end} (death is permanent)")
+            }
+            FaultPlanError::BadNode { node } => {
+                write!(f, "dead node {node} is outside the mesh")
             }
         }
     }
@@ -403,7 +515,10 @@ impl FaultState {
             let lid = resolve(f.from, f.dir)
                 .ok_or(FaultPlanError::BadLink { node: f.from, dir: f.dir })?;
             match f.kind {
-                LinkFaultKind::Down => down.push((lid, f.start, f.end)),
+                // A Dead link is a Down window that never closes: the
+                // wire-level machinery (stall switch allocation toward the
+                // port) is identical; only higher layers distinguish.
+                LinkFaultKind::Down | LinkFaultKind::Dead => down.push((lid, f.start, f.end)),
                 LinkFaultKind::Drop { rate } => drops.push((lid, f.start, f.end, rate)),
                 LinkFaultKind::Corrupt { rate } => corrupts.push((lid, f.start, f.end, rate)),
             }
@@ -414,6 +529,8 @@ impl FaultState {
             .chain(drops.iter().map(|&(_, s, e, _)| (s, e)))
             .chain(corrupts.iter().map(|&(_, s, e, _)| (s, e)))
             .flat_map(|(s, e)| [s, e])
+            // A window that never ends has no closing edge to wake on.
+            .filter(|&c| c != u64::MAX)
             .collect();
         edges.sort_unstable();
         edges.dedup();
@@ -757,6 +874,52 @@ mod tests {
             st.on_link_flit(5, 10, &probe(FlitKind::HeadTail, TrafficClass::SnackData, false, false, 3)),
             FaultAction::Deliver
         );
+    }
+
+    #[test]
+    fn dead_links_and_nodes_are_permanent() {
+        let plan = FaultPlan::seeded(11)
+            .with_dead_link(NodeId::new(2), Dir::East, 1_000)
+            .with_dead_rcu(NodeId::new(7), 500);
+        assert!(plan.enabled());
+        assert!(plan.has_permanent_faults());
+        assert!(plan.validate().is_ok());
+        // Dead links read as down (detour machinery) and as dead
+        // (permanence), from their start cycle to forever.
+        assert!(!plan.link_is_down(NodeId::new(2), Dir::East, 999));
+        assert!(!plan.link_is_dead(NodeId::new(2), Dir::East, 999));
+        assert!(plan.link_is_down(NodeId::new(2), Dir::East, 1_000));
+        assert!(plan.link_is_dead(NodeId::new(2), Dir::East, 1_000));
+        assert!(plan.link_is_down(NodeId::new(2), Dir::East, u64::MAX - 1));
+        // Node death never revives either.
+        assert!(!plan.rcu_dead(NodeId::new(7), 499));
+        assert!(plan.rcu_dead(NodeId::new(7), 500));
+        assert!(plan.rcu_dead(NodeId::new(7), u64::MAX));
+        assert!(!plan.rcu_dead(NodeId::new(6), 10_000));
+        assert_eq!(plan.dead_rcu_nodes_at(499), Vec::<NodeId>::new());
+        assert_eq!(plan.dead_rcu_nodes_at(500), vec![NodeId::new(7)]);
+        // A transient-only plan is not permanent.
+        assert!(!FaultPlan::seeded(1).with_drop_rate(0.5).has_permanent_faults());
+    }
+
+    #[test]
+    fn bounded_death_is_rejected() {
+        let mut plan = FaultPlan::seeded(1).with_dead_link(NodeId::new(0), Dir::East, 10);
+        plan.links[0].end = 5_000;
+        assert!(matches!(plan.validate(), Err(FaultPlanError::BoundedDeath { end: 5_000 })));
+        let err = plan.validate().unwrap_err();
+        assert!(err.to_string().contains("permanent"));
+    }
+
+    #[test]
+    fn dead_link_compiles_to_an_unbounded_down_window_with_no_end_edge() {
+        let plan = FaultPlan::seeded(1).with_dead_link(NodeId::new(0), Dir::East, 42);
+        let st = FaultState::compile(plan, |_, _| Some(3)).unwrap();
+        assert!(st.has_down_windows());
+        assert!(!st.link_down(3, 41));
+        assert!(st.link_down(3, 42));
+        assert!(st.link_down(3, u64::MAX - 1));
+        assert_eq!(st.window_edges(), &[42], "u64::MAX must not appear as a wake edge");
     }
 
     #[test]

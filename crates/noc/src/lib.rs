@@ -67,7 +67,8 @@ pub mod topology;
 
 pub use config::{ConfigError, NocConfig, NocPreset};
 pub use fault::{
-    FaultCounters, FaultPlan, FaultPlanError, FaultTargets, LinkFault, LinkFaultKind, StallWindow,
+    DeadRcu, FaultCounters, FaultPlan, FaultPlanError, FaultTargets, LinkFault, LinkFaultKind,
+    StallWindow,
 };
 pub use flit::{Flit, FlitKind, TrafficClass};
 pub use network::{Network, ShardError, StallReport};

@@ -329,6 +329,11 @@ impl<P> Network<P> {
             self.wheel.clear();
             return Ok(());
         }
+        for d in &plan.dead_rcus {
+            if d.node.index() >= self.mesh.node_count() {
+                return Err(FaultPlanError::BadNode { node: d.node });
+            }
+        }
         let link_of = &self.link_of;
         let state =
             FaultState::compile(plan, |node, dir| link_of[node.index()][dir.index()])?;

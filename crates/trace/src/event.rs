@@ -128,6 +128,13 @@ pub enum EventKind {
     KernelSubmit { cpm: u32 },
     /// `cpm` finished its kernel (results ready).
     KernelFinish { cpm: u32 },
+    /// The platform resubmitted the kernel to `cpm` with `moved`
+    /// instructions remapped off permanently dead RCUs (graceful
+    /// degradation, attempt number `attempt`).
+    KernelRemap { cpm: u32, attempt: u32, moved: u32 },
+    /// The kernel's home CPM node died; the platform failed the kernel
+    /// over from CPM `from` to standby corner CPM `to`.
+    CpmFailover { from: u32, to: u32 },
 }
 
 impl EventKind {
@@ -166,6 +173,8 @@ impl EventKind {
             EventKind::TokenRetire { .. } => "token_retire",
             EventKind::KernelSubmit { .. } => "kernel_submit",
             EventKind::KernelFinish { .. } => "kernel_finish",
+            EventKind::KernelRemap { .. } => "kernel_remap",
+            EventKind::CpmFailover { .. } => "cpm_failover",
         }
     }
 
@@ -191,6 +200,8 @@ impl EventKind {
             EventKind::TokenRetire { node, .. } => node,
             EventKind::KernelSubmit { cpm } => cpm,
             EventKind::KernelFinish { cpm } => cpm,
+            EventKind::KernelRemap { cpm, .. } => cpm,
+            EventKind::CpmFailover { from, .. } => from,
         }
     }
 
@@ -291,6 +302,14 @@ impl EventKind {
             }
             EventKind::KernelSubmit { cpm } | EventKind::KernelFinish { cpm } => {
                 vec![("cpm", cpm as u64)]
+            }
+            EventKind::KernelRemap { cpm, attempt, moved } => vec![
+                ("cpm", cpm as u64),
+                ("attempt", attempt as u64),
+                ("moved", moved as u64),
+            ],
+            EventKind::CpmFailover { from, to } => {
+                vec![("from", from as u64), ("to", to as u64)]
             }
         }
     }

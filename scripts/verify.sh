@@ -74,9 +74,45 @@ echo "+ snack-faults --smoke"
 smoke_json=$(mktemp)
 trace_json=$(mktemp)
 perf_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$trace_json" "$perf_json"' EXIT
+chaos_json=$(mktemp)
+trap 'rm -f "$smoke_json" "$trace_json" "$perf_json" "$chaos_json"' EXIT
 cargo run --release --offline -q -p snacknoc-bench --bin snack-faults -- \
   --smoke --json "$smoke_json"
+
+# Chaos smoke: randomized permanent+transient fault schedules, every cell
+# run in all five stepping modes; the binary exits non-zero unless every
+# invariant holds (termination with a typed verdict, bit-exact outputs,
+# transient recovery, consistent degradation reports, five-mode
+# bit-identity) AND at least one cell completed through an actual
+# remap/failover. The greps re-assert the JSON schema from the shell so a
+# silently-broken self-check cannot pass CI.
+echo "+ snack-chaos --smoke"
+cargo run --release --offline -q -p snacknoc-bench --bin snack-chaos -- \
+  --smoke --json "$chaos_json"
+grep -q '"invariants_hold": true' "$chaos_json" || {
+  echo "ERROR: snack-chaos JSON reports an invariant violation" >&2
+  exit 1
+}
+grep -q '"modes_agree": true' "$chaos_json" || {
+  echo "ERROR: snack-chaos JSON has no five-mode agreement rows" >&2
+  exit 1
+}
+if grep -q '"modes_agree": false' "$chaos_json"; then
+  echo "ERROR: a chaos cell diverged across stepping modes" >&2
+  exit 1
+fi
+awk -v RS='}' '
+  /"degraded_completions":/ {
+    match($0, /"degraded_completions": [0-9]+/)
+    split(substr($0, RSTART, RLENGTH), kv, ": ")
+    if (kv[2] + 0 < 1) {
+      print "ERROR: chaos smoke never exercised remap/failover" > "/dev/stderr"
+      exit 1
+    }
+    found = 1
+  }
+  END { if (!found) { print "ERROR: no degraded_completions field in chaos JSON" > "/dev/stderr"; exit 1 } }' \
+  "$chaos_json"
 
 # Tracing smoke: run a kernel under the RingTracer and demand (a) the
 # emitted Chrome trace JSON parses, (b) at least one event per component

@@ -371,6 +371,104 @@ fn active_set_matches_dense_under_fault_plan() {
     assert!(active.contains("rcu="), "fingerprint is non-trivial");
 }
 
+/// Graceful degradation, part 1: a kernel that must *remap* (an RCU dies
+/// under it mid-run) and *fail over* (its home-CPM corner is dead at
+/// submission) completes bit-identically in every stepping mode and at
+/// every legal shard count — including the degradation report itself.
+/// This pins the hairiest new scheduling corners: the abort/quarantine
+/// path, the namespace-epoch bump, and the escalation deadline (which
+/// event-mode jumps must land on exactly).
+#[test]
+fn remap_and_failover_are_bit_identical_across_modes_and_shards() {
+    use snacknoc::core::{PlatformConfig, RecoveryConfig};
+    use snacknoc::noc::FaultPlan;
+    use snacknoc_bench::perf::stats_fingerprint;
+
+    let built = build(Kernel::Reduction, 48, 9);
+    let run_with = |setup: &dyn Fn(&mut SnackPlatform)| {
+        let mut p = SnackPlatform::with_cpm_count(NocConfig::default(), 4)
+            .expect("valid platform");
+        setup(&mut p);
+        let mapper = MapperConfig::for_mesh(p.mesh()).with_mac_fusion(false);
+        let kernel = built.context.compile(built.root, &mapper).expect("compiles");
+        let home = p.cpm_at(0).node();
+        let victim = p.mesh().node_at(1, 1);
+        // Home corner dead at submission (failover) + a mid-run RCU death
+        // (stall, quarantine, remapped retry).
+        let plan = FaultPlan::seeded(0xDEAD_0001)
+            .with_dead_rcu(home, 0)
+            .with_dead_rcu(victim, 1);
+        p.set_fault_plan(plan).expect("valid fault plan");
+        p.enable_recovery(RecoveryConfig::aggressive());
+        p.set_platform_config(PlatformConfig {
+            no_progress_window: 4_096,
+            ..PlatformConfig::default()
+        })
+        .expect("valid window");
+        let run = p.run_kernel(&kernel, 10_000_000).expect("degrades gracefully");
+        let d = run.degradation.expect("degraded run reports");
+        assert_eq!(d.failovers, 1, "home corner moved to a standby");
+        assert!(d.remaps >= 1, "the dead RCU forced a remap");
+        let rcu = p.rcu_stats();
+        let rec = p.recovery_stats();
+        let injected = p.net_injected_packets();
+        let delivered = p.net_delivered_packets();
+        format!(
+            "cycles={} outputs={:?} report={:?} rcu={}/{}/{} recovery={}/{} {}",
+            run.cycles,
+            run.outputs,
+            d,
+            rcu.executed,
+            rcu.captures,
+            rcu.stalled_cycles,
+            rec.detected,
+            rec.recovered,
+            stats_fingerprint(injected, delivered, 0, p.finalize_stats()),
+        )
+    };
+    let dense = run_with(&|p| apply_mode(p, 0));
+    for mode in 1u8..=4 {
+        assert_eq!(
+            run_with(&|p| apply_mode(p, mode)),
+            dense,
+            "mode {mode}: remap/failover run must be bit-identical to dense"
+        );
+    }
+    for shards in [1usize, 4] {
+        assert_eq!(
+            run_with(&move |p| p.set_sharding(shards).expect("shards fit the mesh")),
+            dense,
+            "{shards}-shard remap/failover run must be bit-identical to dense"
+        );
+    }
+}
+
+/// Graceful degradation, part 2: the chaos grid — randomized permanent +
+/// transient schedules, each cell already spanning all five stepping
+/// modes internally — merges to identical bytes on 1 and 4 workers, with
+/// every invariant intact.
+#[test]
+fn chaos_grid_reports_are_worker_count_invariant() {
+    use snacknoc_bench::chaos::{run_chaos, ChaosSpec};
+    let spec = ChaosSpec::grid(&[Kernel::Mac, Kernel::Reduction], 8, &[1, 2, 3]);
+    let serial = run_chaos(&spec.clone().with_threads(1));
+    let parallel = run_chaos(&spec.with_threads(4));
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "threads=1 and threads=4 chaos grids must merge to identical bytes"
+    );
+    assert!(
+        serial.all_invariants_hold(),
+        "chaos invariants: {}",
+        serial.deterministic_json()
+    );
+    assert!(
+        serial.cells.iter().all(|c| c.modes_agree),
+        "every cell is five-mode bit-identical"
+    );
+}
+
 /// Active-set scheduling, part 3: mode choice composes with the worker
 /// pool. A grid of {dense, active, event, sharded, event+sharded} x
 /// seeds fingerprinted on 1 worker and on 4 workers merges to the same

@@ -605,3 +605,93 @@ fn random_short_window_fault_plans_step_identically_event_and_dense() {
         );
     });
 }
+
+/// Graceful degradation under *random chaos schedules* (permanent RCU and
+/// link deaths mixed with transient drop/corrupt noise, on 1- or 4-CPM
+/// platforms) produces the identical verdict in every stepping mode:
+/// same outcome (completion, timeout, or typed unrecoverable), same
+/// cycle counts, same outputs, and a bit-equal [`DegradationReport`].
+/// Completed runs must additionally match the fixed-point reference
+/// interpreter — remapping and failover may move work, never change it.
+#[test]
+fn random_chaos_schedules_degrade_identically_in_every_mode() {
+    use snacknoc::compiler::build;
+    use snacknoc::core::{PlatformConfig, PlatformError, RecoveryConfig};
+    use snacknoc::noc::NocPreset;
+    use snacknoc::workloads::kernels::Kernel;
+    use snacknoc_bench::chaos::{chaos_schedule, CHAOS_WINDOW};
+    use snacknoc_bench::perf::stats_fingerprint;
+    prop_check!(cases = 6, seed = 0x51AC_000B, |rng| {
+        let seed = rng.next_u64();
+        let kernel = Kernel::ALL[rng.range_usize(0..Kernel::ALL.len())];
+        let size = rng.range_usize(6..12);
+        let built = build(kernel, size, seed);
+        let reference = built.context.interpret(built.root).expect("interpretable");
+        let cfg = NocConfig::preset(NocPreset::BiNoChs);
+        let sched = {
+            let probe = SnackPlatform::new(cfg.clone()).expect("valid platform");
+            chaos_schedule(probe.mesh(), seed)
+        };
+        let run_mode = |mode: u8| {
+            let mut p = SnackPlatform::with_cpm_count(cfg.clone(), sched.cpm_count)
+                .expect("valid platform");
+            match mode {
+                0 => p.set_dense_stepping(true),
+                1 => {}
+                2 => p.set_event_stepping(true),
+                3 => p.set_sharding(2).expect("two shards fit"),
+                _ => {
+                    p.set_event_stepping(true);
+                    p.set_sharding(2).expect("two shards fit");
+                }
+            }
+            let mapper = MapperConfig::for_mesh(p.mesh()).with_mac_fusion(false);
+            let compiled = built.context.compile(built.root, &mapper).expect("compiles");
+            p.set_fault_plan(sched.plan.clone()).expect("valid plan");
+            p.enable_recovery(RecoveryConfig::aggressive());
+            p.set_platform_config(PlatformConfig {
+                no_progress_window: CHAOS_WINDOW,
+                ..PlatformConfig::default()
+            })
+            .expect("valid window");
+            let cap = 800 * compiled.len() as u64 + 8 * CHAOS_WINDOW + 2_000_000;
+            let verdict = match p.run_kernel(&compiled, cap) {
+                Ok(run) => {
+                    assert_eq!(
+                        run.outputs, reference,
+                        "{kernel}-{size}/s{seed} mode {mode}: degraded outputs drifted"
+                    );
+                    format!("ok cycles={} report={:?}", run.cycles, run.degradation)
+                }
+                Err(PlatformError::KernelTimeout { cycles, .. }) => {
+                    format!("timeout cycles={cycles}")
+                }
+                Err(PlatformError::Unrecoverable { resource, attempts, cycles, .. }) => {
+                    format!("unrecoverable {resource} attempts={attempts} cycles={cycles}")
+                }
+                Err(e) => panic!("unexpected platform error: {e}"),
+            };
+            let rec = p.recovery_stats();
+            format!(
+                "{verdict} recovery={}/{}/{} {}",
+                rec.detected,
+                rec.recovered,
+                rec.retries,
+                stats_fingerprint(
+                    p.net_injected_packets(),
+                    p.net_delivered_packets(),
+                    0,
+                    p.finalize_stats(),
+                ),
+            )
+        };
+        let dense = run_mode(0);
+        for mode in 1u8..=4 {
+            assert_eq!(
+                run_mode(mode),
+                dense,
+                "{kernel}-{size}/s{seed}: mode {mode} diverged from dense under chaos"
+            );
+        }
+    });
+}
