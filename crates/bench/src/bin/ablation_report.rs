@@ -46,7 +46,7 @@ fn main() {
         let base = {
             let mut p = SnackPlatform::new(cfg.clone()).expect("valid");
             p.attach_workload(&workload, seed);
-            p.run_multiprogram(None, u64::MAX / 2)
+            p.run_multiprogram_capped(None)
         };
         let shared = {
             let built = build(Kernel::Sgemm, 20, seed);
@@ -56,7 +56,7 @@ fn main() {
                 .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
                 .expect("compiles");
             p.attach_workload(&workload, seed);
-            p.run_multiprogram(Some(&k), u64::MAX / 2)
+            p.run_multiprogram_capped(Some(&k))
         };
         assert!(base.app_finished && shared.app_finished);
         rows.push(vec![
@@ -114,7 +114,7 @@ fn main() {
             .compile(kernel.1, &MapperConfig::for_mesh(p.mesh()))
             .expect("compiles");
         p.attach_workload(&workload, seed);
-        let run = p.run_multiprogram(Some(&k), u64::MAX / 2);
+        let run = p.run_multiprogram_capped(Some(&k));
         rows.push(vec![
             format!("enter < {enter:.2}"),
             format!("{}", run.app_runtime),

@@ -46,7 +46,7 @@ fn main() {
         // Workload alone.
         let mut alone = SnackPlatform::new(cfg.clone()).expect("valid platform");
         alone.attach_coherent_workload(pattern, seed);
-        let base = alone.run_multiprogram(None, u64::MAX / 2);
+        let base = alone.run_multiprogram_capped(None);
         assert!(base.app_finished, "{name} must finish");
         // Workload + continually-resubmitted SGEMM.
         let built = build(Kernel::Sgemm, 20, seed);
@@ -56,7 +56,7 @@ fn main() {
             .compile(built.root, &MapperConfig::for_mesh(shared.mesh()))
             .expect("compiles");
         shared.attach_coherent_workload(pattern, seed);
-        let run = shared.run_multiprogram(Some(&kernel), u64::MAX / 2);
+        let run = shared.run_multiprogram_capped(Some(&kernel));
         assert!(run.app_finished);
         let impact = 100.0 * (run.app_runtime as f64 / base.app_runtime as f64 - 1.0);
         rows.push(vec![

@@ -10,6 +10,12 @@
 //! Arguments: `--scale <f>` (workload scale, default 0.004), `--seed <n>`,
 //! `--kernel <n>` (SGEMM size, default 16), `--window <n>` cycles
 //! (measurement window, default 200000).
+//!
+//! The same scenario is also available as a *served system* — four
+//! QoS-classed tenants scheduled onto the CPM corners with admission
+//! control and SLO accounting — via the
+//! `snacknoc_service::decentralized_cpm` preset (see the `snack-service`
+//! binary and DESIGN.md §15).
 
 use snacknoc_bench::experiments::{arg_f64, arg_u64};
 use snacknoc_bench::table::print_table;

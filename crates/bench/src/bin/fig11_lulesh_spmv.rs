@@ -26,7 +26,7 @@ fn main() {
     // Alone.
     let mut alone = SnackPlatform::new(cfg.clone()).expect("valid platform");
     alone.attach_workload(&p, seed);
-    let alone_run = alone.run_multiprogram(None, u64::MAX / 2);
+    let alone_run = alone.run_multiprogram_capped(None);
     assert!(alone_run.app_finished);
     // With SPMV.
     let built = build(Kernel::Spmv, spmv_size, seed);
@@ -36,7 +36,7 @@ fn main() {
         .compile(built.root, &MapperConfig::for_mesh(shared.mesh()))
         .expect("spmv compiles");
     shared.attach_workload(&p, seed);
-    let shared_run = shared.run_multiprogram(Some(&kernel), u64::MAX / 2);
+    let shared_run = shared.run_multiprogram_capped(Some(&kernel));
     assert!(shared_run.app_finished);
 
     let rows = vec![

@@ -10,6 +10,11 @@
 //!
 //! Arguments: `--scale <f>` (default 0.004), `--seed <n>`,
 //! `--kernel-size <n>` (0 = per-kernel default).
+//!
+//! Priority arbitration is also exercised as a live *service policy* —
+//! kernels served to QoS-classed tenants concurrently with the CMP
+//! application — via the `snacknoc_service::fig12_qos` preset (see the
+//! `snack-service` binary and DESIGN.md §15).
 
 use snacknoc_bench::experiments::{arg_f64, arg_u64};
 use snacknoc_bench::table::print_table;
@@ -38,7 +43,7 @@ fn app_runtime(
     let p = profile(bench).scaled(scale);
     let mut platform = SnackPlatform::new(cfg.clone()).expect("valid platform");
     platform.attach_workload(&p, seed);
-    let run = platform.run_multiprogram(kernel, u64::MAX / 2);
+    let run = platform.run_multiprogram_capped(kernel);
     assert!(run.app_finished, "{bench} must finish");
     run.app_runtime
 }

@@ -33,7 +33,7 @@ fn main() {
             // Baseline.
             let mut alone = SnackPlatform::new(cfg.clone()).expect("valid platform");
             alone.attach_workload(&p, seed);
-            let base = alone.run_multiprogram(None, u64::MAX / 2);
+            let base = alone.run_multiprogram_capped(None);
             assert!(base.app_finished, "{bench} at {cols}x{rows_} must finish");
             // With SGEMM.
             let mut shared = SnackPlatform::new(cfg).expect("valid platform");
@@ -42,7 +42,7 @@ fn main() {
                 .compile(built.root, &MapperConfig::for_mesh(shared.mesh()))
                 .expect("sgemm compiles");
             shared.attach_workload(&p, seed);
-            let run = shared.run_multiprogram(Some(&kernel), u64::MAX / 2);
+            let run = shared.run_multiprogram_capped(Some(&kernel));
             assert!(run.app_finished);
             let impact = 100.0 * (run.app_runtime as f64 / base.app_runtime as f64 - 1.0);
             worst[mi] = worst[mi].max(impact);

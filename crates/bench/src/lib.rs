@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod faults;
 pub mod harness;
 pub mod perf;
+pub mod service;
 pub mod sweep;
 pub mod table;
 pub mod tracing;

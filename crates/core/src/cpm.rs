@@ -319,6 +319,11 @@ pub struct CpmStats {
     pub overflow_cycles: u64,
     /// Submissions rejected busy.
     pub busy_rejections: u64,
+    /// Kernels run to completion and collected (per-CPM accounting for
+    /// the multi-tenant service layer; incremented by
+    /// [`Cpm::take_results`], so it counts identically in every stepping
+    /// mode).
+    pub kernels_completed: u64,
 }
 
 /// Bit position of the CPM namespace within dependency ids and output
@@ -497,6 +502,7 @@ impl Cpm {
             self.results.iter().map(|r| r.expect("all results arrived")).collect();
         self.state = CpmState::Idle;
         self.finished_at = None;
+        self.stats.kernels_completed += 1;
         let name = std::mem::take(&mut self.kernel_name);
         self.results.clear();
         Some((name, values))

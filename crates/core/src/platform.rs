@@ -63,6 +63,16 @@ pub enum PlatformError {
     /// The CPM configuration failed validation (bad hysteresis thresholds,
     /// out-of-range fractions, or zero capacities).
     CpmConfig(CpmConfigError),
+    /// An epoch-tagged submission ([`SnackPlatform::submit_kernel_epoch`])
+    /// asked for a namespace epoch outside the 8-bit namespace budget.
+    BadEpoch {
+        /// Epoch requested.
+        epoch: u32,
+        /// Epochs available per CPM on this platform
+        /// ([`SnackPlatform::namespace_epochs`]); valid epochs are
+        /// `0..max`.
+        max: u32,
+    },
     /// The CPM rejected the kernel at submission time.
     Submit(SubmitError),
     /// The kernel made no forward progress for a full watchdog window and
@@ -129,6 +139,9 @@ impl fmt::Display for PlatformError {
                 write!(f, "requested {requested} cpms but the mesh has {corners} corners")
             }
             PlatformError::CpmConfig(e) => write!(f, "cpm config: {e}"),
+            PlatformError::BadEpoch { epoch, max } => {
+                write!(f, "namespace epoch {epoch} is outside 0..{max}")
+            }
             PlatformError::Submit(e) => write!(f, "kernel submission: {e}"),
             PlatformError::KernelTimeout { cycles, stall } => {
                 write!(f, "kernel timeout after {cycles} cycles: {stall}")
@@ -245,6 +258,20 @@ pub struct PlatformConfig {
     /// [`PlatformError::Unrecoverable`]. At least 1, at most
     /// [`PlatformConfig::MAX_KERNEL_ATTEMPTS`].
     pub max_kernel_attempts: u32,
+    /// Per-kernel cycle budget: how long a single kernel may run from
+    /// submission before the caller should give up on it. Consumed by
+    /// the multi-tenant service loop as its abort deadline (a dispatched
+    /// kernel that outlives the cap is quarantined and counted against
+    /// its tenant) and available to any `run_kernel` caller as the
+    /// canonical budget instead of an ad-hoc magic number. Must be at
+    /// least [`PlatformConfig::no_progress_window`].
+    pub kernel_cycle_cap: u64,
+    /// Safety cap for [`SnackPlatform::run_multiprogram_capped`]: the
+    /// hard deadline a multi-program run is bounded by when the caller
+    /// does not supply one (previously the `u64::MAX / 2` magic constant
+    /// scattered across examples and experiment binaries). Must be at
+    /// least [`PlatformConfig::no_progress_window`].
+    pub multiprogram_cycle_cap: u64,
 }
 
 impl Default for PlatformConfig {
@@ -252,6 +279,8 @@ impl Default for PlatformConfig {
         PlatformConfig {
             no_progress_window: SnackPlatform::NO_PROGRESS_WINDOW,
             max_kernel_attempts: 4,
+            kernel_cycle_cap: SnackPlatform::KERNEL_CYCLE_CAP,
+            multiprogram_cycle_cap: SnackPlatform::MULTIPROGRAM_CYCLE_CAP,
         }
     }
 }
@@ -283,6 +312,18 @@ impl PlatformConfig {
                 max: Self::MAX_KERNEL_ATTEMPTS,
             });
         }
+        if self.kernel_cycle_cap < self.no_progress_window {
+            return Err(PlatformConfigError::CycleCapBelowWindow {
+                cap: self.kernel_cycle_cap,
+                window: self.no_progress_window,
+            });
+        }
+        if self.multiprogram_cycle_cap < self.no_progress_window {
+            return Err(PlatformConfigError::CycleCapBelowWindow {
+                cap: self.multiprogram_cycle_cap,
+                window: self.no_progress_window,
+            });
+        }
         Ok(())
     }
 }
@@ -307,6 +348,17 @@ pub enum PlatformConfigError {
         /// The largest accepted budget.
         max: u32,
     },
+    /// A cycle cap ([`PlatformConfig::kernel_cycle_cap`] or
+    /// [`PlatformConfig::multiprogram_cycle_cap`]) is smaller than the
+    /// no-progress window — the hang detector could never fire before
+    /// the cap, making the cap the *only* backstop and the window dead
+    /// configuration.
+    CycleCapBelowWindow {
+        /// The rejected cap.
+        cap: u64,
+        /// The configured no-progress window the cap must cover.
+        window: u64,
+    },
 }
 
 impl fmt::Display for PlatformConfigError {
@@ -317,6 +369,9 @@ impl fmt::Display for PlatformConfigError {
             }
             PlatformConfigError::BadAttemptBudget { attempts, max } => {
                 write!(f, "kernel attempt budget {attempts} is outside 1..={max}")
+            }
+            PlatformConfigError::CycleCapBelowWindow { cap, window } => {
+                write!(f, "cycle cap {cap} is below the no-progress window {window}")
             }
         }
     }
@@ -761,6 +816,119 @@ impl SnackPlatform {
         self.submitted_at[i] = cycle;
         self.net.tracer_mut().record_with(cycle, || EventKind::KernelSubmit { cpm: i as u32 });
         Ok(())
+    }
+
+    /// Namespace epochs available per CPM: how many distinct epoch tags
+    /// (`ns = cpm + cpm_count * epoch`) fit the 8-bit namespace field.
+    /// The multi-tenant service layer wraps its per-CPM dispatch epoch
+    /// modulo this bound.
+    pub fn namespace_epochs(&self) -> u32 {
+        (1u32 << (32 - NAMESPACE_SHIFT)) / self.cpms.len() as u32
+    }
+
+    /// Submits a kernel to the `i`-th CPM under a fresh namespace epoch
+    /// (`ns = i + cpm_count * epoch`): the multi-submission hook for the
+    /// online service layer. Re-tagging the namespace before every
+    /// dispatch guarantees that stragglers from any earlier kernel on
+    /// this CPM — including one the service aborted with
+    /// [`SnackPlatform::abort_kernel_on`] — carry a retired epoch and are
+    /// quarantined at delivery, so concurrent tenants can never observe
+    /// each other's tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::BadEpoch`] when `epoch` exceeds
+    /// [`SnackPlatform::namespace_epochs`], [`PlatformError::Submit`] for
+    /// the CPM's busy/validation rejections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpm_count()`.
+    pub fn submit_kernel_epoch(
+        &mut self,
+        i: usize,
+        epoch: u32,
+        kernel: &CompiledKernel,
+    ) -> Result<(), PlatformError> {
+        let max = self.namespace_epochs();
+        if epoch >= max {
+            return Err(PlatformError::BadEpoch { epoch, max });
+        }
+        if self.cpms[i].state() != CpmState::Idle {
+            return Err(PlatformError::Submit(SubmitError::Busy));
+        }
+        let ns = i as u32 + self.cpms.len() as u32 * epoch;
+        self.cpms[i].set_namespace(ns);
+        self.submit_kernel_to(i, kernel).map_err(PlatformError::Submit)
+    }
+
+    /// Whether the `i`-th CPM's node is permanently dead at the current
+    /// cycle under the active fault plan (its CPM is frozen: it can
+    /// neither fetch, issue, nor collect results). The service layer's
+    /// admission control treats such a CPM as a lost slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpm_count()`.
+    pub fn cpm_node_dead(&self, i: usize) -> bool {
+        self.node_dead(self.cpms[i].node(), self.net.cycle())
+    }
+
+    /// Aborts and quarantines the kernel resident on CPM `i`, returning
+    /// whether one was resident. The same quarantine `run_kernel` applies
+    /// to a stalled graceful-degradation attempt: the CPM is reset to
+    /// idle, the kernel's namespace is purged from every CPM's overflow
+    /// buffer and every RCU, and the RCU worklist is rebuilt. In-flight
+    /// stragglers keep the retired namespace and are dropped at delivery
+    /// once the next [`SnackPlatform::submit_kernel_epoch`] re-tags the
+    /// CPM. The service layer uses this to enforce its per-kernel cycle
+    /// budget ([`PlatformConfig::kernel_cycle_cap`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpm_count()`.
+    pub fn abort_kernel_on(&mut self, i: usize) -> bool {
+        if self.cpms[i].state() == CpmState::Idle {
+            return false;
+        }
+        let ns = self.cpms[i].namespace();
+        self.cpms[i].abort();
+        for c in &mut self.cpms {
+            c.purge_overflow_namespace(ns);
+        }
+        for r in &mut self.rcus {
+            r.abort_namespace(ns);
+        }
+        self.rcu_active.clear();
+        for j in 0..self.rcus.len() {
+            let live = !self.rcus[j].is_idle();
+            self.rcu_flag[j] = live;
+            if live {
+                self.rcu_active.push(j);
+            }
+        }
+        true
+    }
+
+    /// Kernels run to completion and collected across all CPMs
+    /// (per-namespace accounting aggregated; see
+    /// [`crate::cpm::CpmStats::kernels_completed`]).
+    pub fn kernels_completed(&self) -> u64 {
+        self.cpms.iter().map(|c| c.stats.kernels_completed).sum()
+    }
+
+    /// Advances the platform by one step — or, in event mode, by one
+    /// clock jump capped at `cap` — and returns the new cycle. This is
+    /// the service loop's advance primitive: the service passes its next
+    /// scheduled event (pending arrival, abort deadline, horizon) as the
+    /// cap, so a jump never skips a cycle on which the service must act,
+    /// and every stepping mode observes service events at identical
+    /// cycles.
+    pub fn step_or_jump(&mut self, cap: u64) -> u64 {
+        if !self.maybe_jump(cap) {
+            self.step();
+        }
+        self.net.cycle()
     }
 
     /// Takes the finished kernel's outputs from the primary CPM.
@@ -1536,6 +1704,17 @@ impl SnackPlatform {
     /// was still legitimately recovering.
     pub const MIN_NO_PROGRESS_WINDOW: u64 = 2_048;
 
+    /// Default for [`PlatformConfig::kernel_cycle_cap`]: the per-kernel
+    /// cycle budget historically hardcoded at `run_kernel` call sites
+    /// (generous enough for every paper kernel at its simulated size,
+    /// including watchdog recovery and graceful-degradation retries).
+    pub const KERNEL_CYCLE_CAP: u64 = 50_000_000;
+
+    /// Default for [`PlatformConfig::multiprogram_cycle_cap`]: the
+    /// effectively-unbounded safety deadline multi-program runs were
+    /// historically given via a `u64::MAX / 2` magic constant.
+    pub const MULTIPROGRAM_CYCLE_CAP: u64 = u64::MAX / 2;
+
     /// A deterministic fingerprint of kernel-level forward progress:
     /// instruction issue, RCU execution and captures, overflow absorption
     /// and replay, recovery activity, and pending result count. Network
@@ -1608,6 +1787,18 @@ impl SnackPlatform {
             // report real utilization medians (not a silent 0.0).
             stats: self.net.finalize_stats().clone(),
         }
+    }
+
+    /// [`SnackPlatform::run_multiprogram`] bounded by the validated
+    /// [`PlatformConfig::multiprogram_cycle_cap`] instead of a caller
+    /// magic number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload is attached.
+    pub fn run_multiprogram_capped(&mut self, kernel: Option<&CompiledKernel>) -> MultiProgramRun {
+        let cap = self.pcfg.multiprogram_cycle_cap;
+        self.run_multiprogram(kernel, cap)
     }
 
     /// Launches a data token from `node` to the next node on the static
@@ -2536,6 +2727,7 @@ mod tests {
         p.set_platform_config(PlatformConfig {
             no_progress_window: SnackPlatform::MIN_NO_PROGRESS_WINDOW,
             max_kernel_attempts: 2,
+            ..PlatformConfig::default()
         })
         .unwrap();
         match p.run_kernel(&k, 10_000_000) {
@@ -2605,8 +2797,32 @@ mod tests {
                 max: PlatformConfig::MAX_KERNEL_ATTEMPTS,
             })
         );
+        assert_eq!(
+            p.set_platform_config(PlatformConfig {
+                kernel_cycle_cap: SnackPlatform::NO_PROGRESS_WINDOW - 1,
+                ..PlatformConfig::default()
+            }),
+            Err(PlatformConfigError::CycleCapBelowWindow {
+                cap: SnackPlatform::NO_PROGRESS_WINDOW - 1,
+                window: SnackPlatform::NO_PROGRESS_WINDOW,
+            })
+        );
+        assert_eq!(
+            p.set_platform_config(PlatformConfig {
+                multiprogram_cycle_cap: 0,
+                ..PlatformConfig::default()
+            }),
+            Err(PlatformConfigError::CycleCapBelowWindow {
+                cap: 0,
+                window: SnackPlatform::NO_PROGRESS_WINDOW,
+            })
+        );
         // A valid config installs and reads back.
-        let cfg = PlatformConfig { no_progress_window: 4_096, max_kernel_attempts: 8 };
+        let cfg = PlatformConfig {
+            no_progress_window: 4_096,
+            max_kernel_attempts: 8,
+            ..PlatformConfig::default()
+        };
         p.set_platform_config(cfg).unwrap();
         assert_eq!(p.platform_config(), cfg);
     }

@@ -1,0 +1,187 @@
+//! Ready-made service scenarios: the quickstart demo, the SLO load sweep
+//! the `snack-service` bench sweeps, and service re-expressions of the
+//! paper's Fig. 12 QoS experiment and the decentralized-CPM extension.
+
+use crate::qos::{ClassPolicy, QosClass};
+use crate::service::ServiceSpec;
+use crate::tenant::{Arrivals, TenantSpec};
+use snacknoc_noc::NocConfig;
+use snacknoc_workloads::kernels::Kernel;
+use snacknoc_workloads::suite::{profile, Benchmark};
+
+/// Three tenants, one per QoS class, on the default single-CPM DAPPER
+/// mesh: the `examples/service_tenants.rs` quickstart scenario. An
+/// interactive Guaranteed tenant, a periodic Burstable tenant and a
+/// greedy BestEffort tenant compete for one CPM.
+pub fn three_class_demo(seed: u64) -> ServiceSpec {
+    let tenants = vec![
+        TenantSpec::new(
+            "alice-interactive",
+            QosClass::Guaranteed,
+            Kernel::Mac,
+            32,
+            Arrivals::Closed { think: 400, inflight: 1 },
+        ),
+        TenantSpec::new(
+            "bob-periodic",
+            QosClass::Burstable,
+            Kernel::Reduction,
+            48,
+            Arrivals::Open { mean_gap: 1_500 },
+        ),
+        TenantSpec::new(
+            "carol-scavenger",
+            QosClass::BestEffort,
+            Kernel::Mac,
+            48,
+            Arrivals::Open { mean_gap: 900 },
+        ),
+    ];
+    ServiceSpec::new(tenants, seed)
+}
+
+/// The SLO sweep scenario at a given load level: six open-loop tenants
+/// (two per class) on a two-CPM DAPPER mesh. `load_pct` scales the
+/// arrival rate — 100 is the calibrated saturation knee of the two-CPM
+/// pool, so higher values drive the queues into sustained admission
+/// rejection while the class ranks decide who still meets their SLO.
+///
+/// Queue bounds are deliberately small (4 per class) so saturation shows
+/// up as typed rejections rather than unbounded queueing, and the
+/// BestEffort aging threshold is finite so starvation avoidance is
+/// exercised rather than assumed.
+pub fn slo_sweep(load_pct: u32, seed: u64) -> ServiceSpec {
+    let load = u64::from(load_pct.max(1));
+    // Base inter-arrival gaps at 100% load, per tenant; scaled inversely
+    // with the requested load.
+    let gap = |base: u64| -> u64 { (base * 100 / load).max(1) };
+    let tenants = vec![
+        TenantSpec::new(
+            "gold-a",
+            QosClass::Guaranteed,
+            Kernel::Mac,
+            32,
+            Arrivals::Open { mean_gap: gap(850) },
+        ),
+        TenantSpec::new(
+            "gold-b",
+            QosClass::Guaranteed,
+            Kernel::Reduction,
+            48,
+            Arrivals::Open { mean_gap: gap(950) },
+        ),
+        TenantSpec::new(
+            "silver-a",
+            QosClass::Burstable,
+            Kernel::Mac,
+            48,
+            Arrivals::Open { mean_gap: gap(800) },
+        ),
+        TenantSpec::new(
+            "silver-b",
+            QosClass::Burstable,
+            Kernel::Reduction,
+            64,
+            Arrivals::Open { mean_gap: gap(1_000) },
+        ),
+        TenantSpec::new(
+            "bronze-a",
+            QosClass::BestEffort,
+            Kernel::Mac,
+            64,
+            Arrivals::Open { mean_gap: gap(750) },
+        ),
+        TenantSpec::new(
+            "bronze-b",
+            QosClass::BestEffort,
+            Kernel::Spmv,
+            6,
+            Arrivals::Open { mean_gap: gap(900) },
+        ),
+    ];
+    let mut spec = ServiceSpec::new(tenants, seed);
+    spec.cpm_count = 2;
+    spec.horizon = 60_000;
+    spec.drain = 30_000;
+    spec.policies = [
+        ClassPolicy::new(4, 2_048),
+        ClassPolicy::new(4, 4_096),
+        ClassPolicy::new(4, 8_192),
+    ];
+    spec
+}
+
+/// The paper's Fig. 12 QoS experiment as a service scenario: kernels are
+/// served *concurrently with a CMP application* on a priority-arbitrated
+/// DAPPER mesh, so communication traffic keeps right-of-way over snack
+/// traffic at every router while the service's class ranks arbitrate
+/// among the kernels themselves. (The standalone
+/// `fig12_qos_impact` binary still measures the runtime-impact table;
+/// this preset is the served-system version of the same machinery.)
+pub fn fig12_qos(seed: u64) -> ServiceSpec {
+    let tenants = vec![
+        TenantSpec::new(
+            "latency-sla",
+            QosClass::Guaranteed,
+            Kernel::Mac,
+            32,
+            Arrivals::Closed { think: 600, inflight: 1 },
+        ),
+        TenantSpec::new(
+            "batch",
+            QosClass::BestEffort,
+            Kernel::Reduction,
+            64,
+            Arrivals::Open { mean_gap: 1_200 },
+        ),
+    ];
+    let mut spec = ServiceSpec::new(tenants, seed);
+    spec.noc = NocConfig::dapper().with_priority_arbitration(true);
+    spec.workload = Some((profile(Benchmark::Fft).scaled(0.004), seed));
+    spec.horizon = 30_000;
+    spec.drain = 30_000;
+    spec
+}
+
+/// The decentralized-CPM extension as a service scenario: `cpm_count`
+/// corner CPMs (1..=4) serve four tenants, one per paper kernel — the
+/// service analogue of the `ext_decentralized_cpm` binary's concurrent
+/// multi-CPM run. More corners mean more admission slots: throughput
+/// scales and queue-full rejections fall as `cpm_count` grows.
+pub fn decentralized_cpm(cpm_count: usize, seed: u64) -> ServiceSpec {
+    let tenants = vec![
+        TenantSpec::new(
+            "sgemm",
+            QosClass::Guaranteed,
+            Kernel::Sgemm,
+            4,
+            Arrivals::Closed { think: 500, inflight: 1 },
+        ),
+        TenantSpec::new(
+            "reduction",
+            QosClass::Burstable,
+            Kernel::Reduction,
+            64,
+            Arrivals::Closed { think: 300, inflight: 1 },
+        ),
+        TenantSpec::new(
+            "mac",
+            QosClass::Burstable,
+            Kernel::Mac,
+            48,
+            Arrivals::Closed { think: 300, inflight: 1 },
+        ),
+        TenantSpec::new(
+            "spmv",
+            QosClass::BestEffort,
+            Kernel::Spmv,
+            6,
+            Arrivals::Closed { think: 200, inflight: 1 },
+        ),
+    ];
+    let mut spec = ServiceSpec::new(tenants, seed);
+    spec.cpm_count = cpm_count;
+    spec.horizon = 40_000;
+    spec.drain = 20_000;
+    spec
+}

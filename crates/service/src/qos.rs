@@ -1,0 +1,116 @@
+//! QoS classes, per-class queue policies and typed admission errors.
+
+use std::fmt;
+
+/// Service class of a tenant, mapped onto the scheduler's dispatch
+/// priority: lower [`QosClass::rank`] wins CPM slots first. The NoC-level
+/// half of QoS is the paper's priority arbitration
+/// (`NocConfig::with_priority_arbitration`), which keeps CMP traffic ahead
+/// of snack traffic; *within* the snack layer, class rank plus
+/// starvation-avoidance aging ([`ClassPolicy::aging_threshold`]) decides
+/// who runs next.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum QosClass {
+    /// Latency-protected: dispatched ahead of everything un-aged.
+    Guaranteed,
+    /// Mid-tier: yields to Guaranteed, beats BestEffort.
+    Burstable,
+    /// Scavenger: runs on leftover slots, first to feel saturation.
+    BestEffort,
+}
+
+impl QosClass {
+    /// All classes, highest priority first.
+    pub const ALL: [QosClass; 3] =
+        [QosClass::Guaranteed, QosClass::Burstable, QosClass::BestEffort];
+
+    /// Dispatch rank: 0 is served first.
+    pub fn rank(self) -> usize {
+        match self {
+            QosClass::Guaranteed => 0,
+            QosClass::Burstable => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+
+    /// Short stable name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Guaranteed => "guaranteed",
+            QosClass::Burstable => "burstable",
+            QosClass::BestEffort => "besteffort",
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class queue policy: how many submissions may wait, and how fast a
+/// waiting submission gains priority.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClassPolicy {
+    /// Bounded queue depth; a submission arriving at a full queue is
+    /// rejected with [`AdmissionError::QueueFull`]. Zero disables the
+    /// class entirely ([`AdmissionError::ClassDisabled`]).
+    pub queue_capacity: usize,
+    /// Starvation-avoidance aging: every `aging_threshold` cycles a
+    /// queued submission waits, its effective rank improves by one class
+    /// step, so saturating high-priority traffic cannot starve
+    /// BestEffort forever. Must be nonzero.
+    pub aging_threshold: u64,
+}
+
+impl ClassPolicy {
+    /// A policy with the given depth and aging threshold.
+    pub fn new(queue_capacity: usize, aging_threshold: u64) -> Self {
+        ClassPolicy { queue_capacity, aging_threshold }
+    }
+}
+
+impl Default for ClassPolicy {
+    fn default() -> Self {
+        ClassPolicy { queue_capacity: 8, aging_threshold: 4_096 }
+    }
+}
+
+/// Why the service refused a submission at admission time. Rejections are
+/// typed and counted per tenant; they are *not* errors of the service
+/// run itself — an overloaded service rejecting work is behaving
+/// correctly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The tenant's class queue is at capacity.
+    QueueFull {
+        /// The rejecting class.
+        class: QosClass,
+        /// Its configured bound.
+        capacity: usize,
+    },
+    /// The tenant's class has zero queue capacity configured.
+    ClassDisabled {
+        /// The disabled class.
+        class: QosClass,
+    },
+    /// Every CPM node is permanently dead under the active fault plan —
+    /// no slot can ever serve the submission.
+    NoLiveCpm,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { class, capacity } => {
+                write!(f, "{class} queue is at its capacity of {capacity}")
+            }
+            AdmissionError::ClassDisabled { class } => {
+                write!(f, "{class} class is disabled (zero queue capacity)")
+            }
+            AdmissionError::NoLiveCpm => write!(f, "no live CPM can ever serve this submission"),
+        }
+    }
+}

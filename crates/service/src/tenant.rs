@@ -1,0 +1,58 @@
+//! Tenant specifications and their arrival processes.
+
+use crate::qos::QosClass;
+use snacknoc_workloads::kernels::Kernel;
+
+/// How a tenant generates submissions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arrivals {
+    /// Open loop: submissions arrive on their own clock regardless of
+    /// completions — each arrival schedules the next a uniformly random
+    /// `1..=2*mean_gap` cycles later (mean ≈ `mean_gap`), from the
+    /// tenant's forked RNG stream. Models external demand that does not
+    /// back off under overload. `mean_gap` must be nonzero.
+    Open {
+        /// Mean cycles between arrivals.
+        mean_gap: u64,
+    },
+    /// Closed loop: the tenant keeps at most `inflight` submissions in
+    /// the system; each completion, abort or rejection is followed by
+    /// `think` cycles of think time before the replacement submission.
+    /// Models interactive users who wait for results. `think` and
+    /// `inflight` must both be nonzero.
+    Closed {
+        /// Think time in cycles between a job ending and the next arrival.
+        think: u64,
+        /// Concurrent submissions the tenant sustains.
+        inflight: u32,
+    },
+}
+
+/// One tenant of the service: a named principal with a QoS class, a fixed
+/// kernel it submits repeatedly, and an arrival process.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (stable; used in reports and JSON).
+    pub name: String,
+    /// The tenant's QoS class.
+    pub class: QosClass,
+    /// Which paper kernel the tenant submits.
+    pub kernel: Kernel,
+    /// The kernel's size parameter (must be nonzero).
+    pub size: usize,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+}
+
+impl TenantSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        class: QosClass,
+        kernel: Kernel,
+        size: usize,
+        arrivals: Arrivals,
+    ) -> Self {
+        TenantSpec { name: name.into(), class, kernel, size, arrivals }
+    }
+}

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
                 .expect("SPMV compiles for the 4x4 mesh")
         });
-        p.run_multiprogram(kernel.as_ref(), u64::MAX / 2)
+        p.run_multiprogram_capped(kernel.as_ref())
     });
     let [base, run] = <[MultiProgramRun; 2]>::try_from(runs).expect("two jobs in, two out");
     assert!(base.app_finished);

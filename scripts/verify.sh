@@ -75,7 +75,8 @@ smoke_json=$(mktemp)
 trace_json=$(mktemp)
 perf_json=$(mktemp)
 chaos_json=$(mktemp)
-trap 'rm -f "$smoke_json" "$trace_json" "$perf_json" "$chaos_json"' EXIT
+service_json=$(mktemp)
+trap 'rm -f "$smoke_json" "$trace_json" "$perf_json" "$chaos_json" "$service_json"' EXIT
 cargo run --release --offline -q -p snacknoc-bench --bin snack-faults -- \
   --smoke --json "$smoke_json"
 
@@ -225,5 +226,65 @@ if [ -f BENCH_perf.json ] && grep -q '"shard":' BENCH_perf.json; then
       printf "shard gate: 64x64 best speedup %.3fx (capture host: %d thread(s))\n", best, threads
     }' BENCH_perf.json
 fi
+
+# Service smoke (DESIGN.md §15): the multi-tenant SLO sweep at three
+# load levels, every level in all five stepping modes; the binary exits
+# non-zero unless every level is violation-free and five-mode
+# bit-identical, Guaranteed p99 < BestEffort p99 at peak, and the peak
+# level tripped admission control. The greps re-assert the JSON schema
+# from the shell so a silently-broken self-check cannot pass CI.
+echo "+ snack-service --smoke"
+cargo run --release --offline -q -p snacknoc-bench --bin snack-service -- \
+  --smoke --json "$service_json"
+grep -q '"schema": "snacknoc-service-v1"' "$service_json" || {
+  echo "ERROR: snack-service JSON is missing the snacknoc-service-v1 schema tag" >&2
+  exit 1
+}
+for field in '"p50":' '"p90":' '"p99":' '"fairness":' '"classes":' '"tenants":'; do
+  grep -q "$field" "$service_json" || {
+    echo "ERROR: snack-service JSON is missing the field $field" >&2
+    exit 1
+  }
+done
+grep -q '"invariants_hold": true' "$service_json" || {
+  echo "ERROR: snack-service JSON reports an invariant violation" >&2
+  exit 1
+}
+grep -q '"qos_protected": true' "$service_json" || {
+  echo "ERROR: snack-service JSON says Guaranteed p99 was not protected at peak" >&2
+  exit 1
+}
+if grep -q '"modes_identical": false' "$service_json"; then
+  echo "ERROR: a snack-service load level diverged across stepping modes" >&2
+  exit 1
+fi
+grep -q '"modes_identical": true' "$service_json" || {
+  echo "ERROR: snack-service JSON has no five-mode identity rows" >&2
+  exit 1
+}
+# Peak rejections must be nonzero and every fairness index in [0, 1].
+awk '
+  /"rejections_at_peak":/ {
+    match($0, /"rejections_at_peak": [0-9]+/)
+    split(substr($0, RSTART, RLENGTH), kv, ": ")
+    if (kv[2] + 0 == 0) {
+      print "ERROR: peak load never tripped admission control" > "/dev/stderr"
+      exit 1
+    }
+    peak = 1
+  }
+  /"fairness":/ {
+    match($0, /"fairness": [0-9.]+/)
+    split(substr($0, RSTART, RLENGTH), kv, ": ")
+    if (kv[2] + 0 < 0 || kv[2] + 0 > 1) {
+      print "ERROR: Jain fairness " kv[2] " is outside [0, 1]" > "/dev/stderr"
+      exit 1
+    }
+    fair++
+  }
+  END {
+    if (!peak) { print "ERROR: no rejections_at_peak in snack-service JSON" > "/dev/stderr"; exit 1 }
+    if (!fair) { print "ERROR: no fairness fields in snack-service JSON" > "/dev/stderr"; exit 1 }
+  }' "$service_json"
 
 echo "verify: all green"

@@ -15,6 +15,9 @@
 //!   third-party crates.
 //! * [`trace`] — cycle-level structured event tracing: bounded ring
 //!   tracers, Chrome trace-event export and critical-path analysis.
+//! * [`service`] — the multi-tenant kernel service: QoS-classed
+//!   submission queues, admission control and SLO accounting on top of
+//!   the platform.
 //!
 //! See the repository README for a tour and `examples/` for runnable demos.
 
@@ -26,5 +29,6 @@ pub use snacknoc_cost as cost;
 pub use snacknoc_cpu as cpu;
 pub use snacknoc_noc as noc;
 pub use snacknoc_prng as prng;
+pub use snacknoc_service as service;
 pub use snacknoc_trace as trace;
 pub use snacknoc_workloads as workloads;

@@ -44,7 +44,7 @@ fn fingerprint_with(seed: u64, setup: impl FnOnce(&mut SnackPlatform)) -> (u64, 
         .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
         .expect("compiles");
     p.attach_workload(&profile(Benchmark::Graph500).scaled(0.0008), seed);
-    let run = p.run_multiprogram(Some(&kernel), u64::MAX / 2);
+    let run = p.run_multiprogram_capped(Some(&kernel));
     assert!(run.app_finished);
     let comm = run.stats.class(TrafficClass::Communication);
     (
@@ -182,7 +182,7 @@ fn nop_traced_multiprogram_is_bit_identical_to_untraced() {
             .compile(built.root, &MapperConfig::for_mesh(p.mesh()))
             .expect("compiles");
         p.attach_workload(&profile(Benchmark::Graph500).scaled(0.0008), 41);
-        let run = p.run_multiprogram(Some(&kernel), u64::MAX / 2);
+        let run = p.run_multiprogram_capped(Some(&kernel));
         assert!(run.app_finished);
         let comm = run.stats.class(TrafficClass::Communication);
         (
@@ -493,4 +493,58 @@ fn active_vs_dense_fingerprints_are_worker_count_invariant() {
         assert_eq!(quintet[0], quintet[3], "dense and sharded twins agree per seed");
         assert_eq!(quintet[0], quintet[4], "dense and event+sharded twins agree per seed");
     }
+}
+
+/// The multi-tenant service loop composes with every stepping mode: a
+/// fixed service schedule (the SLO-sweep preset at two load levels, plus
+/// the fault-tolerant decentralized preset) produces a bit-identical
+/// report — every admission verdict, dispatch, completion cycle and
+/// latency percentile — in all five modes, whether the grid runs on one
+/// sweep worker or four. Event-mode clock jumps are capped at the next
+/// service event (pending arrival, abort deadline), which is exactly the
+/// property this matrix proves.
+#[test]
+fn service_reports_are_mode_and_worker_count_invariant() {
+    use snacknoc::service::{decentralized_cpm, run_service, slo_sweep, Stepping};
+    use snacknoc_bench::sweep::parallel_map;
+
+    let specs = [slo_sweep(70, 41), slo_sweep(170, 41), decentralized_cpm(3, 42)];
+    let grid: Vec<(usize, Stepping)> =
+        (0..specs.len()).flat_map(|s| Stepping::ALL.map(|m| (s, m))).collect();
+    let job = |i: usize| {
+        let (s, mode) = grid[i];
+        let mut spec = specs[s].clone();
+        spec.stepping = mode;
+        let report = run_service(&spec).expect("preset specs are valid");
+        assert!(report.violations.is_empty(), "{mode}: {:?}", report.violations);
+        report.fingerprint()
+    };
+    let serial = parallel_map(grid.len(), 1, job);
+    let parallel = parallel_map(grid.len(), 4, job);
+    assert_eq!(serial, parallel, "1-vs-4 workers must merge identically");
+    for (s, quintet) in serial.chunks(5).enumerate() {
+        for (m, fp) in quintet.iter().enumerate() {
+            assert_eq!(
+                *fp,
+                quintet[0],
+                "service spec {s}: {} diverged from dense",
+                Stepping::ALL[m]
+            );
+        }
+    }
+}
+
+/// The service grid driver itself (what `snack-service` ships as
+/// `BENCH_service.json`) is byte-identical across sweep-worker counts.
+#[test]
+fn service_grid_json_is_worker_count_invariant() {
+    use snacknoc_bench::service::{run_service_grid, ServiceGridSpec};
+    let serial = run_service_grid(&ServiceGridSpec::new(&[80, 160], 19).with_threads(1));
+    let parallel = run_service_grid(&ServiceGridSpec::new(&[80, 160], 19).with_threads(4));
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "threads=1 and threads=4 service grids must merge to identical bytes"
+    );
+    assert!(serial.all_invariants_hold(), "\n{}", serial.deterministic_json());
 }

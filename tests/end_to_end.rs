@@ -98,7 +98,7 @@ fn interference_is_small_and_arbitration_helps() {
         let kernel =
             built.context.compile(built.root, &MapperConfig::for_mesh(p.mesh())).unwrap();
         p.attach_workload(&workload, seed);
-        let run = p.run_multiprogram(with_kernel.then_some(&kernel), u64::MAX / 2);
+        let run = p.run_multiprogram_capped(with_kernel.then_some(&kernel));
         assert!(run.app_finished, "workload must finish");
         (run.app_runtime, run.kernels_completed)
     };
@@ -173,7 +173,7 @@ fn overflow_management_engages_under_saturation() {
     let total = cxt.reduce(scaled).unwrap();
     let kernel = cxt.compile(total, &MapperConfig::for_mesh(p.mesh())).unwrap();
     p.attach_workload(&workload, 3);
-    let run = p.run_multiprogram(Some(&kernel), u64::MAX / 2);
+    let run = p.run_multiprogram_capped(Some(&kernel));
     assert!(run.app_finished);
     assert!(run.kernels_completed > 0, "kernels complete despite congestion");
 }

@@ -695,3 +695,66 @@ fn random_chaos_schedules_degrade_identically_in_every_mode() {
         }
     });
 }
+
+/// Randomized multi-tenant service schedules are stepping-mode invariant:
+/// for any tenant mix (class, kernel, arrival process), queue policy and
+/// CPM count, the service report's fingerprint — every admission verdict,
+/// completion count and latency percentile — is identical between the
+/// default active-set loop and a randomly chosen other stepping mode, and
+/// its conservation invariants hold (submitted = admitted + rejected,
+/// admitted = completed + aborted + residual).
+#[test]
+fn service_schedules_are_mode_invariant() {
+    use snacknoc::service::{
+        run_service, Arrivals, ClassPolicy, QosClass, ServiceSpec, Stepping, TenantSpec,
+    };
+    use snacknoc::workloads::kernels::Kernel;
+
+    prop_check!(cases = 12, seed = 0x51AC_0009, |rng| {
+        let kernels = [Kernel::Mac, Kernel::Reduction, Kernel::Spmv];
+        let n = rng.range_usize(1..5);
+        let tenants: Vec<TenantSpec> = (0..n)
+            .map(|i| {
+                let class = QosClass::ALL[rng.range_usize(0..3)];
+                let kernel = kernels[rng.range_usize(0..kernels.len())];
+                let size = match kernel {
+                    Kernel::Spmv => rng.range_usize(4..8),
+                    _ => rng.range_usize(16..56),
+                };
+                let arrivals = if rng.flip() {
+                    Arrivals::Open { mean_gap: rng.range(300..2_500) }
+                } else {
+                    Arrivals::Closed {
+                        think: rng.range(100..1_200),
+                        inflight: rng.range(1..3) as u32,
+                    }
+                };
+                TenantSpec::new(format!("t{i}"), class, kernel, size, arrivals)
+            })
+            .collect();
+        let mut spec = ServiceSpec::new(tenants, rng.next_u64());
+        spec.cpm_count = rng.range_usize(1..3);
+        spec.horizon = rng.range(10_000..30_000);
+        spec.drain = 20_000;
+        for p in &mut spec.policies {
+            *p = ClassPolicy::new(rng.range_usize(1..6), rng.range(512..8_192));
+        }
+
+        let reference = run_service(&spec).expect("generated specs are valid");
+        assert!(reference.violations.is_empty(), "{:?}", reference.violations);
+        for t in &reference.tenants {
+            assert_eq!(t.submitted, t.admitted + t.rejected(), "{}", t.name);
+            assert_eq!(t.admitted, t.completed + t.aborted + t.residual, "{}", t.name);
+        }
+
+        let other = [Stepping::Dense, Stepping::Event, Stepping::Sharded, Stepping::EventSharded]
+            [rng.range_usize(0..4)];
+        spec.stepping = other;
+        let twin = run_service(&spec).expect("generated specs are valid");
+        assert_eq!(
+            reference.fingerprint(),
+            twin.fingerprint(),
+            "active vs {other} diverged for {n} tenants"
+        );
+    });
+}
