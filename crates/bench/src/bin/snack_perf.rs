@@ -5,7 +5,7 @@
 //! `Platform::run_kernel` for three compiler kernels, each under the
 //! dense reference loop, the activity-driven scheduler (default) and the
 //! event-driven time-wheel, and writes `BENCH_perf.json`
-//! (`snacknoc-perf-v1`) — the perf trajectory's committed baseline. The
+//! (`snacknoc-perf-v2`) — the perf trajectory's committed baseline. The
 //! dense numbers in the same file *are* the baseline future PRs compare
 //! against.
 //!

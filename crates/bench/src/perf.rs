@@ -73,6 +73,17 @@ pub fn default_step_scenarios() -> Vec<StepScenario> {
             cycles: 5_000,
             seed: 13,
         },
+        // The loaded-path scaling row (PR 10): same saturation regime on a
+        // 4x-larger mesh, where payload pooling and the bitmask allocator
+        // dominate the wall clock.
+        StepScenario {
+            name: "saturation",
+            cols: 32,
+            rows: 32,
+            injection: 0.15,
+            cycles: 2_000,
+            seed: 14,
+        },
     ]
 }
 
@@ -183,7 +194,8 @@ fn apply_net_mode(net: &mut Network<u64>, mode: u8) {
 }
 
 /// Runs `s` once in the given mode, replaying `schedule`. Returns the
-/// wall time of the stepping loop (ns) and the simulation fingerprint.
+/// wall time of the stepping loop (ns), the injected flit count, and the
+/// simulation fingerprint.
 ///
 /// Dense and active modes drive the canonical per-cycle loop (inject,
 /// step, drain — the PR-5 baseline driver). Event mode drives the same
@@ -191,7 +203,12 @@ fn apply_net_mode(net: &mut Network<u64>, mode: u8) {
 /// cycles, which is where the time-wheel earns its jumps; the drain
 /// cadence differs but draining is stats-neutral, so the fingerprints
 /// must still match byte-for-byte.
-fn run_step_once(s: &StepScenario, cfg: &NocConfig, schedule: &[Injection], mode: u8) -> (u64, String) {
+fn run_step_once(
+    s: &StepScenario,
+    cfg: &NocConfig,
+    schedule: &[Injection],
+    mode: u8,
+) -> (u64, u64, String) {
     let mut net: Network<u64> = Network::new(cfg.clone()).expect("valid perf config");
     apply_net_mode(&mut net, mode);
     let mut cursor = 0usize;
@@ -252,8 +269,10 @@ fn run_step_once(s: &StepScenario, cfg: &NocConfig, schedule: &[Injection], mode
     let injected = net.injected_packets();
     let delivered = net.delivered_packets();
     let pending = net.pending_packets();
-    let fp = stats_fingerprint(injected, delivered, pending, net.finalize_stats());
-    (ns, fp)
+    let stats = net.finalize_stats();
+    let flits = stats.injected_flits;
+    let fp = stats_fingerprint(injected, delivered, pending, stats);
+    (ns, flits, fp)
 }
 
 /// Timing + bit-identity result for one `Network::step` scenario.
@@ -265,6 +284,8 @@ pub struct StepTiming {
     pub sim_cycles: u64,
     /// Packets injected per iteration (same for both modes).
     pub injected_packets: u64,
+    /// Flits injected per iteration (same for both modes).
+    pub injected_flits: u64,
     /// Activity-driven timings.
     pub active: BenchStats,
     /// Dense reference-loop timings (the baseline).
@@ -294,6 +315,14 @@ impl StepTiming {
         self.sim_cycles as f64 * 1e9 / self.event.median_ns.max(1) as f64
     }
 
+    /// Injected flits simulated per wall-clock second under the default
+    /// (activity-driven) stepper — the loaded-path throughput figure the
+    /// PR-10 data-layout work targets. Zero on idle scenarios.
+    #[must_use]
+    pub fn flits_per_sec(&self) -> f64 {
+        self.injected_flits as f64 * 1e9 / self.active.median_ns.max(1) as f64
+    }
+
     /// Active-set speedup over the dense baseline (median-based).
     #[must_use]
     pub fn speedup(&self) -> f64 {
@@ -319,17 +348,17 @@ pub fn time_step_scenario(s: &StepScenario, samples: u32) -> StepTiming {
     let cfg = NocConfig::default().with_mesh(s.cols as u16, s.rows as u16);
     let schedule = build_schedule(s, &cfg);
     // One untimed warmup per mode; dense is the reference fingerprint.
-    let (_, fp_dense) = run_step_once(s, &cfg, &schedule, 0);
-    let (_, fp_active) = run_step_once(s, &cfg, &schedule, 1);
-    let (_, fp_event) = run_step_once(s, &cfg, &schedule, 2);
+    let (_, flits, fp_dense) = run_step_once(s, &cfg, &schedule, 0);
+    let (_, _, fp_active) = run_step_once(s, &cfg, &schedule, 1);
+    let (_, _, fp_event) = run_step_once(s, &cfg, &schedule, 2);
     let mut identical = fp_active == fp_dense && fp_event == fp_dense;
     let mut dense_ns = Vec::with_capacity(samples as usize);
     let mut active_ns = Vec::with_capacity(samples as usize);
     let mut event_ns = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
-        let (d, fd) = run_step_once(s, &cfg, &schedule, 0);
-        let (a, fa) = run_step_once(s, &cfg, &schedule, 1);
-        let (e, fe) = run_step_once(s, &cfg, &schedule, 2);
+        let (d, _, fd) = run_step_once(s, &cfg, &schedule, 0);
+        let (a, _, fa) = run_step_once(s, &cfg, &schedule, 1);
+        let (e, _, fe) = run_step_once(s, &cfg, &schedule, 2);
         identical &= fd == fp_dense && fa == fp_dense && fe == fp_dense;
         dense_ns.push(d);
         active_ns.push(a);
@@ -339,6 +368,7 @@ pub fn time_step_scenario(s: &StepScenario, samples: u32) -> StepTiming {
     StepTiming {
         sim_cycles: s.cycles,
         injected_packets: schedule.len() as u64,
+        injected_flits: flits,
         active: summarize(&format!("step/{label}/active"), &active_ns),
         dense: summarize(&format!("step/{label}/dense"), &dense_ns),
         event: summarize(&format!("step/{label}/event"), &event_ns),
@@ -697,7 +727,7 @@ pub fn time_closed_loop(cycles: u64, samples: u32) -> StepTiming {
         phases: vec![Phase::smooth(4, 6_000.0)],
         outstanding: 1,
     };
-    let run_once = |mode: u8| -> (u64, u64, String) {
+    let run_once = |mode: u8| -> (u64, u64, u64, String) {
         let mut p = SnackPlatform::new(cfg.clone()).expect("valid platform config");
         match mode {
             0 => p.set_dense_stepping(true),
@@ -711,25 +741,27 @@ pub fn time_closed_loop(cycles: u64, samples: u32) -> StepTiming {
         let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let injected = p.net_injected_packets();
         let delivered = p.net_delivered_packets();
+        let done = p.workload_done();
+        let runtime = p.workload_runtime();
+        let stats = p.finalize_stats();
+        let flits = stats.injected_flits;
         let fp = format!(
-            "done={} runtime={:?} {}",
-            p.workload_done(),
-            p.workload_runtime(),
-            stats_fingerprint(injected, delivered, 0, p.finalize_stats()),
+            "done={done} runtime={runtime:?} {}",
+            stats_fingerprint(injected, delivered, 0, stats),
         );
-        (ns, injected, fp)
+        (ns, injected, flits, fp)
     };
-    let (_, injected, fp_dense) = run_once(0);
-    let (_, _, fp_active) = run_once(1);
-    let (_, _, fp_event) = run_once(2);
+    let (_, injected, flits, fp_dense) = run_once(0);
+    let (_, _, _, fp_active) = run_once(1);
+    let (_, _, _, fp_event) = run_once(2);
     let mut identical = fp_active == fp_dense && fp_event == fp_dense;
     let mut dense_ns = Vec::with_capacity(samples as usize);
     let mut active_ns = Vec::with_capacity(samples as usize);
     let mut event_ns = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
-        let (d, _, fd) = run_once(0);
-        let (a, _, fa) = run_once(1);
-        let (e, _, fe) = run_once(2);
+        let (d, _, _, fd) = run_once(0);
+        let (a, _, _, fa) = run_once(1);
+        let (e, _, _, fe) = run_once(2);
         identical &= fd == fp_dense && fa == fp_dense && fe == fp_dense;
         dense_ns.push(d);
         active_ns.push(a);
@@ -739,6 +771,7 @@ pub fn time_closed_loop(cycles: u64, samples: u32) -> StepTiming {
         name: "closed-loop/8x8".to_string(),
         sim_cycles: cycles,
         injected_packets: injected,
+        injected_flits: flits,
         active: summarize("step/closed-loop/8x8/active", &active_ns),
         dense: summarize("step/closed-loop/8x8/dense", &dense_ns),
         event: summarize("step/closed-loop/8x8/event", &event_ns),
@@ -791,16 +824,17 @@ impl PerfReport {
         self.step.iter().find(|s| s.name.starts_with("idle")).map(StepTiming::event_speedup)
     }
 
-    /// Writes the `snacknoc-perf-v1` JSON document. Wall-clock fields are
-    /// machine-dependent; the `stats_identical` fields are the
-    /// determinism contract.
+    /// Writes the `snacknoc-perf-v2` JSON document (v2 added per-row
+    /// `flits_per_sec` and the `saturation/32x32` scaling row; see
+    /// DESIGN.md §16). Wall-clock fields are machine-dependent; the
+    /// `stats_identical` fields are the determinism contract.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
     pub fn write_json(&self, mut w: impl Write) -> io::Result<()> {
         writeln!(w, "{{")?;
-        writeln!(w, "  \"schema\": \"snacknoc-perf-v1\",")?;
+        writeln!(w, "  \"schema\": \"snacknoc-perf-v2\",")?;
         writeln!(w, "  \"host_threads\": {},", host_threads())?;
         writeln!(w, "  \"step\": [")?;
         for (i, s) in self.step.iter().enumerate() {
@@ -808,16 +842,18 @@ impl PerfReport {
             writeln!(
                 w,
                 "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"injected_packets\": {}, \
+                 \"injected_flits\": {}, \
                  \"active_median_ns\": {}, \"active_p90_ns\": {}, \
                  \"dense_median_ns\": {}, \"dense_p90_ns\": {}, \
                  \"event_median_ns\": {}, \"event_p90_ns\": {}, \
                  \"active_cycles_per_sec\": {:.1}, \"dense_cycles_per_sec\": {:.1}, \
-                 \"event_cycles_per_sec\": {:.1}, \
+                 \"event_cycles_per_sec\": {:.1}, \"flits_per_sec\": {:.1}, \
                  \"speedup\": {:.3}, \"event_speedup\": {:.3}, \
                  \"stats_identical\": {}}}{comma}",
                 crate::sweep::json_escape(&s.name),
                 s.sim_cycles,
                 s.injected_packets,
+                s.injected_flits,
                 s.active.median_ns,
                 s.active.p90_ns,
                 s.dense.median_ns,
@@ -827,6 +863,7 @@ impl PerfReport {
                 s.active_cycles_per_sec(),
                 s.dense_cycles_per_sec(),
                 s.event_cycles_per_sec(),
+                s.flits_per_sec(),
                 s.speedup(),
                 s.event_speedup(),
                 s.stats_identical,
@@ -897,6 +934,7 @@ impl PerfReport {
                     format!("{:.2e}", s.dense_cycles_per_sec()),
                     format!("{:.2e}", s.active_cycles_per_sec()),
                     format!("{:.2e}", s.event_cycles_per_sec()),
+                    format!("{:.2e}", s.flits_per_sec()),
                     format!("{:.2}x", s.speedup()),
                     format!("{:.2}x", s.event_speedup()),
                     if s.stats_identical { "yes".into() } else { "NO".into() },
@@ -910,6 +948,7 @@ impl PerfReport {
                 "dense cyc/s",
                 "active cyc/s",
                 "event cyc/s",
+                "flits/s",
                 "active speedup",
                 "event speedup",
                 "bit-identical",
@@ -1046,8 +1085,10 @@ mod tests {
         report.write_json(&mut buf).expect("vec write");
         let json = String::from_utf8(buf).expect("utf-8");
         for field in [
-            "\"schema\": \"snacknoc-perf-v1\"",
+            "\"schema\": \"snacknoc-perf-v2\"",
             "\"host_threads\"",
+            "\"injected_flits\"",
+            "\"flits_per_sec\"",
             "\"active_cycles_per_sec\"",
             "\"dense_cycles_per_sec\"",
             "\"event_cycles_per_sec\"",

@@ -208,6 +208,15 @@ impl NocConfig {
         if self.vnets == 0 || self.vcs_per_vnet == 0 {
             return Err(ConfigError::NoVirtualChannels);
         }
+        if self.vcs_per_port() > 64 {
+            return Err(ConfigError::TooManyVirtualChannels(self.vcs_per_port()));
+        }
+        if u32::from(self.cols) * u32::from(self.rows) > 65_536 {
+            return Err(ConfigError::MeshTooLarge {
+                cols: self.cols,
+                rows: self.rows,
+            });
+        }
         if self.buffers_per_vc == 0 {
             return Err(ConfigError::NoBuffers);
         }
@@ -254,6 +263,16 @@ pub enum ConfigError {
     ZeroChannelWidth,
     /// No virtual networks or no VCs per vnet.
     NoVirtualChannels,
+    /// More than 64 virtual channels per port — the router tracks VC
+    /// occupancy/credit state in per-port `u64` bitmasks.
+    TooManyVirtualChannels(usize),
+    /// More than 65 536 nodes — flits address nodes with `u16` indices.
+    MeshTooLarge {
+        /// Mesh columns.
+        cols: u16,
+        /// Mesh rows.
+        rows: u16,
+    },
     /// Zero buffers per VC.
     NoBuffers,
     /// Pipeline depth outside the supported 2–4 stage range.
@@ -270,6 +289,12 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptyMesh => write!(f, "mesh dimensions must be non-zero"),
             ConfigError::ZeroChannelWidth => write!(f, "channel width must be non-zero"),
             ConfigError::NoVirtualChannels => write!(f, "need at least one vnet and one vc per vnet"),
+            ConfigError::TooManyVirtualChannels(n) => {
+                write!(f, "{n} vcs per port exceeds the 64-vc bitmask limit")
+            }
+            ConfigError::MeshTooLarge { cols, rows } => {
+                write!(f, "{cols}x{rows} mesh exceeds the 65536-node flit addressing limit")
+            }
             ConfigError::NoBuffers => write!(f, "need at least one buffer slot per vc"),
             ConfigError::BadPipelineDepth(d) => {
                 write!(f, "pipeline depth {d} unsupported (expected 2-4 stages)")
@@ -321,6 +346,19 @@ mod tests {
             Err(ConfigError::BadPipelineDepth(7))
         );
         assert_eq!(NocConfig::default().with_sample_window(0).validate(), Err(ConfigError::ZeroSampleWindow));
+        assert_eq!(
+            NocConfig::default().with_vnets(5).with_vcs_per_vnet(13).validate(),
+            Err(ConfigError::TooManyVirtualChannels(65))
+        );
+        assert_eq!(
+            NocConfig::default().with_mesh(257, 256).validate(),
+            Err(ConfigError::MeshTooLarge { cols: 257, rows: 256 })
+        );
+        assert!(NocConfig::default().with_mesh(256, 256).validate().is_ok(), "65536 nodes is legal");
+        assert!(
+            NocConfig::default().with_vnets(4).with_vcs_per_vnet(16).validate().is_ok(),
+            "64 vcs per port is legal"
+        );
     }
 
     #[test]
@@ -340,6 +378,8 @@ mod tests {
             ConfigError::BadPipelineDepth(9),
             ConfigError::ZeroSampleWindow,
             ConfigError::ZeroNiBandwidth,
+            ConfigError::TooManyVirtualChannels(65),
+            ConfigError::MeshTooLarge { cols: 300, rows: 300 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -585,11 +585,11 @@ impl FaultState {
     /// Drop decisions are made at head flits only; later flits of a
     /// dropped packet follow via the memo, so a wormhole packet never
     /// splits across a window edge.
-    pub(crate) fn on_link_flit<P>(
+    pub(crate) fn on_link_flit(
         &mut self,
         lid: usize,
         cycle: u64,
-        flit: &crate::flit::Flit<P>,
+        flit: &crate::flit::Flit,
     ) -> FaultAction {
         // Disjoint field borrows: the decision reads the compiled plan
         // while mutating the memo and counters.
@@ -604,11 +604,11 @@ impl FaultState {
     /// `(link, packet)` memo entry lives and dies inside a single shard,
     /// and the counters are pure sums merged in shard-index order.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn on_link_flit_sharded<P>(
+    pub(crate) fn on_link_flit_sharded(
         &self,
         lid: usize,
         cycle: u64,
-        flit: &crate::flit::Flit<P>,
+        flit: &crate::flit::Flit,
         dropping: &mut HashSet<(usize, PacketId)>,
         counters: &mut FaultCounters,
     ) -> FaultAction {
@@ -619,18 +619,18 @@ impl FaultState {
     /// packet)` — common random numbers — so the verdict is independent
     /// of evaluation order and of which thread asks.
     #[allow(clippy::too_many_arguments)]
-    fn decide<P>(
+    fn decide(
         plan: &FaultPlan,
         drops: &[(usize, u64, u64, f64)],
         corrupts: &[(usize, u64, u64, f64)],
         lid: usize,
         cycle: u64,
-        flit: &crate::flit::Flit<P>,
+        flit: &crate::flit::Flit,
         dropping: &mut HashSet<(usize, PacketId)>,
         counters: &mut FaultCounters,
     ) -> FaultAction {
         let (kind, class, protected, already_corrupted, packet_id) =
-            (flit.kind, flit.class, flit.protected, flit.corrupted, flit.packet_id);
+            (flit.kind(), flit.class(), flit.protected(), flit.corrupted(), flit.packet_id);
         if !kind.is_head() {
             if dropping.contains(&(lid, packet_id)) {
                 if kind.is_tail() {
@@ -702,23 +702,23 @@ mod tests {
         protected: bool,
         corrupted: bool,
         packet_id: PacketId,
-    ) -> crate::flit::Flit<()> {
-        crate::flit::Flit {
-            id: 0,
+    ) -> crate::flit::Flit {
+        let mut f = crate::flit::Flit::new(
+            0,
             packet_id,
             kind,
             class,
-            vnet: 0,
-            src: NodeId::new(0),
-            dst: NodeId::new(0),
-            queued_at: 0,
-            payload: None,
-            hops: 0,
-            vc: 0,
-            buffered_at: 0,
-            corrupted,
+            0,
+            NodeId::new(0),
+            NodeId::new(0),
+            0,
+            crate::pool::PayloadRef::NONE,
             protected,
+        );
+        if corrupted {
+            f.mark_corrupted();
         }
+        f
     }
 
     #[test]

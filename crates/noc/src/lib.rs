@@ -59,6 +59,7 @@ pub mod fault;
 pub mod flit;
 pub mod network;
 pub mod packet;
+pub mod pool;
 pub mod router;
 pub mod routing;
 pub mod stats;
@@ -73,6 +74,7 @@ pub use fault::{
 pub use flit::{Flit, FlitKind, TrafficClass};
 pub use network::{Network, ShardError, StallReport};
 pub use packet::{Packet, PacketId, PacketSpec};
+pub use pool::{PayloadPool, PayloadRef, PoolExhausted};
 pub use routing::{Dir, RoutingAlgorithm};
 pub use stats::{LatencyHistogram, NetStats, OccupancyCdf, ProtocolErrors, SeriesSample};
 pub use timewheel::TimeWheel;

@@ -5,6 +5,7 @@ use crate::config::{ConfigError, NocConfig};
 use crate::fault::{FaultAction, FaultCounters, FaultPlan, FaultPlanError, FaultState};
 use crate::flit::{Flit, FlitKind};
 use crate::packet::{Packet, PacketId, PacketSpec};
+use crate::pool::{PayloadPool, PayloadRef};
 use crate::router::{Departure, Router};
 use crate::routing::Dir;
 use crate::stats::NetStats;
@@ -19,10 +20,10 @@ use sharded::Sharding;
 
 /// A one-cycle-latency directed link between two routers.
 #[derive(Clone, Debug)]
-struct Link<P> {
+struct Link {
     to_router: usize,
     in_port: Dir,
-    slot: Option<Flit<P>>,
+    slot: Option<Flit>,
 }
 
 /// A credit / VC-free signal in flight back to an upstream router.
@@ -36,9 +37,9 @@ struct CreditMsg {
 
 /// Per-node network interface: per-vnet injection FIFOs.
 #[derive(Clone, Debug)]
-struct NetIf<P> {
+struct NetIf {
     /// Per-vnet queues of pre-segmented flits.
-    queues: Vec<VecDeque<Flit<P>>>,
+    queues: Vec<VecDeque<Flit>>,
     /// Per-vnet: the Local input VC currently receiving a packet's flits.
     streaming: Vec<Option<u8>>,
     /// Round-robin pointer over vnets.
@@ -47,8 +48,8 @@ struct NetIf<P> {
 
 /// Reassembly state for one in-flight packet at its destination NI.
 #[derive(Debug)]
-struct Partial<P> {
-    head: Option<Flit<P>>,
+struct Partial {
+    head: Option<Flit>,
     flits: u64,
     corrupted: bool,
     /// Destination node index — lets sharded stepping keep each partial
@@ -108,13 +109,18 @@ impl fmt::Display for StallReport {
 pub struct Network<P> {
     cfg: NocConfig,
     mesh: Mesh,
-    routers: Vec<Router<P>>,
-    nis: Vec<NetIf<P>>,
-    links: Vec<Link<P>>,
+    routers: Vec<Router>,
+    nis: Vec<NetIf>,
+    links: Vec<Link>,
+    /// Slab storage for in-flight packet payloads; head flits carry only
+    /// a [`PayloadRef`] (DESIGN.md §16). Inserts happen at injection,
+    /// takes/releases at ejection and fault drops — all serial contexts,
+    /// so slot assignment is identical across every stepping mode.
+    pool: PayloadPool<P>,
     /// `link_of[router][dir]` = outgoing link id.
     link_of: Vec<[Option<usize>; 4]>,
     pending_credits: Vec<CreditMsg>,
-    reassembly: HashMap<PacketId, Partial<P>>,
+    reassembly: HashMap<PacketId, Partial>,
     ejected: Vec<Vec<Packet<P>>>,
     /// Dedup flags for the router worklist: `work[r]` ⟺ `r ∈ active`.
     work: Vec<bool>,
@@ -144,7 +150,7 @@ pub struct Network<P> {
     /// state).
     credits_scratch: Vec<CreditMsg>,
     /// Phase-4 scratch for router departures.
-    departures_scratch: Vec<Departure<P>>,
+    departures_scratch: Vec<Departure>,
     /// Dense (reference) stepping: every phase walks every component, as
     /// the pre-activity-driven simulator did. Bit-identical to the
     /// active-set schedule — `tests/determinism.rs` proves it — and kept
@@ -180,7 +186,7 @@ pub struct Network<P> {
     /// horizontal row bands stepped by one worker thread each, with
     /// per-cycle barrier sync and boundary mailboxes. `None` (the
     /// default) keeps the serial paths untouched.
-    sharding: Option<Sharding<P>>,
+    sharding: Option<Sharding>,
 }
 
 /// A timed wake event in the network's calendar queue.
@@ -202,6 +208,12 @@ pub enum InjectError {
     BadVnet(u8),
     /// Source or destination node is out of range.
     BadNode,
+    /// The payload pool hit its configured slot cap
+    /// ([`Network::limit_payload_pool`]); the packet was not queued.
+    PayloadPoolExhausted {
+        /// The pool cap that was hit.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for InjectError {
@@ -209,6 +221,9 @@ impl std::fmt::Display for InjectError {
         match self {
             InjectError::BadVnet(v) => write!(f, "vnet {v} out of range"),
             InjectError::BadNode => write!(f, "source or destination node out of range"),
+            InjectError::PayloadPoolExhausted { capacity } => {
+                write!(f, "payload pool exhausted at {capacity} slots")
+            }
         }
     }
 }
@@ -250,7 +265,7 @@ impl<P> Network<P> {
         cfg.validate()?;
         let mesh = Mesh::new(cfg.cols, cfg.rows);
         let n = mesh.node_count();
-        let routers: Vec<Router<P>> =
+        let routers: Vec<Router> =
             mesh.nodes().map(|node| Router::new(&cfg, &mesh, node)).collect();
         let mut links = Vec::new();
         let mut link_of = vec![[None; 4]; n];
@@ -278,6 +293,7 @@ impl<P> Network<P> {
             routers,
             nis,
             links,
+            pool: PayloadPool::new(),
             link_of,
             pending_credits: Vec::new(),
             reassembly: HashMap::new(),
@@ -458,6 +474,12 @@ impl<P> Network<P> {
         if spec.src.index() >= n || spec.dst.index() >= n {
             return Err(InjectError::BadNode);
         }
+        // Pool the payload before touching any other state: a typed
+        // exhaustion error must leave the network exactly as it was.
+        let payload = match self.pool.insert(spec.payload) {
+            Ok(r) => r,
+            Err(e) => return Err(InjectError::PayloadPoolExhausted { capacity: e.capacity }),
+        };
         let id = self.next_packet_id;
         self.next_packet_id += 1;
         self.injected_packets += 1;
@@ -484,7 +506,6 @@ impl<P> Network<P> {
                 }
             }
         }
-        let mut payload = Some(spec.payload);
         let queue = &mut self.nis[src].queues[spec.vnet as usize];
         for i in 0..nf {
             let kind = match (i, nf) {
@@ -493,22 +514,18 @@ impl<P> Network<P> {
                 (i, nf) if i == nf - 1 => FlitKind::Tail,
                 _ => FlitKind::Body,
             };
-            queue.push_back(Flit {
-                id: self.next_flit_id,
-                packet_id: id,
+            queue.push_back(Flit::new(
+                self.next_flit_id,
+                id,
                 kind,
-                class: spec.class,
-                vnet: spec.vnet,
-                src: spec.src,
-                dst: spec.dst,
-                queued_at: self.cycle,
-                payload: if kind.is_head() { payload.take() } else { None },
-                hops: 0,
-                vc: 0,
-                buffered_at: 0,
-                corrupted: false,
-                protected: spec.protected,
-            });
+                spec.class,
+                spec.vnet,
+                spec.src,
+                spec.dst,
+                self.cycle,
+                if kind.is_head() { payload } else { PayloadRef::NONE },
+                spec.protected,
+            ));
             self.next_flit_id += 1;
         }
         Ok(id)
@@ -668,13 +685,12 @@ impl<P> Network<P> {
                     continue;
                 }
             }
-            if let Some(sh) = &self.sharding {
+            if self.sharding.is_some() {
                 // Amortize the thread-scope setup over the whole stretch.
                 // In event mode the batch returns early once every shard
                 // is provably quiescent, handing control back to the
                 // clock-jump branch above.
-                let batch = sh.batch;
-                batch(self, target - self.cycle);
+                sharded::step_batch(self, target - self.cycle);
                 continue;
             }
             self.step();
@@ -720,11 +736,8 @@ impl<P> Network<P> {
     /// quiescent — see DESIGN.md §11 for the invariants and the wakeup
     /// edges.
     pub fn step(&mut self) {
-        if let Some(sh) = &self.sharding {
-            // The batch fn pointer was captured under a `P: Send` bound
-            // at `set_sharding` time, so the dispatch itself needs none.
-            let batch = sh.batch;
-            batch(self, 1);
+        if self.sharding.is_some() {
+            sharded::step_batch(self, 1);
             return;
         }
         self.cycle += 1;
@@ -966,23 +979,31 @@ impl<P> Network<P> {
                 self.pending_credits.push(CreditMsg {
                     router: upstream.index(),
                     port: in_port.opposite(),
-                    vc: flit.vc,
-                    frees_vc: flit.kind.is_tail(),
+                    vc: flit.vc(),
+                    frees_vc: flit.kind().is_tail(),
                 });
-                if flit.kind.is_tail() {
+                if flit.kind().is_head() {
+                    // The payload dies with its head flit.
+                    self.pool.release(flit.payload);
+                }
+                if flit.kind().is_tail() {
                     self.lost_packets += 1;
                     // A partially-delivered wormhole (flits that crossed
                     // earlier links before the drop) may sit in the
                     // reassembly map; it can never complete, so retire
                     // it here rather than leak it.
-                    self.reassembly.remove(&flit.packet_id);
+                    if let Some(partial) = self.reassembly.remove(&flit.packet_id) {
+                        if let Some(head) = partial.head {
+                            self.pool.release(head.payload);
+                        }
+                    }
                 }
             }
             FaultAction::DeliverCorrupted | FaultAction::Deliver => {
                 if action == FaultAction::DeliverCorrupted {
-                    flit.corrupted = true;
+                    flit.mark_corrupted();
                 }
-                self.routers[to].accept_flit(in_port, flit, cycle, cap);
+                self.routers[to].accept_flit(&self.mesh, &self.cfg, in_port, flit, cycle, cap);
                 self.mark_router(to);
                 self.buffered_total += 1;
             }
@@ -1009,7 +1030,7 @@ impl<P> Network<P> {
                 let router = &self.routers[node];
                 let vc = match ni.streaming[v] {
                     Some(vc) => {
-                        debug_assert!(!front.kind.is_head());
+                        debug_assert!(!front.kind().is_head());
                         if router.local_vc_accepts(vc as usize, false, cap) {
                             Some(vc)
                         } else {
@@ -1017,7 +1038,7 @@ impl<P> Network<P> {
                         }
                     }
                     None => {
-                        debug_assert!(front.kind.is_head());
+                        debug_assert!(front.kind().is_head());
                         (v * k..(v + 1) * k)
                             .find(|&vc| router.local_vc_accepts(vc, true, cap))
                             .map(|vc| vc as u8)
@@ -1026,9 +1047,9 @@ impl<P> Network<P> {
                 let Some(vc) = vc else { continue };
                 let ni = &mut self.nis[node];
                 let mut flit = ni.queues[v].pop_front().expect("front checked above");
-                flit.vc = vc;
-                ni.streaming[v] = if flit.kind.is_tail() { None } else { Some(vc) };
-                self.routers[node].accept_flit(Dir::Local, flit, cycle, cap);
+                flit.set_vc(vc);
+                ni.streaming[v] = if flit.kind().is_tail() { None } else { Some(vc) };
+                self.routers[node].accept_flit(&self.mesh, &self.cfg, Dir::Local, flit, cycle, cap);
                 self.buffered_total += 1;
                 self.ni_backlogs[node] -= 1;
                 self.ni_backlog_total -= 1;
@@ -1051,7 +1072,7 @@ impl<P> Network<P> {
     /// steady-state cycles allocate nothing. Returns whether the router
     /// still buffers flits (i.e. must stay on the worklist).
     fn run_router(&mut self, r: usize, cycle: u64, use_down: bool) -> bool {
-        let mut down = Router::<P>::NO_DOWN_PORTS;
+        let mut down = Router::NO_DOWN_PORTS;
         if use_down {
             if let Some(f) = &self.fault {
                 for d in Dir::ROUTER_DIRS {
@@ -1064,8 +1085,9 @@ impl<P> Network<P> {
         let mut departures = std::mem::take(&mut self.departures_scratch);
         debug_assert!(departures.is_empty());
         {
+            // Route computation happened eagerly at head acceptance
+            // (`Router::accept_flit`); the per-cycle pipeline starts at VA.
             let router = &mut self.routers[r];
-            router.route_compute(&self.mesh, &self.cfg);
             router.vc_allocate(&self.cfg, cycle, &mut self.tracer);
             router.switch_allocate_into(&self.cfg, cycle, &down, &mut departures);
         }
@@ -1109,23 +1131,30 @@ impl<P> Network<P> {
         self.routers[r].buffered_flits() > 0
     }
 
-    fn eject(&mut self, node: usize, flit: Flit<P>, cycle: u64) {
+    fn eject(&mut self, node: usize, flit: Flit, cycle: u64) {
         let pid = flit.packet_id;
-        let is_tail = flit.kind.is_tail();
+        let is_tail = flit.kind().is_tail();
         let entry = self
             .reassembly
             .entry(pid)
             .or_insert(Partial { head: None, flits: 0, corrupted: false, dst: node });
         entry.flits += 1;
-        entry.corrupted |= flit.corrupted;
-        if flit.kind.is_head() {
-            if entry.head.is_some() {
-                // Wormhole routing cannot legally deliver two heads for
-                // one packet id; count the protocol violation and keep
-                // the first head rather than abort the simulation.
-                self.stats.protocol_errors.duplicate_head += 1;
-            } else {
-                entry.head = Some(flit);
+        entry.corrupted |= flit.corrupted();
+        if flit.kind().is_head() {
+            match &entry.head {
+                Some(kept) => {
+                    // Wormhole routing cannot legally deliver two heads
+                    // for one packet id; count the protocol violation and
+                    // keep the first head rather than abort. A true
+                    // duplicate shares the kept head's ref (one pool
+                    // insert per packet); free only a genuinely distinct
+                    // orphaned slot.
+                    self.stats.protocol_errors.duplicate_head += 1;
+                    if kept.payload != flit.payload {
+                        self.pool.release(flit.payload);
+                    }
+                }
+                None => entry.head = Some(flit),
             }
         }
         if is_tail {
@@ -1133,26 +1162,26 @@ impl<P> Network<P> {
             // head is present by the time the tail arrives — unless a
             // protocol fault lost it, which is counted rather than fatal.
             let Some(partial) = self.reassembly.remove(&pid) else { return };
-            let Some(mut head) = partial.head else {
+            let Some(head) = partial.head else {
                 self.stats.protocol_errors.tail_without_head += 1;
                 self.lost_packets += 1;
                 return;
             };
-            let Some(payload) = head.payload.take() else {
+            let Some(payload) = self.pool.take(head.payload) else {
                 self.stats.protocol_errors.missing_payload += 1;
                 self.lost_packets += 1;
                 return;
             };
             let packet = Packet {
                 id: head.packet_id,
-                src: head.src,
-                dst: head.dst,
-                vnet: head.vnet,
-                class: head.class,
+                src: head.src(),
+                dst: head.dst(),
+                vnet: head.vnet(),
+                class: head.class(),
                 queued_at: head.queued_at,
                 delivered_at: cycle,
-                hops: head.hops,
-                corrupted: partial.corrupted || head.corrupted,
+                hops: head.hops(),
+                corrupted: partial.corrupted || head.corrupted(),
                 payload,
             };
             self.tracer.record_with(cycle, || EventKind::PacketEject {
@@ -1168,9 +1197,46 @@ impl<P> Network<P> {
             self.ejected[node].push(packet);
         }
     }
-}
 
-impl<P: Send> Network<P> {
+    /// Payloads currently pooled — equals the number of injected packets
+    /// whose payload has not yet been delivered or destroyed. Zero after
+    /// a full drain; a nonzero value then would be a pool leak.
+    pub fn payload_pool_live(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Maximum simultaneous in-flight payloads ever observed.
+    pub fn payload_pool_high_water(&self) -> usize {
+        self.pool.high_water()
+    }
+
+    /// Times the payload slab grew on demand. Constant across a stretch
+    /// of stepping means the loaded steady state performs no payload
+    /// allocations (see `tests/alloc.rs`).
+    pub fn payload_pool_growth_events(&self) -> u64 {
+        self.pool.growth_events()
+    }
+
+    /// Pre-grows the payload slab to `capacity` slots without counting
+    /// growth events — warmup for allocation-free steady states.
+    pub fn preallocate_payloads(&mut self, capacity: usize) {
+        self.pool.preallocate(capacity);
+    }
+
+    /// Caps the payload pool at `max_slots`; [`Network::inject`] then
+    /// fails with [`InjectError::PayloadPoolExhausted`] instead of
+    /// growing past the cap.
+    pub fn limit_payload_pool(&mut self, max_slots: usize) {
+        self.pool.set_limit(max_slots);
+    }
+
+    /// Times any flit's hop counter saturated at `u32::MAX` instead of
+    /// wrapping (network-wide; normally zero — a mesh path is far
+    /// shorter, so a nonzero value flags a routing livelock).
+    pub fn hops_saturations(&self) -> u64 {
+        self.routers.iter().map(Router::hops_saturations).sum()
+    }
+
     /// Switches between serial stepping (`shards == 0`, the default) and
     /// sharded stepping (DESIGN.md §13): the mesh is split into `shards`
     /// horizontal row bands, each stepped by its own worker thread, with
@@ -1202,9 +1268,7 @@ impl<P: Send> Network<P> {
         }
         Ok(())
     }
-}
 
-impl<P> Network<P> {
     /// The active shard (worker-thread) count; 0 when stepping serially.
     pub fn sharding(&self) -> usize {
         self.sharding.as_ref().map_or(0, |sh| sh.tiles)

@@ -51,19 +51,18 @@
 //! [`TracerHandle::Nop`]); install a tracer only on serial modes.
 
 use super::*;
-use crate::flit::TrafficClass;
-use crate::stats::{ClassStats, OccupancyCdf, ProtocolErrors, WindowSeries};
+use crate::stats::{OccupancyCdf, ProtocolErrors, WindowSeries};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 
 /// A flit crossing a shard boundary, with the link metadata the reader
 /// would otherwise have to fetch from the writer's `Link` entry.
-struct BoundaryFlit<P> {
+struct BoundaryFlit {
     lid: usize,
     to: usize,
     in_port: Dir,
-    flit: Flit<P>,
+    flit: Flit,
 }
 
 /// One directed mailbox cell between a `(from, to)` shard pair.
@@ -72,13 +71,13 @@ struct BoundaryFlit<P> {
 /// kind is fully written before its reader drains it (credits and flits
 /// written one cycle, read the next; retirements written in Phase 2, read
 /// before the same cycle's Phase 4).
-struct MailCell<P> {
+struct MailCell {
     credits: Vec<CreditMsg>,
-    flits: Vec<BoundaryFlit<P>>,
+    flits: Vec<BoundaryFlit>,
     retire: Vec<PacketId>,
 }
 
-impl<P> MailCell<P> {
+impl MailCell {
     fn new() -> Self {
         MailCell { credits: Vec::new(), flits: Vec::new(), retire: Vec::new() }
     }
@@ -94,35 +93,12 @@ impl<P> MailCell<P> {
 #[derive(Default)]
 struct LaneStats {
     occupancy: OccupancyCdf,
-    comm: ClassStats,
-    instr: ClassStats,
-    data: ClassStats,
     injected_flits: u64,
     crossbar_transfers: u64,
     protocol_errors: ProtocolErrors,
     fault: FaultCounters,
-    delivered_packets: u64,
     lost_packets: u64,
     ni_drained: u64,
-}
-
-impl LaneStats {
-    fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
-        match class {
-            TrafficClass::Communication => &mut self.comm,
-            TrafficClass::SnackInstruction => &mut self.instr,
-            TrafficClass::SnackData => &mut self.data,
-        }
-    }
-
-    fn record_delivery(&mut self, class: TrafficClass, flits: u64, latency: u64) {
-        let c = self.class_mut(class);
-        c.delivered += 1;
-        c.flits += flits;
-        c.latency_sum += latency;
-        c.latency_max = c.latency_max.max(latency);
-        c.latency_hist.record(latency);
-    }
 }
 
 /// One shard's private half of the network: the worklists, reassembly map
@@ -130,7 +106,7 @@ impl LaneStats {
 /// plus the per-batch stats deltas. The serial `Network` fields these
 /// mirror sit empty while sharding is active; mode transitions migrate
 /// the state both ways ([`enshard`] / [`unshard`]).
-struct Lane<P> {
+struct Lane {
     active: Vec<usize>,
     active_scratch: Vec<usize>,
     ni_active: Vec<usize>,
@@ -138,21 +114,28 @@ struct Lane<P> {
     links_scratch: Vec<usize>,
     pending_credits: Vec<CreditMsg>,
     credits_scratch: Vec<CreditMsg>,
-    departures: Vec<Departure<P>>,
+    departures: Vec<Departure>,
     /// Scratch for draining boundary-flit mail without holding the cell
     /// lock across delivery (delivery may lock *other* cells to send drop
     /// credits; holding two cells at once could deadlock).
-    inbox: Vec<BoundaryFlit<P>>,
+    inbox: Vec<BoundaryFlit>,
     /// Reassembly entries whose destination node this shard owns.
-    reassembly: HashMap<PacketId, Partial<P>>,
+    reassembly: HashMap<PacketId, Partial>,
     /// Mid-packet drop memo for the links this shard delivers.
     dropping: HashSet<(usize, PacketId)>,
     /// Flits resident in this shard's router input buffers.
     buffered: u64,
+    /// Completed packets awaiting payload resolution — the pool lives on
+    /// the serial `Network`, so workers stage ejections here and the
+    /// batch epilogue finishes delivery in shard-index order.
+    ejections: Vec<StagedEject>,
+    /// Payload refs whose head flit was destroyed in this shard (fault
+    /// drops, retirements); released into the pool at the epilogue.
+    freed: Vec<PayloadRef>,
     stats: LaneStats,
 }
 
-impl<P> Lane<P> {
+impl Lane {
     fn new() -> Self {
         Lane {
             active: Vec::new(),
@@ -167,6 +150,8 @@ impl<P> Lane<P> {
             reassembly: HashMap::new(),
             dropping: HashSet::new(),
             buffered: 0,
+            ejections: Vec::new(),
+            freed: Vec::new(),
             stats: LaneStats::default(),
         }
     }
@@ -179,8 +164,19 @@ impl<P> Lane<P> {
     }
 }
 
+/// A delivered packet staged by a worker for serial payload resolution.
+/// Holds the ejected head flit (carrying the [`PayloadRef`]) plus the
+/// per-packet facts the serial `eject` reads off its `Partial`.
+struct StagedEject {
+    node: usize,
+    delivered_at: u64,
+    flits: u64,
+    corrupted: bool,
+    head: Flit,
+}
+
 /// The sharded-stepping state hung off [`Network`].
-pub(super) struct Sharding<P> {
+pub(super) struct Sharding {
     /// Shard (= worker thread) count.
     pub(super) tiles: usize,
     /// `node_bounds[t]..node_bounds[t+1]` = the node range of shard `t`.
@@ -188,18 +184,14 @@ pub(super) struct Sharding<P> {
     /// Same for link ids (contiguous per shard: links are built per
     /// source node in node order).
     link_bounds: Vec<usize>,
-    lanes: Vec<Lane<P>>,
+    lanes: Vec<Lane>,
     /// `mail[from * tiles + to]` = the directed cell between two shards.
-    mail: Vec<Mutex<MailCell<P>>>,
+    mail: Vec<Mutex<MailCell>>,
     /// Per-shard has-work flags for the event-mode quiescence vote.
     busy: Vec<AtomicBool>,
-    /// The batch stepper, captured as a plain fn pointer under a
-    /// `P: Send` bound at [`enshard`] time so `Network::step` /
-    /// `Network::step_until` can dispatch without carrying the bound.
-    pub(super) batch: fn(&mut Network<P>, u64) -> u64,
 }
 
-impl<P> fmt::Debug for Sharding<P> {
+impl fmt::Debug for Sharding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sharding")
             .field("tiles", &self.tiles)
@@ -209,7 +201,7 @@ impl<P> fmt::Debug for Sharding<P> {
     }
 }
 
-impl<P> Sharding<P> {
+impl Sharding {
     /// Which shard owns node (or router) `node`.
     fn shard_of(&self, node: usize) -> usize {
         shard_of(&self.node_bounds, node)
@@ -274,7 +266,7 @@ fn split_ranges<'a, T>(mut slice: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut 
 /// Turns sharding on: builds the tile tables and migrates every piece of
 /// serial worklist/reassembly/fault state into the owning shard's lane.
 /// The caller has validated `1 <= tiles <= mesh.rows()`.
-pub(super) fn enshard<P: Send>(net: &mut Network<P>, tiles: usize) {
+pub(super) fn enshard<P>(net: &mut Network<P>, tiles: usize) {
     debug_assert!(net.sharding.is_none(), "enshard over live sharding state");
     let bands = net.mesh.row_bands(tiles).expect("caller validated the tile count");
     let mut node_bounds = Vec::with_capacity(tiles + 1);
@@ -301,7 +293,6 @@ pub(super) fn enshard<P: Send>(net: &mut Network<P>, tiles: usize) {
         lanes: (0..tiles).map(|_| Lane::new()).collect(),
         mail: (0..tiles * tiles).map(|_| Mutex::new(MailCell::new())).collect(),
         busy: (0..tiles).map(|_| AtomicBool::new(false)).collect(),
-        batch: step_batch::<P>,
     };
     for r in net.active.drain(..) {
         let t = sh.shard_of(r);
@@ -362,6 +353,9 @@ pub(super) fn enshard<P: Send>(net: &mut Network<P>, tiles: usize) {
 pub(super) fn unshard<P>(net: &mut Network<P>) {
     let Some(mut sh) = net.sharding.take() else { return };
     for lane in &mut sh.lanes {
+        // Between batches the staged pool work is always drained (the
+        // epilogue runs unconditionally), so this is a defensive no-op.
+        resolve_pool_work(net, lane);
         net.active.append(&mut lane.active);
         net.ni_active.append(&mut lane.ni_active);
         net.pending_credits.append(&mut lane.pending_credits);
@@ -381,21 +375,60 @@ pub(super) fn unshard<P>(net: &mut Network<P>) {
             net.links[b.lid].slot = Some(b.flit);
             net.occupied_links.push(b.lid);
         }
-        // Retirements drain after the lane reassembly maps merged above.
+        // Retirements drain after the lane reassembly maps merged above;
+        // a retired partial's head still owns its payload slot.
         for pid in cell.retire.drain(..) {
-            net.reassembly.remove(&pid);
+            if let Some(partial) = net.reassembly.remove(&pid) {
+                if let Some(head) = partial.head {
+                    net.pool.release(head.payload);
+                }
+            }
         }
+    }
+}
+
+/// Finishes a lane's staged pool work in serial context: resolves staged
+/// ejections through the payload pool (delivering the packet, or counting
+/// a missing payload exactly as the serial `Network::eject` would) and
+/// releases refs freed by in-shard head destruction. Runs per lane in
+/// shard-index order, so slot recycling is deterministic.
+fn resolve_pool_work<P>(net: &mut Network<P>, lane: &mut Lane) {
+    for e in lane.ejections.drain(..) {
+        let head = e.head;
+        let Some(payload) = net.pool.take(head.payload) else {
+            net.stats.protocol_errors.missing_payload += 1;
+            net.lost_packets += 1;
+            continue;
+        };
+        let packet = Packet {
+            id: head.packet_id,
+            src: head.src(),
+            dst: head.dst(),
+            vnet: head.vnet(),
+            class: head.class(),
+            queued_at: head.queued_at,
+            delivered_at: e.delivered_at,
+            hops: head.hops(),
+            corrupted: e.corrupted,
+            payload,
+        };
+        net.stats.record_delivery(packet.class, e.flits, packet.latency());
+        net.delivered_packets += 1;
+        net.ejected[e.node].push(packet);
+    }
+    for r in lane.freed.drain(..) {
+        net.pool.release(r);
     }
 }
 
 /// Everything a worker shares read-only (or through sync primitives)
 /// with its peers for one batch.
-struct SharedCtx<'a, P> {
+struct SharedCtx<'a> {
     cfg: &'a NocConfig,
     mesh: &'a Mesh,
     link_of: &'a [[Option<usize>; 4]],
     fault: Option<&'a FaultState>,
-    mail: &'a [Mutex<MailCell<P>>],
+    mail: &'a [Mutex<MailCell>],
     busy: &'a [AtomicBool],
     node_bounds: &'a [usize],
     barrier: &'a Barrier,
@@ -412,24 +445,23 @@ struct SharedCtx<'a, P> {
 
 /// One worker's disjoint mutable view of the network: `split_at_mut`
 /// slices of every per-node / per-link table, plus its lane.
-struct WorkerCtx<'a, P> {
+struct WorkerCtx<'a> {
     tile: usize,
     node_start: usize,
     node_end: usize,
     links_base: usize,
-    routers: &'a mut [Router<P>],
-    nis: &'a mut [NetIf<P>],
-    ejected: &'a mut [Vec<Packet<P>>],
+    routers: &'a mut [Router],
+    nis: &'a mut [NetIf],
     work: &'a mut [bool],
     ni_flag: &'a mut [bool],
     ni_backlogs: &'a mut [u64],
-    links: &'a mut [Link<P>],
+    links: &'a mut [Link],
     xbar: &'a mut [WindowSeries],
     linkser: &'a mut [WindowSeries],
-    lane: &'a mut Lane<P>,
+    lane: &'a mut Lane,
 }
 
-impl<P> WorkerCtx<'_, P> {
+impl WorkerCtx<'_> {
     /// The sharded `Network::mark_router` (idempotent worklist push).
     fn mark_router(&mut self, r: usize) {
         let rel = r - self.node_start;
@@ -440,7 +472,7 @@ impl<P> WorkerCtx<'_, P> {
     }
 
     /// Queues a credit for next Phase 1, locally or through the mailbox.
-    fn send_credit(&mut self, sh: &SharedCtx<'_, P>, msg: CreditMsg) {
+    fn send_credit(&mut self, sh: &SharedCtx<'_>, msg: CreditMsg) {
         let t = shard_of(sh.node_bounds, msg.router);
         if t == self.tile {
             self.lane.pending_credits.push(msg);
@@ -452,11 +484,16 @@ impl<P> WorkerCtx<'_, P> {
     /// Retires a dropped packet's reassembly entry at its destination
     /// shard — immediately when local, else via retire mail drained by
     /// the owner before its same-cycle Phase 4 (replaying the serial
-    /// remove-before-eject ordering).
-    fn retire_packet(&mut self, sh: &SharedCtx<'_, P>, pid: PacketId, dst_node: usize) {
+    /// remove-before-eject ordering). Whichever shard removes the partial
+    /// also frees its head's payload slot (through the owner's lane).
+    fn retire_packet(&mut self, sh: &SharedCtx<'_>, pid: PacketId, dst_node: usize) {
         let t = shard_of(sh.node_bounds, dst_node);
         if t == self.tile {
-            self.lane.reassembly.remove(&pid);
+            if let Some(partial) = self.lane.reassembly.remove(&pid) {
+                if let Some(head) = partial.head {
+                    self.lane.freed.push(head.payload);
+                }
+            }
         } else {
             lock(&sh.mail[self.tile * sh.tiles + t]).retire.push(pid);
         }
@@ -466,7 +503,7 @@ impl<P> WorkerCtx<'_, P> {
     /// credits in sender-index order. Credit application commutes —
     /// each `(router, port, vc)` receives at most independent increments
     /// per cycle — so the order is a canonical choice, not a constraint.
-    fn phase1_credits(&mut self, sh: &SharedCtx<'_, P>) {
+    fn phase1_credits(&mut self, sh: &SharedCtx<'_>) {
         debug_assert!(self.lane.credits_scratch.is_empty());
         std::mem::swap(&mut self.lane.pending_credits, &mut self.lane.credits_scratch);
         let mut batch = std::mem::take(&mut self.lane.credits_scratch);
@@ -486,7 +523,7 @@ impl<P> WorkerCtx<'_, P> {
         }
     }
 
-    fn apply_credit(&mut self, sh: &SharedCtx<'_, P>, msg: CreditMsg) {
+    fn apply_credit(&mut self, sh: &SharedCtx<'_>, msg: CreditMsg) {
         let r = &mut self.routers[msg.router - self.node_start];
         r.return_credit(msg.port, msg.vc, sh.cfg.buffers_per_vc);
         if msg.frees_vc {
@@ -500,7 +537,7 @@ impl<P> WorkerCtx<'_, P> {
     /// per `(link, packet)` and deliveries land in distinct `(port, vc)`
     /// queues, so inter-link order is immaterial — ascending order is the
     /// same canonical choice the serial active mode makes.
-    fn phase2_links(&mut self, sh: &SharedCtx<'_, P>, cycle: u64, cap: usize) {
+    fn phase2_links(&mut self, sh: &SharedCtx<'_>, cycle: u64, cap: usize) {
         debug_assert!(self.lane.links_scratch.is_empty());
         std::mem::swap(&mut self.lane.occupied_links, &mut self.lane.links_scratch);
         let mut batch = std::mem::take(&mut self.lane.links_scratch);
@@ -535,11 +572,11 @@ impl<P> WorkerCtx<'_, P> {
     #[allow(clippy::too_many_arguments)]
     fn deliver_flit(
         &mut self,
-        sh: &SharedCtx<'_, P>,
+        sh: &SharedCtx<'_>,
         lid: usize,
         to: usize,
         in_port: Dir,
-        mut flit: Flit<P>,
+        mut flit: Flit,
         cycle: u64,
         cap: usize,
     ) {
@@ -562,19 +599,25 @@ impl<P> WorkerCtx<'_, P> {
                 self.send_credit(sh, CreditMsg {
                     router: upstream.index(),
                     port: in_port.opposite(),
-                    vc: flit.vc,
-                    frees_vc: flit.kind.is_tail(),
+                    vc: flit.vc(),
+                    frees_vc: flit.kind().is_tail(),
                 });
-                if flit.kind.is_tail() {
+                if flit.kind().is_head() {
+                    // The payload dies with its head flit; the release
+                    // itself happens at the serial epilogue.
+                    self.lane.freed.push(flit.payload);
+                }
+                if flit.kind().is_tail() {
                     self.lane.stats.lost_packets += 1;
-                    self.retire_packet(sh, flit.packet_id, flit.dst.index());
+                    self.retire_packet(sh, flit.packet_id, flit.dst().index());
                 }
             }
             FaultAction::DeliverCorrupted | FaultAction::Deliver => {
                 if action == FaultAction::DeliverCorrupted {
-                    flit.corrupted = true;
+                    flit.mark_corrupted();
                 }
-                self.routers[to - self.node_start].accept_flit(in_port, flit, cycle, cap);
+                self.routers[to - self.node_start]
+                    .accept_flit(sh.mesh, sh.cfg, in_port, flit, cycle, cap);
                 self.mark_router(to);
                 self.lane.buffered += 1;
             }
@@ -582,7 +625,7 @@ impl<P> WorkerCtx<'_, P> {
     }
 
     /// Phase 3: NI injection for the shard's backlogged nodes, ascending.
-    fn phase3_ni(&mut self, sh: &SharedCtx<'_, P>, cycle: u64) {
+    fn phase3_ni(&mut self, sh: &SharedCtx<'_>, cycle: u64) {
         let mut batch = std::mem::take(&mut self.lane.ni_active);
         batch.sort_unstable();
         let mut kept = 0;
@@ -600,7 +643,7 @@ impl<P> WorkerCtx<'_, P> {
     }
 
     /// The sharded `Network::inject_from_ni` body.
-    fn inject_node(&mut self, sh: &SharedCtx<'_, P>, node: usize, cycle: u64) -> bool {
+    fn inject_node(&mut self, sh: &SharedCtx<'_>, node: usize, cycle: u64) -> bool {
         let rel = node - self.node_start;
         let vnets = sh.cfg.vnets as usize;
         let k = sh.cfg.vcs_per_vnet as usize;
@@ -614,7 +657,7 @@ impl<P> WorkerCtx<'_, P> {
                 let router = &self.routers[rel];
                 let vc = match ni.streaming[v] {
                     Some(vc) => {
-                        debug_assert!(!front.kind.is_head());
+                        debug_assert!(!front.kind().is_head());
                         if router.local_vc_accepts(vc as usize, false, cap) {
                             Some(vc)
                         } else {
@@ -622,7 +665,7 @@ impl<P> WorkerCtx<'_, P> {
                         }
                     }
                     None => {
-                        debug_assert!(front.kind.is_head());
+                        debug_assert!(front.kind().is_head());
                         (v * k..(v + 1) * k)
                             .find(|&vc| router.local_vc_accepts(vc, true, cap))
                             .map(|vc| vc as u8)
@@ -631,9 +674,9 @@ impl<P> WorkerCtx<'_, P> {
                 let Some(vc) = vc else { continue };
                 let ni = &mut self.nis[rel];
                 let mut flit = ni.queues[v].pop_front().expect("front checked above");
-                flit.vc = vc;
-                ni.streaming[v] = if flit.kind.is_tail() { None } else { Some(vc) };
-                self.routers[rel].accept_flit(Dir::Local, flit, cycle, cap);
+                flit.set_vc(vc);
+                ni.streaming[v] = if flit.kind().is_tail() { None } else { Some(vc) };
+                self.routers[rel].accept_flit(sh.mesh, sh.cfg, Dir::Local, flit, cycle, cap);
                 self.lane.buffered += 1;
                 self.ni_backlogs[rel] -= 1;
                 self.lane.stats.ni_drained += 1;
@@ -654,21 +697,25 @@ impl<P> WorkerCtx<'_, P> {
     /// whose tail another shard dropped this cycle in its Phase 2 —
     /// before this shard's Phase 4 can eject more of their flits, exactly
     /// the serial remove-before-eject order.
-    fn phase4_retires(&mut self, sh: &SharedCtx<'_, P>) {
+    fn phase4_retires(&mut self, sh: &SharedCtx<'_>) {
         for from in 0..sh.tiles {
             if from == self.tile {
                 continue;
             }
             let mut cell = lock(&sh.mail[from * sh.tiles + self.tile]);
             for pid in cell.retire.drain(..) {
-                self.lane.reassembly.remove(&pid);
+                if let Some(partial) = self.lane.reassembly.remove(&pid) {
+                    if let Some(head) = partial.head {
+                        self.lane.freed.push(head.payload);
+                    }
+                }
             }
         }
     }
 
     /// Phase 4: router pipelines for the shard's worklist, ascending,
     /// survivors retained in order.
-    fn phase4_routers(&mut self, sh: &SharedCtx<'_, P>, cycle: u64, tracer: &mut TracerHandle) {
+    fn phase4_routers(&mut self, sh: &SharedCtx<'_>, cycle: u64, tracer: &mut TracerHandle) {
         debug_assert!(self.lane.active_scratch.is_empty());
         std::mem::swap(&mut self.lane.active, &mut self.lane.active_scratch);
         let mut batch = std::mem::take(&mut self.lane.active_scratch);
@@ -688,13 +735,13 @@ impl<P> WorkerCtx<'_, P> {
     /// The sharded `Network::run_router` body.
     fn run_router(
         &mut self,
-        sh: &SharedCtx<'_, P>,
+        sh: &SharedCtx<'_>,
         r: usize,
         cycle: u64,
         tracer: &mut TracerHandle,
     ) -> bool {
         let rel = r - self.node_start;
-        let mut down = Router::<P>::NO_DOWN_PORTS;
+        let mut down = Router::NO_DOWN_PORTS;
         if sh.use_down {
             if let Some(f) = sh.fault {
                 for d in Dir::ROUTER_DIRS {
@@ -707,8 +754,8 @@ impl<P> WorkerCtx<'_, P> {
         let mut departures = std::mem::take(&mut self.lane.departures);
         debug_assert!(departures.is_empty());
         {
+            // Route computation happened eagerly at head acceptance.
             let router = &mut self.routers[rel];
-            router.route_compute(sh.mesh, sh.cfg);
             router.vc_allocate(sh.cfg, cycle, tracer);
             router.switch_allocate_into(sh.cfg, cycle, &down, &mut departures);
         }
@@ -761,58 +808,54 @@ impl<P> WorkerCtx<'_, P> {
         self.routers[rel].buffered_flits() > 0
     }
 
-    /// The sharded `Network::eject` body (no tracer events).
-    fn eject(&mut self, node: usize, flit: Flit<P>, cycle: u64) {
+    /// The sharded `Network::eject` body (no tracer events). Payload
+    /// resolution needs the pool, which lives on the serial `Network`, so
+    /// a completed packet is staged for the batch epilogue instead of
+    /// being built here.
+    fn eject(&mut self, node: usize, flit: Flit, cycle: u64) {
         let pid = flit.packet_id;
-        let is_tail = flit.kind.is_tail();
+        let is_tail = flit.kind().is_tail();
         let entry = self
             .lane
             .reassembly
             .entry(pid)
             .or_insert(Partial { head: None, flits: 0, corrupted: false, dst: node });
         entry.flits += 1;
-        entry.corrupted |= flit.corrupted;
-        if flit.kind.is_head() {
-            if entry.head.is_some() {
-                self.lane.stats.protocol_errors.duplicate_head += 1;
-            } else {
-                entry.head = Some(flit);
+        entry.corrupted |= flit.corrupted();
+        if flit.kind().is_head() {
+            match &entry.head {
+                Some(kept) => {
+                    self.lane.stats.protocol_errors.duplicate_head += 1;
+                    // A true duplicate shares the kept head's ref (one
+                    // pool insert per packet); free only a genuinely
+                    // distinct orphaned slot.
+                    if kept.payload != flit.payload {
+                        self.lane.freed.push(flit.payload);
+                    }
+                }
+                None => entry.head = Some(flit),
             }
         }
         if is_tail {
             let Some(partial) = self.lane.reassembly.remove(&pid) else { return };
-            let Some(mut head) = partial.head else {
+            let Some(head) = partial.head else {
                 self.lane.stats.protocol_errors.tail_without_head += 1;
                 self.lane.stats.lost_packets += 1;
                 return;
             };
-            let Some(payload) = head.payload.take() else {
-                self.lane.stats.protocol_errors.missing_payload += 1;
-                self.lane.stats.lost_packets += 1;
-                return;
-            };
-            let packet = Packet {
-                id: head.packet_id,
-                src: head.src,
-                dst: head.dst,
-                vnet: head.vnet,
-                class: head.class,
-                queued_at: head.queued_at,
+            self.lane.ejections.push(StagedEject {
+                node,
                 delivered_at: cycle,
-                hops: head.hops,
-                corrupted: partial.corrupted || head.corrupted,
-                payload,
-            };
-            let latency = packet.latency();
-            self.lane.stats.record_delivery(packet.class, partial.flits, latency);
-            self.lane.stats.delivered_packets += 1;
-            self.ejected[node - self.node_start].push(packet);
+                flits: partial.flits,
+                corrupted: partial.corrupted || head.corrupted(),
+                head,
+            });
         }
     }
 
     /// Phase 5: occupancy samples for the shard's routers. Bucket counts
     /// commute across shards, so the merged CDF equals the serial one.
-    fn phase5_occupancy(&mut self, sh: &SharedCtx<'_, P>) {
+    fn phase5_occupancy(&mut self, sh: &SharedCtx<'_>) {
         let zeros = ((self.node_end - self.node_start) - self.lane.active.len()) as u64;
         debug_assert_eq!(
             zeros,
@@ -830,7 +873,7 @@ impl<P> WorkerCtx<'_, P> {
 
     /// Event-mode quiescence vote input: own worklists plus every inbound
     /// mailbox cell (all peers' sends completed before the vote barrier).
-    fn has_work(&self, sh: &SharedCtx<'_, P>) -> bool {
+    fn has_work(&self, sh: &SharedCtx<'_>) -> bool {
         if self.lane.has_own_work() {
             return true;
         }
@@ -842,7 +885,7 @@ impl<P> WorkerCtx<'_, P> {
 /// cycles, breaking early (event mode only) once every shard votes
 /// quiescent. All workers observe identical votes, so they break at the
 /// same cycle; worker 0 publishes the count.
-fn worker<P: Send>(mut ctx: WorkerCtx<'_, P>, sh: &SharedCtx<'_, P>) {
+fn worker(mut ctx: WorkerCtx<'_>, sh: &SharedCtx<'_>) {
     let cap = sh.cfg.buffers_per_vc as usize;
     let mut tracer = TracerHandle::Nop;
     let mut in_window = sh.start_in_window;
@@ -890,7 +933,7 @@ fn worker<P: Send>(mut ctx: WorkerCtx<'_, P>, sh: &SharedCtx<'_, P>) {
 /// network totals in shard-index order. Returns the cycles actually
 /// stepped (fewer than `max_cycles` only in event mode, when every shard
 /// went quiescent — the caller's clock-jump logic takes over).
-pub(super) fn step_batch<P: Send>(net: &mut Network<P>, max_cycles: u64) -> u64 {
+pub(super) fn step_batch<P>(net: &mut Network<P>, max_cycles: u64) -> u64 {
     if max_cycles == 0 {
         return 0;
     }
@@ -912,7 +955,6 @@ pub(super) fn step_batch<P: Send>(net: &mut Network<P>, max_cycles: u64) -> u64 
         let mut linkser_s = split_ranges(linkser, &sh.link_bounds).into_iter();
         let mut routers_s = split_ranges(&mut net.routers, &sh.node_bounds).into_iter();
         let mut nis_s = split_ranges(&mut net.nis, &sh.node_bounds).into_iter();
-        let mut ejected_s = split_ranges(&mut net.ejected, &sh.node_bounds).into_iter();
         let mut work_s = split_ranges(&mut net.work, &sh.node_bounds).into_iter();
         let mut ni_flag_s = split_ranges(&mut net.ni_flag, &sh.node_bounds).into_iter();
         let mut ni_backlogs_s = split_ranges(&mut net.ni_backlogs, &sh.node_bounds).into_iter();
@@ -945,7 +987,6 @@ pub(super) fn step_batch<P: Send>(net: &mut Network<P>, max_cycles: u64) -> u64 
                 links_base: sh.link_bounds[t],
                 routers: routers_s.next().expect("split covers every tile"),
                 nis: nis_s.next().expect("split covers every tile"),
-                ejected: ejected_s.next().expect("split covers every tile"),
                 work: work_s.next().expect("split covers every tile"),
                 ni_flag: ni_flag_s.next().expect("split covers every tile"),
                 ni_backlogs: ni_backlogs_s.next().expect("split covers every tile"),
@@ -967,22 +1008,24 @@ pub(super) fn step_batch<P: Send>(net: &mut Network<P>, max_cycles: u64) -> u64 
     net.cycle = start_cycle + done;
     net.stats.set_cycles_in_window((start_in_window + done) % window);
     let mut buffered = 0;
-    for lane in &sh.lanes {
+    for lane in &mut sh.lanes {
         buffered += lane.buffered;
-        let d = &lane.stats;
-        net.stats.occupancy.merge(&d.occupancy);
-        net.stats.class_mut(TrafficClass::Communication).merge(&d.comm);
-        net.stats.class_mut(TrafficClass::SnackInstruction).merge(&d.instr);
-        net.stats.class_mut(TrafficClass::SnackData).merge(&d.data);
-        net.stats.injected_flits += d.injected_flits;
-        net.stats.crossbar_transfers += d.crossbar_transfers;
-        net.stats.protocol_errors.merge(&d.protocol_errors);
-        net.delivered_packets += d.delivered_packets;
-        net.lost_packets += d.lost_packets;
-        net.ni_backlog_total -= d.ni_drained;
-        if let Some(f) = net.fault.as_mut() {
-            f.merge_counters(&d.fault);
+        {
+            let d = &lane.stats;
+            net.stats.occupancy.merge(&d.occupancy);
+            net.stats.injected_flits += d.injected_flits;
+            net.stats.crossbar_transfers += d.crossbar_transfers;
+            net.stats.protocol_errors.merge(&d.protocol_errors);
+            net.lost_packets += d.lost_packets;
+            net.ni_backlog_total -= d.ni_drained;
+            if let Some(f) = net.fault.as_mut() {
+                f.merge_counters(&d.fault);
+            }
         }
+        // Deliveries and head-destruction releases touch the payload
+        // pool, which only the serial epilogue may do; lanes resolve in
+        // shard-index order, so slot recycling stays deterministic.
+        resolve_pool_work(net, lane);
     }
     net.buffered_total = buffered;
     net.sharding = Some(sh);

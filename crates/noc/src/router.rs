@@ -2,18 +2,32 @@
 //! computation, separable VC / switch allocation and the crossbar.
 //!
 //! Each router is a canonical input-queued VC router. Per cycle it performs,
-//! in order: **RC** (route computation for newly-arrived head flits), **VA**
-//! (virtual-channel allocation, atomic — a downstream VC is granted only
-//! when idle and drained) and **SA/ST** (separable two-stage switch
-//! allocation followed by crossbar traversal). Pipeline depth is modelled
-//! by gating switch allocation until a flit has been buffered for
-//! `pipeline_stages - 1` cycles, reproducing the 2/3/4-cycle per-hop
-//! latencies of the BiNoCHS / AxNoC / DAPPER baselines.
+//! in order: **RC** (route computation — performed once per packet, at head
+//! arrival, and cached in the input-VC state), **VA** (virtual-channel
+//! allocation, atomic — a downstream VC is granted only when idle and
+//! drained) and **SA/ST** (separable two-stage switch allocation followed
+//! by crossbar traversal). Pipeline depth is modelled by gating switch
+//! allocation until a flit has been buffered for `pipeline_stages - 1`
+//! cycles, reproducing the 2/3/4-cycle per-hop latencies of the BiNoCHS /
+//! AxNoC / DAPPER baselines.
 //!
 //! When [`NocConfig::priority_arbitration`] is set, both allocators
 //! round-robin over communication-class requests first and consider
 //! SnackNoC instruction/data flits only if no communication flit requests
 //! the resource (paper §III-D3).
+//!
+//! ## Bitmask-driven allocation
+//!
+//! The allocators never scan all ports × VCs. Four per-port `u64` bitmasks
+//! — `routed_mask` / `active_mask` over input VCs and `free_mask` /
+//! `credit_mask` over output VCs — are maintained at every state
+//! transition (head arrival, VC grant, tail traversal, credit return, VC
+//! free) and iterated with `trailing_zeros`, so a cycle's allocation work
+//! is proportional to the *resident* packets, not the configured resource
+//! count. [`NocConfig::validate`] caps `vcs_per_port` at 64 to keep one
+//! word per port. Debug builds cross-check every mask against a fresh
+//! scan of the underlying state, exactly like the incremental occupancy
+//! counters elsewhere in the crate.
 
 use crate::config::NocConfig;
 use crate::flit::{Flit, TrafficClass};
@@ -27,7 +41,9 @@ use std::collections::VecDeque;
 enum VcState {
     /// No packet resident.
     Idle,
-    /// Head flit routed; waiting for an output VC.
+    /// Head flit arrived and was routed; waiting for an output VC. The
+    /// cached `out_port` is the packet's route decision for this hop —
+    /// computed once, never re-derived per cycle.
     Routed { out_port: Dir },
     /// Output VC allocated; flits may compete for the switch.
     Active { out_port: Dir, out_vc: u8 },
@@ -35,12 +51,12 @@ enum VcState {
 
 /// One input virtual channel: a FIFO flit buffer plus packet state.
 #[derive(Clone, Debug)]
-struct InputVc<P> {
-    buf: VecDeque<Flit<P>>,
+struct InputVc {
+    buf: VecDeque<Flit>,
     state: VcState,
 }
 
-impl<P> InputVc<P> {
+impl InputVc {
     fn new(depth: usize) -> Self {
         InputVc { buf: VecDeque::with_capacity(depth), state: VcState::Idle }
     }
@@ -55,11 +71,19 @@ struct OutputVc {
     credits: u8,
 }
 
+/// The bits `lo..hi` of a `u64`, set.
+fn range_mask(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo <= hi && hi <= 64);
+    let below_hi = if hi == 64 { u64::MAX } else { (1u64 << hi) - 1 };
+    let below_lo = if lo == 64 { u64::MAX } else { (1u64 << lo) - 1 };
+    below_hi & !below_lo
+}
+
 /// A flit leaving the router through the crossbar this cycle.
 #[derive(Debug)]
-pub(crate) struct Departure<P> {
+pub(crate) struct Departure {
     /// The flit (already stamped with its downstream VC).
-    pub flit: Flit<P>,
+    pub flit: Flit,
     /// Output port it leaves through (`Local` = ejection).
     pub out_port: Dir,
     /// Input port it occupied (`Local` = it was injected here).
@@ -73,15 +97,23 @@ pub(crate) struct Departure<P> {
 /// A single mesh router with its input units, allocators and crossbar-side
 /// output bookkeeping.
 #[derive(Clone, Debug)]
-pub(crate) struct Router<P> {
+pub(crate) struct Router {
     node: NodeId,
     /// `inputs[port][vc]`.
-    inputs: Vec<Vec<InputVc<P>>>,
+    inputs: Vec<Vec<InputVc>>,
     /// `outputs[port][vc]`; empty vec for unconnected ports. The `Local`
     /// output (ejection) has no VC/credit limits and is handled specially.
     outputs: Vec<Vec<OutputVc>>,
     /// Whether each output port has a link (Local is always "connected").
     connected: [bool; Dir::COUNT],
+    /// Per-input-port bitmask of VCs in the `Routed` state (VA requests).
+    routed_mask: [u64; Dir::COUNT],
+    /// Per-input-port bitmask of VCs in the `Active` state (SA candidates).
+    active_mask: [u64; Dir::COUNT],
+    /// Per-output-port bitmask of free (unallocated) downstream VCs.
+    free_mask: [u64; Dir::COUNT],
+    /// Per-output-port bitmask of downstream VCs holding ≥ 1 credit.
+    credit_mask: [u64; Dir::COUNT],
     /// Round-robin pointer for VC allocation, over flattened (port, vc).
     va_rr: usize,
     /// Per-input-port round-robin pointer over VCs for SA stage 1.
@@ -90,17 +122,15 @@ pub(crate) struct Router<P> {
     sa_out_rr: [usize; Dir::COUNT],
     /// Flits currently buffered across all input VCs.
     buffered: usize,
-    /// Incrementally maintained count of *useful* free output VCs (free
-    /// and holding at least one credit) across router-to-router ports.
-    /// Kept exact by the three transitions that can change it:
-    /// credit return, VC free, and VC allocation (a credit spend on an
-    /// allocated VC never changes usefulness of a *free* VC).
-    useful_free: usize,
     /// Total router-to-router output VCs (constant after construction).
     useful_total: usize,
+    /// Times a flit's hop counter saturated at `u32::MAX` instead of
+    /// wrapping — nonzero only under pathological livelock, but counted
+    /// rather than silently lost or panicked on.
+    hops_saturations: u64,
 }
 
-impl<P> Router<P> {
+impl Router {
     /// The all-clear down-link mask: every output port usable.
     pub(crate) const NO_DOWN_PORTS: [bool; Dir::COUNT] = [false; Dir::COUNT];
 
@@ -112,15 +142,19 @@ impl<P> Router<P> {
         let mut connected = [false; Dir::COUNT];
         connected[Dir::Local.index()] = true;
         let mut outputs: Vec<Vec<OutputVc>> = vec![Vec::new(); Dir::COUNT];
+        let mut free_mask = [0u64; Dir::COUNT];
+        let mut credit_mask = [0u64; Dir::COUNT];
         for d in Dir::ROUTER_DIRS {
             if mesh.neighbor(node, d).is_some() {
                 connected[d.index()] = true;
                 outputs[d.index()] =
                     vec![OutputVc { free: true, credits: cfg.buffers_per_vc }; vcs];
+                // Every connected output VC starts free with a full credit
+                // stock.
+                free_mask[d.index()] = range_mask(0, vcs);
+                credit_mask[d.index()] = range_mask(0, vcs);
             }
         }
-        // Every connected output VC starts free with a full credit stock,
-        // so it is useful by construction.
         let useful_total: usize =
             Dir::ROUTER_DIRS.iter().map(|d| outputs[d.index()].len()).sum();
         Router {
@@ -128,18 +162,28 @@ impl<P> Router<P> {
             inputs,
             outputs,
             connected,
+            routed_mask: [0; Dir::COUNT],
+            active_mask: [0; Dir::COUNT],
+            free_mask,
+            credit_mask,
             va_rr: 0,
             sa_in_rr: [0; Dir::COUNT],
             sa_out_rr: [0; Dir::COUNT],
             buffered: 0,
-            useful_free: useful_total,
             useful_total,
+            hops_saturations: 0,
         }
     }
 
     /// Number of flits buffered in this router's input units.
     pub(crate) fn buffered_flits(&self) -> usize {
         self.buffered
+    }
+
+    /// Times a flit's hop counter saturated in this router (see
+    /// [`crate::Network::hops_saturations`]).
+    pub(crate) fn hops_saturations(&self) -> u64 {
+        self.hops_saturations
     }
 
     /// Earliest `queued_at` among buffered flits — the age witness for
@@ -155,22 +199,48 @@ impl<P> Router<P> {
     /// Input VCs holding a routed packet that has not yet been granted an
     /// output VC — the "starved" population in a stall report.
     pub(crate) fn routed_waiting_vcs(&self) -> usize {
-        self.inputs
-            .iter()
-            .flatten()
-            .filter(|vc| matches!(vc.state, VcState::Routed { .. }))
-            .count()
+        let fast: usize = self.routed_mask.iter().map(|m| m.count_ones() as usize).sum();
+        debug_assert_eq!(
+            fast,
+            self.inputs
+                .iter()
+                .flatten()
+                .filter(|vc| matches!(vc.state, VcState::Routed { .. }))
+                .count(),
+            "routed mask out of sync"
+        );
+        fast
     }
 
-    /// Writes an arriving flit into its input buffer.
+    /// Writes an arriving flit into its input buffer. A head flit landing
+    /// in an idle VC is route-computed *here*, once, and the decision is
+    /// cached in the VC state — no per-cycle RC stage exists. (A VC left
+    /// by a tail is provably empty, so a head can only ever arrive into an
+    /// idle, empty VC.)
     ///
     /// # Panics
     ///
     /// Panics (debug) if credit-based flow control was violated.
-    pub(crate) fn accept_flit(&mut self, in_port: Dir, mut flit: Flit<P>, cycle: u64, cap: usize) {
+    pub(crate) fn accept_flit(
+        &mut self,
+        mesh: &Mesh,
+        cfg: &NocConfig,
+        in_port: Dir,
+        mut flit: Flit,
+        cycle: u64,
+        cap: usize,
+    ) {
         flit.buffered_at = cycle;
-        let vc = &mut self.inputs[in_port.index()][flit.vc as usize];
+        let vc_idx = flit.vc() as usize;
+        let vc = &mut self.inputs[in_port.index()][vc_idx];
         debug_assert!(vc.buf.len() < cap, "input buffer overflow: credit protocol violated");
+        if vc.state == VcState::Idle {
+            debug_assert!(vc.buf.is_empty(), "idle VC with buffered flits");
+            debug_assert!(flit.kind().is_head(), "non-head flit arrived at an idle VC");
+            let out_port = cfg.routing.route(mesh, self.node, flit.dst());
+            vc.state = VcState::Routed { out_port };
+            self.routed_mask[in_port.index()] |= 1u64 << vc_idx;
+        }
         vc.buf.push_back(flit);
         self.buffered += 1;
     }
@@ -189,40 +259,38 @@ impl<P> Router<P> {
     /// slot drained.
     pub(crate) fn return_credit(&mut self, out_port: Dir, vc: u8, max: u8) {
         let o = &mut self.outputs[out_port.index()][vc as usize];
-        if o.free && o.credits == 0 {
-            // A free-but-starved VC just became useful again.
-            self.useful_free += 1;
-        }
         o.credits += 1;
+        self.credit_mask[out_port.index()] |= 1u64 << vc;
         debug_assert!(o.credits <= max, "credit overflow");
     }
 
     /// Marks `(out_port, vc)` free after the downstream VC drained a tail.
     pub(crate) fn free_output_vc(&mut self, out_port: Dir, vc: u8) {
-        let o = &mut self.outputs[out_port.index()][vc as usize];
-        if !o.free && o.credits > 0 {
-            self.useful_free += 1;
-        }
-        o.free = true;
+        self.outputs[out_port.index()][vc as usize].free = true;
+        self.free_mask[out_port.index()] |= 1u64 << vc;
     }
 
     /// Counts `(free, total)` *useful* free output VCs — free and holding at
     /// least one credit — across the router-to-router output ports. This is
     /// the ALO-style congestion signal the SnackNoC CPM monitors
-    /// (paper §III-C2, after Baydal et al.). O(1): the counter is
-    /// maintained incrementally at every credit/allocation transition
-    /// instead of rescanned per probe.
+    /// (paper §III-C2, after Baydal et al.). A handful of popcounts: the
+    /// free/credit bitmasks are maintained at every transition instead of
+    /// rescanned per probe.
     pub(crate) fn useful_free_output_vcs(&self) -> (usize, usize) {
+        let free: usize = Dir::ROUTER_DIRS
+            .iter()
+            .map(|d| (self.free_mask[d.index()] & self.credit_mask[d.index()]).count_ones() as usize)
+            .sum();
         debug_assert_eq!(
-            (self.useful_free, self.useful_total),
+            (free, self.useful_total),
             self.recount_useful_free_output_vcs(),
-            "incremental useful-free counter out of sync"
+            "free/credit bitmasks out of sync"
         );
-        (self.useful_free, self.useful_total)
+        (free, self.useful_total)
     }
 
     /// Reference recount of the congestion probe (debug verification of
-    /// the incremental counter).
+    /// the bitmasks).
     fn recount_useful_free_output_vcs(&self) -> (usize, usize) {
         let mut free = 0;
         let mut total = 0;
@@ -237,28 +305,51 @@ impl<P> Router<P> {
         (free, total)
     }
 
-    /// RC stage: route newly-arrived head flits.
-    pub(crate) fn route_compute(&mut self, mesh: &Mesh, cfg: &NocConfig) {
+    /// Debug cross-check: every bitmask agrees with a fresh scan of the
+    /// state it summarizes.
+    #[cfg(debug_assertions)]
+    fn masks_consistent(&self) -> bool {
         for port in 0..Dir::COUNT {
-            for vc in self.inputs[port].iter_mut() {
-                if vc.state == VcState::Idle {
-                    if let Some(head) = vc.buf.front() {
-                        debug_assert!(
-                            head.kind.is_head(),
-                            "non-head flit at front of an idle VC"
-                        );
-                        let out_port = cfg.routing.route(mesh, self.node, head.dst);
-                        vc.state = VcState::Routed { out_port };
-                    }
+            let mut routed = 0u64;
+            let mut active = 0u64;
+            for (i, vc) in self.inputs[port].iter().enumerate() {
+                match vc.state {
+                    VcState::Idle => {}
+                    VcState::Routed { .. } => routed |= 1 << i,
+                    VcState::Active { .. } => active |= 1 << i,
                 }
             }
+            if routed != self.routed_mask[port] || active != self.active_mask[port] {
+                return false;
+            }
+            let mut free = 0u64;
+            let mut credited = 0u64;
+            for (i, o) in self.outputs[port].iter().enumerate() {
+                if o.free {
+                    free |= 1 << i;
+                }
+                if o.credits > 0 {
+                    credited |= 1 << i;
+                }
+            }
+            if free != self.free_mask[port] || credited != self.credit_mask[port] {
+                return false;
+            }
         }
+        true
     }
 
     /// VA stage: grant free downstream VCs to routed packets, communication
     /// class first when priority arbitration is on. Each grant is reported
     /// to `tracer` (a no-op for [`TracerHandle::Nop`]).
+    ///
+    /// Iteration walks the `routed_mask` bits in the exact order the old
+    /// flattened `(va_rr + step) % total` scan visited them: the pointer's
+    /// port from its VC upward, every later port in full, then the
+    /// pointer's port below the pointer.
     pub(crate) fn vc_allocate(&mut self, cfg: &NocConfig, cycle: u64, tracer: &mut TracerHandle) {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.masks_consistent());
         let vcs = cfg.vcs_per_port();
         let total = Dir::COUNT * vcs;
         let passes: &[Option<bool>] = if cfg.priority_arbitration {
@@ -267,50 +358,58 @@ impl<P> Router<P> {
         } else {
             &[None]
         };
+        let p0 = self.va_rr / vcs;
+        let v0 = self.va_rr % vcs;
         for &snack_pass in passes {
-            for step in 0..total {
-                let idx = (self.va_rr + step) % total;
-                let (port, vc_idx) = (idx / vcs, idx % vcs);
-                let vc = &self.inputs[port][vc_idx];
-                let VcState::Routed { out_port } = vc.state else { continue };
-                let Some(head) = vc.buf.front() else { continue };
-                if let Some(want_snack) = snack_pass {
-                    if head.class.is_snack() != want_snack {
-                        continue;
-                    }
-                }
-                let out_vc = if out_port == Dir::Local {
-                    // Ejection has no VC contention: the NI reassembles any
-                    // number of interleaved packets.
-                    Some(head.vc)
-                } else {
-                    let vnet = head.vnet as usize;
-                    let lo = vnet * cfg.vcs_per_vnet as usize;
-                    let hi = lo + cfg.vcs_per_vnet as usize;
-                    self.outputs[out_port.index()][lo..hi]
-                        .iter()
-                        .position(|o| o.free)
-                        .map(|off| (lo + off) as u8)
+            for k in 0..=Dir::COUNT {
+                let port = (p0 + k) % Dir::COUNT;
+                let (lo, hi) = match k {
+                    0 => (v0, vcs),
+                    _ if k == Dir::COUNT => (0, v0),
+                    _ => (0, vcs),
                 };
-                if let Some(out_vc) = out_vc {
-                    tracer.record_with(cycle, || EventKind::VcAlloc {
-                        router: self.node.index() as u32,
-                        in_port: port as u8,
-                        in_vc: vc_idx as u8,
-                        out_port: out_port.index() as u8,
-                        out_vc,
-                    });
-                    if out_port != Dir::Local {
-                        let o = &mut self.outputs[out_port.index()][out_vc as usize];
-                        if o.credits > 0 {
-                            // The grant removes a (free, credited) VC from
-                            // the useful pool. (`o.free` holds: the grant
-                            // searched free VCs only.)
-                            self.useful_free -= 1;
+                let mut bits = self.routed_mask[port] & range_mask(lo, hi);
+                while bits != 0 {
+                    let vc_idx = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let vc = &self.inputs[port][vc_idx];
+                    let VcState::Routed { out_port } = vc.state else {
+                        debug_assert!(false, "routed mask bit on a non-routed VC");
+                        continue;
+                    };
+                    let Some(head) = vc.buf.front() else { continue };
+                    if let Some(want_snack) = snack_pass {
+                        if head.class().is_snack() != want_snack {
+                            continue;
                         }
-                        o.free = false;
                     }
-                    self.inputs[port][vc_idx].state = VcState::Active { out_port, out_vc };
+                    let out_vc = if out_port == Dir::Local {
+                        // Ejection has no VC contention: the NI reassembles
+                        // any number of interleaved packets.
+                        Some(head.vc())
+                    } else {
+                        let vnet = head.vnet() as usize;
+                        let lo = vnet * cfg.vcs_per_vnet as usize;
+                        let hi = lo + cfg.vcs_per_vnet as usize;
+                        let free = self.free_mask[out_port.index()] & range_mask(lo, hi);
+                        (free != 0).then(|| free.trailing_zeros() as u8)
+                    };
+                    if let Some(out_vc) = out_vc {
+                        tracer.record_with(cycle, || EventKind::VcAlloc {
+                            router: self.node.index() as u32,
+                            in_port: port as u8,
+                            in_vc: vc_idx as u8,
+                            out_port: out_port.index() as u8,
+                            out_vc,
+                        });
+                        if out_port != Dir::Local {
+                            self.outputs[out_port.index()][out_vc as usize].free = false;
+                            self.free_mask[out_port.index()] &= !(1u64 << out_vc);
+                        }
+                        self.inputs[port][vc_idx].state = VcState::Active { out_port, out_vc };
+                        self.routed_mask[port] &= !(1u64 << vc_idx);
+                        self.active_mask[port] |= 1u64 << vc_idx;
+                    }
                 }
             }
         }
@@ -334,7 +433,7 @@ impl<P> Router<P> {
         cfg: &NocConfig,
         cycle: u64,
         down: &[bool; Dir::COUNT],
-    ) -> Vec<Departure<P>> {
+    ) -> Vec<Departure> {
         let mut departures = Vec::new();
         self.switch_allocate_into(cfg, cycle, down, &mut departures);
         departures
@@ -349,8 +448,10 @@ impl<P> Router<P> {
         cfg: &NocConfig,
         cycle: u64,
         down: &[bool; Dir::COUNT],
-        out: &mut Vec<Departure<P>>,
+        out: &mut Vec<Departure>,
     ) {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.masks_consistent());
         // A flit spends `pipeline_stages - 1` cycles in the router before
         // link traversal, giving the per-hop latencies of paper §III-D2.
         let extra = cfg.pipeline_extra();
@@ -373,7 +474,35 @@ impl<P> Router<P> {
         }
     }
 
-    /// Picks the input VC that port `port` nominates for the switch.
+    /// Whether the `Active` VC `(port, idx)` can traverse this cycle, and
+    /// with what class.
+    fn vc_ready(
+        &self,
+        port: usize,
+        idx: usize,
+        cycle: u64,
+        extra: u64,
+        down: &[bool; Dir::COUNT],
+    ) -> Option<TrafficClass> {
+        let vc = &self.inputs[port][idx];
+        let VcState::Active { out_port, out_vc } = vc.state else { return None };
+        let flit = vc.buf.front()?;
+        if cycle < flit.buffered_at + extra {
+            return None;
+        }
+        if out_port != Dir::Local {
+            if down[out_port.index()] {
+                return None;
+            }
+            if self.credit_mask[out_port.index()] & (1u64 << out_vc) == 0 {
+                return None;
+            }
+        }
+        Some(flit.class())
+    }
+
+    /// Picks the input VC that port `port` nominates for the switch,
+    /// walking the `active_mask` bits in round-robin order.
     fn pick_input_vc(
         &mut self,
         port: usize,
@@ -383,27 +512,17 @@ impl<P> Router<P> {
         down: &[bool; Dir::COUNT],
     ) -> Option<usize> {
         let vcs = self.inputs[port].len();
-        let ready = |vc: &InputVc<P>| -> Option<TrafficClass> {
-            let VcState::Active { out_port, out_vc } = vc.state else { return None };
-            let flit = vc.buf.front()?;
-            if cycle < flit.buffered_at + extra {
-                return None;
-            }
-            if out_port != Dir::Local {
-                if down[out_port.index()] {
-                    return None;
-                }
-                if self.outputs[out_port.index()][out_vc as usize].credits == 0 {
-                    return None;
-                }
-            }
-            Some(flit.class)
-        };
+        let rr = self.sa_in_rr[port];
         let passes: &[Option<bool>] = if priority { &[Some(false), Some(true)] } else { &[None] };
         for &snack_pass in passes {
-            for step in 0..vcs {
-                let idx = (self.sa_in_rr[port] + step) % vcs;
-                if let Some(class) = ready(&self.inputs[port][idx]) {
+            for (lo, hi) in [(rr, vcs), (0, rr)] {
+                let mut bits = self.active_mask[port] & range_mask(lo, hi);
+                while bits != 0 {
+                    let idx = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let Some(class) = self.vc_ready(port, idx, cycle, extra, down) else {
+                        continue;
+                    };
                     if let Some(want_snack) = snack_pass {
                         if class.is_snack() != want_snack {
                             continue;
@@ -417,6 +536,22 @@ impl<P> Router<P> {
         None
     }
 
+    /// The class nominee `in_port` requests output `out` with, if any.
+    fn nominee_class(
+        &self,
+        out: usize,
+        in_port: usize,
+        nominees: &[Option<usize>; Dir::COUNT],
+    ) -> Option<TrafficClass> {
+        let vc_idx = nominees[in_port]?;
+        let vc = &self.inputs[in_port][vc_idx];
+        let VcState::Active { out_port, .. } = vc.state else { return None };
+        if out_port.index() != out {
+            return None;
+        }
+        vc.buf.front().map(|f| f.class())
+    }
+
     /// Picks the winning input port for output `out` among the nominees.
     fn pick_output_winner(
         &mut self,
@@ -424,20 +559,11 @@ impl<P> Router<P> {
         nominees: &[Option<usize>; Dir::COUNT],
         priority: bool,
     ) -> Option<Dir> {
-        let requests = |in_port: usize| -> Option<TrafficClass> {
-            let vc_idx = nominees[in_port]?;
-            let vc = &self.inputs[in_port][vc_idx];
-            let VcState::Active { out_port, .. } = vc.state else { return None };
-            if out_port.index() != out {
-                return None;
-            }
-            vc.buf.front().map(|f| f.class)
-        };
         let passes: &[Option<bool>] = if priority { &[Some(false), Some(true)] } else { &[None] };
         for &snack_pass in passes {
             for step in 0..Dir::COUNT {
                 let in_port = (self.sa_out_rr[out] + step) % Dir::COUNT;
-                if let Some(class) = requests(in_port) {
+                if let Some(class) = self.nominee_class(out, in_port, nominees) {
                     if let Some(want_snack) = snack_pass {
                         if class.is_snack() != want_snack {
                             continue;
@@ -452,16 +578,21 @@ impl<P> Router<P> {
     }
 
     /// ST: pops the granted flit, charges credits, advances VC state.
-    fn traverse(&mut self, in_port: Dir, vc_idx: usize) -> Departure<P> {
+    fn traverse(&mut self, in_port: Dir, vc_idx: usize) -> Departure {
         let vc = &mut self.inputs[in_port.index()][vc_idx];
         let VcState::Active { out_port, out_vc } = vc.state else {
             unreachable!("traverse on non-active VC")
         };
         let mut flit = vc.buf.pop_front().expect("traverse on empty VC");
         self.buffered -= 1;
-        let was_tail = flit.kind.is_tail();
+        let was_tail = flit.kind().is_tail();
         if was_tail {
+            // Atomic VC reuse upstream guarantees the next packet's head
+            // cannot be buffered yet — the invariant that makes routing at
+            // head *arrival* (instead of a per-cycle RC stage) sound.
+            debug_assert!(vc.buf.is_empty(), "flits buffered behind a departing tail");
             vc.state = VcState::Idle;
+            self.active_mask[in_port.index()] &= !(1u64 << vc_idx);
         }
         if out_port != Dir::Local {
             // Atomic VC reuse: the output VC stays allocated until the
@@ -469,8 +600,15 @@ impl<P> Router<P> {
             let o = &mut self.outputs[out_port.index()][out_vc as usize];
             debug_assert!(o.credits > 0, "ST without credit");
             o.credits -= 1;
-            flit.hops += 1;
-            flit.vc = out_vc;
+            if o.credits == 0 {
+                self.credit_mask[out_port.index()] &= !(1u64 << out_vc);
+            }
+            if flit.hops == u32::MAX {
+                self.hops_saturations += 1;
+            } else {
+                flit.hops += 1;
+            }
+            flit.set_vc(out_vc);
         }
         Departure { flit, out_port, in_port, in_vc: vc_idx as u8, was_tail }
     }
@@ -480,46 +618,54 @@ impl<P> Router<P> {
 mod tests {
     use super::*;
     use crate::flit::FlitKind;
+    use crate::pool::PayloadRef;
 
     fn test_cfg() -> NocConfig {
         NocConfig::default().with_vnets(1).with_vcs_per_vnet(2).with_buffers_per_vc(4)
     }
 
-    fn flit(dst: NodeId, kind: FlitKind, class: TrafficClass, vc: u8) -> Flit<u32> {
-        Flit {
-            id: 0,
-            packet_id: 0,
+    fn flit(dst: NodeId, kind: FlitKind, class: TrafficClass, vc: u8) -> Flit {
+        let mut f = Flit::new(
+            0,
+            0,
             kind,
             class,
-            vnet: 0,
-            src: NodeId::new(0),
+            0,
+            NodeId::new(0),
             dst,
-            queued_at: 0,
-            payload: None,
-            hops: 0,
-            vc,
-            buffered_at: 0,
-            corrupted: false,
-            protected: false,
-        }
+            0,
+            PayloadRef::NONE,
+            false,
+        );
+        f.set_vc(vc);
+        f
+    }
+
+    #[test]
+    fn range_mask_covers_edges() {
+        assert_eq!(range_mask(0, 0), 0);
+        assert_eq!(range_mask(0, 1), 1);
+        assert_eq!(range_mask(0, 64), u64::MAX);
+        assert_eq!(range_mask(63, 64), 1 << 63);
+        assert_eq!(range_mask(2, 5), 0b11100);
+        assert_eq!(range_mask(64, 64), 0);
     }
 
     #[test]
     fn single_flit_departs_toward_destination() {
         let cfg = test_cfg();
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         let f = flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0);
-        r.accept_flit(Dir::West, f, 0, 4);
+        r.accept_flit(&mesh, &cfg, Dir::West, f, 0, 4);
         assert_eq!(r.buffered_flits(), 1);
-        r.route_compute(&mesh, &cfg);
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
-        let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
+        let deps = r.switch_allocate(&cfg, 10, &Router::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::East);
         assert_eq!(deps[0].in_port, Dir::West);
         assert!(deps[0].was_tail);
-        assert_eq!(deps[0].flit.hops, 1);
+        assert_eq!(deps[0].flit.hops(), 1);
         assert_eq!(r.buffered_flits(), 0);
     }
 
@@ -528,102 +674,109 @@ mod tests {
         let cfg = test_cfg();
         let mesh = Mesh::new(4, 4);
         let node = mesh.node_at(2, 2);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, node);
-        r.accept_flit(Dir::North, flit(node, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
-        r.route_compute(&mesh, &cfg);
+        let mut r = Router::new(&cfg, &mesh, node);
+        r.accept_flit(
+            &mesh,
+            &cfg,
+            Dir::North,
+            flit(node, FlitKind::HeadTail, TrafficClass::Communication, 1),
+            0,
+            4,
+        );
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
-        let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
+        let deps = r.switch_allocate(&cfg, 10, &Router::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::Local);
-        assert_eq!(deps[0].flit.hops, 0, "ejection is not a hop");
+        assert_eq!(deps[0].flit.hops(), 0, "ejection is not a hop");
     }
 
     #[test]
     fn pipeline_depth_gates_switch_allocation() {
         let cfg = test_cfg().with_pipeline_stages(4); // 3 router cycles buffered
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         r.accept_flit(
+            &mesh,
+            &cfg,
             Dir::West,
             flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0),
             10,
             4,
         );
-        r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
-        assert!(r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t");
-        assert!(r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t+1");
-        assert!(r.switch_allocate(&cfg, 12, &Router::<u32>::NO_DOWN_PORTS).is_empty(), "too early at t+2");
-        assert_eq!(r.switch_allocate(&cfg, 13, &Router::<u32>::NO_DOWN_PORTS).len(), 1, "ready at t + (stages-1)");
+        r.vc_allocate(&cfg, 10, &mut TracerHandle::Nop);
+        assert!(r.switch_allocate(&cfg, 10, &Router::NO_DOWN_PORTS).is_empty(), "too early at t");
+        assert!(r.switch_allocate(&cfg, 11, &Router::NO_DOWN_PORTS).is_empty(), "too early at t+1");
+        assert!(r.switch_allocate(&cfg, 12, &Router::NO_DOWN_PORTS).is_empty(), "too early at t+2");
+        assert_eq!(
+            r.switch_allocate(&cfg, 13, &Router::NO_DOWN_PORTS).len(),
+            1,
+            "ready at t + (stages-1)"
+        );
     }
 
     #[test]
     fn credits_block_traversal() {
         let cfg = test_cfg().with_buffers_per_vc(1);
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         let dst = mesh.node_at(3, 1);
         // Two single-flit packets from different VCs toward the same output.
-        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
-        r.accept_flit(Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
-        r.route_compute(&mesh, &cfg);
+        r.accept_flit(&mesh, &cfg, Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
+        r.accept_flit(&mesh, &cfg, Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         // First wins the only free VC/credit pair on vc0; second got vc1.
-        let d1 = r.switch_allocate(&cfg, 5, &Router::<u32>::NO_DOWN_PORTS);
+        let d1 = r.switch_allocate(&cfg, 5, &Router::NO_DOWN_PORTS);
         assert_eq!(d1.len(), 1, "both VCs have a credit, but one output port grant per cycle");
-        let d2 = r.switch_allocate(&cfg, 6, &Router::<u32>::NO_DOWN_PORTS);
+        let d2 = r.switch_allocate(&cfg, 6, &Router::NO_DOWN_PORTS);
         assert_eq!(d2.len(), 1);
-        assert_ne!(d1[0].flit.vc, d2[0].flit.vc, "packets allocated distinct output VCs");
+        assert_ne!(d1[0].flit.vc(), d2[0].flit.vc(), "packets allocated distinct output VCs");
         // Credits now exhausted on both VCs.
-        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 6, 1);
-        r.route_compute(&mesh, &cfg);
-        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
+        r.accept_flit(&mesh, &cfg, Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 6, 1);
+        r.vc_allocate(&cfg, 6, &mut TracerHandle::Nop);
         assert!(
-            r.switch_allocate(&cfg, 8, &Router::<u32>::NO_DOWN_PORTS).is_empty(),
+            r.switch_allocate(&cfg, 8, &Router::NO_DOWN_PORTS).is_empty(),
             "no credits and no free VCs: nothing may traverse"
         );
         // Returning a credit + freeing the VC unblocks it.
         r.return_credit(Dir::East, 0, 1);
         r.free_output_vc(Dir::East, 0);
-        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
-        assert_eq!(r.switch_allocate(&cfg, 9, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
+        r.vc_allocate(&cfg, 8, &mut TracerHandle::Nop);
+        assert_eq!(r.switch_allocate(&cfg, 9, &Router::NO_DOWN_PORTS).len(), 1);
     }
 
     #[test]
     fn priority_arbitration_prefers_communication() {
         let cfg = test_cfg().with_priority_arbitration(true);
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         let dst = mesh.node_at(3, 1);
         // Snack flit arrives first and would win round-robin.
-        r.accept_flit(Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::SnackInstruction, 0), 0, 4);
-        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
-        r.route_compute(&mesh, &cfg);
+        r.accept_flit(&mesh, &cfg, Dir::North, flit(dst, FlitKind::HeadTail, TrafficClass::SnackInstruction, 0), 0, 4);
+        r.accept_flit(&mesh, &cfg, Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 1), 0, 4);
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
-        let deps = r.switch_allocate(&cfg, 10, &Router::<u32>::NO_DOWN_PORTS);
+        let deps = r.switch_allocate(&cfg, 10, &Router::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
-        assert_eq!(deps[0].flit.class, TrafficClass::Communication);
-        let deps = r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS);
-        assert_eq!(deps[0].flit.class, TrafficClass::SnackInstruction);
+        assert_eq!(deps[0].flit.class(), TrafficClass::Communication);
+        let deps = r.switch_allocate(&cfg, 11, &Router::NO_DOWN_PORTS);
+        assert_eq!(deps[0].flit.class(), TrafficClass::SnackInstruction);
     }
 
     #[test]
     fn down_mask_stalls_the_port_without_losing_flits() {
         let cfg = test_cfg();
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         let f = flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0);
-        r.accept_flit(Dir::West, f, 0, 4);
-        r.route_compute(&mesh, &cfg);
+        r.accept_flit(&mesh, &cfg, Dir::West, f, 0, 4);
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
-        let mut down = Router::<u32>::NO_DOWN_PORTS;
+        let mut down = Router::NO_DOWN_PORTS;
         down[Dir::East.index()] = true;
         assert!(r.switch_allocate(&cfg, 10, &down).is_empty(), "east link is down");
         assert_eq!(r.buffered_flits(), 1, "the flit waits in its buffer");
         assert_eq!(r.routed_waiting_vcs(), 0, "it already holds an output VC");
         assert_eq!(r.oldest_buffered_queued_at(), Some(0));
         // The window closes: traversal resumes exactly where it stalled.
-        let deps = r.switch_allocate(&cfg, 11, &Router::<u32>::NO_DOWN_PORTS);
+        let deps = r.switch_allocate(&cfg, 11, &Router::NO_DOWN_PORTS);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out_port, Dir::East);
         assert_eq!(r.buffered_flits(), 0);
@@ -634,11 +787,11 @@ mod tests {
     fn useful_free_vcs_counts_interior_router() {
         let cfg = test_cfg();
         let mesh = Mesh::new(4, 4);
-        let r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         let (free, total) = r.useful_free_output_vcs();
         assert_eq!(total, 4 * cfg.vcs_per_port());
         assert_eq!(free, total);
-        let corner: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
+        let corner = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
         let (_, corner_total) = corner.useful_free_output_vcs();
         assert_eq!(corner_total, 2 * cfg.vcs_per_port());
     }
@@ -646,22 +799,21 @@ mod tests {
     #[test]
     fn useful_free_counter_tracks_alloc_credit_and_free_transitions() {
         // Drive a VC through allocate -> credit exhaustion -> credit
-        // return -> free and check the incremental counter against the
-        // recount at every step (the accessor debug_asserts the match).
+        // return -> free and check the popcount probe against the recount
+        // at every step (the accessor debug_asserts the match).
         let cfg = test_cfg().with_buffers_per_vc(1);
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
         let dst = mesh.node_at(3, 1);
         let (free0, total) = r.useful_free_output_vcs();
         assert_eq!(free0, total);
-        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
-        r.route_compute(&mesh, &cfg);
+        r.accept_flit(&mesh, &cfg, Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 0, 1);
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let (after_alloc, _) = r.useful_free_output_vcs();
         assert_eq!(after_alloc, free0 - 1, "the granted VC leaves the useful pool");
         // Traversal spends the VC's only credit; it stays allocated, so the
-        // counter is unchanged.
-        assert_eq!(r.switch_allocate(&cfg, 5, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
+        // probe is unchanged.
+        assert_eq!(r.switch_allocate(&cfg, 5, &Router::NO_DOWN_PORTS).len(), 1);
         assert_eq!(r.useful_free_output_vcs().0, after_alloc);
         // Credit returns while still allocated: not yet useful.
         r.return_credit(Dir::East, 0, 1);
@@ -670,10 +822,9 @@ mod tests {
         r.free_output_vc(Dir::East, 0);
         assert_eq!(r.useful_free_output_vcs().0, free0);
         // Freeing a starved VC first, then crediting it, also re-arms it.
-        r.accept_flit(Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 6, 1);
-        r.route_compute(&mesh, &cfg);
+        r.accept_flit(&mesh, &cfg, Dir::West, flit(dst, FlitKind::HeadTail, TrafficClass::Communication, 0), 6, 1);
         r.vc_allocate(&cfg, 6, &mut TracerHandle::Nop);
-        assert_eq!(r.switch_allocate(&cfg, 12, &Router::<u32>::NO_DOWN_PORTS).len(), 1);
+        assert_eq!(r.switch_allocate(&cfg, 12, &Router::NO_DOWN_PORTS).len(), 1);
         r.free_output_vc(Dir::East, 0); // freed while credits == 0
         assert_eq!(r.useful_free_output_vcs().0, free0 - 1);
         r.return_credit(Dir::East, 0, 1); // credit arrives after the free
@@ -684,20 +835,34 @@ mod tests {
     fn wormhole_keeps_packet_on_one_output_vc() {
         let cfg = test_cfg();
         let mesh = Mesh::new(4, 4);
-        let mut r: Router<u32> = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(0, 0));
         let dst = mesh.node_at(3, 0);
-        r.accept_flit(Dir::Local, flit(dst, FlitKind::Head, TrafficClass::Communication, 0), 0, 4);
-        r.accept_flit(Dir::Local, flit(dst, FlitKind::Body, TrafficClass::Communication, 0), 0, 4);
-        r.accept_flit(Dir::Local, flit(dst, FlitKind::Tail, TrafficClass::Communication, 0), 0, 4);
-        r.route_compute(&mesh, &cfg);
+        r.accept_flit(&mesh, &cfg, Dir::Local, flit(dst, FlitKind::Head, TrafficClass::Communication, 0), 0, 4);
+        r.accept_flit(&mesh, &cfg, Dir::Local, flit(dst, FlitKind::Body, TrafficClass::Communication, 0), 0, 4);
+        r.accept_flit(&mesh, &cfg, Dir::Local, flit(dst, FlitKind::Tail, TrafficClass::Communication, 0), 0, 4);
         r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
         let mut out_vcs = Vec::new();
         for t in 5..8 {
-            let deps = r.switch_allocate(&cfg, t, &Router::<u32>::NO_DOWN_PORTS);
+            let deps = r.switch_allocate(&cfg, t, &Router::NO_DOWN_PORTS);
             assert_eq!(deps.len(), 1);
-            out_vcs.push(deps[0].flit.vc);
+            out_vcs.push(deps[0].flit.vc());
         }
         assert!(out_vcs.windows(2).all(|w| w[0] == w[1]), "all flits share the output VC");
         assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn hop_counter_saturates_instead_of_wrapping() {
+        let cfg = test_cfg();
+        let mesh = Mesh::new(4, 4);
+        let mut r = Router::new(&cfg, &mesh, mesh.node_at(1, 1));
+        let mut f = flit(mesh.node_at(3, 1), FlitKind::HeadTail, TrafficClass::Communication, 0);
+        f.hops = u32::MAX;
+        r.accept_flit(&mesh, &cfg, Dir::West, f, 0, 4);
+        r.vc_allocate(&cfg, 0, &mut TracerHandle::Nop);
+        let deps = r.switch_allocate(&cfg, 10, &Router::NO_DOWN_PORTS);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].flit.hops(), u32::MAX, "saturated, not wrapped");
+        assert_eq!(r.hops_saturations(), 1, "the saturation is counted");
     }
 }

@@ -154,8 +154,8 @@ echo "$perf_out" | grep -q "^stats-identical: yes" || {
   echo "ERROR: snack-perf --smoke did not prove event == active == dense stats" >&2
   exit 1
 }
-grep -q '"schema": "snacknoc-perf-v1"' "$perf_json" || {
-  echo "ERROR: snack-perf JSON is missing the snacknoc-perf-v1 schema tag" >&2
+grep -q '"schema": "snacknoc-perf-v2"' "$perf_json" || {
+  echo "ERROR: snack-perf JSON is missing the snacknoc-perf-v2 schema tag" >&2
   exit 1
 }
 grep -q '"stats_identical": true' "$perf_json" || {
@@ -166,6 +166,14 @@ grep -q '"event_median_ns"' "$perf_json" || {
   echo "ERROR: snack-perf JSON is missing the event-driven timing rows" >&2
   exit 1
 }
+# v2 loaded-path fields (DESIGN.md §16): every step row must carry the
+# injected-flit count and the flits/sec throughput figure.
+for field in '"injected_flits":' '"flits_per_sec":'; do
+  grep -q "$field" "$perf_json" || {
+    echo "ERROR: snack-perf JSON is missing the v2 field $field" >&2
+    exit 1
+  }
+done
 awk -v RS='}' '/"name": "idle/ {
   match($0, /"event_speedup": [0-9.]+/)
   split(substr($0, RSTART, RLENGTH), kv, ": ")
@@ -225,6 +233,43 @@ if [ -f BENCH_perf.json ] && grep -q '"shard":' BENCH_perf.json; then
       }
       printf "shard gate: 64x64 best speedup %.3fx (capture host: %d thread(s))\n", best, threads
     }' BENCH_perf.json
+fi
+
+# Loaded-path gates on the committed full capture (DESIGN.md §16): the
+# v2 schema, a saturation/32x32 scaling row, stats_identical on *every*
+# row (step, shard and kernel alike — a single false bit means a
+# stepping mode diverged from the dense oracle), and the saturation
+# 16x16 active median beating the committed pre-PR capture
+# (EXPERIMENTS.md "Simulator performance": 1 561 807 930 ns on the same
+# container class; the PR-10 data-layout work targets >= 1.5x, the gate
+# keeps margin for slower hosts).
+if [ -f BENCH_perf.json ]; then
+  grep -q '"schema": "snacknoc-perf-v2"' BENCH_perf.json || {
+    echo "ERROR: committed BENCH_perf.json is not a snacknoc-perf-v2 capture" >&2
+    exit 1
+  }
+  grep -q '"name": "saturation/32x32"' BENCH_perf.json || {
+    echo "ERROR: committed BENCH_perf.json is missing the saturation/32x32 row" >&2
+    exit 1
+  }
+  if grep -q '"stats_identical": false' BENCH_perf.json; then
+    echo "ERROR: a committed BENCH_perf.json row is not bit-identical across modes" >&2
+    exit 1
+  fi
+  awk -v RS='}' -v pre_pr_ns=1561807930 '/"name": "saturation\/16x16"/ {
+    match($0, /"active_median_ns": [0-9]+/)
+    split(substr($0, RSTART, RLENGTH), kv, ": ")
+    speedup = pre_pr_ns / (kv[2] + 0)
+    if (speedup < 1.2) {
+      print "ERROR: saturation/16x16 active median " kv[2] " ns is only " \
+            speedup "x over the pre-PR baseline (need >= 1.2x)" > "/dev/stderr"
+      exit 1
+    }
+    printf "loaded-path gate: saturation/16x16 %.2fx over pre-PR baseline\n", speedup
+    found = 1
+  }
+  END { if (!found) { print "ERROR: no saturation/16x16 row in BENCH_perf.json" > "/dev/stderr"; exit 1 } }' \
+    BENCH_perf.json
 fi
 
 # Service smoke (DESIGN.md §15): the multi-tenant SLO sweep at three

@@ -6,14 +6,19 @@
 //! The whole file is one integration-test crate so the `#[global_allocator]`
 //! hook owns the process: every heap allocation anywhere in the test binary
 //! passes through [`CountingAlloc`]. The counter is only *read* around the
-//! measured region, so unrelated test-harness allocations before/after the
-//! region don't pollute the measurement (tests in this file must therefore
-//! not run concurrently with the measured region — there is exactly one
-//! measuring test).
+//! measured regions, so unrelated test-harness allocations before/after a
+//! region don't pollute the measurement. Because the counter is process
+//! global, every measuring test holds [`MEASURE_LOCK`] for its whole body:
+//! the harness may run tests on parallel threads, and another test's
+//! warm-up allocations must not land inside a measured region.
 
 use snacknoc_noc::{Network, NocConfig, NodeId, PacketSpec, TrafficClass};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Serializes the measuring tests (see the module docs).
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
 
 /// System allocator wrapper that counts every `alloc`/`realloc` call.
 struct CountingAlloc;
@@ -50,7 +55,12 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// back toward where it came from, so a fixed population of packets stays
 /// in flight forever and the same code paths (NI injection, router
 /// pipeline, link traversal, ejection, reassembly) run every cycle.
-fn bounce(net: &mut Network<u64>, scratch: &mut Vec<snacknoc_noc::Packet<u64>>, nodes: &[NodeId]) {
+fn bounce(
+    net: &mut Network<u64>,
+    scratch: &mut Vec<snacknoc_noc::Packet<u64>>,
+    nodes: &[NodeId],
+    size_bytes: u32,
+) {
     for &node in nodes {
         net.drain_ejected_into(node, scratch);
     }
@@ -60,7 +70,7 @@ fn bounce(net: &mut Network<u64>, scratch: &mut Vec<snacknoc_noc::Packet<u64>>, 
             pkt.src,
             pkt.vnet,
             TrafficClass::Communication,
-            8,
+            size_bytes,
             pkt.payload,
         );
         net.inject(spec).expect("bounce packets stay valid");
@@ -69,6 +79,7 @@ fn bounce(net: &mut Network<u64>, scratch: &mut Vec<snacknoc_noc::Packet<u64>>, 
 
 #[test]
 fn steady_state_network_step_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     // A sampling window far beyond the run length: the only allocating
     // stats path (the per-window series roll) must not fire mid-measure.
     let cfg = NocConfig::default().with_mesh(8, 8).with_sample_window(1_000_000);
@@ -93,7 +104,7 @@ fn steady_state_network_step_allocates_nothing() {
     // steady-state capacity (several round trips across the 8x8 mesh).
     for _ in 0..4_000 {
         net.step();
-        bounce(&mut net, &mut scratch, &nodes);
+        bounce(&mut net, &mut scratch, &nodes, 8);
     }
     assert!(net.pending_packets() > 0, "warm-up kept traffic in flight");
     let delivered_before = net.delivered_packets();
@@ -103,7 +114,7 @@ fn steady_state_network_step_allocates_nothing() {
     let allocs_before = ALLOC_CALLS.load(Ordering::SeqCst);
     for _ in 0..1_000 {
         net.step();
-        bounce(&mut net, &mut scratch, &nodes);
+        bounce(&mut net, &mut scratch, &nodes, 8);
     }
     let allocs_after = ALLOC_CALLS.load(Ordering::SeqCst);
 
@@ -116,6 +127,81 @@ fn steady_state_network_step_allocates_nothing() {
         allocs_after - allocs_before,
         0,
         "steady-state Network::step must be allocation-free \
+         ({} allocations in 1k cycles)",
+        allocs_after - allocs_before
+    );
+}
+
+/// The *loaded* counterpart (ISSUE PR 10): a saturation-level closed-loop
+/// population of multi-flit packets — router buffers contended, NI
+/// backlogs nonzero, reassembly and the payload pool churning every cycle
+/// — still performs zero heap allocations once the pools are warm. The
+/// payload slab is preallocated for the whole population up front, so its
+/// demand-growth counter must stay at zero for the entire run, not just
+/// the measured region.
+#[test]
+fn saturated_steady_state_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let cfg = NocConfig::default().with_mesh(8, 8).with_sample_window(1_000_000);
+    let mut net: Network<u64> = Network::new(cfg).expect("valid config");
+    let nodes: Vec<NodeId> = net.mesh().nodes().collect();
+    let mut scratch: Vec<snacknoc_noc::Packet<u64>> = Vec::with_capacity(512);
+
+    // Enough multi-flit packets to keep the 8x8 mesh saturated: far more
+    // flits in flight than the routers can buffer, so the surplus queues
+    // at the NIs and every pipeline stage contends every cycle.
+    const POPULATION: usize = 320;
+    const SIZE_BYTES: u32 = 64;
+    net.preallocate_payloads(POPULATION);
+    let n = nodes.len();
+    for i in 0..POPULATION {
+        let src = nodes[(i * 11) % n];
+        let dst = nodes[(i * 17 + 3) % n];
+        if src == dst {
+            continue;
+        }
+        let spec = PacketSpec::new(
+            src,
+            dst,
+            (i % 2) as u8,
+            TrafficClass::Communication,
+            SIZE_BYTES,
+            i as u64,
+        );
+        net.inject(spec).expect("seed packets valid");
+    }
+
+    for _ in 0..6_000 {
+        net.step();
+        bounce(&mut net, &mut scratch, &nodes, SIZE_BYTES);
+    }
+    assert!(net.pending_packets() > 0, "warm-up kept traffic in flight");
+    assert!(net.total_ni_backlog() > 0, "population saturates the mesh");
+    assert!(net.payload_pool_live() > 0, "in-flight payloads live in the pool");
+    assert_eq!(
+        net.payload_pool_growth_events(),
+        0,
+        "preallocation covered the closed-loop population"
+    );
+    let delivered_before = net.delivered_packets();
+
+    let allocs_before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        net.step();
+        bounce(&mut net, &mut scratch, &nodes, SIZE_BYTES);
+    }
+    let allocs_after = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert!(
+        net.delivered_packets() > delivered_before,
+        "measured region must exercise the full deliver/re-inject loop"
+    );
+    assert!(net.pending_packets() > 0, "traffic still in flight after measurement");
+    assert_eq!(net.payload_pool_growth_events(), 0, "pool never grew on demand");
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "loaded steady-state Network::step must be allocation-free \
          ({} allocations in 1k cycles)",
         allocs_after - allocs_before
     );

@@ -606,6 +606,134 @@ fn random_short_window_fault_plans_step_identically_event_and_dense() {
     });
 }
 
+/// The pooled payload slab (DESIGN.md §16) is invisible to every
+/// observable: on random meshes with random multi-flit traffic and random
+/// fault plans, all five stepping modes (dense oracle, active, event,
+/// sharded at a random shard count, event+sharded) deliver bit-identical
+/// payload contents and per-packet metadata — delivered cycle, hop count,
+/// corruption mark — and identical stats. Once the network drains, every
+/// slot has been returned to the pool (delivered payloads are moved out,
+/// dropped packets' payloads are released), with the same high-water mark
+/// and demand-growth count in every mode: slot recycling is deterministic
+/// even across the sharded mailbox boundary.
+#[test]
+fn pooled_payloads_are_bit_identical_across_modes_and_leak_free() {
+    use snacknoc::noc::{Dir, FaultPlan, LinkFaultKind};
+    use snacknoc_bench::perf::stats_fingerprint;
+    prop_check!(cases = 10, seed = 0x51AC_000C, |rng| {
+        let (cols, rows) = mesh_dims(rng);
+        let cfg = NocConfig::default()
+            .with_mesh(cols, rows)
+            .with_sample_window(rng.range(50..400));
+        let mesh = Mesh::new(cols, rows);
+        let n = mesh.node_count();
+
+        // Random staggered traffic: (cycle, src, dst, vnet, bytes, tag).
+        // Sizes span single-flit packets up to long multi-flit worms so
+        // head-only payload refs and reassembly both churn the pool.
+        let mut schedule = Vec::new();
+        let mut at = 0u64;
+        for tag in 0..rng.range_usize(1..40) {
+            at += rng.range(0..80);
+            schedule.push((
+                at,
+                rng.range_usize(0..n),
+                rng.range_usize(0..n),
+                rng.range(0..3) as u8,
+                rng.range(1..160) as u32,
+                tag,
+            ));
+        }
+        let horizon = at + 1;
+
+        // A few brief link faults so drops and corruption exercise the
+        // head-release and tail-drop pool paths, not just delivery.
+        let mut plan = FaultPlan::seeded(rng.range(0..1 << 30));
+        for _ in 0..rng.range_usize(0..4) {
+            let (node, dir) = loop {
+                let node = NodeId::new(rng.range_usize(0..n));
+                let dir = Dir::ROUTER_DIRS[rng.range_usize(0..4)];
+                if mesh.neighbor(node, dir).is_some() {
+                    break (node, dir);
+                }
+            };
+            let start = rng.range(0..horizon + 200);
+            let end = start + rng.range(1..200);
+            let kind = match rng.range(0..3) {
+                0 => LinkFaultKind::Down,
+                1 => LinkFaultKind::Drop { rate: rng.unit_f64() },
+                _ => LinkFaultKind::Corrupt { rate: rng.unit_f64() },
+            };
+            plan = plan.with_link_fault(node, dir, start, end, kind);
+        }
+
+        let shards = 1 + rng.range_usize(0..rows as usize);
+
+        let run_mode = |mode: u8| {
+            let mut net: Network<usize> = Network::new(cfg.clone()).unwrap();
+            match mode {
+                0 => net.set_dense_stepping(true),
+                1 => {}
+                2 => net.set_event_stepping(true),
+                3 => net.set_sharding(shards).unwrap(),
+                _ => {
+                    net.set_event_stepping(true);
+                    net.set_sharding(shards).unwrap();
+                }
+            }
+            net.set_fault_plan(plan.clone()).unwrap();
+            for &(cycle, src, dst, vnet, bytes, tag) in &schedule {
+                net.step_until(cycle);
+                net.inject(PacketSpec::new(
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    vnet,
+                    TrafficClass::Communication,
+                    bytes,
+                    tag,
+                ))
+                .unwrap();
+            }
+            net.step_until(horizon);
+            assert!(
+                net.run_until_drained(4_000_000).is_ok(),
+                "{cols}x{rows} mesh mode {mode}: network must drain"
+            );
+            let mut log = Vec::new();
+            for node in 0..n {
+                for p in net.drain_ejected(NodeId::new(node)) {
+                    log.push((node, p.delivered_at, p.hops, p.corrupted, p.payload));
+                }
+            }
+            assert_eq!(
+                net.payload_pool_live(),
+                0,
+                "{cols}x{rows} mesh mode {mode}: drained pool leaked payloads"
+            );
+            format!(
+                "log={log:?} pool={}g{} {}",
+                net.payload_pool_high_water(),
+                net.payload_pool_growth_events(),
+                stats_fingerprint(
+                    net.injected_packets(),
+                    net.delivered_packets(),
+                    net.pending_packets(),
+                    net.finalize_stats(),
+                ),
+            )
+        };
+        let dense = run_mode(0);
+        for mode in 1u8..=4 {
+            assert_eq!(
+                run_mode(mode),
+                dense,
+                "{cols}x{rows} mesh, {shards} shards: mode {mode} pooled \
+                 payloads diverged from dense"
+            );
+        }
+    });
+}
+
 /// Graceful degradation under *random chaos schedules* (permanent RCU and
 /// link deaths mixed with transient drop/corrupt noise, on 1- or 4-CPM
 /// platforms) produces the identical verdict in every stepping mode:
